@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Fig. 1: the fraction of the allocated register set that
+ * is live at each dynamically executed instruction of a sample warp,
+ * for the six kernels the paper plots (CUTCP, DWT2D, HeartWall,
+ * HotSpot3D, ParticleFilter, SAD). The series is printed downsampled
+ * to a fixed number of buckets, plus summary statistics showing the
+ * headline claim: for the majority of execution only a subset of the
+ * allocated registers is live.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "common/table.hh"
+#include "sim/interpreter.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+constexpr int kBuckets = 24;
+
+void
+plotKernel(const std::string &name)
+{
+    using namespace rm;
+    const Program p = buildWorkload(name);
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    const InterpResult run = interpret(p);
+    const std::vector<double> series =
+        livenessTimeline(live, run.sampleTrace, p.info.numRegs);
+
+    // Downsample to buckets (mean within each bucket).
+    std::vector<double> buckets(kBuckets, 0.0);
+    std::vector<int> counts(kBuckets, 0);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const int b = static_cast<int>(i * kBuckets / series.size());
+        buckets[b] += series[i];
+        ++counts[b];
+    }
+    double mean = 0.0, peak = 0.0;
+    double below_half = 0.0;
+    for (double v : series) {
+        mean += v;
+        peak = std::max(peak, v);
+        below_half += v <= 0.5;
+    }
+    mean /= static_cast<double>(series.size());
+    below_half /= static_cast<double>(series.size());
+
+    std::cout << "(" << name << ")  " << series.size()
+              << " dynamic instructions, allocated " << p.info.numRegs
+              << " regs\n";
+    std::cout << "  series (mean % live per bucket): ";
+    for (int b = 0; b < kBuckets; ++b) {
+        const double v = counts[b] ? buckets[b] / counts[b] : 0.0;
+        std::cout << static_cast<int>(v * 100.0 + 0.5)
+                  << (b + 1 == kBuckets ? "\n" : " ");
+    }
+    // ASCII sparkline for the shape.
+    static const char glyphs[] = " .:-=+*#%@";
+    std::cout << "  shape: [";
+    for (int b = 0; b < kBuckets; ++b) {
+        const double v = counts[b] ? buckets[b] / counts[b] : 0.0;
+        std::cout << glyphs[std::min(9, static_cast<int>(v * 10))];
+    }
+    std::cout << "]\n";
+    std::cout << "  mean live " << percent(mean) << ", peak "
+              << percent(peak) << ", share of time at <=50% live "
+              << percent(below_half) << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Fig. 1: utilization of a sample warp's allocated "
+                 "register set during execution\n"
+                 "(X: dynamic instructions, Y: % of allocated "
+                 "registers live)\n\n";
+    for (const char *name : {"CUTCP", "DWT2D", "HeartWall", "HotSpot3D",
+                             "ParticleFilter", "SAD"}) {
+        plotKernel(name);
+    }
+    std::cout << "Paper claim reproduced when the mean stays well "
+                 "below 100% and the series fluctuates with the "
+                 "kernel's loop structure.\n";
+    return 0;
+}

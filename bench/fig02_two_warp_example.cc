@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Reproduces Fig. 2: the paper's illustrative example of two warps
+ * executing identical code on a machine with 48 registers per thread,
+ * each demanding 31. Without RegMutex the combined demand (62) exceeds
+ * the hardware, so the warps serialize completely; with a 16/16
+ * base/extended split plus a 16-register shared pool, the release-state
+ * portions overlap and only the acquire-state portions serialize.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "regmutex/allocator.hh"
+#include "sim/gpu.hh"
+#include "sim/trace.hh"
+#include "workloads/generator.hh"
+
+int
+main()
+{
+    using namespace rm;
+
+    // The figure's machine: 48 registers per thread of hardware, two
+    // warp slots, one warp per CTA.
+    GpuConfig config = gtx480Config();
+    config.numSms = 1;
+    config.maxWarpsPerSm = 2;
+    config.maxCtasPerSm = 2;
+    config.maxThreadsPerSm = 64;
+    config.registersPerSm = 48 * 32;  // 48 regs/thread x one warp width
+    config.sharedMemPerSm = 4096;
+
+    // A kernel needing 31 registers at its burst peak, with a long
+    // low-pressure memory phase (the figure's release-state stretch).
+    KernelSpec spec;
+    spec.name = "fig2";
+    spec.regs = 31;
+    spec.ctaThreads = 32;  // one warp per CTA
+    spec.gridCtasPerSm = 2;
+    spec.persistent = 6;
+    spec.seed = 2;
+    spec.phases = {
+        {.trips = 3, .peak = 31, .loads = 3, .memTrips = 3,
+         .aluPerTemp = 1},
+    };
+    const Program p = buildKernel(spec, 1);
+
+    const SimStats base = runBaseline(p, config);
+
+    CompileOptions options;
+    options.forcedEs = 16;  // the figure's 16/16 split
+    const RegMutexRun rmx = runRegMutex(p, config, options);
+
+    Table table({"configuration", "resident warps", "cycles",
+                 "overlap"});
+    {
+        Row row;
+        row << "baseline (31 regs exclusive)"
+            << base.theoreticalWarps
+            << static_cast<unsigned long long>(base.cycles)
+            << (base.theoreticalWarps > 1 ? "yes" : "none");
+        table.addRow(row.take());
+    }
+    {
+        Row row;
+        row << "RegMutex (|Bs|=16, |Es|=16, SRP=16)"
+            << rmx.stats.theoreticalWarps
+            << static_cast<unsigned long long>(rmx.stats.cycles)
+            << "release-state portions";
+        table.addRow(row.take());
+    }
+
+    std::cout << "Fig. 2: two warps, 48 hardware registers per "
+                 "thread, 31 architected registers each\n\n"
+              << table.toText() << "\n"
+              << "RegMutex split chosen: |Bs| = "
+              << rmx.compile.selection.bs << ", |Es| = "
+              << rmx.compile.selection.es << ", SRP sections = "
+              << rmx.compile.selection.srpSections << "\n"
+              << "acquires executed: " << rmx.stats.acquireAttempts
+              << ", successful: " << rmx.stats.acquireSuccesses
+              << ", releases: " << rmx.stats.releases << "\n"
+              << "cycle reduction vs baseline: "
+              << percent(cycleReduction(base, rmx.stats)) << "\n\n"
+              << "Paper's claim: the baseline reserves 31 registers "
+                 "per warp for the full duration, preventing any "
+                 "overlap (2 x 31 > 48); RegMutex overlaps the "
+                 "release-state code and serializes only the "
+                 "extended-set regions.\n\n";
+
+    // The figure's timeline, from the issue-stage trace: acquire,
+    // release, stall and lifetime events of the two warps.
+    IssueTrace timeline(1 << 16);
+    {
+        RegMutexAllocator allocator;
+        allocator.prepare(config, rmx.compile.program);
+        SimOptions sim_options;
+        sim_options.mapper = allocator.makeMapper();
+        sim_options.trace = &timeline;
+        simulate(config, rmx.compile.program, allocator,
+                 std::move(sim_options), /*prepare_allocator=*/false);
+    }
+    std::cout << "RegMutex timeline (acquire/release/lifetime events "
+                 "only):\n";
+    for (const TraceEvent &event : timeline.events()) {
+        if (event.kind == TraceKind::Issue)
+            continue;
+        std::cout << "  cycle " << event.cycle << "  warp "
+                  << event.warpSlot << " (cta " << event.ctaId << "): "
+                  << IssueTrace::kindName(event.kind) << "\n";
+    }
+    return 0;
+}

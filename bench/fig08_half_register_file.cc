@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Fig. 8: execution-cycle increase on an architecture with
+ * half the baseline's register file (64 KB per SM), with and without
+ * RegMutex, measured against the kernel's performance on the full
+ * register file. Paper: 23% average increase without RegMutex vs 9%
+ * with it.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace rm;
+    const GpuConfig full = gtx480Config();
+    const GpuConfig half = halfRegisterFile(full);
+
+    Table table({"Application", "Incr. w/o RegMutex", "Incr. w/ RegMutex",
+                 "Occupancy w/o", "Occupancy w/", "|Bs|", "|Es|"});
+    double base_total = 0.0;
+    double rmx_total = 0.0;
+    for (const auto &name : halfRfSet()) {
+        const Program p = buildWorkload(name);
+        const SimStats base_full = runBaseline(p, full);
+        const SimStats base_half = runBaseline(p, half);
+        const RegMutexRun rmx_half = runRegMutex(p, half);
+
+        const double base_inc = -cycleReduction(base_full, base_half);
+        const double rmx_inc =
+            -cycleReduction(base_full, rmx_half.stats);
+        base_total += base_inc;
+        rmx_total += rmx_inc;
+
+        Row row;
+        row << name << percent(base_inc) << percent(rmx_inc)
+            << percent(base_half.theoreticalOccupancy)
+            << percent(rmx_half.stats.theoreticalOccupancy)
+            << rmx_half.compile.selection.bs
+            << rmx_half.compile.selection.es;
+        table.addRow(row.take());
+    }
+
+    std::cout << "Fig. 8: cycle increase on an architecture with half "
+                 "the register file (lower is better)\n\n"
+              << table.toText() << "\nAverage increase: "
+              << percent(base_total / 8.0) << " without RegMutex vs "
+              << percent(rmx_total / 8.0)
+              << " with RegMutex   (paper: 23% vs 9%)\n";
+    return 0;
+}

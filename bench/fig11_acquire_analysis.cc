@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Fig. 11: (a) theoretical occupancy and (b) the ratio of
+ * successful acquires to executed acquire instructions, as |Es| is
+ * swept over {2, 4, 6, 8, 10, 12}. Paper shape: occupancy grows with
+ * |Es| while the acquire success rate usually falls (fewer, larger
+ * SRP sections mean more contention).
+ */
+
+#include <iostream>
+
+#include "common/errors.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace rm;
+    const GpuConfig config = gtx480Config();
+    const std::vector<int> sizes{2, 4, 6, 8, 10, 12};
+
+    Table occ({"Application", "|Es|=2", "|Es|=4", "|Es|=6", "|Es|=8",
+               "|Es|=10", "|Es|=12"});
+    Table acq = occ;
+
+    for (const auto &name : occupancyLimitedSet()) {
+        const Program p = buildWorkload(name);
+        const RegMutexRun heuristic = runRegMutex(p, config);
+        const int pick = heuristic.compile.selection.es;
+        Row occ_row, acq_row;
+        occ_row << name;
+        acq_row << name;
+        for (int es : sizes) {
+            CompileOptions options;
+            options.forcedEs = es;
+            try {
+                const RegMutexRun run = runRegMutex(p, config, options);
+                std::string o =
+                    percent(run.stats.theoreticalOccupancy);
+                std::string a =
+                    percent(run.stats.acquireSuccessRate());
+                if (es == pick) {
+                    o += " *";
+                    a += " *";
+                }
+                occ_row << o;
+                acq_row << a;
+            } catch (const FatalError &) {
+                occ_row << "n/a";
+                acq_row << "n/a";
+            }
+        }
+        occ.addRow(occ_row.take());
+        acq.addRow(acq_row.take());
+    }
+
+    std::cout << "Fig. 11a: theoretical occupancy vs |Es| "
+                 "(* = heuristic's pick)\n\n"
+              << occ.toText()
+              << "\nFig. 11b: successful acquires among all acquire "
+                 "instructions vs |Es|\n\n"
+              << acq.toText()
+              << "\nExpected shape: occupancy rises with |Es| while "
+                 "the acquire success rate usually falls.\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot paths: the SRP bitmask
+ * FFZ, the liveness dataflow, the full compiler pipeline, and the
+ * timing simulator's cycle throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "common/bitmask.hh"
+#include "compiler/pipeline.hh"
+#include "core/experiment.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+void
+BM_BitmaskFfz(benchmark::State &state)
+{
+    rm::Bitmask mask(48);
+    for (int i = 0; i < 26; ++i)
+        mask.set(i);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mask.ffz());
+    }
+}
+BENCHMARK(BM_BitmaskFfz);
+
+void
+BM_LivenessDataflow(benchmark::State &state)
+{
+    const rm::Program p = rm::buildWorkload("DWT2D");
+    const rm::Cfg cfg = rm::Cfg::build(p);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rm::Liveness::compute(p, cfg));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(p.size()));
+}
+BENCHMARK(BM_LivenessDataflow);
+
+void
+BM_CompilerPipeline(benchmark::State &state)
+{
+    const rm::Program p = rm::buildWorkload("SAD");
+    const rm::GpuConfig config = rm::gtx480Config();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rm::compileRegMutex(p, config));
+    }
+}
+BENCHMARK(BM_CompilerPipeline);
+
+void
+BM_TimingSimulatorBaseline(benchmark::State &state)
+{
+    const rm::Program p = rm::buildWorkload("BFS");
+    const rm::GpuConfig config = rm::gtx480Config();
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const rm::SimStats stats = rm::runBaseline(p, config);
+        cycles += stats.cycles;
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.counters["sim_cycles_per_run"] = static_cast<double>(
+        cycles / std::max<std::uint64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_TimingSimulatorBaseline)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingSimulatorRegMutex(benchmark::State &state)
+{
+    const rm::Program p = rm::buildWorkload("BFS");
+    const rm::GpuConfig config = rm::gtx480Config();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rm::runRegMutex(p, config).stats);
+    }
+}
+BENCHMARK(BM_TimingSimulatorRegMutex)->Unit(benchmark::kMillisecond);
+
+void
+BM_WorkloadGenerator(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rm::buildWorkload("ParticleFilter"));
+    }
+}
+BENCHMARK(BM_WorkloadGenerator);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Table I: per-workload registers per thread (raw and
+ * rounded to the allocation granularity) and the base register set
+ * size chosen by the RegMutex compiler heuristic. As in the paper, the
+ * occupancy-limited workloads are evaluated on the GTX480 baseline and
+ * the register-file-size-study workloads on the architecture with half
+ * the register file (where Sec. IV-B applies RegMutex to them).
+ */
+
+#include <iostream>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "common/table.hh"
+#include "compiler/pipeline.hh"
+#include "sim/occupancy.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace rm;
+
+    const GpuConfig full = gtx480Config();
+    const GpuConfig half = halfRegisterFile(full);
+
+    Table table({"Application", "# Regs.", "(rounded)", "|Bs| paper",
+                 "|Bs| ours", "|Es| ours", "SRP sections", "arch"});
+
+    for (const auto &entry : paperSuite()) {
+        const Program program = buildWorkload(entry.spec.name);
+        const GpuConfig &config = entry.occupancyLimited ? full : half;
+
+        const CompileResult compiled = compileRegMutex(program, config);
+        const int bs = compiled.enabled() ? compiled.selection.bs : 0;
+        const int es = compiled.enabled() ? compiled.selection.es : 0;
+
+        Row row;
+        row << entry.spec.name << program.info.numRegs
+            << roundRegs(config, program.info.numRegs) << entry.paperBs
+            << bs << es << compiled.selection.srpSections
+            << (entry.occupancyLimited ? "full-RF" : "half-RF");
+        table.addRow(row.take());
+    }
+
+    std::cout << "Table I: workloads, register demand and RegMutex "
+                 "base-set sizes\n\n"
+              << table.toText() << "\n";
+    return 0;
+}

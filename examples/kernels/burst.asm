@@ -1,0 +1,62 @@
+// A register-hungry kernel in the paper's motivating shape: a
+// latency-bound gather loop at low pressure, then a compute burst
+// whose sixteen temporaries drive the demand to 24 registers. Compile
+// it to see the acquire/release placement:
+//   regmutex_cc examples/kernels/burst.asm
+.kernel burst
+.ctaThreads 512
+.gridCtas 135
+.param0 8
+    sreg r0, %sreg0       // cta id
+    sreg r1, %sreg1       // warp in cta
+    movi r2, 4096
+    imad r0, r0, r2, r1   // base address
+    movi r3, 0            // accumulator
+    movi r4, 6            // outer trips
+outer:
+    movi r5, 4            // gather trips
+gather:
+    imad r6, r5, r2, r0
+    ld.global r7, r6
+    xor r3, r3, r7
+    movi r6, 1
+    isub r5, r5, r6
+    bra.nz r5, -> gather
+    // burst: sixteen co-live temporaries
+    iadd r8, r3, r0
+    iadd r9, r8, r3
+    iadd r10, r9, r8
+    iadd r11, r10, r9
+    iadd r12, r11, r10
+    iadd r13, r12, r11
+    iadd r14, r13, r12
+    iadd r15, r14, r13
+    iadd r16, r15, r14
+    iadd r17, r16, r15
+    iadd r18, r17, r16
+    iadd r19, r18, r17
+    iadd r20, r19, r18
+    iadd r21, r20, r19
+    iadd r22, r21, r20
+    iadd r23, r22, r21
+    iadd r3, r3, r23
+    iadd r3, r3, r22
+    iadd r3, r3, r21
+    iadd r3, r3, r20
+    iadd r3, r3, r19
+    iadd r3, r3, r18
+    iadd r3, r3, r17
+    iadd r3, r3, r16
+    iadd r3, r3, r15
+    iadd r3, r3, r14
+    iadd r3, r3, r13
+    iadd r3, r3, r12
+    iadd r3, r3, r11
+    iadd r3, r3, r10
+    iadd r3, r3, r9
+    iadd r3, r3, r8
+    movi r5, 1
+    isub r4, r4, r5
+    bra.nz r4, -> outer
+    st.global r0, r3
+    exit

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Regenerate every reproduced table and figure (see EXPERIMENTS.md).
+# Usage: scripts/run_all_benches.sh [build-dir]
+set -eu
+
+BUILD="${1:-build}"
+
+if [ ! -d "$BUILD/bench" ]; then
+    echo "error: $BUILD/bench not found — build first:" >&2
+    echo "  cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+    exit 1
+fi
+
+for b in "$BUILD"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "==================================================================="
+    echo "== $(basename "$b")"
+    echo "==================================================================="
+    "$b"
+    echo
+done

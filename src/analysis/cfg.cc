@@ -1,0 +1,128 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+Cfg
+Cfg::build(const Program &program)
+{
+    const auto &code = program.code;
+    panicIf(code.empty(), "Cfg::build on empty program");
+
+    // Leaders: first instruction, branch targets, and instructions
+    // following branches.
+    std::set<int> leaders;
+    leaders.insert(0);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Instruction &inst = code[i];
+        if (inst.isBranch()) {
+            leaders.insert(inst.target);
+            if (i + 1 < code.size())
+                leaders.insert(static_cast<int>(i) + 1);
+        } else if (inst.op == Opcode::Exit && i + 1 < code.size()) {
+            leaders.insert(static_cast<int>(i) + 1);
+        }
+    }
+
+    Cfg cfg;
+    cfg.instToBlock.assign(code.size(), -1);
+
+    std::vector<int> leader_list(leaders.begin(), leaders.end());
+    for (std::size_t b = 0; b < leader_list.size(); ++b) {
+        BasicBlock block;
+        block.id = static_cast<int>(b);
+        block.first = leader_list[b];
+        block.last = (b + 1 < leader_list.size())
+                         ? leader_list[b + 1] - 1
+                         : static_cast<int>(code.size()) - 1;
+        for (int i = block.first; i <= block.last; ++i)
+            cfg.instToBlock[i] = block.id;
+        cfg.basicBlocks.push_back(std::move(block));
+    }
+
+    // Edges.
+    for (auto &block : cfg.basicBlocks) {
+        const Instruction &last = code[block.last];
+        auto add_edge = [&](int target_inst) {
+            const int succ = cfg.instToBlock[target_inst];
+            block.succs.push_back(succ);
+            cfg.basicBlocks[succ].preds.push_back(block.id);
+        };
+        if (last.op == Opcode::Exit) {
+            cfg.exits.push_back(block.id);
+        } else if (last.op == Opcode::Bra) {
+            add_edge(last.target);
+        } else if (last.isConditionalBranch()) {
+            add_edge(last.target);
+            panicIf(block.last + 1 >= static_cast<int>(code.size()),
+                    "conditional branch at program end survived verify()");
+            add_edge(block.last + 1);
+        } else {
+            panicIf(block.last + 1 >= static_cast<int>(code.size()),
+                    "fall-through off program end survived verify()");
+            add_edge(block.last + 1);
+        }
+    }
+
+    // Deduplicate parallel edges (a conditional branch whose target is
+    // its own fall-through).
+    for (auto &block : cfg.basicBlocks) {
+        auto dedupe = [](std::vector<int> &v) {
+            std::sort(v.begin(), v.end());
+            v.erase(std::unique(v.begin(), v.end()), v.end());
+        };
+        dedupe(block.succs);
+        dedupe(block.preds);
+    }
+
+    return cfg;
+}
+
+const BasicBlock &
+Cfg::block(int id) const
+{
+    panicIf(id < 0 || id >= static_cast<int>(basicBlocks.size()),
+            "Cfg::block id ", id, " out of range");
+    return basicBlocks[id];
+}
+
+int
+Cfg::blockOf(int inst_index) const
+{
+    panicIf(inst_index < 0 ||
+            inst_index >= static_cast<int>(instToBlock.size()),
+            "Cfg::blockOf index ", inst_index, " out of range");
+    return instToBlock[inst_index];
+}
+
+std::vector<int>
+Cfg::reversePostOrder() const
+{
+    std::vector<int> order;
+    std::vector<bool> visited(basicBlocks.size(), false);
+    std::vector<std::pair<int, std::size_t>> stack;
+
+    stack.emplace_back(0, 0);
+    visited[0] = true;
+    while (!stack.empty()) {
+        auto &[node, child] = stack.back();
+        if (child < basicBlocks[node].succs.size()) {
+            const int succ = basicBlocks[node].succs[child++];
+            if (!visited[succ]) {
+                visited[succ] = true;
+                stack.emplace_back(succ, 0);
+            }
+        } else {
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+} // namespace rm

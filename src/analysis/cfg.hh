@@ -1,0 +1,61 @@
+#ifndef RM_ANALYSIS_CFG_HH
+#define RM_ANALYSIS_CFG_HH
+
+/**
+ * @file
+ * Control-flow graph over a Program. Blocks are maximal straight-line
+ * instruction ranges; edges follow branch targets and fall-throughs.
+ * The RegMutex compiler performs its liveness analysis and directive
+ * injection on this graph (paper Sec. III-A).
+ */
+
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rm {
+
+/** A basic block: instructions [first, last] inclusive. */
+struct BasicBlock
+{
+    int id = -1;
+    int first = -1;
+    int last = -1;
+    std::vector<int> succs;
+    std::vector<int> preds;
+
+    int size() const { return last - first + 1; }
+};
+
+/**
+ * Immutable CFG of a program. Block 0 is the entry block. Exit blocks
+ * are those ending in Exit.
+ */
+class Cfg
+{
+  public:
+    /** Build the CFG of @p program (which must verify()). */
+    static Cfg build(const Program &program);
+
+    std::size_t numBlocks() const { return basicBlocks.size(); }
+    const BasicBlock &block(int id) const;
+    const std::vector<BasicBlock> &blocks() const { return basicBlocks; }
+
+    /** Block containing instruction @p inst_index. */
+    int blockOf(int inst_index) const;
+
+    /** Ids of all blocks ending in Exit. */
+    const std::vector<int> &exitBlocks() const { return exits; }
+
+    /** Reverse post-order over forward edges, starting at entry. */
+    std::vector<int> reversePostOrder() const;
+
+  private:
+    std::vector<BasicBlock> basicBlocks;
+    std::vector<int> instToBlock;
+    std::vector<int> exits;
+};
+
+} // namespace rm
+
+#endif // RM_ANALYSIS_CFG_HH

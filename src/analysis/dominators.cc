@@ -1,0 +1,159 @@
+#include "analysis/dominators.hh"
+
+#include <algorithm>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+namespace {
+
+/**
+ * Generic CHK iterative dominator computation over an explicit graph.
+ * @p order must be a reverse post-order starting with @p root.
+ */
+std::vector<int>
+iterate(int num_nodes, int root, const std::vector<std::vector<int>> &preds,
+        const std::vector<int> &order)
+{
+    std::vector<int> idom(num_nodes, -1);
+    std::vector<int> rpo_index(num_nodes, -1);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        rpo_index[order[i]] = static_cast<int>(i);
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = idom[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    idom[root] = root;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int node : order) {
+            if (node == root)
+                continue;
+            int new_idom = -1;
+            for (int pred : preds[node]) {
+                if (idom[pred] == -1)
+                    continue;
+                new_idom = (new_idom == -1) ? pred
+                                            : intersect(new_idom, pred);
+            }
+            if (new_idom != -1 && idom[node] != new_idom) {
+                idom[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+/** Reverse post-order over an explicit successor graph. */
+std::vector<int>
+rpo(int num_nodes, int root, const std::vector<std::vector<int>> &succs)
+{
+    std::vector<int> order;
+    std::vector<bool> visited(num_nodes, false);
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    visited[root] = true;
+    while (!stack.empty()) {
+        auto &[node, child] = stack.back();
+        if (child < succs[node].size()) {
+            const int succ = succs[node][child++];
+            if (!visited[succ]) {
+                visited[succ] = true;
+                stack.emplace_back(succ, 0);
+            }
+        } else {
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+} // namespace
+
+DominatorTree
+DominatorTree::compute(const Cfg &cfg)
+{
+    const int n = static_cast<int>(cfg.numBlocks());
+    std::vector<std::vector<int>> succs(n), preds(n);
+    for (const auto &block : cfg.blocks()) {
+        succs[block.id] = block.succs;
+        preds[block.id] = block.preds;
+    }
+    DominatorTree tree;
+    tree.rootId = 0;
+    tree.idoms = iterate(n, 0, preds, rpo(n, 0, succs));
+    return tree;
+}
+
+DominatorTree
+DominatorTree::computePost(const Cfg &cfg)
+{
+    // Reversed graph with a virtual exit node (index n) that all Exit
+    // blocks flow to.
+    const int n = static_cast<int>(cfg.numBlocks());
+    const int virtual_exit = n;
+    std::vector<std::vector<int>> succs(n + 1), preds(n + 1);
+    for (const auto &block : cfg.blocks()) {
+        for (int s : block.succs) {
+            succs[s].push_back(block.id);   // reversed
+            preds[block.id].push_back(s);
+        }
+    }
+    for (int exit_block : cfg.exitBlocks()) {
+        succs[virtual_exit].push_back(exit_block);
+        preds[exit_block].push_back(virtual_exit);
+    }
+    fatalIf(cfg.exitBlocks().empty(),
+            "post-dominators: program has no Exit block");
+
+    DominatorTree tree;
+    tree.rootId = virtual_exit;
+    tree.idoms = iterate(n + 1, virtual_exit, preds,
+                         rpo(n + 1, virtual_exit, succs));
+    // Report the virtual exit as -2 so callers can recognize it.
+    for (auto &d : tree.idoms) {
+        if (d == virtual_exit)
+            d = -2;
+    }
+    tree.idoms.resize(n);
+    tree.rootId = -2;
+    return tree;
+}
+
+int
+DominatorTree::idom(int block) const
+{
+    panicIf(block < 0 || block >= static_cast<int>(idoms.size()),
+            "DominatorTree::idom block ", block, " out of range");
+    return idoms[block];
+}
+
+bool
+DominatorTree::dominates(int a, int b) const
+{
+    int node = b;
+    while (true) {
+        if (node == a)
+            return true;
+        if (node < 0)
+            return a == node;
+        const int up = idoms[node];
+        if (up == node)
+            return a == node;
+        node = up;
+    }
+}
+
+} // namespace rm

@@ -1,0 +1,48 @@
+#ifndef RM_ANALYSIS_DOMINATORS_HH
+#define RM_ANALYSIS_DOMINATORS_HH
+
+/**
+ * @file
+ * Dominator and post-dominator trees over a Cfg (Cooper-Harvey-Kennedy
+ * iterative algorithm). The RegMutex liveness discussion (paper Sec.
+ * III-A1) keys register death points off immediate post-dominators of
+ * branches; the loop detector uses dominators to find back edges.
+ */
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace rm {
+
+/**
+ * Dominator tree: idom(entry) == entry; every other reachable block has
+ * an immediate dominator. Unreachable blocks report -1.
+ */
+class DominatorTree
+{
+  public:
+    /** Compute dominators (forward) over @p cfg. */
+    static DominatorTree compute(const Cfg &cfg);
+
+    /**
+     * Compute post-dominators by running the same algorithm on the
+     * reversed graph with a virtual exit joining all Exit blocks. The
+     * virtual exit is reported as -2.
+     */
+    static DominatorTree computePost(const Cfg &cfg);
+
+    /** Immediate (post-)dominator of @p block, -1 if unreachable. */
+    int idom(int block) const;
+
+    /** True when @p a (post-)dominates @p b (reflexive). */
+    bool dominates(int a, int b) const;
+
+  private:
+    std::vector<int> idoms;
+    int rootId = 0;
+};
+
+} // namespace rm
+
+#endif // RM_ANALYSIS_DOMINATORS_HH

@@ -1,0 +1,139 @@
+#include "analysis/liveness.hh"
+
+#include <algorithm>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+Liveness
+Liveness::compute(const Program &program, const Cfg &cfg)
+{
+    const auto &code = program.code;
+    const int num_regs = program.info.numRegs;
+    const int num_blocks = static_cast<int>(cfg.numBlocks());
+
+    // Per-block gen (upward-exposed uses) and kill (defs) sets.
+    std::vector<Bitmask> gen(num_blocks, Bitmask(num_regs));
+    std::vector<Bitmask> kill(num_blocks, Bitmask(num_regs));
+    for (const auto &block : cfg.blocks()) {
+        for (int i = block.first; i <= block.last; ++i) {
+            const Instruction &inst = code[i];
+            for (int s = 0; s < inst.numSrcs; ++s) {
+                if (!kill[block.id].test(inst.srcs[s]))
+                    gen[block.id].set(inst.srcs[s]);
+            }
+            if (inst.hasDst())
+                kill[block.id].set(inst.dst);
+        }
+    }
+
+    // Block-level backward fixpoint: liveIn = gen | (liveOut - kill).
+    std::vector<Bitmask> block_in(num_blocks, Bitmask(num_regs));
+    std::vector<Bitmask> block_out(num_blocks, Bitmask(num_regs));
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = num_blocks - 1; b >= 0; --b) {
+            Bitmask out(num_regs);
+            for (int succ : cfg.block(b).succs)
+                out |= block_in[succ];
+            Bitmask in = out;
+            in.subtract(kill[b]);
+            in |= gen[b];
+            if (in != block_in[b] || out != block_out[b]) {
+                block_in[b] = std::move(in);
+                block_out[b] = std::move(out);
+                changed = true;
+            }
+        }
+    }
+
+    // Per-instruction backward sweep within each block.
+    Liveness result;
+    result.regCount = num_regs;
+    result.liveInSets.assign(code.size(), Bitmask(num_regs));
+    result.liveOutSets.assign(code.size(), Bitmask(num_regs));
+    for (const auto &block : cfg.blocks()) {
+        Bitmask live = block_out[block.id];
+        for (int i = block.last; i >= block.first; --i) {
+            const Instruction &inst = code[i];
+            result.liveOutSets[i] = live;
+            if (inst.hasDst())
+                live.unset(inst.dst);
+            for (int s = 0; s < inst.numSrcs; ++s)
+                live.set(inst.srcs[s]);
+            result.liveInSets[i] = live;
+        }
+    }
+    return result;
+}
+
+const Bitmask &
+Liveness::liveIn(int inst) const
+{
+    panicIf(inst < 0 || inst >= static_cast<int>(liveInSets.size()),
+            "Liveness::liveIn index out of range");
+    return liveInSets[inst];
+}
+
+const Bitmask &
+Liveness::liveOut(int inst) const
+{
+    panicIf(inst < 0 || inst >= static_cast<int>(liveOutSets.size()),
+            "Liveness::liveOut index out of range");
+    return liveOutSets[inst];
+}
+
+int
+Liveness::liveCount(int inst) const
+{
+    return static_cast<int>(liveIn(inst).count());
+}
+
+bool
+Liveness::isLiveIn(int inst, RegId reg) const
+{
+    return liveIn(inst).test(reg);
+}
+
+bool
+Liveness::isLiveOut(int inst, RegId reg) const
+{
+    return liveOut(inst).test(reg);
+}
+
+int
+Liveness::maxLiveCount() const
+{
+    int max_count = 0;
+    for (const auto &mask : liveInSets)
+        max_count = std::max(max_count, static_cast<int>(mask.count()));
+    return max_count;
+}
+
+std::vector<int>
+Liveness::liveCounts() const
+{
+    std::vector<int> counts(liveInSets.size());
+    for (std::size_t i = 0; i < liveInSets.size(); ++i)
+        counts[i] = static_cast<int>(liveInSets[i].count());
+    return counts;
+}
+
+std::vector<double>
+livenessTimeline(const Liveness &liveness, const std::vector<int> &pc_trace,
+                 int allocated_regs)
+{
+    fatalIf(allocated_regs <= 0,
+            "livenessTimeline: allocated_regs must be positive");
+    std::vector<double> series;
+    series.reserve(pc_trace.size());
+    for (int pc : pc_trace) {
+        series.push_back(static_cast<double>(liveness.liveCount(pc)) /
+                         static_cast<double>(allocated_regs));
+    }
+    return series;
+}
+
+} // namespace rm

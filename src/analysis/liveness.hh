@@ -1,0 +1,69 @@
+#ifndef RM_ANALYSIS_LIVENESS_HH
+#define RM_ANALYSIS_LIVENESS_HH
+
+/**
+ * @file
+ * Per-instruction architected-register liveness (paper Sec. III-A1).
+ * Implemented as the standard iterative backward may-liveness dataflow
+ * over the CFG; the conservative treatment of divergent branches the
+ * paper describes (a register live on any path out of a branch is live
+ * at the branch) is exactly the may-union this dataflow computes.
+ */
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "common/bitmask.hh"
+#include "isa/program.hh"
+
+namespace rm {
+
+/**
+ * Result of the liveness dataflow: one live-in and live-out register
+ * set per instruction.
+ */
+class Liveness
+{
+  public:
+    /** Compute liveness for @p program over @p cfg. */
+    static Liveness compute(const Program &program, const Cfg &cfg);
+
+    int numRegs() const { return regCount; }
+    std::size_t numInsts() const { return liveInSets.size(); }
+
+    const Bitmask &liveIn(int inst) const;
+    const Bitmask &liveOut(int inst) const;
+
+    /** Number of live-in registers at @p inst. */
+    int liveCount(int inst) const;
+
+    /** True when register @p reg is live into @p inst. */
+    bool isLiveIn(int inst, RegId reg) const;
+
+    /** True when register @p reg is live out of @p inst. */
+    bool isLiveOut(int inst, RegId reg) const;
+
+    /** Maximum live-in count over all instructions. */
+    int maxLiveCount() const;
+
+    /** Live-in counts for every instruction, in program order. */
+    std::vector<int> liveCounts() const;
+
+  private:
+    int regCount = 0;
+    std::vector<Bitmask> liveInSets;
+    std::vector<Bitmask> liveOutSets;
+};
+
+/**
+ * Fig. 1 series: fraction of allocated registers live at each step of a
+ * dynamic trace. @p pc_trace lists executed instruction indices;
+ * @p allocated_regs is the kernel's static allocation.
+ */
+std::vector<double> livenessTimeline(const Liveness &liveness,
+                                     const std::vector<int> &pc_trace,
+                                     int allocated_regs);
+
+} // namespace rm
+
+#endif // RM_ANALYSIS_LIVENESS_HH

@@ -1,0 +1,64 @@
+#include "analysis/liveness_report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "isa/disasm.hh"
+
+namespace rm {
+
+std::string
+renderLiveness(const Program &program, const Liveness &liveness,
+               int base_regs)
+{
+    const int num_regs = program.info.numRegs;
+    std::ostringstream os;
+
+    // Header: register indices, vertical.
+    os << "        ";
+    for (int r = 0; r < num_regs; ++r) {
+        if (base_regs > 0 && r == base_regs)
+            os << ' ';
+        os << (r >= 10 ? static_cast<char>('0' + r / 10) : ' ');
+    }
+    os << "\n        ";
+    for (int r = 0; r < num_regs; ++r) {
+        if (base_regs > 0 && r == base_regs)
+            os << '!';
+        os << static_cast<char>('0' + r % 10);
+    }
+    os << "\n";
+
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        const Instruction &inst = program.code[i];
+        const int idx = static_cast<int>(i);
+        os << std::setw(6) << i << "  ";
+        for (int r = 0; r < num_regs; ++r) {
+            if (base_regs > 0 && r == base_regs)
+                os << ' ';
+            const bool defined =
+                inst.hasDst() && inst.dst == static_cast<RegId>(r);
+            bool used = false;
+            for (int s = 0; s < inst.numSrcs; ++s)
+                used |= inst.srcs[s] == static_cast<RegId>(r);
+            const bool live_in =
+                liveness.isLiveIn(idx, static_cast<RegId>(r));
+            const bool live_out =
+                liveness.isLiveOut(idx, static_cast<RegId>(r));
+            char mark = ' ';
+            if (defined && used)
+                mark = ':';
+            else if (defined)
+                mark = 'v';
+            else if (used)
+                mark = '^';
+            else if (live_in || live_out)
+                mark = '|';
+            os << mark;
+        }
+        os << "  " << disassemble(inst) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rm

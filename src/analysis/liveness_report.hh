@@ -1,0 +1,31 @@
+#ifndef RM_ANALYSIS_LIVENESS_REPORT_HH
+#define RM_ANALYSIS_LIVENESS_REPORT_HH
+
+/**
+ * @file
+ * nvdisasm-style textual register-liveness visualization — the format
+ * the paper's Fig. 3 (and its footnote about the `nvdisasm` CUDA
+ * binary tool) uses: one column per architected register, one row per
+ * instruction, with markers for definitions ('v'), uses ('^'),
+ * def+use (':') and live-through ('|'). Used by the compiler inspector
+ * example and the documentation.
+ */
+
+#include <string>
+
+#include "analysis/liveness.hh"
+#include "isa/program.hh"
+
+namespace rm {
+
+/**
+ * Render the liveness matrix of @p program. When @p base_regs is
+ * positive a '!' gutter separates the base and extended register
+ * columns and rows inside held regions are flagged.
+ */
+std::string renderLiveness(const Program &program,
+                           const Liveness &liveness, int base_regs = 0);
+
+} // namespace rm
+
+#endif // RM_ANALYSIS_LIVENESS_REPORT_HH

@@ -1,0 +1,64 @@
+#include "analysis/loops.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rm {
+
+std::vector<Loop>
+findLoops(const Cfg &cfg, const DominatorTree &doms)
+{
+    // Collect back edges grouped by header.
+    std::map<int, std::set<int>> loop_blocks; // header -> members
+    for (const auto &block : cfg.blocks()) {
+        for (int succ : block.succs) {
+            if (!doms.dominates(succ, block.id))
+                continue;
+            // Back edge block.id -> succ; flood the natural loop body
+            // backwards from the latch.
+            auto &members = loop_blocks[succ];
+            members.insert(succ);
+            std::vector<int> work;
+            if (!members.count(block.id)) {
+                members.insert(block.id);
+                work.push_back(block.id);
+            }
+            while (!work.empty()) {
+                const int node = work.back();
+                work.pop_back();
+                for (int pred : cfg.block(node).preds) {
+                    if (!members.count(pred)) {
+                        members.insert(pred);
+                        work.push_back(pred);
+                    }
+                }
+            }
+        }
+    }
+
+    std::vector<Loop> loops;
+    for (const auto &[header, members] : loop_blocks) {
+        Loop loop;
+        loop.header = header;
+        loop.blocks.assign(members.begin(), members.end());
+        loops.push_back(std::move(loop));
+    }
+
+    // Depth by containment: loop A is nested in B when A's header is a
+    // member of B and A != B.
+    for (auto &inner : loops) {
+        for (const auto &outer : loops) {
+            if (&inner == &outer)
+                continue;
+            if (std::binary_search(outer.blocks.begin(), outer.blocks.end(),
+                                   inner.header) &&
+                inner.header != outer.header) {
+                ++inner.depth;
+            }
+        }
+    }
+    return loops;
+}
+
+} // namespace rm

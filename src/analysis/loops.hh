@@ -1,0 +1,36 @@
+#ifndef RM_ANALYSIS_LOOPS_HH
+#define RM_ANALYSIS_LOOPS_HH
+
+/**
+ * @file
+ * Natural-loop detection over a Cfg. The paper's motivation (Sec. II)
+ * ties register-pressure fluctuation to nested loops; the workload
+ * generator tests use this to confirm the synthetic kernels have the
+ * loop structure they claim, and the compiler inspector reports it.
+ */
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+
+namespace rm {
+
+/** One natural loop: header block plus member blocks (header included). */
+struct Loop
+{
+    int header = -1;
+    std::vector<int> blocks;
+    /** 1 for outermost loops, +1 per level of nesting. */
+    int depth = 1;
+};
+
+/**
+ * Find natural loops via back edges (edge a->h where h dominates a).
+ * Loops sharing a header are merged. Depth is computed by containment.
+ */
+std::vector<Loop> findLoops(const Cfg &cfg, const DominatorTree &doms);
+
+} // namespace rm
+
+#endif // RM_ANALYSIS_LOOPS_HH

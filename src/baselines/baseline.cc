@@ -1,0 +1,24 @@
+#include "baselines/baseline.hh"
+
+#include "sim/occupancy.hh"
+
+namespace rm {
+
+void
+BaselineAllocator::prepare(const GpuConfig &config, const Program &program)
+{
+    coeff = roundRegs(config, program.info.numRegs);
+    totalPacks = config.registersPerSm / config.warpSize;
+    const Occupancy occ =
+        computeOccupancy(config, coeff, program.info.ctaThreads,
+                         program.info.sharedBytesPerCta);
+    maxCtas = occ.ctasPerSm;
+}
+
+RegisterMapper
+BaselineAllocator::makeMapper() const
+{
+    return RegisterMapper::baseline(totalPacks, coeff);
+}
+
+} // namespace rm

@@ -1,0 +1,40 @@
+#ifndef RM_BASELINES_BASELINE_HH
+#define RM_BASELINES_BASELINE_HH
+
+/**
+ * @file
+ * The baseline allocation policy existing GPUs use (paper Sec. II):
+ * physical registers are statically and exclusively reserved for each
+ * warp at CTA launch — the rounded per-thread register count times the
+ * CTA size — and released only when the CTA retires. Occupancy is
+ * whatever that footprint allows; there is no sharing.
+ */
+
+#include "sim/allocator.hh"
+#include "sim/register_map.hh"
+
+namespace rm {
+
+/** Static, exclusive allocation (the Y = Coeff * Widx + X scheme). */
+class BaselineAllocator : public RegisterAllocator
+{
+  public:
+    std::string name() const override { return "baseline"; }
+
+    void prepare(const GpuConfig &config, const Program &program) override;
+    int maxCtasByRegisters() const override { return maxCtas; }
+
+    /** Operand-collector mapping (paper Fig. 6a). */
+    RegisterMapper makeMapper() const;
+
+    int coefficient() const { return coeff; }
+
+  private:
+    int maxCtas = 0;
+    int coeff = 0;
+    int totalPacks = 0;
+};
+
+} // namespace rm
+
+#endif // RM_BASELINES_BASELINE_HH

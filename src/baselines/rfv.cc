@@ -1,0 +1,177 @@
+#include "baselines/rfv.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "common/errors.hh"
+#include "sim/occupancy.hh"
+
+namespace rm {
+
+void
+RfvAllocator::prepare(const GpuConfig &config, const Program &program)
+{
+    freed = false;
+    spills = 0;
+    prog = &program;
+    spillPenalty = config.globalLatency;
+    physFree = config.registersPerSm / config.warpSize;
+
+    // Compiler-side dead-register information: a register referenced at
+    // pc and absent from live-out dies when pc issues.
+    const Cfg cfg = Cfg::build(program);
+    const Liveness liveness = Liveness::compute(program, cfg);
+    deaths.assign(program.code.size(), {});
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        const Instruction &inst = program.code[i];
+        const int idx = static_cast<int>(i);
+        auto dies = [&](RegId r) {
+            return !liveness.isLiveOut(idx, r);
+        };
+        if (inst.hasDst() && dies(inst.dst))
+            deaths[i].push_back(inst.dst);
+        for (int s = 0; s < inst.numSrcs; ++s) {
+            const RegId r = inst.srcs[s];
+            if (dies(r) &&
+                std::find(deaths[i].begin(), deaths[i].end(), r) ==
+                    deaths[i].end()) {
+                deaths[i].push_back(r);
+            }
+        }
+    }
+
+    // Provision occupancy between the static-average and peak live
+    // counts: most registers are dead most of the time (paper Sec. II),
+    // so more CTAs fit than the static allocation admits.
+    const std::vector<int> counts = liveness.liveCounts();
+    double avg = 0.0;
+    int peak = 1;
+    for (int c : counts) {
+        avg += c;
+        peak = std::max(peak, c);
+    }
+    avg = counts.empty() ? 1.0 : avg / static_cast<double>(counts.size());
+    estDemand = std::max(
+        2, static_cast<int>(std::ceil(avg + provisioning * (peak - avg))));
+
+    const Occupancy occ =
+        computeOccupancy(config, estDemand, program.info.ctaThreads,
+                         program.info.sharedBytesPerCta);
+    maxCtas = occ.ctasPerSm;
+    fatalIf(maxCtas <= 0, "RfvAllocator: kernel '", program.info.name,
+            "' does not fit under the provisioned demand");
+}
+
+void
+RfvAllocator::onWarpLaunch(SimWarp &warp)
+{
+    warp.physMapped.clearAll();
+}
+
+int
+RfvAllocator::packsNeeded(const SimWarp &warp,
+                          const Instruction &inst) const
+{
+    int need = 0;
+    auto count = [&](RegId r) {
+        if (!warp.physMapped.test(r))
+            ++need;
+    };
+    // Sources first (reading an as-yet-unmapped register allocates the
+    // zero-initialized pack); skip duplicates against the destination.
+    for (int s = 0; s < inst.numSrcs; ++s)
+        count(inst.srcs[s]);
+    if (inst.hasDst() && !warp.physMapped.test(inst.dst)) {
+        bool dup = false;
+        for (int s = 0; s < inst.numSrcs; ++s)
+            dup |= inst.srcs[s] == inst.dst;
+        if (!dup)
+            ++need;
+    }
+    // Duplicate sources would be double counted; correct for them.
+    if (inst.numSrcs >= 2 && inst.srcs[0] == inst.srcs[1] &&
+        !warp.physMapped.test(inst.srcs[0])) {
+        --need;
+    }
+    if (inst.numSrcs == 3 &&
+        (inst.srcs[2] == inst.srcs[0] || inst.srcs[2] == inst.srcs[1]) &&
+        !warp.physMapped.test(inst.srcs[2])) {
+        --need;
+    }
+    return need;
+}
+
+bool
+RfvAllocator::canIssue(const SimWarp &warp, const Instruction &inst) const
+{
+    const int need = packsNeeded(warp, inst);
+    // need == 0 must always pass: an emergency overdraft can leave the
+    // pool negative while fully mapped warps keep running.
+    return need == 0 || need <= physFree;
+}
+
+void
+RfvAllocator::mapOperands(SimWarp &warp, const Instruction &inst)
+{
+    auto map = [&](RegId r) {
+        if (!warp.physMapped.test(r)) {
+            warp.physMapped.set(r);
+            --physFree;
+        }
+    };
+    for (int s = 0; s < inst.numSrcs; ++s)
+        map(inst.srcs[s]);
+    if (inst.hasDst())
+        map(inst.dst);
+}
+
+void
+RfvAllocator::onIssued(SimWarp &warp, const Instruction &inst, int pc)
+{
+    mapOperands(warp, inst);
+    // Release registers whose live range ends here (renaming-table
+    // entry freed by the dead-register information).
+    for (RegId r : deaths[pc]) {
+        if (warp.physMapped.test(r)) {
+            warp.physMapped.unset(r);
+            ++physFree;
+            freed = true;
+        }
+    }
+}
+
+void
+RfvAllocator::onWarpExit(SimWarp &warp)
+{
+    const int held = static_cast<int>(warp.physMapped.count());
+    if (held > 0) {
+        physFree += held;
+        warp.physMapped.clearAll();
+        freed = true;
+    }
+}
+
+bool
+RfvAllocator::consumeFreedFlag()
+{
+    const bool f = freed;
+    freed = false;
+    return f;
+}
+
+int
+RfvAllocator::forceProgress(SimWarp &warp)
+{
+    // Emergency spill: grant the stalled instruction's operands by
+    // overdrafting the pool — the displaced values are modeled as
+    // spilled to memory — and charge a global-memory round trip. The
+    // pool may go negative until register deaths repay the overdraft.
+    panicIf(prog == nullptr, "RfvAllocator::forceProgress before prepare");
+    ++spills;
+    mapOperands(warp, prog->code[warp.pc]);
+    return spillPenalty;
+}
+
+} // namespace rm

@@ -1,0 +1,72 @@
+#ifndef RM_BASELINES_RFV_HH
+#define RM_BASELINES_RFV_HH
+
+/**
+ * @file
+ * Register File Virtualization (Jeon et al., MICRO 2015) — the paper's
+ * second comparison baseline. A renaming table maps architected to
+ * physical registers on demand: a physical register is allocated at a
+ * register's (re)definition and released at its last use, using
+ * compiler-provided dead-register information (here: the liveness
+ * dataflow). Occupancy is provisioned above the static peak since most
+ * registers are dead most of the time; if the physical pool runs dry
+ * the issuing warp stalls, and a full wedge is broken by an emergency
+ * spill (GPU-Shrink models register spilling similarly).
+ */
+
+#include <vector>
+
+#include "sim/allocator.hh"
+
+namespace rm {
+
+/** Renaming-table allocation policy. */
+class RfvAllocator : public RegisterAllocator
+{
+  public:
+    /**
+     * @param provisioning occupancy provisioning estimate in
+     *        [0, 1]: 0 provisions by the static average live count,
+     *        1 by the peak; default midway.
+     */
+    explicit RfvAllocator(double provisioning = 0.25)
+        : provisioning(provisioning)
+    {}
+
+    std::string name() const override { return "rfv"; }
+
+    void prepare(const GpuConfig &config, const Program &program) override;
+    int maxCtasByRegisters() const override { return maxCtas; }
+
+    void onWarpLaunch(SimWarp &warp) override;
+    bool canIssue(const SimWarp &warp,
+                  const Instruction &inst) const override;
+    void onIssued(SimWarp &warp, const Instruction &inst, int pc) override;
+    void onWarpExit(SimWarp &warp) override;
+    bool consumeFreedFlag() override;
+    int forceProgress(SimWarp &warp) override;
+    std::uint64_t emergencyCount() const override { return spills; }
+
+    /** Free physical register packs right now (for tests). */
+    int freePacks() const { return physFree; }
+    int estimatedDemand() const { return estDemand; }
+
+  private:
+    double provisioning;
+    const Program *prog = nullptr;
+    int maxCtas = 0;
+    int estDemand = 0;
+    int physFree = 0;
+    int spillPenalty = 0;
+    bool freed = false;
+    std::uint64_t spills = 0;
+    /** Registers whose last use is at this pc (dead after issue). */
+    std::vector<std::vector<RegId>> deaths;
+
+    int packsNeeded(const SimWarp &warp, const Instruction &inst) const;
+    void mapOperands(SimWarp &warp, const Instruction &inst);
+};
+
+} // namespace rm
+
+#endif // RM_BASELINES_RFV_HH

@@ -1,0 +1,172 @@
+#include "common/bitmask.hh"
+
+#include <bit>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+namespace {
+constexpr std::size_t bitsPerWord = 64;
+} // namespace
+
+Bitmask::Bitmask(std::size_t num_bits)
+    : numBits(num_bits),
+      words((num_bits + bitsPerWord - 1) / bitsPerWord, 0)
+{}
+
+void
+Bitmask::checkIndex(std::size_t index) const
+{
+    panicIf(index >= numBits,
+            "Bitmask index ", index, " out of range (size ", numBits, ")");
+}
+
+void
+Bitmask::trimTail()
+{
+    const std::size_t tail = numBits % bitsPerWord;
+    if (tail != 0 && !words.empty())
+        words.back() &= (std::uint64_t(1) << tail) - 1;
+}
+
+void
+Bitmask::set(std::size_t index)
+{
+    checkIndex(index);
+    words[index / bitsPerWord] |= std::uint64_t(1) << (index % bitsPerWord);
+}
+
+void
+Bitmask::unset(std::size_t index)
+{
+    checkIndex(index);
+    words[index / bitsPerWord] &=
+        ~(std::uint64_t(1) << (index % bitsPerWord));
+}
+
+void
+Bitmask::assign(std::size_t index, bool value)
+{
+    if (value)
+        set(index);
+    else
+        unset(index);
+}
+
+bool
+Bitmask::test(std::size_t index) const
+{
+    checkIndex(index);
+    return (words[index / bitsPerWord] >>
+            (index % bitsPerWord)) & std::uint64_t(1);
+}
+
+void
+Bitmask::setAll()
+{
+    for (auto &word : words)
+        word = ~std::uint64_t(0);
+    trimTail();
+}
+
+void
+Bitmask::clearAll()
+{
+    for (auto &word : words)
+        word = 0;
+}
+
+std::size_t
+Bitmask::count() const
+{
+    std::size_t total = 0;
+    for (auto word : words)
+        total += std::popcount(word);
+    return total;
+}
+
+std::optional<std::size_t>
+Bitmask::ffz() const
+{
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        if (words[w] != ~std::uint64_t(0)) {
+            const std::size_t bit =
+                std::countr_one(words[w]) + w * bitsPerWord;
+            if (bit < numBits)
+                return bit;
+            return std::nullopt;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t>
+Bitmask::ffs() const
+{
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        if (words[w] != 0) {
+            const std::size_t bit =
+                std::countr_zero(words[w]) + w * bitsPerWord;
+            if (bit < numBits)
+                return bit;
+            return std::nullopt;
+        }
+    }
+    return std::nullopt;
+}
+
+Bitmask &
+Bitmask::operator|=(const Bitmask &other)
+{
+    panicIf(other.numBits != numBits, "Bitmask size mismatch in |=");
+    for (std::size_t w = 0; w < words.size(); ++w)
+        words[w] |= other.words[w];
+    return *this;
+}
+
+Bitmask &
+Bitmask::operator&=(const Bitmask &other)
+{
+    panicIf(other.numBits != numBits, "Bitmask size mismatch in &=");
+    for (std::size_t w = 0; w < words.size(); ++w)
+        words[w] &= other.words[w];
+    return *this;
+}
+
+void
+Bitmask::subtract(const Bitmask &other)
+{
+    panicIf(other.numBits != numBits, "Bitmask size mismatch in subtract");
+    for (std::size_t w = 0; w < words.size(); ++w)
+        words[w] &= ~other.words[w];
+}
+
+bool
+Bitmask::operator==(const Bitmask &other) const
+{
+    return numBits == other.numBits && words == other.words;
+}
+
+std::string
+Bitmask::toString() const
+{
+    std::string out;
+    out.reserve(numBits);
+    for (std::size_t i = 0; i < numBits; ++i)
+        out.push_back(test(i) ? '1' : '0');
+    return out;
+}
+
+std::vector<std::size_t>
+Bitmask::setIndices() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < numBits; ++i) {
+        if (test(i))
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace rm

@@ -1,0 +1,101 @@
+#ifndef RM_COMMON_BITMASK_HH
+#define RM_COMMON_BITMASK_HH
+
+/**
+ * @file
+ * Dynamically sized bitmask used to model the RegMutex hardware
+ * structures: the warp-status bitmask, the Shared Register Pool (SRP)
+ * bitmask, and the per-instruction register liveness vectors of the
+ * compiler. Provides Find First Zero (FFZ), the primitive the RegMutex
+ * acquire logic performs on the SRP bitmask (paper Fig. 5a).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rm {
+
+/**
+ * A fixed-size (chosen at construction) bitmask over 64-bit words.
+ * All out-of-range accesses panic; this models a hardware structure
+ * whose width is set at design time.
+ */
+class Bitmask
+{
+  public:
+    /** Create a bitmask of @p num_bits bits, all clear. */
+    explicit Bitmask(std::size_t num_bits = 0);
+
+    /** Number of bits in the mask. */
+    std::size_t size() const { return numBits; }
+
+    /** Set bit @p index to 1. */
+    void set(std::size_t index);
+
+    /** Clear bit @p index to 0. */
+    void unset(std::size_t index);
+
+    /** Assign bit @p index. */
+    void assign(std::size_t index, bool value);
+
+    /** Read bit @p index. */
+    bool test(std::size_t index) const;
+
+    /** Set all bits. */
+    void setAll();
+
+    /** Clear all bits. */
+    void clearAll();
+
+    /** Number of set bits. */
+    std::size_t count() const;
+
+    /** True when no bit is set. */
+    bool none() const { return count() == 0; }
+
+    /** True when every bit is set. */
+    bool all() const { return count() == numBits; }
+
+    /**
+     * Find First Zero: index of the least significant clear bit, or
+     * std::nullopt when every bit is set. This is the hardware FFZ
+     * operation RegMutex performs on the SRP bitmask on an acquire.
+     */
+    std::optional<std::size_t> ffz() const;
+
+    /** Index of the least significant set bit, if any. */
+    std::optional<std::size_t> ffs() const;
+
+    /** Bitwise OR with another mask of the same size. */
+    Bitmask &operator|=(const Bitmask &other);
+
+    /** Bitwise AND with another mask of the same size. */
+    Bitmask &operator&=(const Bitmask &other);
+
+    /** Remove all bits set in @p other (this &= ~other). */
+    void subtract(const Bitmask &other);
+
+    bool operator==(const Bitmask &other) const;
+    bool operator!=(const Bitmask &other) const { return !(*this == other); }
+
+    /** Render as a string of '0'/'1', LSB first (bit 0 leftmost). */
+    std::string toString() const;
+
+    /** Indices of all set bits, ascending. */
+    std::vector<std::size_t> setIndices() const;
+
+  private:
+    std::size_t numBits;
+    std::vector<std::uint64_t> words;
+
+    void checkIndex(std::size_t index) const;
+    /** Clear any stray bits beyond numBits in the last word. */
+    void trimTail();
+};
+
+} // namespace rm
+
+#endif // RM_COMMON_BITMASK_HH

@@ -1,0 +1,47 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace rm {
+
+namespace {
+LogLevel globalLevel = LogLevel::Warn;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &message)
+{
+    const char *tag = "info";
+    switch (level) {
+      case LogLevel::Warn:
+        tag = "warn";
+        break;
+      case LogLevel::Inform:
+        tag = "info";
+        break;
+      case LogLevel::Debug:
+        tag = "debug";
+        break;
+      default:
+        break;
+    }
+    std::cerr << tag << ": " << message << "\n";
+}
+
+} // namespace detail
+
+} // namespace rm

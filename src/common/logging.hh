@@ -1,0 +1,68 @@
+#ifndef RM_COMMON_LOGGING_HH
+#define RM_COMMON_LOGGING_HH
+
+/**
+ * @file
+ * Minimal status-message facility following the gem5 inform/warn model.
+ * Messages are informational only and never stop the run; errors go
+ * through common/errors.hh instead.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace rm {
+
+/** Verbosity levels, higher is chattier. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Set the global verbosity (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+void emit(LogLevel level, const std::string &message);
+
+template <typename... Args>
+void
+emitJoined(LogLevel level, const Args &...args)
+{
+    if (static_cast<int>(level) > static_cast<int>(logLevel()))
+        return;
+    std::ostringstream os;
+    (os << ... << args);
+    emit(level, os.str());
+}
+
+} // namespace detail
+
+/** Normal operating message the user may want to see. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    detail::emitJoined(LogLevel::Inform, args...);
+}
+
+/** Something suspicious but survivable happened. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    detail::emitJoined(LogLevel::Warn, args...);
+}
+
+/** Developer-facing tracing. */
+template <typename... Args>
+void
+debugLog(const Args &...args)
+{
+    detail::emitJoined(LogLevel::Debug, args...);
+}
+
+} // namespace rm
+
+#endif // RM_COMMON_LOGGING_HH

@@ -1,0 +1,43 @@
+#ifndef RM_COMMON_RNG_HH
+#define RM_COMMON_RNG_HH
+
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used by
+ * the synthetic workload generators and the simulator's synthetic
+ * memory contents. Fully self-contained so that every experiment is
+ * reproducible bit-for-bit across platforms.
+ */
+
+#include <cstdint>
+
+namespace rm {
+
+/**
+ * xoshiro256** seeded through splitmix64. Deterministic and portable;
+ * not for cryptography.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace rm
+
+#endif // RM_COMMON_RNG_HH

@@ -1,0 +1,157 @@
+#include "common/table.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+std::string
+percent(double fraction, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals)
+       << fraction * 100.0 << "%";
+    return os.str();
+}
+
+std::string
+fixed(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+Table::Table(std::vector<std::string> column_headers)
+    : headers(std::move(column_headers))
+{
+    fatalIf(headers.empty(), "Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != headers.size(),
+            "Table row has ", cells.size(), " cells, expected ",
+            headers.size());
+    rows.push_back(std::move(cells));
+}
+
+const std::string &
+Table::cell(std::size_t row, std::size_t col) const
+{
+    panicIf(row >= rows.size() || col >= headers.size(),
+            "Table::cell out of range");
+    return rows[row][col];
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c];
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+
+    emit_row(headers);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << cells[c] << (c + 1 == cells.size() ? "\n" : ",");
+    };
+    emit_row(headers);
+    for (const auto &row : rows)
+        emit_row(row);
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    os << toText();
+}
+
+Row &
+Row::operator<<(const std::string &cell)
+{
+    cells.push_back(cell);
+    return *this;
+}
+
+Row &
+Row::operator<<(const char *cell)
+{
+    cells.emplace_back(cell);
+    return *this;
+}
+
+Row &
+Row::operator<<(long long value)
+{
+    cells.push_back(std::to_string(value));
+    return *this;
+}
+
+Row &
+Row::operator<<(unsigned long long value)
+{
+    cells.push_back(std::to_string(value));
+    return *this;
+}
+
+Row &
+Row::operator<<(int value)
+{
+    cells.push_back(std::to_string(value));
+    return *this;
+}
+
+Row &
+Row::operator<<(unsigned value)
+{
+    cells.push_back(std::to_string(value));
+    return *this;
+}
+
+Row &
+Row::operator<<(std::size_t value)
+{
+    cells.push_back(std::to_string(value));
+    return *this;
+}
+
+Row &
+Row::operator<<(double value)
+{
+    cells.push_back(fixed(value, 3));
+    return *this;
+}
+
+} // namespace rm

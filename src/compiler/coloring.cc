@@ -1,0 +1,126 @@
+#include "compiler/coloring.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bitmask.hh"
+#include "common/errors.hh"
+
+namespace rm {
+
+ColoringResult
+colorProgram(const Program &program, const Cfg &cfg,
+             const Liveness &liveness, int max_regs)
+{
+    (void)cfg;
+    const auto &code = program.code;
+    const int num_units = program.info.numRegs;
+
+    // Interference: def at i interferes with everything live out of i;
+    // values live into the entry interfere pairwise (they coexist).
+    std::vector<Bitmask> interferes(num_units, Bitmask(num_units));
+    auto add_edge = [&](int a, int b) {
+        if (a == b)
+            return;
+        interferes[a].set(b);
+        interferes[b].set(a);
+    };
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (!code[i].hasDst())
+            continue;
+        const int d = code[i].dst;
+        for (std::size_t r : liveness.liveOut(static_cast<int>(i))
+                                 .setIndices()) {
+            add_edge(d, static_cast<int>(r));
+        }
+    }
+    {
+        const auto entry_live = liveness.liveIn(0).setIndices();
+        for (std::size_t a = 0; a < entry_live.size(); ++a) {
+            for (std::size_t b = a + 1; b < entry_live.size(); ++b) {
+                add_edge(static_cast<int>(entry_live[a]),
+                         static_cast<int>(entry_live[b]));
+            }
+        }
+    }
+
+    // Minimum pressure observed while each unit is live, and first
+    // appearance for tie-breaking.
+    std::vector<int> min_pressure(num_units,
+                                  std::numeric_limits<int>::max());
+    std::vector<int> first_seen(num_units,
+                                std::numeric_limits<int>::max());
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const int pressure = liveness.liveCount(static_cast<int>(i));
+        for (std::size_t r : liveness.liveIn(static_cast<int>(i))
+                                 .setIndices()) {
+            min_pressure[r] =
+                std::min(min_pressure[r], pressure);
+            first_seen[r] =
+                std::min(first_seen[r], static_cast<int>(i));
+        }
+        if (code[i].hasDst()) {
+            first_seen[code[i].dst] =
+                std::min(first_seen[code[i].dst], static_cast<int>(i));
+        }
+    }
+    // Units never live (dead defs) go last: they can take any color.
+    for (int u = 0; u < num_units; ++u) {
+        if (min_pressure[u] == std::numeric_limits<int>::max())
+            min_pressure[u] = std::numeric_limits<int>::max() - 1;
+    }
+
+    std::vector<int> order(num_units);
+    for (int u = 0; u < num_units; ++u)
+        order[u] = u;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (min_pressure[a] != min_pressure[b])
+            return min_pressure[a] < min_pressure[b];
+        if (first_seen[a] != first_seen[b])
+            return first_seen[a] < first_seen[b];
+        return a < b;
+    });
+
+    // Greedy assignment.
+    std::vector<int> color(num_units, -1);
+    int colors_used = 0;
+    bool overflow = false;
+    for (int u : order) {
+        Bitmask taken(max_regs);
+        for (std::size_t v : interferes[u].setIndices()) {
+            if (color[v] >= 0 && color[v] < max_regs)
+                taken.set(color[v]);
+        }
+        const auto slot = taken.ffz();
+        if (!slot) {
+            overflow = true;
+            break;
+        }
+        color[u] = static_cast<int>(*slot);
+        colors_used = std::max(colors_used, color[u] + 1);
+    }
+
+    ColoringResult result;
+    if (overflow) {
+        // Sound fallback: keep the input untouched (performance-only
+        // loss; the injection pass still produces a correct program).
+        result.program = program;
+        result.colorsUsed = num_units;
+        result.fallback = true;
+        return result;
+    }
+
+    result.program = program;
+    for (auto &inst : result.program.code) {
+        if (inst.hasDst())
+            inst.dst = static_cast<RegId>(color[inst.dst]);
+        for (int s = 0; s < inst.numSrcs; ++s)
+            inst.srcs[s] = static_cast<RegId>(color[inst.srcs[s]]);
+    }
+    result.program.info.numRegs = colors_used;
+    result.colorsUsed = colors_used;
+    result.program.verify();
+    return result;
+}
+
+} // namespace rm

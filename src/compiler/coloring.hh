@@ -1,0 +1,50 @@
+#ifndef RM_COMPILER_COLORING_HH
+#define RM_COMPILER_COLORING_HH
+
+/**
+ * @file
+ * Compaction coloring: re-assign architected register indices so that
+ * values live at low-pressure program points occupy the lowest indices.
+ * Combined with web splitting this realizes the paper's "architected
+ * register index compaction" (Sec. III-A4): outside high-pressure
+ * regions only registers below |Bs| are live, so the extended set can
+ * be released.
+ *
+ * Units are ordered by the minimum register pressure observed anywhere
+ * in their live range (ascending) — a unit that is live when pressure
+ * is low *must* sit below |Bs| for the release to be possible — and
+ * greedily given the smallest color not used by an interfering unit.
+ */
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "isa/program.hh"
+
+namespace rm {
+
+/** Result of compaction coloring. */
+struct ColoringResult
+{
+    /** Program rewritten over the new register indices. */
+    Program program;
+    /** Colors used (== resulting numRegs). */
+    int colorsUsed = 0;
+    /**
+     * True when greedy coloring needed more colors than the register
+     * budget and the pass fell back to the input program unchanged.
+     */
+    bool fallback = false;
+};
+
+/**
+ * Color @p program (typically the web-split form) into at most
+ * @p max_regs registers.
+ */
+ColoringResult colorProgram(const Program &program, const Cfg &cfg,
+                            const Liveness &liveness, int max_regs);
+
+} // namespace rm
+
+#endif // RM_COMPILER_COLORING_HH

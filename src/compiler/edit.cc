@@ -1,0 +1,98 @@
+#include "compiler/edit.hh"
+
+#include "common/errors.hh"
+
+namespace rm {
+
+Program
+insertBefore(const Program &program,
+             const std::vector<std::vector<Instruction>> &before)
+{
+    panicIf(before.size() != program.code.size(),
+            "insertBefore: insertion table size mismatch");
+
+    // New index of the first instruction inserted before original i —
+    // the address branches targeting i are redirected to.
+    std::vector<std::int32_t> region_start(program.code.size());
+    std::int32_t pos = 0;
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        region_start[i] = pos;
+        pos += static_cast<std::int32_t>(before[i].size()) + 1;
+    }
+
+    Program out;
+    out.info = program.info;
+    out.regmutex = program.regmutex;
+    out.code.reserve(pos);
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        for (const auto &inst : before[i])
+            out.code.push_back(inst);
+        Instruction inst = program.code[i];
+        if (inst.isBranch())
+            inst.target = region_start[inst.target];
+        out.code.push_back(inst);
+    }
+    return out;
+}
+
+Instruction
+makeAcquire()
+{
+    Instruction inst;
+    inst.op = Opcode::RegAcquire;
+    return inst;
+}
+
+Instruction
+makeRelease()
+{
+    Instruction inst;
+    inst.op = Opcode::RegRelease;
+    return inst;
+}
+
+Instruction
+makeMov(RegId dst, RegId src)
+{
+    Instruction inst;
+    inst.op = Opcode::Mov;
+    inst.dst = dst;
+    inst.srcs[0] = src;
+    inst.numSrcs = 1;
+    return inst;
+}
+
+Program
+stripDirectives(const Program &program)
+{
+    // New index of each original instruction; removed instructions map
+    // to the next kept one (safe for branch targets since directives
+    // never end a block).
+    std::vector<std::int32_t> new_index(program.code.size() + 1, 0);
+    std::int32_t pos = 0;
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        new_index[i] = pos;
+        const Opcode op = program.code[i].op;
+        if (op != Opcode::RegAcquire && op != Opcode::RegRelease)
+            ++pos;
+    }
+    new_index[program.code.size()] = pos;
+
+    Program out;
+    out.info = program.info;
+    out.regmutex = program.regmutex;
+    out.code.reserve(pos);
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        const Opcode op = program.code[i].op;
+        if (op == Opcode::RegAcquire || op == Opcode::RegRelease)
+            continue;
+        Instruction inst = program.code[i];
+        if (inst.isBranch())
+            inst.target = new_index[inst.target];
+        out.code.push_back(inst);
+    }
+    out.verify();
+    return out;
+}
+
+} // namespace rm

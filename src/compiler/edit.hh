@@ -1,0 +1,41 @@
+#ifndef RM_COMPILER_EDIT_HH
+#define RM_COMPILER_EDIT_HH
+
+/**
+ * @file
+ * Program rewriting utility: batch insertion of instructions with
+ * branch-target fix-up. A branch that targeted original instruction i
+ * is retargeted to the first instruction inserted before i, so code
+ * jumping into a region executes the region's injected directives.
+ */
+
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rm {
+
+/**
+ * Rebuild @p program with @p before[i] inserted ahead of original
+ * instruction i. @p before must have size() == program.size(); metadata
+ * is preserved.
+ */
+Program insertBefore(const Program &program,
+                     const std::vector<std::vector<Instruction>> &before);
+
+/** Convenience: make a RegAcquire / RegRelease / Mov instruction. */
+Instruction makeAcquire();
+Instruction makeRelease();
+Instruction makeMov(RegId dst, RegId src);
+
+/**
+ * Remove every RegAcquire/RegRelease from @p program (branch targets
+ * fixed up). Used to hand a RegMutex-compiled register layout to
+ * policies that have no directives of their own (OWF). The regmutex
+ * metadata is preserved.
+ */
+Program stripDirectives(const Program &program);
+
+} // namespace rm
+
+#endif // RM_COMPILER_EDIT_HH

@@ -1,0 +1,165 @@
+#include "compiler/es_selection.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+namespace {
+
+/** Paper's empirically derived |Es| fraction set. */
+constexpr double kFractions[] = {0.10, 0.15, 0.20, 0.25, 0.30, 0.35};
+
+/** Round to the nearest even integer, halves away from zero. */
+int
+roundToEven(double x)
+{
+    return 2 * static_cast<int>(std::lround(x / 2.0));
+}
+
+int
+maxLiveAtBarriers(const Program &program, const Liveness &liveness)
+{
+    int max_live = 0;
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        if (program.code[i].op == Opcode::Bar) {
+            max_live = std::max(max_live,
+                                liveness.liveCount(static_cast<int>(i)));
+        }
+    }
+    return max_live;
+}
+
+/**
+ * Evaluate a (bs, es) split: occupancy with the base set only, then
+ * the SRP carved from the remaining registers, shrinking the CTA count
+ * until at least one section exists (deadlock rule 1).
+ */
+EsCandidate
+evaluate(const Program &program, const GpuConfig &config, int es, int bs,
+         int max_live_at_barrier)
+{
+    EsCandidate cand;
+    cand.es = es;
+    cand.bs = bs;
+    cand.meetsBarrierRule = bs >= max_live_at_barrier;
+    if (bs < 1)
+        return cand;
+
+    Occupancy occ = computeOccupancy(config, bs, program.info.ctaThreads,
+                                     program.info.sharedBytesPerCta);
+    int ctas = occ.ctasPerSm;
+    const int warps_per_cta = config.warpsPerCta(program.info.ctaThreads);
+    int sections = 0;
+    while (ctas > 0) {
+        const int base_regs_used = ctas * program.info.ctaThreads * bs;
+        const int leftover = config.registersPerSm - base_regs_used;
+        sections = std::min(config.maxWarpsPerSm,
+                            leftover / (es * config.warpSize));
+        if (sections >= 1)
+            break;
+        --ctas;  // deadlock rule 1: at least one warp's Es must fit
+    }
+
+    cand.ctasPerSm = ctas;
+    cand.warpsPerSm = ctas * warps_per_cta;
+    cand.srpSections = sections;
+    cand.passesHalfRule = 2 * sections > cand.warpsPerSm;
+    cand.viable = ctas > 0 && sections >= 1 && cand.meetsBarrierRule;
+    return cand;
+}
+
+} // namespace
+
+EsCandidate
+evaluateCandidate(const Program &program, const GpuConfig &config,
+                  const Liveness &liveness, int es)
+{
+    const int rounded = roundRegs(config, program.info.numRegs);
+    const int max_live_bar = maxLiveAtBarriers(program, liveness);
+    fatalIf(es <= 0 || es >= rounded,
+            "evaluateCandidate: |Es| = ", es,
+            " out of range for a kernel of ", rounded, " registers");
+    EsCandidate cand =
+        evaluate(program, config, es, rounded - es, max_live_bar);
+    fatalIf(!cand.meetsBarrierRule,
+            "evaluateCandidate: |Bs| = ", cand.bs,
+            " is below the live count at a barrier (",
+            max_live_bar, ") — deadlock-avoidance rule violated");
+    fatalIf(!cand.viable,
+            "evaluateCandidate: |Es| = ", es,
+            " leaves no SRP section or no resident CTA");
+    return cand;
+}
+
+EsSelection
+selectExtendedSet(const Program &program, const GpuConfig &config,
+                  const Liveness &liveness, EsTieBreak tie_break)
+{
+    EsSelection sel;
+    sel.roundedRegs = roundRegs(config, program.info.numRegs);
+    sel.maxLiveAtBarrier = maxLiveAtBarriers(program, liveness);
+    sel.baselineOccupancy =
+        computeOccupancy(config, sel.roundedRegs, program.info.ctaThreads,
+                         program.info.sharedBytesPerCta);
+
+    // Candidate |Es| values: even roundings of R x fraction.
+    std::set<int> sizes;
+    for (double f : kFractions) {
+        const int e = roundToEven(sel.roundedRegs * f);
+        if (e >= 2 && e < sel.roundedRegs)
+            sizes.insert(e);
+    }
+
+    for (int es : sizes) {
+        sel.candidates.push_back(evaluate(program, config, es,
+                                          sel.roundedRegs - es,
+                                          sel.maxLiveAtBarrier));
+    }
+
+    // Rank: occupancy first; among ties, half-rule passers before
+    // non-passers, then smallest |Es| (see the header's discussion).
+    sel.ranked.reserve(sel.candidates.size());
+    for (const auto &cand : sel.candidates) {
+        if (cand.viable)
+            sel.ranked.push_back(cand);
+    }
+    std::sort(sel.ranked.begin(), sel.ranked.end(),
+              [tie_break](const EsCandidate &a, const EsCandidate &b) {
+                  if (a.warpsPerSm != b.warpsPerSm)
+                      return a.warpsPerSm > b.warpsPerSm;
+                  if (a.passesHalfRule != b.passesHalfRule)
+                      return a.passesHalfRule;
+                  return tie_break == EsTieBreak::SmallestPassing
+                             ? a.es < b.es
+                             : a.es > b.es;
+              });
+
+    // RegMutex only applies when the kernel is register-limited. For a
+    // register-limited kernel whose candidates fail to raise occupancy
+    // the best split is still applied — the paper's MergeSort case
+    // (Sec. IV-B), the one workload where RegMutex costs a few cycles.
+    const bool reg_limited =
+        sel.baselineOccupancy.limiter == OccLimiter::Registers;
+    if (sel.ranked.empty() ||
+        (!reg_limited &&
+         sel.ranked.front().warpsPerSm <=
+             sel.baselineOccupancy.warpsPerSm)) {
+        sel.ranked.clear();
+        return sel;  // es == 0: disabled
+    }
+
+    const EsCandidate &best = sel.ranked.front();
+    sel.es = best.es;
+    sel.bs = best.bs;
+    sel.srpSections = best.srpSections;
+    sel.occupancy.ctasPerSm = best.ctasPerSm;
+    sel.occupancy.warpsPerSm = best.warpsPerSm;
+    sel.occupancy.limiter = OccLimiter::Registers;
+    return sel;
+}
+
+} // namespace rm

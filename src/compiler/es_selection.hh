@@ -1,0 +1,95 @@
+#ifndef RM_COMPILER_ES_SELECTION_HH
+#define RM_COMPILER_ES_SELECTION_HH
+
+/**
+ * @file
+ * Extended-register-set size selection (paper Sec. III-A2). Candidate
+ * |Es| values are the even roundings of the kernel's (granularity-
+ * rounded) register count multiplied by {0.1, 0.15, 0.2, 0.25, 0.3,
+ * 0.35}. Candidates are ranked by the theoretical occupancy computed
+ * with the base set size alone; ties prefer the smallest |Es| whose
+ * SRP section count allows more than half the resident warps to hold
+ * an extended set concurrently (see DESIGN.md for the discussion of
+ * the paper's tie-break prose vs. its worked example).
+ *
+ * Deadlock-avoidance rules (also Sec. III-A2): at least one SRP
+ * section must exist, and |Bs| must cover the live set at every
+ * CTA-wide barrier.
+ */
+
+#include <vector>
+
+#include "analysis/liveness.hh"
+#include "isa/program.hh"
+#include "sim/config.hh"
+#include "sim/occupancy.hh"
+
+namespace rm {
+
+/**
+ * Tie-break rule among maximum-occupancy |Es| candidates. The paper's
+ * prose says "largest", its worked example implies smallest-passing;
+ * the variants quantify the difference (ablation bench).
+ */
+enum class EsTieBreak {
+    /** Smallest |Es| whose sections exceed half the warps; else
+     *  smallest. Reproduces the paper's worked example and Table I. */
+    SmallestPassing,
+    /** Largest |Es| whose sections exceed half the warps; else
+     *  largest — the paper's literal prose. */
+    LargestPassing,
+};
+
+/** One evaluated |Es| candidate. */
+struct EsCandidate
+{
+    int es = 0;
+    int bs = 0;
+    int ctasPerSm = 0;
+    int warpsPerSm = 0;
+    int srpSections = 0;
+    bool meetsBarrierRule = false;
+    bool viable = false;
+    /** SRP sections exceed half the resident warps. */
+    bool passesHalfRule = false;
+};
+
+/** Selection outcome. |es| == 0 means RegMutex is not applied. */
+struct EsSelection
+{
+    int es = 0;
+    int bs = 0;
+    int roundedRegs = 0;
+    int srpSections = 0;
+    int maxLiveAtBarrier = 0;
+    Occupancy occupancy;          ///< with the chosen |Bs|
+    Occupancy baselineOccupancy;  ///< with the rounded register count
+    /** All evaluated candidates (for Table I style reports). */
+    std::vector<EsCandidate> candidates;
+    /** Viable candidates, best first (pipeline fallback order). */
+    std::vector<EsCandidate> ranked;
+
+    bool enabled() const { return es > 0; }
+};
+
+/**
+ * Run the heuristic for @p program on @p config. @p liveness is the
+ * dataflow result for the (unmodified) program.
+ */
+EsSelection selectExtendedSet(const Program &program,
+                              const GpuConfig &config,
+                              const Liveness &liveness,
+                              EsTieBreak tie_break =
+                                  EsTieBreak::SmallestPassing);
+
+/**
+ * Evaluate one specific |Es| (Fig. 10 manual sweep). Throws FatalError
+ * when the candidate violates a deadlock-avoidance rule.
+ */
+EsCandidate evaluateCandidate(const Program &program,
+                              const GpuConfig &config,
+                              const Liveness &liveness, int es);
+
+} // namespace rm
+
+#endif // RM_COMPILER_ES_SELECTION_HH

@@ -1,0 +1,182 @@
+#include "compiler/pipeline.hh"
+
+#include "analysis/dominators.hh"
+#include "common/errors.hh"
+#include "common/logging.hh"
+#include "compiler/coloring.hh"
+#include "compiler/split.hh"
+#include "compiler/validator.hh"
+#include "compiler/webs.hh"
+
+namespace rm {
+
+namespace {
+
+/** Web-split then color @p program into at most @p max_regs registers. */
+ColoringResult
+compact(const Program &program, int max_regs)
+{
+    const Cfg cfg = Cfg::build(program);
+    const WebSplit webs = splitWebs(program, cfg);
+    const Cfg cfg2 = Cfg::build(webs.program);
+    const Liveness live2 = Liveness::compute(webs.program, cfg2);
+    return colorProgram(webs.program, cfg2, live2, max_regs);
+}
+
+/**
+ * Repair loop: while instructions are held at low pressure, cut the
+ * offending live ranges at the pressure boundaries (inserting MOVs)
+ * and recolor. Returns the improved program.
+ */
+Program
+repair(Program program, int base_regs, int max_regs, int max_iterations,
+       int &mov_cuts)
+{
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        Cfg cfg = Cfg::build(program);
+        Liveness live = Liveness::compute(program, cfg);
+        if (countWastedHeld(program, live, base_regs) == 0)
+            break;
+
+        // Recover unit granularity; a unit's "original register" in the
+        // web split of a colored program is its current color.
+        const WebSplit webs = splitWebs(program, cfg);
+        const Cfg wcfg = Cfg::build(webs.program);
+        const Liveness wlive = Liveness::compute(webs.program, wcfg);
+        const DominatorTree doms = DominatorTree::compute(wcfg);
+
+        std::vector<bool> at_risk(webs.numUnits, false);
+        for (int u = 0; u < webs.numUnits; ++u) {
+            if (webs.originalReg[u] < base_regs)
+                continue;
+            for (std::size_t i = 0; i < webs.program.code.size(); ++i) {
+                if (wlive.isLiveIn(static_cast<int>(i),
+                                   static_cast<RegId>(u)) &&
+                    wlive.liveCount(static_cast<int>(i)) <= base_regs) {
+                    at_risk[u] = true;
+                    break;
+                }
+            }
+        }
+
+        const SplitResult cut = cutLiveRanges(webs.program, wcfg, wlive,
+                                              doms, at_risk, base_regs);
+        if (cut.cuts == 0)
+            break;
+
+        const ColoringResult recolored = compact(cut.program, max_regs);
+        if (recolored.fallback)
+            break;  // keep the pre-cut program
+        mov_cuts += cut.cuts;
+        program = recolored.program;
+    }
+    return program;
+}
+
+} // namespace
+
+CompileResult
+compileRegMutex(const Program &input, const GpuConfig &config,
+                const CompileOptions &options)
+{
+    input.verify();
+    for (const auto &inst : input.code) {
+        fatalIf(inst.op == Opcode::RegAcquire ||
+                inst.op == Opcode::RegRelease,
+                "compileRegMutex: input already contains directives");
+    }
+
+    const Cfg cfg = Cfg::build(input);
+    const Liveness liveness = Liveness::compute(input, cfg);
+
+    CompileResult result;
+
+    // --- Extended-set size selection ---
+    std::vector<EsCandidate> to_try;
+    if (options.forcedEs > 0) {
+        result.selection.roundedRegs =
+            roundRegs(config, input.info.numRegs);
+        result.selection.baselineOccupancy = computeOccupancy(
+            config, result.selection.roundedRegs, input.info.ctaThreads,
+            input.info.sharedBytesPerCta);
+        to_try.push_back(
+            evaluateCandidate(input, config, liveness, options.forcedEs));
+    } else {
+        result.selection =
+            selectExtendedSet(input, config, liveness, options.tieBreak);
+        to_try = result.selection.ranked;
+    }
+
+    if (to_try.empty()) {
+        // RegMutex not applied: the heuristic found no occupancy gain.
+        result.program = input;
+        return result;
+    }
+
+    // --- Compaction (|Es|-independent) ---
+    const int max_regs = result.selection.roundedRegs;
+    Program compacted = input;
+    if (options.enableCompaction) {
+        const ColoringResult colored = compact(input, max_regs);
+        if (colored.fallback) {
+            result.compactionFallback = true;
+            warn("compileRegMutex: compaction fallback for kernel '",
+                 input.info.name, "'");
+        } else {
+            compacted = colored.program;
+        }
+    }
+
+    // --- Per-candidate repair + injection, best candidate first ---
+    for (const EsCandidate &cand : to_try) {
+        Program working = compacted;
+        int mov_cuts = 0;
+        if (options.enableCompaction && options.enableRepair) {
+            working = repair(std::move(working), cand.bs, max_regs,
+                             options.maxRepairIterations, mov_cuts);
+        }
+
+        const Cfg wcfg = Cfg::build(working);
+        const Liveness wlive = Liveness::compute(working, wcfg);
+
+        // Barrier deadlock rule, path-sensitively: a barrier inside a
+        // held region disqualifies the candidate.
+        InjectionCounts counts;
+        Program injected;
+        try {
+            injected = injectDirectives(working, wcfg, wlive, cand.bs,
+                                        counts, options.coalesceGap);
+        } catch (const FatalError &) {
+            continue;  // try the next ranked candidate
+        }
+
+        injected.info.numRegs = max_regs;
+        injected.regmutex.baseRegs = cand.bs;
+        injected.regmutex.extRegs = cand.es;
+        injected.verify();
+
+        const ValidationReport report = validateRegMutex(injected);
+        panicIf(!report.ok, "compileRegMutex: validation failed for '",
+                input.info.name, "': ", report.error);
+
+        result.program = std::move(injected);
+        result.injected = counts;
+        result.movCuts = mov_cuts;
+        result.wastedHeldInsts =
+            countWastedHeld(working, wlive, cand.bs);
+        // Record the candidate actually used.
+        result.selection.es = cand.es;
+        result.selection.bs = cand.bs;
+        result.selection.srpSections = cand.srpSections;
+        result.selection.occupancy.ctasPerSm = cand.ctasPerSm;
+        result.selection.occupancy.warpsPerSm = cand.warpsPerSm;
+        result.selection.occupancy.limiter = OccLimiter::Registers;
+        return result;
+    }
+
+    fatal("compileRegMutex: no viable |Es| candidate for kernel '",
+          input.info.name,
+          "' satisfies the deadlock-avoidance rules after compaction");
+}
+
+} // namespace rm

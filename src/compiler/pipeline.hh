@@ -1,0 +1,70 @@
+#ifndef RM_COMPILER_PIPELINE_HH
+#define RM_COMPILER_PIPELINE_HH
+
+/**
+ * @file
+ * The RegMutex compiler (paper Sec. III-A): liveness analysis,
+ * extended-set size selection, architected register index compaction
+ * (web splitting + coloring + on-demand MOV live-range cutting), and
+ * acquire/release directive injection, followed by validation.
+ *
+ * The output program is functionally equivalent to the input (the
+ * property tests prove this against the reference interpreter) and
+ * carries RegMutexInfo{|Bs|, |Es|} for the hardware.
+ */
+
+#include "compiler/es_selection.hh"
+#include "compiler/regions.hh"
+#include "isa/program.hh"
+#include "sim/config.hh"
+
+namespace rm {
+
+/** Compiler knobs (defaults reproduce the paper's configuration). */
+struct CompileOptions
+{
+    /** Manual |Es| override (Fig. 10 sweep); -1 uses the heuristic. */
+    int forcedEs = -1;
+    /** Disable index compaction entirely (ablation). */
+    bool enableCompaction = true;
+    /** Disable the MOV live-range repair loop (ablation). */
+    bool enableRepair = true;
+    int maxRepairIterations = 3;
+    /** Candidate tie-break rule (see EsTieBreak; ablation). */
+    EsTieBreak tieBreak = EsTieBreak::SmallestPassing;
+    /**
+     * Merge held regions separated by at most this many instructions
+     * (0 disables; see injectDirectives — region-coalescing ablation).
+     */
+    int coalesceGap = 0;
+};
+
+/** Output of the compiler. */
+struct CompileResult
+{
+    Program program;
+    EsSelection selection;
+    InjectionCounts injected;
+    /** MOV instructions inserted by live-range cutting. */
+    int movCuts = 0;
+    /** Residual instructions held despite low pressure (perf metric). */
+    int wastedHeldInsts = 0;
+    /** Coloring exceeded the register budget; compaction skipped. */
+    bool compactionFallback = false;
+
+    bool enabled() const { return program.regmutex.enabled(); }
+};
+
+/**
+ * Compile @p input for RegMutex execution on @p config. When the
+ * heuristic finds no occupancy benefit (and no |Es| is forced), the
+ * program is returned unmodified with regmutex disabled — RegMutex
+ * "does not disturb the performance of an application that does not
+ * utilize it" (paper Sec. V).
+ */
+CompileResult compileRegMutex(const Program &input, const GpuConfig &config,
+                              const CompileOptions &options = {});
+
+} // namespace rm
+
+#endif // RM_COMPILER_PIPELINE_HH

@@ -1,0 +1,139 @@
+#include "compiler/regions.hh"
+
+#include "common/errors.hh"
+#include "compiler/edit.hh"
+
+namespace rm {
+
+namespace {
+
+/** Does @p inst reference any register with index >= base_regs? */
+bool
+referencesExtended(const Instruction &inst, int base_regs)
+{
+    if (inst.hasDst() && inst.dst >= base_regs)
+        return true;
+    for (int s = 0; s < inst.numSrcs; ++s) {
+        if (inst.srcs[s] >= base_regs)
+            return true;
+    }
+    return false;
+}
+
+/** Any live register with index >= base_regs in @p mask? */
+bool
+anyExtendedLive(const Bitmask &mask, int base_regs)
+{
+    for (std::size_t r = base_regs; r < mask.size(); ++r) {
+        if (mask.test(r))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<bool>
+computeHeld(const Program &program, const Cfg &cfg,
+            const Liveness &liveness, int base_regs)
+{
+    (void)cfg;
+    std::vector<bool> held(program.code.size(), false);
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        const int idx = static_cast<int>(i);
+        held[i] = referencesExtended(program.code[i], base_regs) ||
+                  anyExtendedLive(liveness.liveIn(idx), base_regs) ||
+                  anyExtendedLive(liveness.liveOut(idx), base_regs);
+    }
+    return held;
+}
+
+Program
+injectDirectives(const Program &program, const Cfg &cfg,
+                 const Liveness &liveness, int base_regs,
+                 InjectionCounts &counts, int coalesce_gap)
+{
+    std::vector<bool> held =
+        computeHeld(program, cfg, liveness, base_regs);
+
+    // Deadlock-avoidance rule: no barrier inside a held region.
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        fatalIf(program.code[i].op == Opcode::Bar && held[i],
+                "injectDirectives: barrier at instruction ", i,
+                " inside a held region (|Bs| = ", base_regs,
+                " too small for the live set at the barrier)");
+    }
+
+    // Optional region coalescing: hold through short intra-block gaps
+    // (never across a barrier).
+    if (coalesce_gap > 0) {
+        for (const auto &block : cfg.blocks()) {
+            int i = block.first;
+            while (i <= block.last) {
+                if (held[i] || i == block.first) {
+                    ++i;
+                    continue;
+                }
+                // Gap start: preceding instruction held?
+                if (!held[i - 1]) {
+                    ++i;
+                    continue;
+                }
+                int j = i;
+                bool barrier_in_gap = false;
+                while (j <= block.last && !held[j]) {
+                    barrier_in_gap |=
+                        program.code[j].op == Opcode::Bar;
+                    ++j;
+                }
+                const bool closes = j <= block.last;  // held after gap
+                if (closes && !barrier_in_gap &&
+                    j - i <= coalesce_gap) {
+                    for (int k = i; k < j; ++k)
+                        held[k] = true;
+                }
+                i = j;
+            }
+        }
+    }
+
+    std::vector<std::vector<Instruction>> before(program.code.size());
+    counts = InjectionCounts{};
+
+    for (const auto &block : cfg.blocks()) {
+        // Block-head transitions, judged against predecessors.
+        bool pred_not_held = block.preds.empty();  // entry block
+        bool pred_held = false;
+        for (int p : block.preds) {
+            if (held[cfg.block(p).last])
+                pred_held = true;
+            else
+                pred_not_held = true;
+        }
+        if (held[block.first] && pred_not_held) {
+            before[block.first].push_back(makeAcquire());
+            ++counts.acquires;
+        }
+        if (!held[block.first] && pred_held) {
+            before[block.first].push_back(makeRelease());
+            ++counts.releases;
+        }
+
+        // Intra-block transitions.
+        for (int i = block.first + 1; i <= block.last; ++i) {
+            if (held[i] && !held[i - 1]) {
+                before[i].push_back(makeAcquire());
+                ++counts.acquires;
+            } else if (!held[i] && held[i - 1]) {
+                before[i].push_back(makeRelease());
+                ++counts.releases;
+            }
+        }
+    }
+
+    Program out = insertBefore(program, before);
+    out.verify();
+    return out;
+}
+
+} // namespace rm

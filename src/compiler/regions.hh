@@ -1,0 +1,60 @@
+#ifndef RM_COMPILER_REGIONS_HH
+#define RM_COMPILER_REGIONS_HH
+
+/**
+ * @file
+ * Extended-set region computation and acquire/release injection
+ * (paper Sec. III-A3). An instruction is "held" when it references an
+ * extended-set register (index >= |Bs|) or such a register is live
+ * around it; acquires are injected at every entry into a held region
+ * and releases at every exit. Redundant directives are no-ops by the
+ * paper's semantics, which makes block-boundary injection sound even
+ * for regions entered from both held and not-held predecessors.
+ */
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "isa/program.hh"
+
+namespace rm {
+
+/**
+ * Per-instruction held predicate: true when instruction @p i must
+ * execute with the extended set acquired.
+ */
+std::vector<bool> computeHeld(const Program &program, const Cfg &cfg,
+                              const Liveness &liveness, int base_regs);
+
+/** Counts of directives injected. */
+struct InjectionCounts
+{
+    int acquires = 0;
+    int releases = 0;
+};
+
+/**
+ * Inject RegAcquire/RegRelease around the held regions of @p program
+ * for base set size @p base_regs. Returns the rewritten program;
+ * @p counts reports how many directives were inserted.
+ *
+ * @p coalesce_gap merges held regions separated by at most that many
+ * non-held instructions within a block (0 disables): a release
+ * followed shortly by another acquire costs two directives and risks
+ * losing the section to a contender, so holding through short gaps
+ * can be cheaper — the trade-off the region-coalescing ablation
+ * quantifies. Gaps containing a barrier are never coalesced (deadlock
+ * rule).
+ *
+ * Fails (FatalError) if a barrier instruction sits inside a held
+ * region — the deadlock-avoidance rule (Sec. III-A2) the extended-set
+ * size selection must guarantee.
+ */
+Program injectDirectives(const Program &program, const Cfg &cfg,
+                         const Liveness &liveness, int base_regs,
+                         InjectionCounts &counts, int coalesce_gap = 0);
+
+} // namespace rm
+
+#endif // RM_COMPILER_REGIONS_HH

@@ -1,0 +1,150 @@
+#include "compiler/split.hh"
+
+#include <map>
+
+#include "common/errors.hh"
+#include "compiler/edit.hh"
+
+namespace rm {
+
+namespace {
+
+/**
+ * Instruction-level strict dominance: blocks are straight-line, so p
+ * dominates j when p's block dominates j's block, or they share a
+ * block and p comes first.
+ */
+bool
+instDom(const Cfg &cfg, const DominatorTree &doms, int p, int j)
+{
+    const int bp = cfg.blockOf(p);
+    const int bj = cfg.blockOf(j);
+    if (bp == bj)
+        return p < j;
+    return doms.dominates(bp, bj);
+}
+
+} // namespace
+
+int
+countWastedHeld(const Program &program, const Liveness &liveness,
+                int base_regs)
+{
+    int waste = 0;
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        const Bitmask &live = liveness.liveIn(static_cast<int>(i));
+        if (static_cast<int>(live.count()) > base_regs)
+            continue;
+        for (std::size_t r = base_regs; r < live.size(); ++r) {
+            if (live.test(r)) {
+                ++waste;
+                break;
+            }
+        }
+    }
+    return waste;
+}
+
+SplitResult
+cutLiveRanges(const Program &program, const Cfg &cfg,
+              const Liveness &liveness, const DominatorTree &doms,
+              const std::vector<bool> &unit_at_risk, int base_regs)
+{
+    const auto &code = program.code;
+    const int num_units = program.info.numRegs;
+
+    // Pressure class per instruction: low (fits the base set) or high.
+    std::vector<bool> low(code.size());
+    for (std::size_t i = 0; i < code.size(); ++i)
+        low[i] = liveness.liveCount(static_cast<int>(i)) <= base_regs;
+
+    // Defs and uses per unit.
+    std::vector<std::vector<int>> defs(num_units);
+    std::vector<std::vector<std::pair<int, int>>> uses(num_units);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i].hasDst())
+            defs[code[i].dst].push_back(static_cast<int>(i));
+        for (int s = 0; s < code[i].numSrcs; ++s)
+            uses[code[i].srcs[s]].emplace_back(static_cast<int>(i), s);
+    }
+
+    Program out = program;
+    std::vector<std::vector<Instruction>> before(code.size());
+    int next_unit = num_units;
+    int cuts = 0;
+
+    for (int u = 0; u < num_units; ++u) {
+        if (!unit_at_risk[u] || uses[u].empty())
+            continue;
+
+        // Candidate cut points: live-through instructions where the
+        // pressure class flips relative to the previous instruction.
+        std::vector<int> candidates;
+        for (std::size_t i = 1; i < code.size(); ++i) {
+            const int idx = static_cast<int>(i);
+            if (!liveness.isLiveIn(idx, static_cast<RegId>(u)) ||
+                !liveness.isLiveOut(idx - 1, static_cast<RegId>(u))) {
+                continue;
+            }
+            if (low[i] != low[i - 1])
+                candidates.push_back(idx);
+        }
+        if (candidates.empty())
+            continue;
+
+        // Soundness: no definition of u may be dominated by a cut
+        // point (a renamed use could otherwise observe a stale copy).
+        bool blocked = false;
+        for (int p : candidates) {
+            for (int d : defs[u]) {
+                if (instDom(cfg, doms, p, d)) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if (blocked)
+                break;
+        }
+        if (blocked)
+            continue;
+
+        // Rename each use to the latest dominating cut point's unit.
+        std::map<int, int> unit_for_cut;  // cut point -> new unit
+        for (const auto &[inst, slot] : uses[u]) {
+            int latest = -1;
+            for (int p : candidates) {
+                if (p <= inst || cfg.blockOf(p) != cfg.blockOf(inst)) {
+                    if (instDom(cfg, doms, p, inst) &&
+                        (latest < 0 || p > latest)) {
+                        latest = p;
+                    }
+                }
+            }
+            if (latest < 0)
+                continue;
+            auto [it, inserted] = unit_for_cut.try_emplace(
+                latest, next_unit);
+            if (inserted) {
+                ++next_unit;
+                ++cuts;
+                before[latest].push_back(makeMov(
+                    static_cast<RegId>(it->second),
+                    static_cast<RegId>(u)));
+            }
+            out.code[inst].srcs[slot] = static_cast<RegId>(it->second);
+        }
+    }
+
+    SplitResult result;
+    result.cuts = cuts;
+    if (cuts == 0) {
+        result.program = program;
+        return result;
+    }
+    out.info.numRegs = next_unit;
+    result.program = insertBefore(out, before);
+    result.program.verify();
+    return result;
+}
+
+} // namespace rm

@@ -1,0 +1,62 @@
+#ifndef RM_COMPILER_SPLIT_HH
+#define RM_COMPILER_SPLIT_HH
+
+/**
+ * @file
+ * Live-range cutting with MOV insertion — the paper's explicit
+ * compaction mechanism (Sec. III-A4): when a value must cross between
+ * a high-pressure (acquired) region and a low-pressure (released)
+ * region, the compiler moves it between an extended and a base register
+ * with a MOV and renames the subsequent uses until the end of the live
+ * range. Here the cut introduces a fresh virtual unit at each pressure
+ * boundary; the subsequent recoloring assigns the low-pressure piece a
+ * base index and the high-pressure piece an extended index.
+ *
+ * Soundness: a use is renamed only when it is instruction-dominated by
+ * the cut point and the unit has no definition dominated by any cut
+ * point, so every renamed use observes the copy made on its own path
+ * with no intervening redefinition.
+ */
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/liveness.hh"
+#include "isa/program.hh"
+
+namespace rm {
+
+/** Result of the cutting pass. */
+struct SplitResult
+{
+    Program program;
+    /** Cuts performed (== MOV instructions inserted). */
+    int cuts = 0;
+};
+
+/**
+ * Cut the live ranges of the flagged units of @p program at points
+ * where register pressure crosses @p base_regs.
+ *
+ * @param program   web-split program (one unit per web)
+ * @param unit_at_risk units worth cutting (e.g. currently colored into
+ *                  the extended set while live at low pressure)
+ */
+SplitResult cutLiveRanges(const Program &program, const Cfg &cfg,
+                          const Liveness &liveness,
+                          const DominatorTree &doms,
+                          const std::vector<bool> &unit_at_risk,
+                          int base_regs);
+
+/**
+ * Number of instructions where pressure is at or below @p base_regs
+ * yet a register with index >= @p base_regs is live — the "waste" the
+ * repair loop drives to zero.
+ */
+int countWastedHeld(const Program &program, const Liveness &liveness,
+                    int base_regs);
+
+} // namespace rm
+
+#endif // RM_COMPILER_SPLIT_HH

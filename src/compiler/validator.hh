@@ -1,0 +1,43 @@
+#ifndef RM_COMPILER_VALIDATOR_HH
+#define RM_COMPILER_VALIDATOR_HH
+
+/**
+ * @file
+ * Post-compilation validator: a path-sensitive dataflow over the
+ * acquire/release state proving that (a) every access to an extended
+ * register (index >= |Bs|) happens with the extended set held on every
+ * path, and (b) every CTA-wide barrier executes with the set released
+ * on every path (the deadlock-avoidance rule). Also reports redundant
+ * (no-effect) directives.
+ */
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace rm {
+
+/** Validation outcome. */
+struct ValidationReport
+{
+    bool ok = true;
+    std::string error;  ///< first violation, when !ok
+
+    int acquires = 0;
+    int releases = 0;
+    /** Acquire reached while possibly already held (no-op by spec). */
+    int redundantAcquires = 0;
+    /** Release reached while possibly not held (no-op by spec). */
+    int redundantReleases = 0;
+};
+
+/**
+ * Validate @p program, whose regmutex metadata must be set. A program
+ * with regmutex disabled validates iff it contains no directives and
+ * no access beyond its register count.
+ */
+ValidationReport validateRegMutex(const Program &program);
+
+} // namespace rm
+
+#endif // RM_COMPILER_VALIDATOR_HH

@@ -1,0 +1,180 @@
+#include "compiler/webs.hh"
+
+#include <numeric>
+
+#include "common/bitmask.hh"
+#include "common/errors.hh"
+
+namespace rm {
+
+namespace {
+
+/** Plain union-find over def ids. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(int n) : parent(n)
+    {
+        std::iota(parent.begin(), parent.end(), 0);
+    }
+
+    int
+    find(int x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    void
+    unite(int a, int b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent[a] = b;
+    }
+
+  private:
+    std::vector<int> parent;
+};
+
+} // namespace
+
+WebSplit
+splitWebs(const Program &program, const Cfg &cfg)
+{
+    const auto &code = program.code;
+    const int num_regs = program.info.numRegs;
+    const int num_blocks = static_cast<int>(cfg.numBlocks());
+
+    // Enumerate definitions: one per instruction with a destination,
+    // plus one entry pseudo-definition per register (all registers
+    // initialize to zero).
+    std::vector<int> def_of_inst(code.size(), -1);
+    std::vector<RegId> reg_of_def;
+    std::vector<int> defs_inst;  // instruction index, -1 for pseudo
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i].hasDst()) {
+            def_of_inst[i] = static_cast<int>(reg_of_def.size());
+            reg_of_def.push_back(code[i].dst);
+            defs_inst.push_back(static_cast<int>(i));
+        }
+    }
+    const int first_pseudo = static_cast<int>(reg_of_def.size());
+    for (RegId r = 0; r < num_regs; ++r) {
+        reg_of_def.push_back(r);
+        defs_inst.push_back(-1);
+    }
+    const int num_defs = static_cast<int>(reg_of_def.size());
+
+    // All defs of each register (for kill sets).
+    std::vector<Bitmask> defs_of_reg(num_regs, Bitmask(num_defs));
+    for (int d = 0; d < num_defs; ++d)
+        defs_of_reg[reg_of_def[d]].set(d);
+
+    // Block-level reaching definitions.
+    std::vector<Bitmask> gen(num_blocks, Bitmask(num_defs));
+    std::vector<Bitmask> kill(num_blocks, Bitmask(num_defs));
+    for (const auto &block : cfg.blocks()) {
+        for (int i = block.first; i <= block.last; ++i) {
+            if (def_of_inst[i] < 0)
+                continue;
+            const RegId r = code[i].dst;
+            gen[block.id].subtract(defs_of_reg[r]);
+            gen[block.id].set(def_of_inst[i]);
+            kill[block.id] |= defs_of_reg[r];
+        }
+    }
+
+    std::vector<Bitmask> reach_in(num_blocks, Bitmask(num_defs));
+    std::vector<Bitmask> reach_out(num_blocks, Bitmask(num_defs));
+    // Entry pseudo-defs reach the entry block.
+    for (int d = first_pseudo; d < num_defs; ++d)
+        reach_in[0].set(d);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = 0; b < num_blocks; ++b) {
+            Bitmask in = (b == 0) ? reach_in[0] : Bitmask(num_defs);
+            for (int pred : cfg.block(b).preds)
+                in |= reach_out[pred];
+            Bitmask out = in;
+            out.subtract(kill[b]);
+            out |= gen[b];
+            if (in != reach_in[b] || out != reach_out[b]) {
+                reach_in[b] = std::move(in);
+                reach_out[b] = std::move(out);
+                changed = true;
+            }
+        }
+    }
+
+    // Walk each block resolving uses to reaching defs; unify via UF.
+    UnionFind uf(num_defs);
+    std::vector<std::array<int, 3>> use_def(code.size(),
+                                            {-1, -1, -1});
+    for (const auto &block : cfg.blocks()) {
+        // Running "current def" per register within the block; -1 means
+        // fall back to reach_in.
+        std::vector<int> current(num_regs, -1);
+        for (int i = block.first; i <= block.last; ++i) {
+            const Instruction &inst = code[i];
+            for (int s = 0; s < inst.numSrcs; ++s) {
+                const RegId r = inst.srcs[s];
+                int rep = current[r];
+                if (rep < 0) {
+                    // Unify all block-incoming reaching defs of r.
+                    for (int d = 0; d < num_defs; ++d) {
+                        if (reach_in[block.id].test(d) &&
+                            reg_of_def[d] == r) {
+                            if (rep < 0)
+                                rep = d;
+                            else
+                                uf.unite(rep, d);
+                        }
+                    }
+                    // Defensive: unreachable code uses the entry value.
+                    if (rep < 0)
+                        rep = first_pseudo + r;
+                    current[r] = rep;  // cache the unified rep
+                }
+                use_def[i][s] = rep;
+            }
+            if (def_of_inst[i] >= 0)
+                current[inst.dst] = def_of_inst[i];
+        }
+    }
+
+    // Dense unit ids per web.
+    std::vector<int> unit_of_root(num_defs, -1);
+    std::vector<RegId> original;
+    auto unit_of = [&](int def) {
+        const int root = uf.find(def);
+        if (unit_of_root[root] < 0) {
+            unit_of_root[root] = static_cast<int>(original.size());
+            original.push_back(reg_of_def[root]);
+        }
+        return unit_of_root[root];
+    };
+
+    WebSplit result;
+    result.program = program;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        Instruction &inst = result.program.code[i];
+        for (int s = 0; s < inst.numSrcs; ++s)
+            inst.srcs[s] = static_cast<RegId>(unit_of(use_def[i][s]));
+        if (def_of_inst[i] >= 0)
+            inst.dst = static_cast<RegId>(unit_of(def_of_inst[i]));
+    }
+    result.numUnits = static_cast<int>(original.size());
+    result.originalReg = std::move(original);
+    result.program.info.numRegs = result.numUnits;
+    result.program.verify();
+    return result;
+}
+
+} // namespace rm

@@ -1,0 +1,43 @@
+#ifndef RM_COMPILER_WEBS_HH
+#define RM_COMPILER_WEBS_HH
+
+/**
+ * @file
+ * Web splitting: partition each architected register's accesses into
+ * independent def-use webs via reaching-definitions analysis, and
+ * rename each web to its own virtual unit. This decouples unrelated
+ * reuses of the same register index so the compaction coloring pass
+ * can pack them independently — the finer-grained analogue of the
+ * paper's "architected register index compaction" (Sec. III-A4).
+ *
+ * Renaming a web that includes the entry pseudo-definition is sound in
+ * this machine because every register initializes to zero.
+ */
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "isa/program.hh"
+
+namespace rm {
+
+/** Result of web splitting. */
+struct WebSplit
+{
+    /** Program rewritten over virtual units 0..numUnits-1. */
+    Program program;
+    /** Number of virtual units (may exceed the original numRegs). */
+    int numUnits = 0;
+    /** Original architected register behind each unit. */
+    std::vector<RegId> originalReg;
+};
+
+/**
+ * Split @p program's registers into webs. The returned program has
+ * info.numRegs == numUnits and is functionally equivalent.
+ */
+WebSplit splitWebs(const Program &program, const Cfg &cfg);
+
+} // namespace rm
+
+#endif // RM_COMPILER_WEBS_HH

@@ -1,0 +1,78 @@
+#include "core/experiment.hh"
+
+#include "baselines/baseline.hh"
+#include "baselines/owf.hh"
+#include "baselines/rfv.hh"
+#include "compiler/edit.hh"
+#include "regmutex/allocator.hh"
+#include "sim/gpu.hh"
+
+namespace rm {
+
+SimStats
+runBaseline(const Program &program, const GpuConfig &config)
+{
+    BaselineAllocator allocator;
+    allocator.prepare(config, program);
+    SimOptions options;
+    options.mapper = allocator.makeMapper();
+    return simulate(config, program, allocator, std::move(options),
+                    /*prepare_allocator=*/false);
+}
+
+RegMutexRun
+runRegMutex(const Program &program, const GpuConfig &config,
+            const CompileOptions &options)
+{
+    RegMutexRun run;
+    run.compile = compileRegMutex(program, config, options);
+
+    RegMutexAllocator allocator;
+    allocator.prepare(config, run.compile.program);
+    SimOptions sim_options;
+    sim_options.mapper = allocator.makeMapper();
+    run.stats = simulate(config, run.compile.program, allocator,
+                         std::move(sim_options),
+                         /*prepare_allocator=*/false);
+    return run;
+}
+
+RegMutexRun
+runPaired(const Program &program, const GpuConfig &config,
+          const CompileOptions &options)
+{
+    RegMutexRun run;
+    run.compile = compileRegMutex(program, config, options);
+
+    PairedRegMutexAllocator allocator;
+    allocator.prepare(config, run.compile.program);
+    SimOptions sim_options;
+    sim_options.mapper = allocator.makeMapper();
+    run.stats = simulate(config, run.compile.program, allocator,
+                         std::move(sim_options),
+                         /*prepare_allocator=*/false);
+    return run;
+}
+
+SimStats
+runOwf(const Program &program, const GpuConfig &config,
+       const CompileOptions &options)
+{
+    // OWF shares the same compacted upper register set as RegMutex but
+    // drives it with hardware locks instead of directives.
+    const CompileResult compiled =
+        compileRegMutex(program, config, options);
+    const Program stripped = stripDirectives(compiled.program);
+
+    OwfAllocator allocator;
+    return simulate(config, stripped, allocator);
+}
+
+SimStats
+runRfv(const Program &program, const GpuConfig &config, double provisioning)
+{
+    RfvAllocator allocator(provisioning);
+    return simulate(config, program, allocator);
+}
+
+} // namespace rm

@@ -1,0 +1,60 @@
+#ifndef RM_CORE_EXPERIMENT_HH
+#define RM_CORE_EXPERIMENT_HH
+
+/**
+ * @file
+ * Public facade of the RegMutex library: compile-and-simulate entry
+ * points for every policy the paper evaluates. Each runner builds the
+ * right compiler/allocator/mapper stack so benchmarks and examples
+ * stay one-liners:
+ *
+ *     auto base = rm::runBaseline(program, config);
+ *     auto rmx  = rm::runRegMutex(program, config);
+ *     std::cout << rm::cycleReduction(base, rmx.stats);
+ */
+
+#include "compiler/pipeline.hh"
+#include "isa/program.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace rm {
+
+/** Result of a RegMutex (or paired) compile-and-run. */
+struct RegMutexRun
+{
+    CompileResult compile;
+    SimStats stats;
+};
+
+/** Simulate under the baseline static allocation (paper Fig. 6a). */
+SimStats runBaseline(const Program &program, const GpuConfig &config);
+
+/**
+ * Compile with the RegMutex pipeline and simulate under the pooled
+ * allocator, with the Fig. 6b operand mapping verified on every
+ * access. Falls back to baseline behaviour when the heuristic leaves
+ * the kernel untouched.
+ */
+RegMutexRun runRegMutex(const Program &program, const GpuConfig &config,
+                        const CompileOptions &options = {});
+
+/** Same, under the paired-warps specialization (paper Sec. III-C). */
+RegMutexRun runPaired(const Program &program, const GpuConfig &config,
+                      const CompileOptions &options = {});
+
+/**
+ * Jatala et al. resource sharing with Owner-Warp-First scheduling: the
+ * RegMutex-compacted register layout with directives stripped, under
+ * the pairwise one-shot lock.
+ */
+SimStats runOwf(const Program &program, const GpuConfig &config,
+                const CompileOptions &options = {});
+
+/** Jeon et al. Register File Virtualization on the original program. */
+SimStats runRfv(const Program &program, const GpuConfig &config,
+                double provisioning = 0.25);
+
+} // namespace rm
+
+#endif // RM_CORE_EXPERIMENT_HH

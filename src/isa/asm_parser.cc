@@ -1,0 +1,345 @@
+#include "isa/asm_parser.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/errors.hh"
+#include "isa/disasm.hh"
+
+namespace rm {
+
+namespace {
+
+/** Mnemonic -> opcode table (inverse of opcodeName). */
+const std::map<std::string, Opcode> &
+mnemonics()
+{
+    static const std::map<std::string, Opcode> table = [] {
+        std::map<std::string, Opcode> t;
+        for (int o = 0; o <= static_cast<int>(Opcode::Nop); ++o) {
+            const Opcode op = static_cast<Opcode>(o);
+            t.emplace(opcodeName(op), op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+/** Comparison mnemonic -> selector. */
+const std::map<std::string, CmpOp> &
+cmpTable()
+{
+    static const std::map<std::string, CmpOp> table = {
+        {"eq", CmpOp::Eq}, {"ne", CmpOp::Ne}, {"lt", CmpOp::Lt},
+        {"le", CmpOp::Le}, {"gt", CmpOp::Gt}, {"ge", CmpOp::Ge},
+    };
+    return table;
+}
+
+std::string
+stripComment(std::string line)
+{
+    for (const char *marker : {"//", "#"}) {
+        const auto pos = line.find(marker);
+        if (pos != std::string::npos)
+            line.erase(pos);
+    }
+    return line;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+/** Split an operand string on commas and whitespace. */
+std::vector<std::string>
+operandTokens(const std::string &text)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : text) {
+        if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+            if (!current.empty()) {
+                tokens.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(current);
+    return tokens;
+}
+
+std::int64_t
+parseInt(const std::string &token, int line_no)
+{
+    std::size_t used = 0;
+    std::int64_t value = 0;
+    try {
+        value = std::stoll(token, &used);
+    } catch (const std::exception &) {
+        fatal("asm line ", line_no, ": expected integer, got '", token,
+              "'");
+    }
+    fatalIf(used != token.size(), "asm line ", line_no,
+            ": trailing characters in integer '", token, "'");
+    return value;
+}
+
+bool
+isLabelDef(const std::string &line)
+{
+    if (line.size() < 2 || line.back() != ':')
+        return false;
+    for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+        const char c = line[i];
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '$' && c != '.') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+Program
+parseProgram(const std::string &source)
+{
+    KernelInfo info;
+    RegMutexInfo regmutex;
+
+    struct Line
+    {
+        int number;
+        std::string text;
+    };
+    std::vector<Line> lines;
+    {
+        std::istringstream stream(source);
+        std::string raw;
+        int number = 0;
+        while (std::getline(stream, raw)) {
+            ++number;
+            const std::string text = trim(stripComment(raw));
+            if (!text.empty())
+                lines.push_back({number, text});
+        }
+    }
+
+    // Pass 1: directives and label addresses.
+    std::map<std::string, int> labels;
+    int inst_index = 0;
+    for (const auto &line : lines) {
+        if (line.text[0] == '.')
+            continue;
+        if (isLabelDef(line.text)) {
+            const std::string name =
+                line.text.substr(0, line.text.size() - 1);
+            fatalIf(labels.count(name), "asm line ", line.number,
+                    ": label '", name, "' defined twice");
+            labels[name] = inst_index;
+        } else {
+            ++inst_index;
+        }
+    }
+
+    // Pass 2: emit.
+    std::vector<Instruction> code;
+    for (const auto &line : lines) {
+        if (line.text[0] == '.') {
+            std::istringstream directive(line.text);
+            std::string key;
+            directive >> key;
+            std::string value;
+            std::getline(directive, value);
+            value = trim(value);
+            if (key == ".kernel") {
+                info.name = value;
+            } else if (key == ".regs") {
+                info.numRegs = static_cast<int>(
+                    parseInt(value, line.number));
+            } else if (key == ".ctaThreads") {
+                info.ctaThreads = static_cast<int>(
+                    parseInt(value, line.number));
+            } else if (key == ".gridCtas") {
+                info.gridCtas = static_cast<int>(
+                    parseInt(value, line.number));
+            } else if (key == ".sharedBytes") {
+                info.sharedBytesPerCta = static_cast<int>(
+                    parseInt(value, line.number));
+            } else if (key == ".baseRegs") {
+                regmutex.baseRegs = static_cast<int>(
+                    parseInt(value, line.number));
+            } else if (key == ".extRegs") {
+                regmutex.extRegs = static_cast<int>(
+                    parseInt(value, line.number));
+            } else if (key.rfind(".param", 0) == 0 &&
+                       key.size() == 7 && key[6] >= '0' &&
+                       key[6] <= '3') {
+                info.params[key[6] - '0'] =
+                    parseInt(value, line.number);
+            } else {
+                fatal("asm line ", line.number, ": unknown directive '",
+                      key, "'");
+            }
+            continue;
+        }
+        if (isLabelDef(line.text))
+            continue;
+
+        // Mnemonic (possibly with a .cmp suffix for setp).
+        std::istringstream words(line.text);
+        std::string mnemonic;
+        words >> mnemonic;
+        std::string rest;
+        std::getline(words, rest);
+
+        Instruction inst;
+        auto found = mnemonics().find(mnemonic);
+        if (found != mnemonics().end()) {
+            inst.op = found->second;
+        } else if (mnemonic.rfind("setp.", 0) == 0) {
+            inst.op = Opcode::Setp;
+            const std::string cmp = mnemonic.substr(5);
+            auto c = cmpTable().find(cmp);
+            fatalIf(c == cmpTable().end(), "asm line ", line.number,
+                    ": unknown comparison '", cmp, "'");
+            inst.imm = static_cast<std::int64_t>(c->second);
+        } else {
+            fatal("asm line ", line.number, ": unknown mnemonic '",
+                  mnemonic, "'");
+        }
+
+        // Operands.
+        const auto tokens = operandTokens(rest);
+        const bool wants_dst = writesDst(inst.op);
+        const int wants_srcs = numSourceOperands(inst.op);
+        int regs_seen = 0;
+        bool target_next = false;
+        bool have_target = false;
+        bool have_imm = inst.op == Opcode::Setp;  // carried in mnemonic
+        for (const auto &token : tokens) {
+            if (target_next) {
+                auto label = labels.find(token);
+                inst.target =
+                    label != labels.end()
+                        ? label->second
+                        : static_cast<std::int32_t>(
+                              parseInt(token, line.number));
+                target_next = false;
+                have_target = true;
+            } else if (token == "->") {
+                target_next = true;
+            } else if (token.size() > 1 && token[0] == 'r' &&
+                       std::isdigit(
+                           static_cast<unsigned char>(token[1]))) {
+                const auto reg = static_cast<RegId>(
+                    parseInt(token.substr(1), line.number));
+                if (wants_dst && regs_seen == 0) {
+                    inst.dst = reg;
+                } else {
+                    const int slot =
+                        regs_seen - (wants_dst ? 1 : 0);
+                    fatalIf(slot >= wants_srcs, "asm line ",
+                            line.number, ": too many registers");
+                    inst.srcs[slot] = reg;
+                    inst.numSrcs =
+                        static_cast<std::uint8_t>(slot + 1);
+                }
+                ++regs_seen;
+            } else if (token.rfind("%sreg", 0) == 0) {
+                inst.imm = parseInt(token.substr(5), line.number);
+                have_imm = true;
+            } else if (token[0] == '+' || token[0] == '-' ||
+                       std::isdigit(
+                           static_cast<unsigned char>(token[0]))) {
+                inst.imm = parseInt(token, line.number);
+                have_imm = true;
+            } else {
+                fatal("asm line ", line.number,
+                      ": unexpected operand '", token, "'");
+            }
+        }
+        fatalIf(target_next, "asm line ", line.number,
+                ": '->' without a target");
+        fatalIf((inst.op == Opcode::MovImm ||
+                 inst.op == Opcode::ReadSreg) &&
+                !have_imm,
+                "asm line ", line.number, ": ", opcodeName(inst.op),
+                " needs an immediate operand");
+        fatalIf(inst.isBranch() && !have_target, "asm line ",
+                line.number, ": branch without a target");
+        fatalIf(regs_seen != (wants_dst ? 1 : 0) + wants_srcs,
+                "asm line ", line.number, ": ", opcodeName(inst.op),
+                " expects ", (wants_dst ? 1 : 0) + wants_srcs,
+                " register operands, got ", regs_seen);
+        code.push_back(inst);
+    }
+
+    Program program;
+    program.info = info;
+    program.regmutex = regmutex;
+    program.code = std::move(code);
+    if (program.info.numRegs == 0)
+        program.info.numRegs = program.maxReferencedRegs();
+    program.verify();
+    return program;
+}
+
+std::string
+emitProgram(const Program &program)
+{
+    std::ostringstream os;
+    os << ".kernel " << program.info.name << "\n"
+       << ".regs " << program.info.numRegs << "\n"
+       << ".ctaThreads " << program.info.ctaThreads << "\n"
+       << ".gridCtas " << program.info.gridCtas << "\n"
+       << ".sharedBytes " << program.info.sharedBytesPerCta << "\n";
+    for (int i = 0; i < 4; ++i) {
+        if (program.info.params[i] != 0)
+            os << ".param" << i << " " << program.info.params[i]
+               << "\n";
+    }
+    if (program.regmutex.enabled()) {
+        os << ".baseRegs " << program.regmutex.baseRegs << "\n"
+           << ".extRegs " << program.regmutex.extRegs << "\n";
+    }
+
+    // Label every branch target.
+    std::map<int, std::string> labels;
+    for (const auto &inst : program.code) {
+        if (inst.isBranch() && !labels.count(inst.target))
+            labels[inst.target] = "L" + std::to_string(inst.target);
+    }
+
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        auto label = labels.find(static_cast<int>(i));
+        if (label != labels.end())
+            os << label->second << ":\n";
+        std::string text = disassemble(program.code[i]);
+        if (program.code[i].isBranch()) {
+            const auto arrow = text.rfind("-> ");
+            text = text.substr(0, arrow + 3) +
+                   labels.at(program.code[i].target);
+        }
+        os << "    " << text << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rm

@@ -1,0 +1,51 @@
+#ifndef RM_ISA_ASM_PARSER_HH
+#define RM_ISA_ASM_PARSER_HH
+
+/**
+ * @file
+ * Text assembler for the kernel ISA — the inverse of disasm.hh. Lets
+ * kernels be written (and the disassembler's output be re-read) as
+ * text:
+ *
+ *     // kernel example: regs=8 ctaThreads=64 gridCtas=2
+ *     .kernel example
+ *     .regs 8
+ *     .ctaThreads 64
+ *     .gridCtas 2
+ *     .sharedBytes 0
+ *     .param0 5
+ *     start:
+ *         movi r0, 10
+ *     loop:
+ *         movi r1, 1
+ *         isub r0, r0, r1
+ *         bra.nz r0, -> loop
+ *         st.global r0, r1, +8
+ *         exit
+ *
+ * Labels are `name:` lines; branch targets accept `-> label` or a raw
+ * instruction index `-> 12` (as the disassembler prints). Directive
+ * lines start with '.'; '//' and '#' start comments. parse() verifies
+ * the program before returning and throws FatalError with a line
+ * number on any malformed input.
+ */
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace rm {
+
+/** Assemble @p source into a verified Program. */
+Program parseProgram(const std::string &source);
+
+/**
+ * Render @p program as parseable text (directives + labeled code).
+ * parseProgram(emitProgram(p)) reproduces p exactly (round-trip
+ * property, tested).
+ */
+std::string emitProgram(const Program &program);
+
+} // namespace rm
+
+#endif // RM_ISA_ASM_PARSER_HH

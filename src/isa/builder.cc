@@ -1,0 +1,238 @@
+#include "isa/builder.hh"
+
+#include <algorithm>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+ProgramBuilder::ProgramBuilder(KernelInfo kernel_info)
+    : info(std::move(kernel_info))
+{}
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel()
+{
+    labelTargets.push_back(-1);
+    return static_cast<Label>(labelTargets.size() - 1);
+}
+
+void
+ProgramBuilder::checkLabel(Label label) const
+{
+    fatalIf(label < 0 ||
+            label >= static_cast<Label>(labelTargets.size()),
+            "ProgramBuilder: unknown label ", label);
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    checkLabel(label);
+    fatalIf(labelTargets[label] != -1,
+            "ProgramBuilder: label ", label, " bound twice");
+    labelTargets[label] = static_cast<std::int32_t>(code.size());
+}
+
+Instruction &
+ProgramBuilder::emit(Opcode op)
+{
+    panicIf(finalized, "ProgramBuilder used after finalize()");
+    code.emplace_back();
+    code.back().op = op;
+    return code.back();
+}
+
+void
+ProgramBuilder::emit2(Opcode op, RegId d, RegId a)
+{
+    Instruction &inst = emit(op);
+    inst.dst = d;
+    inst.srcs[0] = a;
+    inst.numSrcs = 1;
+}
+
+void
+ProgramBuilder::emit3(Opcode op, RegId d, RegId a, RegId b)
+{
+    Instruction &inst = emit(op);
+    inst.dst = d;
+    inst.srcs[0] = a;
+    inst.srcs[1] = b;
+    inst.numSrcs = 2;
+}
+
+void
+ProgramBuilder::imad(RegId d, RegId a, RegId b, RegId c)
+{
+    Instruction &inst = emit(Opcode::IMad);
+    inst.dst = d;
+    inst.srcs = {a, b, c};
+    inst.numSrcs = 3;
+}
+
+void
+ProgramBuilder::ffma(RegId d, RegId a, RegId b, RegId c)
+{
+    Instruction &inst = emit(Opcode::FFma);
+    inst.dst = d;
+    inst.srcs = {a, b, c};
+    inst.numSrcs = 3;
+}
+
+void
+ProgramBuilder::movImm(RegId d, std::int64_t value)
+{
+    Instruction &inst = emit(Opcode::MovImm);
+    inst.dst = d;
+    inst.imm = value;
+}
+
+void
+ProgramBuilder::readSreg(RegId d, SpecialReg sreg)
+{
+    Instruction &inst = emit(Opcode::ReadSreg);
+    inst.dst = d;
+    inst.imm = static_cast<std::int64_t>(sreg);
+}
+
+void
+ProgramBuilder::sel(RegId d, RegId cond, RegId a, RegId b)
+{
+    Instruction &inst = emit(Opcode::Sel);
+    inst.dst = d;
+    inst.srcs = {cond, a, b};
+    inst.numSrcs = 3;
+}
+
+void
+ProgramBuilder::setp(RegId d, CmpOp cmp, RegId a, RegId b)
+{
+    Instruction &inst = emit(Opcode::Setp);
+    inst.dst = d;
+    inst.srcs[0] = a;
+    inst.srcs[1] = b;
+    inst.numSrcs = 2;
+    inst.imm = static_cast<std::int64_t>(cmp);
+}
+
+void
+ProgramBuilder::ldGlobal(RegId d, RegId addr, std::int64_t offset)
+{
+    Instruction &inst = emit(Opcode::LdGlobal);
+    inst.dst = d;
+    inst.srcs[0] = addr;
+    inst.numSrcs = 1;
+    inst.imm = offset;
+}
+
+void
+ProgramBuilder::stGlobal(RegId addr, RegId value, std::int64_t offset)
+{
+    Instruction &inst = emit(Opcode::StGlobal);
+    inst.srcs[0] = addr;
+    inst.srcs[1] = value;
+    inst.numSrcs = 2;
+    inst.imm = offset;
+}
+
+void
+ProgramBuilder::ldShared(RegId d, RegId addr, std::int64_t offset)
+{
+    Instruction &inst = emit(Opcode::LdShared);
+    inst.dst = d;
+    inst.srcs[0] = addr;
+    inst.numSrcs = 1;
+    inst.imm = offset;
+}
+
+void
+ProgramBuilder::stShared(RegId addr, RegId value, std::int64_t offset)
+{
+    Instruction &inst = emit(Opcode::StShared);
+    inst.srcs[0] = addr;
+    inst.srcs[1] = value;
+    inst.numSrcs = 2;
+    inst.imm = offset;
+}
+
+void
+ProgramBuilder::bra(Label label)
+{
+    checkLabel(label);
+    emit(Opcode::Bra);
+    fixups.emplace_back(code.size() - 1, label);
+}
+
+void
+ProgramBuilder::braNz(RegId cond, Label label)
+{
+    checkLabel(label);
+    Instruction &inst = emit(Opcode::BraNz);
+    inst.srcs[0] = cond;
+    inst.numSrcs = 1;
+    fixups.emplace_back(code.size() - 1, label);
+}
+
+void
+ProgramBuilder::braZ(RegId cond, Label label)
+{
+    checkLabel(label);
+    Instruction &inst = emit(Opcode::BraZ);
+    inst.srcs[0] = cond;
+    inst.numSrcs = 1;
+    fixups.emplace_back(code.size() - 1, label);
+}
+
+void
+ProgramBuilder::bar()
+{
+    emit(Opcode::Bar);
+}
+
+void
+ProgramBuilder::exitKernel()
+{
+    emit(Opcode::Exit);
+}
+
+void
+ProgramBuilder::nop()
+{
+    emit(Opcode::Nop);
+}
+
+void
+ProgramBuilder::regAcquire()
+{
+    emit(Opcode::RegAcquire);
+}
+
+void
+ProgramBuilder::regRelease()
+{
+    emit(Opcode::RegRelease);
+}
+
+Program
+ProgramBuilder::finalize()
+{
+    panicIf(finalized, "ProgramBuilder::finalize called twice");
+    finalized = true;
+
+    for (const auto &[index, label] : fixups) {
+        fatalIf(labelTargets[label] == -1,
+                "ProgramBuilder: label ", label, " used but never bound");
+        code[index].target = labelTargets[label];
+    }
+
+    Program program;
+    program.info = info;
+    program.code = std::move(code);
+    program.info.numRegs =
+        std::max(program.info.numRegs, program.maxReferencedRegs());
+    program.verify();
+    return program;
+}
+
+} // namespace rm

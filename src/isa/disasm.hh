@@ -1,0 +1,27 @@
+#ifndef RM_ISA_DISASM_HH
+#define RM_ISA_DISASM_HH
+
+/**
+ * @file
+ * Textual rendering of instructions and programs, used by the compiler
+ * inspector example and by test failure diagnostics.
+ */
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace rm {
+
+/** Render a single instruction, e.g. "iadd r3, r1, r2". */
+std::string disassemble(const Instruction &inst);
+
+/**
+ * Render a whole program, one instruction per line with indices and
+ * branch targets, e.g. "  12: bra.nz r5, -> 4".
+ */
+std::string disassemble(const Program &program);
+
+} // namespace rm
+
+#endif // RM_ISA_DISASM_HH

@@ -1,0 +1,205 @@
+#include "isa/instruction.hh"
+
+#include "common/errors.hh"
+
+namespace rm {
+
+bool
+Instruction::isBranch() const
+{
+    return op == Opcode::Bra || op == Opcode::BraNz || op == Opcode::BraZ;
+}
+
+bool
+Instruction::isConditionalBranch() const
+{
+    return op == Opcode::BraNz || op == Opcode::BraZ;
+}
+
+bool
+Instruction::isTerminator() const
+{
+    return op == Opcode::Bra || op == Opcode::Exit;
+}
+
+bool
+Instruction::isMemory() const
+{
+    return op == Opcode::LdGlobal || op == Opcode::StGlobal ||
+           op == Opcode::LdShared || op == Opcode::StShared;
+}
+
+LatClass
+latClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAdd:
+      case Opcode::ISub:
+      case Opcode::IMul:
+      case Opcode::IMad:
+      case Opcode::IMin:
+      case Opcode::IMax:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FFma:
+      case Opcode::Mov:
+      case Opcode::MovImm:
+      case Opcode::ReadSreg:
+      case Opcode::Sel:
+      case Opcode::Setp:
+        return LatClass::Alu;
+      case Opcode::FRcp:
+      case Opcode::FSqrt:
+        return LatClass::Sfu;
+      case Opcode::LdGlobal:
+      case Opcode::StGlobal:
+        return LatClass::GlobalMem;
+      case Opcode::LdShared:
+      case Opcode::StShared:
+        return LatClass::SharedMem;
+      case Opcode::Bra:
+      case Opcode::BraNz:
+      case Opcode::BraZ:
+        return LatClass::Control;
+      case Opcode::Bar:
+        return LatClass::Barrier;
+      case Opcode::RegAcquire:
+      case Opcode::RegRelease:
+        return LatClass::AcqRel;
+      case Opcode::Exit:
+        return LatClass::ExitClass;
+      case Opcode::Nop:
+        return LatClass::NopClass;
+    }
+    panic("latClass: unknown opcode ", static_cast<int>(op));
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAdd: return "iadd";
+      case Opcode::ISub: return "isub";
+      case Opcode::IMul: return "imul";
+      case Opcode::IMad: return "imad";
+      case Opcode::IMin: return "imin";
+      case Opcode::IMax: return "imax";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FFma: return "ffma";
+      case Opcode::FRcp: return "frcp";
+      case Opcode::FSqrt: return "fsqrt";
+      case Opcode::Mov: return "mov";
+      case Opcode::MovImm: return "movi";
+      case Opcode::ReadSreg: return "sreg";
+      case Opcode::Sel: return "sel";
+      case Opcode::Setp: return "setp";
+      case Opcode::LdGlobal: return "ld.global";
+      case Opcode::StGlobal: return "st.global";
+      case Opcode::LdShared: return "ld.shared";
+      case Opcode::StShared: return "st.shared";
+      case Opcode::Bra: return "bra";
+      case Opcode::BraNz: return "bra.nz";
+      case Opcode::BraZ: return "bra.z";
+      case Opcode::Exit: return "exit";
+      case Opcode::Bar: return "bar.sync";
+      case Opcode::RegAcquire: return "reg.acquire";
+      case Opcode::RegRelease: return "reg.release";
+      case Opcode::Nop: return "nop";
+    }
+    panic("opcodeName: unknown opcode ", static_cast<int>(op));
+}
+
+const char *
+cmpName(CmpOp cmp)
+{
+    switch (cmp) {
+      case CmpOp::Eq: return "eq";
+      case CmpOp::Ne: return "ne";
+      case CmpOp::Lt: return "lt";
+      case CmpOp::Le: return "le";
+      case CmpOp::Gt: return "gt";
+      case CmpOp::Ge: return "ge";
+    }
+    panic("cmpName: unknown cmp ", static_cast<std::int64_t>(cmp));
+}
+
+/** Number of source operands each opcode requires. */
+int
+numSourceOperands(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAdd:
+      case Opcode::ISub:
+      case Opcode::IMul:
+      case Opcode::IMin:
+      case Opcode::IMax:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::Setp:
+        return 2;
+      case Opcode::IMad:
+      case Opcode::FFma:
+      case Opcode::Sel:
+        return 3;
+      case Opcode::FRcp:
+      case Opcode::FSqrt:
+      case Opcode::Mov:
+      case Opcode::LdGlobal:
+      case Opcode::LdShared:
+      case Opcode::BraNz:
+      case Opcode::BraZ:
+        return 1;
+      case Opcode::StGlobal:
+      case Opcode::StShared:
+        return 2;
+      case Opcode::MovImm:
+      case Opcode::ReadSreg:
+      case Opcode::Bra:
+      case Opcode::Exit:
+      case Opcode::Bar:
+      case Opcode::RegAcquire:
+      case Opcode::RegRelease:
+      case Opcode::Nop:
+        return 0;
+    }
+    panic("numSourceOperands: unknown opcode");
+}
+
+bool
+writesDst(Opcode op)
+{
+    switch (op) {
+      case Opcode::StGlobal:
+      case Opcode::StShared:
+      case Opcode::Bra:
+      case Opcode::BraNz:
+      case Opcode::BraZ:
+      case Opcode::Exit:
+      case Opcode::Bar:
+      case Opcode::RegAcquire:
+      case Opcode::RegRelease:
+      case Opcode::Nop:
+        return false;
+      default:
+        return true;
+    }
+}
+
+
+} // namespace rm

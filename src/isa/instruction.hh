@@ -1,0 +1,124 @@
+#ifndef RM_ISA_INSTRUCTION_HH
+#define RM_ISA_INSTRUCTION_HH
+
+/**
+ * @file
+ * The PTX-like warp-level instruction set executed by the simulator and
+ * analyzed by the RegMutex compiler. The ISA is scalar per warp (see
+ * DESIGN.md: intra-warp divergence is substituted by warp-uniform
+ * control flow), with typed latency classes the timing model keys off.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rm {
+
+/** Architected register index within a warp's register block. */
+using RegId = std::uint16_t;
+
+/** Sentinel meaning "no register operand". */
+constexpr RegId kNoReg = 0xffff;
+
+/** Operation codes. */
+enum class Opcode : std::uint8_t {
+    // Integer ALU
+    IAdd, ISub, IMul, IMad, IMin, IMax,
+    And, Or, Xor, Shl, Shr,
+    // Floating point (values are simulated in integer domain)
+    FAdd, FMul, FFma,
+    // Special function unit (long latency)
+    FRcp, FSqrt,
+    // Data movement
+    Mov, MovImm, ReadSreg, Sel,
+    // Comparison: dst = (src0 OP src1) ? 1 : 0, OP selected by imm
+    Setp,
+    // Memory
+    LdGlobal, StGlobal, LdShared, StShared,
+    // Control flow
+    Bra, BraNz, BraZ, Exit,
+    // CTA-wide barrier (__syncthreads)
+    Bar,
+    // RegMutex compiler-to-microarchitecture directives
+    RegAcquire, RegRelease,
+    Nop,
+};
+
+/** Comparison selector for Setp, carried in Instruction::imm. */
+enum class CmpOp : std::int64_t { Eq = 0, Ne, Lt, Le, Gt, Ge };
+
+/** Special (read-only, non-allocated) registers readable via ReadSreg. */
+enum class SpecialReg : std::int64_t {
+    CtaId = 0,     ///< CTA index within the grid
+    WarpInCta,     ///< warp index within the CTA
+    WarpsPerCta,   ///< number of warps per CTA
+    GridCtas,      ///< total CTAs in the grid
+    Param0,        ///< kernel parameter slots
+    Param1,
+    Param2,
+    Param3,
+    NumSpecialRegs,
+};
+
+/** Functional-unit / latency class of an opcode. */
+enum class LatClass : std::uint8_t {
+    Alu,        ///< short fixed latency
+    Sfu,        ///< special function unit, long fixed latency
+    GlobalMem,  ///< global memory, long variable latency
+    SharedMem,  ///< shared memory, short fixed latency
+    Control,    ///< branches; resolved at issue
+    Barrier,    ///< CTA barrier
+    AcqRel,     ///< RegMutex acquire/release, handled at issue stage
+    ExitClass,  ///< warp termination
+    NopClass,
+};
+
+/**
+ * One machine instruction. Fixed-size POD: at most one destination
+ * register, up to three source registers, one immediate, one branch
+ * target (instruction index, resolved by the builder).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegId dst = kNoReg;
+    std::array<RegId, 3> srcs = {kNoReg, kNoReg, kNoReg};
+    std::uint8_t numSrcs = 0;
+    std::int64_t imm = 0;
+    std::int32_t target = -1;
+
+    /** True when the instruction writes a general-purpose register. */
+    bool hasDst() const { return dst != kNoReg; }
+
+    /** True for any branch opcode. */
+    bool isBranch() const;
+
+    /** True for conditional branches (fall-through is possible). */
+    bool isConditionalBranch() const;
+
+    /** True when control cannot fall through to the next instruction. */
+    bool isTerminator() const;
+
+    /** True for loads and stores of either memory space. */
+    bool isMemory() const;
+};
+
+/** Latency class of @p op. */
+LatClass latClass(Opcode op);
+
+/** Mnemonic string of @p op. */
+const char *opcodeName(Opcode op);
+
+/** Mnemonic for a comparison selector. */
+const char *cmpName(CmpOp cmp);
+
+/** Number of source register operands @p op requires. */
+int numSourceOperands(Opcode op);
+
+/** True when @p op writes a destination register. */
+bool writesDst(Opcode op);
+
+} // namespace rm
+
+#endif // RM_ISA_INSTRUCTION_HH

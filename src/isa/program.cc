@@ -1,0 +1,99 @@
+#include "isa/program.hh"
+
+#include <algorithm>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+
+void
+Program::verify() const
+{
+    fatalIf(code.empty(), "Program '", info.name, "' is empty");
+    fatalIf(info.numRegs <= 0,
+            "Program '", info.name, "' declares ", info.numRegs,
+            " registers");
+    fatalIf(info.ctaThreads <= 0 || info.ctaThreads % 32 != 0,
+            "Program '", info.name, "': ctaThreads (", info.ctaThreads,
+            ") must be a positive multiple of 32");
+    fatalIf(info.gridCtas <= 0,
+            "Program '", info.name, "': gridCtas must be positive");
+    fatalIf(info.sharedBytesPerCta < 0,
+            "Program '", info.name, "': negative shared memory");
+    if (regmutex.enabled()) {
+        fatalIf(regmutex.baseRegs + regmutex.extRegs != info.numRegs,
+                "Program '", info.name, "': |Bs| + |Es| = ",
+                regmutex.baseRegs + regmutex.extRegs,
+                " does not match numRegs = ", info.numRegs);
+        fatalIf(regmutex.baseRegs <= 0,
+                "Program '", info.name, "': non-positive |Bs|");
+    }
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Instruction &inst = code[i];
+        const int want_srcs = numSourceOperands(inst.op);
+        fatalIf(inst.numSrcs != want_srcs,
+                "Program '", info.name, "' inst ", i, " (",
+                opcodeName(inst.op), "): has ", int(inst.numSrcs),
+                " sources, expected ", want_srcs);
+        fatalIf(writesDst(inst.op) != inst.hasDst(),
+                "Program '", info.name, "' inst ", i, " (",
+                opcodeName(inst.op), "): destination mismatch");
+        if (inst.hasDst()) {
+            fatalIf(inst.dst >= info.numRegs,
+                    "Program '", info.name, "' inst ", i,
+                    ": dst register r", inst.dst, " exceeds numRegs ",
+                    info.numRegs);
+        }
+        for (int s = 0; s < inst.numSrcs; ++s) {
+            fatalIf(inst.srcs[s] == kNoReg,
+                    "Program '", info.name, "' inst ", i,
+                    ": missing source operand ", s);
+            fatalIf(inst.srcs[s] >= info.numRegs,
+                    "Program '", info.name, "' inst ", i,
+                    ": src register r", inst.srcs[s],
+                    " exceeds numRegs ", info.numRegs);
+        }
+        if (inst.isBranch()) {
+            fatalIf(inst.target < 0 ||
+                    inst.target >= static_cast<std::int32_t>(code.size()),
+                    "Program '", info.name, "' inst ", i,
+                    ": branch target ", inst.target, " out of range");
+        }
+        if (inst.op == Opcode::Setp) {
+            fatalIf(inst.imm < 0 ||
+                    inst.imm > static_cast<std::int64_t>(CmpOp::Ge),
+                    "Program '", info.name, "' inst ", i,
+                    ": bad cmp selector ", inst.imm);
+        }
+        if (inst.op == Opcode::ReadSreg) {
+            fatalIf(inst.imm < 0 ||
+                    inst.imm >= static_cast<std::int64_t>(
+                        SpecialReg::NumSpecialRegs),
+                    "Program '", info.name, "' inst ", i,
+                    ": bad special register ", inst.imm);
+        }
+    }
+
+    const Instruction &last = code.back();
+    fatalIf(!last.isTerminator(),
+            "Program '", info.name,
+            "' can fall off the end (last instruction is ",
+            opcodeName(last.op), ")");
+}
+
+int
+Program::maxReferencedRegs() const
+{
+    int max_reg = -1;
+    for (const auto &inst : code) {
+        if (inst.hasDst())
+            max_reg = std::max(max_reg, static_cast<int>(inst.dst));
+        for (int s = 0; s < inst.numSrcs; ++s)
+            max_reg = std::max(max_reg, static_cast<int>(inst.srcs[s]));
+    }
+    return max_reg + 1;
+}
+
+} // namespace rm

@@ -1,0 +1,84 @@
+#ifndef RM_ISA_PROGRAM_HH
+#define RM_ISA_PROGRAM_HH
+
+/**
+ * @file
+ * A kernel program: straight-line instruction vector with resolved
+ * branch targets, plus the launch metadata (CTA shape, register and
+ * shared memory demand) the occupancy calculator consumes.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace rm {
+
+/**
+ * Launch-time metadata for a kernel, mirroring what a CUDA binary
+ * declares: resource demands and grid shape.
+ */
+struct KernelInfo
+{
+    std::string name = "kernel";
+    /** Architected registers per thread the kernel works with. */
+    int numRegs = 0;
+    /** Threads per CTA; must be a multiple of the warp size. */
+    int ctaThreads = 256;
+    /** Shared memory bytes per CTA. */
+    int sharedBytesPerCta = 0;
+    /** Total CTAs in the grid. */
+    int gridCtas = 1;
+    /** Kernel parameter values exposed through SpecialReg::Param0..3. */
+    std::int64_t params[4] = {0, 0, 0, 0};
+};
+
+/**
+ * RegMutex compilation metadata attached to a transformed program.
+ * A base/extended split of (0, 0) means "not transformed" (all
+ * registers are base, no directives present).
+ */
+struct RegMutexInfo
+{
+    /** Base register set size |Bs| per thread; 0 when untransformed. */
+    int baseRegs = 0;
+    /** Extended register set size |Es| per thread; 0 when untransformed. */
+    int extRegs = 0;
+
+    bool enabled() const { return extRegs > 0; }
+};
+
+/**
+ * A complete kernel: code + metadata. Programs are immutable once
+ * verified; compiler passes produce new Program values.
+ */
+struct Program
+{
+    KernelInfo info;
+    RegMutexInfo regmutex;
+    std::vector<Instruction> code;
+
+    std::size_t size() const { return code.size(); }
+
+    /**
+     * Structural verification: every register operand is within
+     * info.numRegs, every branch target is a valid instruction index,
+     * the program is non-empty and ends in a terminator, Setp selectors
+     * and ReadSreg ids are valid, srcs agree with numSrcs. Throws
+     * FatalError with a diagnostic on the first violation.
+     */
+    void verify() const;
+
+    /**
+     * Warp-level register demand per thread: maximum architected
+     * register index referenced, plus one. verify() checks that this
+     * does not exceed info.numRegs.
+     */
+    int maxReferencedRegs() const;
+};
+
+} // namespace rm
+
+#endif // RM_ISA_PROGRAM_HH

@@ -1,0 +1,228 @@
+#include "regmutex/allocator.hh"
+
+#include <algorithm>
+
+#include "common/errors.hh"
+#include "sim/occupancy.hh"
+
+namespace rm {
+
+void
+RegMutexAllocator::prepare(const GpuConfig &config, const Program &program)
+{
+    enabled = program.regmutex.enabled();
+    totalPacks = config.registersPerSm / config.warpSize;
+    freed = false;
+
+    if (!enabled) {
+        // Zero-sized extended set: behave exactly like the baseline.
+        fallbackCoeff = roundRegs(config, program.info.numRegs);
+        const Occupancy occ = computeOccupancy(
+            config, fallbackCoeff, program.info.ctaThreads,
+            program.info.sharedBytesPerCta);
+        maxCtas = occ.ctasPerSm;
+        bs = fallbackCoeff;
+        es = 0;
+        sections = 0;
+        return;
+    }
+
+    bs = program.regmutex.baseRegs;
+    es = program.regmutex.extRegs;
+
+    // Occupancy with the base set only, then carve the SRP out of the
+    // remaining registers, keeping at least one section (deadlock rule).
+    Occupancy occ = computeOccupancy(config, bs, program.info.ctaThreads,
+                                     program.info.sharedBytesPerCta);
+    int ctas = occ.ctasPerSm;
+    const int warps_per_cta = config.warpsPerCta(program.info.ctaThreads);
+    sections = 0;
+    while (ctas > 0) {
+        const int base_used = ctas * program.info.ctaThreads * bs;
+        sections = std::min(config.maxWarpsPerSm,
+                            (config.registersPerSm - base_used) /
+                                (es * config.warpSize));
+        if (sections >= 1)
+            break;
+        --ctas;
+    }
+    fatalIf(ctas <= 0,
+            "RegMutexAllocator: kernel '", program.info.name,
+            "' cannot fit one CTA plus one SRP section");
+    maxCtas = ctas;
+    residentWarpCap = ctas * warps_per_cta;
+    srpOffsetPacks = residentWarpCap * bs;
+
+    // Hardware structures (paper Fig. 4): SRP bitmask bits that do not
+    // correspond to an SRP section are pre-set and stay set.
+    srp = Bitmask(config.maxWarpsPerSm);
+    for (int s = sections; s < config.maxWarpsPerSm; ++s)
+        srp.set(s);
+    warpStatus = Bitmask(config.maxWarpsPerSm);
+    lut.assign(config.maxWarpsPerSm, -1);
+}
+
+AcquireOutcome
+RegMutexAllocator::acquire(SimWarp &warp)
+{
+    if (!enabled)
+        return AcquireOutcome::NotNeeded;
+    if (warp.holdsExt)
+        return AcquireOutcome::AlreadyHeld;
+
+    // FFZ over the SRP bitmask (paper Fig. 5a).
+    const auto section = srp.ffz();
+    if (!section)
+        return AcquireOutcome::Blocked;
+
+    srp.set(*section);
+    warpStatus.set(warp.slot);
+    lut[warp.slot] = static_cast<int>(*section);
+    warp.holdsExt = true;
+    warp.srpSection = static_cast<int>(*section);
+    return AcquireOutcome::Acquired;
+}
+
+void
+RegMutexAllocator::release(SimWarp &warp)
+{
+    if (!enabled || !warp.holdsExt)
+        return;  // redundant release: no effect (paper Sec. III)
+    srp.unset(static_cast<std::size_t>(lut[warp.slot]));
+    warpStatus.unset(warp.slot);
+    lut[warp.slot] = -1;
+    warp.holdsExt = false;
+    warp.srpSection = -1;
+    freed = true;
+}
+
+void
+RegMutexAllocator::onWarpExit(SimWarp &warp)
+{
+    release(warp);
+}
+
+bool
+RegMutexAllocator::consumeFreedFlag()
+{
+    const bool f = freed;
+    freed = false;
+    return f;
+}
+
+RegisterMapper
+RegMutexAllocator::makeMapper() const
+{
+    if (!enabled)
+        return RegisterMapper::baseline(totalPacks, fallbackCoeff);
+    return RegisterMapper::regmutex(totalPacks, bs, es, srpOffsetPacks,
+                                    sections);
+}
+
+int
+RegMutexAllocator::lutEntry(int slot) const
+{
+    panicIf(slot < 0 || slot >= static_cast<int>(lut.size()),
+            "RegMutexAllocator::lutEntry: slot out of range");
+    return lut[slot];
+}
+
+void
+PairedRegMutexAllocator::prepare(const GpuConfig &config,
+                                 const Program &program)
+{
+    enabled = program.regmutex.enabled();
+    totalPacks = config.registersPerSm / config.warpSize;
+    freed = false;
+
+    if (!enabled) {
+        fallbackCoeff = roundRegs(config, program.info.numRegs);
+        const Occupancy occ = computeOccupancy(
+            config, fallbackCoeff, program.info.ctaThreads,
+            program.info.sharedBytesPerCta);
+        maxCtas = occ.ctasPerSm;
+        bs = fallbackCoeff;
+        es = 0;
+        return;
+    }
+
+    bs = program.regmutex.baseRegs;
+    es = program.regmutex.extRegs;
+
+    // Each pair of warps owns 2|Bs| + |Es| per-thread registers.
+    const int warps_per_cta = config.warpsPerCta(program.info.ctaThreads);
+    const Occupancy other = computeOccupancy(
+        config, 0, program.info.ctaThreads,
+        program.info.sharedBytesPerCta);
+    int ctas = other.ctasPerSm;
+    while (ctas > 0) {
+        const int warps = ctas * warps_per_cta;
+        const int used_pairs = (warps + 1) / 2;
+        const int regs = (warps * bs + used_pairs * es) * config.warpSize;
+        if (regs <= config.registersPerSm)
+            break;
+        --ctas;
+    }
+    fatalIf(ctas <= 0,
+            "PairedRegMutexAllocator: kernel '", program.info.name,
+            "' cannot fit one CTA");
+    maxCtas = ctas;
+    residentWarpCap = ctas * warps_per_cta;
+    pairs = (residentWarpCap + 1) / 2;
+    srpOffsetPacks = residentWarpCap * bs;
+    pairHeld = Bitmask(config.maxWarpsPerSm / 2);
+}
+
+AcquireOutcome
+PairedRegMutexAllocator::acquire(SimWarp &warp)
+{
+    if (!enabled)
+        return AcquireOutcome::NotNeeded;
+    if (warp.holdsExt)
+        return AcquireOutcome::AlreadyHeld;
+
+    const std::size_t pair = static_cast<std::size_t>(warp.slot) / 2;
+    if (pairHeld.test(pair))
+        return AcquireOutcome::Blocked;  // the partner holds the set
+
+    pairHeld.set(pair);
+    warp.holdsExt = true;
+    warp.srpSection = static_cast<int>(pair);
+    return AcquireOutcome::Acquired;
+}
+
+void
+PairedRegMutexAllocator::release(SimWarp &warp)
+{
+    if (!enabled || !warp.holdsExt)
+        return;
+    pairHeld.unset(static_cast<std::size_t>(warp.slot) / 2);
+    warp.holdsExt = false;
+    warp.srpSection = -1;
+    freed = true;
+}
+
+void
+PairedRegMutexAllocator::onWarpExit(SimWarp &warp)
+{
+    release(warp);
+}
+
+bool
+PairedRegMutexAllocator::consumeFreedFlag()
+{
+    const bool f = freed;
+    freed = false;
+    return f;
+}
+
+RegisterMapper
+PairedRegMutexAllocator::makeMapper() const
+{
+    if (!enabled)
+        return RegisterMapper::baseline(totalPacks, fallbackCoeff);
+    return RegisterMapper::regmutex(totalPacks, bs, es, srpOffsetPacks,
+                                    pairs);
+}
+
+} // namespace rm

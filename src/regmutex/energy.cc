@@ -1,0 +1,43 @@
+#include "regmutex/energy.hh"
+
+#include <cmath>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+double
+accessScale(const EnergyParams &params, int bytes)
+{
+    fatalIf(bytes <= 0, "accessScale: non-positive file size");
+    return std::sqrt(static_cast<double>(bytes) /
+                     params.referenceBytes);
+}
+
+double
+leakScale(const EnergyParams &params, int bytes)
+{
+    fatalIf(bytes <= 0, "leakScale: non-positive file size");
+    return static_cast<double>(bytes) / params.referenceBytes;
+}
+
+EnergyReport
+estimateEnergy(const GpuConfig &config, const SimStats &stats,
+               const EnergyParams &params)
+{
+    const int bytes = config.registersPerSm * 4;
+    EnergyReport report;
+    // ~3 register-pack accesses per issued instruction: two operand
+    // reads plus one writeback through the operand collector.
+    report.dynamicEnergy = 3.0 * static_cast<double>(stats.instructions) *
+                           params.accessEnergy *
+                           accessScale(params, bytes);
+    report.leakageEnergy = static_cast<double>(stats.cycles) *
+                           params.leakPerCycle * leakScale(params, bytes);
+    report.directiveEnergy =
+        static_cast<double>(stats.acquireAttempts + stats.releases) *
+        params.directiveEnergy;
+    return report;
+}
+
+} // namespace rm

@@ -1,0 +1,70 @@
+#ifndef RM_REGMUTEX_ENERGY_HH
+#define RM_REGMUTEX_ENERGY_HH
+
+/**
+ * @file
+ * Register-file energy model. The paper motivates RegMutex partly
+ * through cost ("approximately the same performance with a smaller
+ * hardware register file... higher performance per dollar") and cites
+ * GPU-Shrink's 20%/30% dynamic/overall register-file power savings
+ * from halving the file. This module provides a first-order
+ * access-energy + leakage model so the down-sizing experiments can
+ * report energy alongside cycles.
+ *
+ * Model: E = accesses x E_access(size) + cycles x P_leak(size)
+ * with access energy and leakage scaling with capacity (linear
+ * leakage; square-root access energy per the usual SRAM wordline/
+ * bitline scaling), normalized to the 128 KB Fermi file.
+ */
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace rm {
+
+/** Energy-model parameters (normalized units per the file comment). */
+struct EnergyParams
+{
+    /** Reference register file size (bytes) the units normalize to. */
+    int referenceBytes = 131072;
+    /** Energy per register-pack access at the reference size. */
+    double accessEnergy = 1.0;
+    /** Leakage power per cycle at the reference size. */
+    double leakPerCycle = 0.15;
+    /** Extra energy per RegMutex acquire/release (bitmask + LUT). */
+    double directiveEnergy = 0.05;
+};
+
+/** Breakdown of a run's register-file energy. */
+struct EnergyReport
+{
+    double dynamicEnergy = 0.0;
+    double leakageEnergy = 0.0;
+    double directiveEnergy = 0.0;
+
+    double total() const
+    {
+        return dynamicEnergy + leakageEnergy + directiveEnergy;
+    }
+};
+
+/**
+ * Estimate the register-file energy of a finished run. Dynamic energy
+ * counts ~3 register-pack accesses per issued instruction (two reads,
+ * one write — the operand-collector traffic); leakage integrates over
+ * the run's cycles at the configured file size.
+ */
+EnergyReport estimateEnergy(const GpuConfig &config, const SimStats &stats,
+                            const EnergyParams &params = {});
+
+/** Access-energy scale factor for a file of @p bytes. */
+double accessScale(const EnergyParams &params, int bytes);
+
+/** Leakage scale factor for a file of @p bytes. */
+double leakScale(const EnergyParams &params, int bytes);
+
+} // namespace rm
+
+#endif // RM_REGMUTEX_ENERGY_HH

@@ -1,0 +1,47 @@
+#include "regmutex/hw_cost.hh"
+
+#include <bit>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+namespace {
+
+int
+ceilLog2(int x)
+{
+    panicIf(x <= 0, "ceilLog2 of non-positive value");
+    return std::bit_width(static_cast<unsigned>(x - 1));
+}
+
+} // namespace
+
+StorageCost
+regmutexStorage(int nw)
+{
+    StorageCost cost;
+    cost.warpStatusBits = nw;
+    cost.srpBits = nw;
+    cost.lutBits = nw * ceilLog2(nw);
+    return cost;
+}
+
+StorageCost
+pairedStorage(int nw)
+{
+    StorageCost cost;
+    cost.srpBits = nw / 2;
+    return cost;
+}
+
+StorageCost
+rfvStorage(int nw, int max_arch_regs, int phys_packs)
+{
+    StorageCost cost;
+    cost.renameTableBits = nw * max_arch_regs * ceilLog2(phys_packs);
+    cost.availabilityBits = phys_packs;
+    return cost;
+}
+
+} // namespace rm

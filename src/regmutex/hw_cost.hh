@@ -1,0 +1,50 @@
+#ifndef RM_REGMUTEX_HW_COST_HH
+#define RM_REGMUTEX_HW_COST_HH
+
+/**
+ * @file
+ * Hardware storage-cost model (paper Sec. III-B1 and Sec. IV-C).
+ * RegMutex adds a warp-status bitmask (Nw bits), an SRP bitmask (Nw
+ * bits) and a warp-to-section LUT (Nw x ceil(log2 Nw) bits) = 384 bits
+ * at Nw = 48. Register File Virtualization needs a renaming table of
+ * Nw x maxArchRegs x log2(physPacks) bits plus a physical-register
+ * availability bitmask — more than 81x larger. The paired-warps
+ * specialization needs only Nw/2 bits, more than 20x below default
+ * RegMutex.
+ */
+
+namespace rm {
+
+/** Storage breakdown in bits. */
+struct StorageCost
+{
+    int warpStatusBits = 0;
+    int srpBits = 0;
+    int lutBits = 0;
+    int renameTableBits = 0;
+    int availabilityBits = 0;
+
+    int
+    totalBits() const
+    {
+        return warpStatusBits + srpBits + lutBits + renameTableBits +
+               availabilityBits;
+    }
+};
+
+/** Default RegMutex structures for @p nw resident warps. */
+StorageCost regmutexStorage(int nw);
+
+/** Paired-warps specialization: one bit per warp pair. */
+StorageCost pairedStorage(int nw);
+
+/**
+ * Register File Virtualization (Jeon et al.): per-warp, per-arch-reg
+ * renaming entries plus a physical availability mask (Release Flag
+ * Cache excluded, as in the paper's accounting).
+ */
+StorageCost rfvStorage(int nw, int max_arch_regs, int phys_packs);
+
+} // namespace rm
+
+#endif // RM_REGMUTEX_HW_COST_HH

@@ -1,0 +1,136 @@
+#ifndef RM_SIM_ALLOCATOR_HH
+#define RM_SIM_ALLOCATOR_HH
+
+/**
+ * @file
+ * Strategy interface for physical-register allocation policies. The SM
+ * timing model is policy-agnostic: the baseline static allocator, the
+ * paper's RegMutex allocator (default and paired-warps), and the two
+ * related-work baselines (OWF, RFV) all implement this interface.
+ */
+
+#include <string>
+
+#include "isa/program.hh"
+#include "sim/config.hh"
+#include "sim/warp.hh"
+
+namespace rm {
+
+/** Outcome of an extended-set acquire at the issue stage. */
+enum class AcquireOutcome {
+    NotNeeded,    ///< policy has no extended sets; directive is a no-op
+    AlreadyHeld,  ///< nested acquire; no effect (paper Sec. III)
+    Acquired,     ///< an SRP section was assigned
+    Blocked,      ///< no section free; warp must wait
+};
+
+/**
+ * A register allocation policy. The SM calls prepare() once, then the
+ * per-warp hooks during simulation. Implementations own all policy
+ * state (SRP bitmask, LUT, renaming table, pair locks, ...).
+ */
+class RegisterAllocator
+{
+  public:
+    virtual ~RegisterAllocator() = default;
+
+    /** Short policy name for reports ("baseline", "regmutex", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Inspect the kernel and configuration before simulation. Policies
+     * derive their structures here (e.g. RFV computes liveness/death
+     * tables; RegMutex sizes the SRP).
+     */
+    virtual void prepare(const GpuConfig &config, const Program &program) = 0;
+
+    /**
+     * Maximum CTAs the register file allows resident at once under this
+     * policy. The SM combines this with the shared-memory / slot /
+     * thread constraints.
+     */
+    virtual int maxCtasByRegisters() const = 0;
+
+    /** A warp became resident. */
+    virtual void onWarpLaunch(SimWarp &warp) { (void)warp; }
+
+    /** A warp executed Exit. */
+    virtual void onWarpExit(SimWarp &warp) { (void)warp; }
+
+    /**
+     * May @p warp issue @p inst this cycle? Pure check, no side
+     * effects; called during scheduler candidate selection. Returning
+     * false parks the warp in WaitResource when wake-on-release is
+     * enabled.
+     */
+    virtual bool
+    canIssue(const SimWarp &warp, const Instruction &inst) const
+    {
+        (void)warp;
+        (void)inst;
+        return true;
+    }
+
+    /**
+     * @p inst issued from @p warp at @p pc. Policies take ownership
+     * actions here (OWF lock acquisition, RFV allocate/free).
+     */
+    virtual void onIssued(SimWarp &warp, const Instruction &inst, int pc)
+    {
+        (void)warp;
+        (void)inst;
+        (void)pc;
+    }
+
+    /** Execute a RegAcquire directive for @p warp. */
+    virtual AcquireOutcome
+    acquire(SimWarp &warp)
+    {
+        (void)warp;
+        return AcquireOutcome::NotNeeded;
+    }
+
+    /** Execute a RegRelease directive for @p warp. */
+    virtual void release(SimWarp &warp) { (void)warp; }
+
+    /**
+     * True when the policy freed resources since the last call (SRP
+     * section, physical register, pair lock). The SM uses this to wake
+     * parked warps; the flag clears on read.
+     */
+    virtual bool consumeFreedFlag() { return false; }
+
+    /**
+     * Scheduling priority bias (higher first); OWF implements
+     * owner-warp-first through this. Ties break by warp age.
+     */
+    virtual int schedPriority(const SimWarp &warp) const
+    {
+        (void)warp;
+        return 0;
+    }
+
+    /**
+     * Deadlock breaker: the SM detected that every resident warp is
+     * blocked on this policy's resources. Grant the oldest blocked
+     * warp's request by emergency means (RFV models a spill). Returns
+     * the penalty in cycles the warp must wait, or -1 when the policy
+     * cannot make progress (the SM then reports a deadlock).
+     */
+    virtual int forceProgress(SimWarp &warp)
+    {
+        (void)warp;
+        return -1;
+    }
+
+    /** Number of emergency interventions (for stats). */
+    virtual std::uint64_t emergencyCount() const { return 0; }
+
+    /** Pair-lock takeovers (OWF, for stats). */
+    virtual std::uint64_t lockCount() const { return 0; }
+};
+
+} // namespace rm
+
+#endif // RM_SIM_ALLOCATOR_HH

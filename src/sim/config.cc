@@ -1,0 +1,48 @@
+#include "sim/config.hh"
+
+namespace rm {
+
+GpuConfig
+gtx480Config()
+{
+    return GpuConfig{};
+}
+
+GpuConfig
+halfRegisterFile(GpuConfig config)
+{
+    config.registersPerSm /= 2;
+    return config;
+}
+
+GpuConfig
+keplerConfig()
+{
+    GpuConfig config;
+    config.numSms = 15;
+    config.registersPerSm = 65536;
+    config.maxWarpsPerSm = 64;
+    config.maxCtasPerSm = 16;
+    config.maxThreadsPerSm = 2048;
+    config.numSchedulers = 4;
+    return config;
+}
+
+GpuConfig
+maxwellConfig()
+{
+    GpuConfig config = keplerConfig();
+    config.maxCtasPerSm = 32;
+    config.sharedMemPerSm = 65536;
+    return config;
+}
+
+GpuConfig
+voltaConfig()
+{
+    GpuConfig config = maxwellConfig();
+    config.sharedMemPerSm = 98304;
+    return config;
+}
+
+} // namespace rm

@@ -1,0 +1,36 @@
+#include "sim/gpu.hh"
+
+#include "common/errors.hh"
+#include "sim/memory.hh"
+#include "sim/sm.hh"
+
+namespace rm {
+
+int
+ctasPerSmShare(const GpuConfig &config, const Program &program)
+{
+    return (program.info.gridCtas + config.numSms - 1) / config.numSms;
+}
+
+SimStats
+simulate(const GpuConfig &config, const Program &program,
+         RegisterAllocator &allocator, SimOptions options,
+         bool prepare_allocator)
+{
+    program.verify();
+    if (prepare_allocator)
+        allocator.prepare(config, program);
+
+    const int ctas = ctasPerSmShare(config, program);
+    fatalIf(allocator.maxCtasByRegisters() <= 0,
+            "simulate: kernel '", program.info.name,
+            "' does not fit the register file under policy '",
+            allocator.name(), "'");
+
+    GlobalMemory gmem(options.log2MemWords, options.memSeed);
+    Sm sm(config, program, allocator, ctas, gmem,
+          std::move(options.mapper), options.trace);
+    return sm.run();
+}
+
+} // namespace rm

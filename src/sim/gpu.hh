@@ -1,0 +1,52 @@
+#ifndef RM_SIM_GPU_HH
+#define RM_SIM_GPU_HH
+
+/**
+ * @file
+ * Top-level simulation entry point. The grid is distributed evenly over
+ * the configured SMs; since all SMs execute identical CTAs, one
+ * representative SM is simulated with its share of the grid (see
+ * DESIGN.md substitution table) and its cycle count is reported.
+ */
+
+#include <optional>
+
+#include "isa/program.hh"
+#include "sim/allocator.hh"
+#include "sim/config.hh"
+#include "sim/register_map.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace rm {
+
+/** Simulation inputs beyond the kernel and architecture. */
+struct SimOptions
+{
+    std::uint64_t memSeed = 1;
+    int log2MemWords = 20;
+    /**
+     * Operand-collector mapping to verify every access against
+     * (paper Fig. 6). Policies that rename registers (RFV) run without
+     * one.
+     */
+    std::optional<RegisterMapper> mapper;
+    /** Optional issue-stage trace, owned by the caller. */
+    IssueTrace *trace = nullptr;
+};
+
+/**
+ * Simulate @p program on one representative SM of @p config under
+ * @p allocator (which must already be prepared by the caller, or will
+ * be prepared here if @p prepare_allocator is true).
+ */
+SimStats simulate(const GpuConfig &config, const Program &program,
+                  RegisterAllocator &allocator, SimOptions options = {},
+                  bool prepare_allocator = true);
+
+/** CTAs a single SM executes for this grid under @p config. */
+int ctasPerSmShare(const GpuConfig &config, const Program &program);
+
+} // namespace rm
+
+#endif // RM_SIM_GPU_HH

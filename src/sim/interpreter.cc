@@ -1,0 +1,108 @@
+#include "sim/interpreter.hh"
+
+#include "common/errors.hh"
+#include "sim/semantics.hh"
+
+namespace rm {
+
+namespace {
+
+std::uint64_t
+mixPair(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t x = a * 0x9e3779b97f4a7c15ULL ^ b;
+    x ^= x >> 29;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 32;
+    return x;
+}
+
+/** Per-warp functional state. */
+struct WarpState
+{
+    int pc = 0;
+    bool exited = false;
+    bool atBarrier = false;
+    std::vector<std::int64_t> regs;
+    SpecialRegs sregs;
+};
+
+} // namespace
+
+InterpResult
+interpret(const Program &program, const InterpOptions &options)
+{
+    program.verify();
+
+    InterpResult result;
+    GlobalMemory gmem(options.log2MemWords, options.memSeed);
+
+    const int warps_per_cta = program.info.ctaThreads / options.warpSize;
+
+    for (int cta = 0; cta < program.info.gridCtas; ++cta) {
+        SharedMemory smem(program.info.sharedBytesPerCta);
+        std::vector<WarpState> warps(warps_per_cta);
+        for (int w = 0; w < warps_per_cta; ++w) {
+            warps[w].regs.assign(program.info.numRegs, 0);
+            warps[w].sregs = SpecialRegs::forWarp(program.info, cta, w,
+                                                  options.warpSize);
+        }
+
+        int running = warps_per_cta;
+        while (running > 0) {
+            // One barrier phase: run every non-exited warp until its
+            // next barrier or exit.
+            for (auto &warp : warps) {
+                if (warp.exited)
+                    continue;
+                warp.atBarrier = false;
+                std::uint64_t steps = 0;
+                while (true) {
+                    fatalIf(++steps > options.maxStepsPerWarpPhase,
+                            "interpret: kernel '", program.info.name,
+                            "' exceeded ", options.maxStepsPerWarpPhase,
+                            " steps in one barrier phase (runaway loop?)");
+                    const bool traced =
+                        cta == 0 && &warp == &warps[0] &&
+                        result.sampleTrace.size() < options.traceCap;
+                    if (traced)
+                        result.sampleTrace.push_back(warp.pc);
+
+                    const Instruction &inst = program.code[warp.pc];
+                    StepResult step = executeStep(program, warp.pc,
+                                                  warp.regs, warp.sregs,
+                                                  gmem, smem);
+                    ++result.totalInstructions;
+                    if (step.acquire || step.release)
+                        ++result.directiveInstructions;
+                    if (inst.op == Opcode::Mov)
+                        ++result.movInstructions;
+                    if (step.memAccess && !step.memIsLoad) {
+                        const std::uint64_t value = static_cast<
+                            std::uint64_t>(
+                            step.memIsGlobal ? gmem.load(step.memAddr)
+                                             : smem.load(step.memAddr));
+                        result.storeDigest ^=
+                            mixPair(step.memAddr, value);
+                    }
+
+                    warp.pc = step.nextPc;
+                    if (step.exited) {
+                        warp.exited = true;
+                        --running;
+                        break;
+                    }
+                    if (step.barrier) {
+                        warp.atBarrier = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    result.memDigest = gmem.digest();
+    return result;
+}
+
+} // namespace rm

@@ -1,0 +1,61 @@
+#ifndef RM_SIM_INTERPRETER_HH
+#define RM_SIM_INTERPRETER_HH
+
+/**
+ * @file
+ * Reference functional interpreter. Executes a whole grid with no
+ * timing model: warps of a CTA run in barrier-phase lockstep (each warp
+ * runs until its next barrier or exit, then the next warp), CTAs run
+ * sequentially. This interleaving is deterministic and identical for a
+ * program and its RegMutex-compiled version (which never adds or
+ * removes barriers), so it is the oracle for the compiler-equivalence
+ * property tests. It also produces the dynamic PC trace behind Fig. 1.
+ *
+ * Contract (satisfied by all bundled workloads): warps may communicate
+ * through shared memory only across barriers.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/memory.hh"
+
+namespace rm {
+
+/** Outcome of a functional run. */
+struct InterpResult
+{
+    /** Dynamic instructions executed (all warps, all CTAs). */
+    std::uint64_t totalInstructions = 0;
+    /** Of which RegAcquire/RegRelease directives. */
+    std::uint64_t directiveInstructions = 0;
+    /** Of which MOV instructions (tracks compaction overhead). */
+    std::uint64_t movInstructions = 0;
+    /** Global-memory digest after the run (equivalence oracle). */
+    std::uint64_t memDigest = 0;
+    /** XOR-fold of every (address,value) stored, order-insensitive. */
+    std::uint64_t storeDigest = 0;
+    /** PC trace of warp 0 of CTA 0, capped. */
+    std::vector<int> sampleTrace;
+    /** True when a warp hit the per-phase step limit (likely livelock). */
+    bool hitStepLimit = false;
+};
+
+/** Functional interpreter options. */
+struct InterpOptions
+{
+    std::uint64_t maxStepsPerWarpPhase = 4'000'000;
+    std::size_t traceCap = 1'000'000;
+    std::uint64_t memSeed = 1;
+    int log2MemWords = 20;
+    int warpSize = 32;
+};
+
+/** Run @p program functionally; throws FatalError on malformed input. */
+InterpResult interpret(const Program &program,
+                       const InterpOptions &options = {});
+
+} // namespace rm
+
+#endif // RM_SIM_INTERPRETER_HH

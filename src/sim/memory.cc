@@ -1,0 +1,82 @@
+#include "sim/memory.hh"
+
+#include "common/errors.hh"
+
+namespace rm {
+
+namespace {
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+GlobalMemory::GlobalMemory(int log2_words, std::uint64_t seed)
+{
+    fatalIf(log2_words < 4 || log2_words > 28,
+            "GlobalMemory: log2_words (", log2_words,
+            ") out of supported range [4, 28]");
+    const std::size_t n = std::size_t(1) << log2_words;
+    mask = n - 1;
+    words.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        words[i] = static_cast<std::int64_t>(mix(i ^ seed * 0x9e3779b9ULL));
+}
+
+std::int64_t
+GlobalMemory::load(std::uint64_t addr) const
+{
+    return words[addr & mask];
+}
+
+void
+GlobalMemory::store(std::uint64_t addr, std::int64_t value)
+{
+    words[addr & mask] = value;
+}
+
+std::uint64_t
+GlobalMemory::digest() const
+{
+    std::uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (std::size_t i = 0; i < words.size(); ++i)
+        h ^= mix(static_cast<std::uint64_t>(words[i]) + i);
+    return h;
+}
+
+SharedMemory::SharedMemory(int bytes)
+{
+    const std::size_t n = bytes <= 8 ? 1 : static_cast<std::size_t>(bytes) / 8;
+    words.assign(n, 0);
+}
+
+std::int64_t
+SharedMemory::load(std::uint64_t addr) const
+{
+    return words[addr % words.size()];
+}
+
+void
+SharedMemory::store(std::uint64_t addr, std::int64_t value)
+{
+    words[addr % words.size()] = value;
+}
+
+std::uint64_t
+SharedMemory::digest() const
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t i = 0; i < words.size(); ++i)
+        h ^= mix(static_cast<std::uint64_t>(words[i]) + i * 31);
+    return h;
+}
+
+} // namespace rm

@@ -1,0 +1,62 @@
+#ifndef RM_SIM_MEMORY_HH
+#define RM_SIM_MEMORY_HH
+
+/**
+ * @file
+ * Synthetic functional memories. Global memory is a deterministic,
+ * store-consistent flat array with pseudo-random initial contents
+ * (substituting the benchmark input data the paper's workloads read);
+ * shared memory is a small per-CTA scratchpad. Both wrap addresses, so
+ * any address computed by a kernel is valid and deterministic.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace rm {
+
+/**
+ * Flat 64-bit-word global memory of power-of-two size. Initial contents
+ * are a fixed hash of the word index so data-dependent control flow in
+ * the synthetic workloads is reproducible.
+ */
+class GlobalMemory
+{
+  public:
+    /** @param log2_words size as a power of two (default 1 Mi words). */
+    explicit GlobalMemory(int log2_words = 20, std::uint64_t seed = 1);
+
+    std::int64_t load(std::uint64_t addr) const;
+    void store(std::uint64_t addr, std::int64_t value);
+
+    std::size_t sizeWords() const { return words.size(); }
+
+    /** Order-insensitive digest of the full contents (for equivalence tests). */
+    std::uint64_t digest() const;
+
+  private:
+    std::vector<std::int64_t> words;
+    std::uint64_t mask;
+};
+
+/** Per-CTA shared scratchpad; addresses wrap modulo the word count. */
+class SharedMemory
+{
+  public:
+    /** @param bytes CTA shared-memory footprint (0 gives one word). */
+    explicit SharedMemory(int bytes = 0);
+
+    std::int64_t load(std::uint64_t addr) const;
+    void store(std::uint64_t addr, std::int64_t value);
+
+    std::size_t sizeWords() const { return words.size(); }
+
+    std::uint64_t digest() const;
+
+  private:
+    std::vector<std::int64_t> words;
+};
+
+} // namespace rm
+
+#endif // RM_SIM_MEMORY_HH

@@ -1,0 +1,79 @@
+#include "sim/occupancy.hh"
+
+#include <algorithm>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+int
+roundRegs(const GpuConfig &config, int regs)
+{
+    const int g = config.regAllocGranularity;
+    return (regs + g - 1) / g * g;
+}
+
+Occupancy
+computeOccupancy(const GpuConfig &config, int regs_per_thread,
+                 int cta_threads, int shared_bytes)
+{
+    fatalIf(cta_threads <= 0 || cta_threads % config.warpSize != 0,
+            "computeOccupancy: cta_threads (", cta_threads,
+            ") must be a positive multiple of the warp size");
+    fatalIf(regs_per_thread < 0, "computeOccupancy: negative registers");
+    fatalIf(shared_bytes < 0, "computeOccupancy: negative shared memory");
+
+    Occupancy occ;
+
+    const int by_cta_slots = config.maxCtasPerSm;
+    const int by_threads = config.maxThreadsPerSm / cta_threads;
+    const int by_regs =
+        regs_per_thread == 0
+            ? by_cta_slots
+            : config.registersPerSm / (regs_per_thread * cta_threads);
+    const int by_shared =
+        shared_bytes == 0 ? by_cta_slots
+                          : config.sharedMemPerSm / shared_bytes;
+
+    occ.ctasPerSm = std::min({by_cta_slots, by_threads, by_regs, by_shared});
+    if (occ.ctasPerSm < 0)
+        occ.ctasPerSm = 0;
+    occ.warpsPerSm = occ.ctasPerSm * (cta_threads / config.warpSize);
+    // Warp-slot cap (thread cap normally subsumes it, but be safe for
+    // non-standard configs).
+    const int max_ctas_by_warps =
+        config.maxWarpsPerSm / (cta_threads / config.warpSize);
+    if (occ.ctasPerSm > max_ctas_by_warps) {
+        occ.ctasPerSm = max_ctas_by_warps;
+        occ.warpsPerSm = occ.ctasPerSm * (cta_threads / config.warpSize);
+    }
+
+    // Identify the binding constraint. Registers are reported only
+    // when they bind strictly tighter than every other resource, so a
+    // tie never makes a kernel look register-limited.
+    if (occ.ctasPerSm == by_cta_slots)
+        occ.limiter = OccLimiter::CtaSlots;
+    else if (occ.ctasPerSm == by_threads)
+        occ.limiter = OccLimiter::ThreadSlots;
+    else if (occ.ctasPerSm == by_shared)
+        occ.limiter = OccLimiter::SharedMem;
+    else
+        occ.limiter = OccLimiter::Registers;
+
+    return occ;
+}
+
+const char *
+occLimiterName(OccLimiter limiter)
+{
+    switch (limiter) {
+      case OccLimiter::Registers: return "registers";
+      case OccLimiter::SharedMem: return "shared-mem";
+      case OccLimiter::CtaSlots: return "cta-slots";
+      case OccLimiter::ThreadSlots: return "thread-slots";
+      case OccLimiter::None: return "none";
+    }
+    return "?";
+}
+
+} // namespace rm

@@ -1,0 +1,57 @@
+#ifndef RM_SIM_OCCUPANCY_HH
+#define RM_SIM_OCCUPANCY_HH
+
+/**
+ * @file
+ * Theoretical occupancy calculator (paper Sec. II): CTAs per SM as the
+ * minimum over the register, shared-memory, CTA-slot and thread-slot
+ * constraints, and the identity of the binding constraint. The RegMutex
+ * |Es| heuristic (Sec. III-A2) calls this with the base set size only.
+ */
+
+#include <string>
+
+#include "sim/config.hh"
+
+namespace rm {
+
+/** Which resource bound the occupancy. */
+enum class OccLimiter { Registers, SharedMem, CtaSlots, ThreadSlots, None };
+
+/** Result of a theoretical-occupancy computation. */
+struct Occupancy
+{
+    int ctasPerSm = 0;
+    int warpsPerSm = 0;
+    OccLimiter limiter = OccLimiter::None;
+
+    /** Occupancy as the paper reports it: resident / maximum warps. */
+    double fraction(const GpuConfig &config) const
+    {
+        return static_cast<double>(warpsPerSm) / config.maxWarpsPerSm;
+    }
+};
+
+/**
+ * Compute theoretical occupancy.
+ *
+ * @param config          architecture parameters
+ * @param regs_per_thread per-thread register allocation; pass the value
+ *                        after any granularity rounding the allocation
+ *                        policy applies (baseline: multiple of 4;
+ *                        RegMutex base set: exact)
+ * @param cta_threads     threads per CTA
+ * @param shared_bytes    shared memory per CTA
+ */
+Occupancy computeOccupancy(const GpuConfig &config, int regs_per_thread,
+                           int cta_threads, int shared_bytes);
+
+/** Round @p regs up to the config's allocation granularity. */
+int roundRegs(const GpuConfig &config, int regs);
+
+/** Human-readable limiter name. */
+const char *occLimiterName(OccLimiter limiter);
+
+} // namespace rm
+
+#endif // RM_SIM_OCCUPANCY_HH

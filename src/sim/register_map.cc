@@ -1,0 +1,76 @@
+#include "sim/register_map.hh"
+
+#include "common/errors.hh"
+
+namespace rm {
+
+RegisterMapper
+RegisterMapper::baseline(int total_packs, int coeff)
+{
+    fatalIf(total_packs <= 0, "RegisterMapper: non-positive file size");
+    fatalIf(coeff < 0, "RegisterMapper: negative coefficient");
+    RegisterMapper m;
+    m.regmutexMode = false;
+    m.totalPacks = total_packs;
+    m.coeff = coeff;
+    return m;
+}
+
+RegisterMapper
+RegisterMapper::regmutex(int total_packs, int base_regs, int ext_regs,
+                         int srp_offset, int srp_sections)
+{
+    fatalIf(total_packs <= 0, "RegisterMapper: non-positive file size");
+    fatalIf(base_regs <= 0 || ext_regs < 0,
+            "RegisterMapper: bad base/extended sizes");
+    fatalIf(srp_offset < 0 || srp_offset > total_packs,
+            "RegisterMapper: SRP offset out of file");
+    fatalIf(srp_offset + srp_sections * ext_regs > total_packs,
+            "RegisterMapper: SRP (", srp_sections, " sections of ",
+            ext_regs, " packs at ", srp_offset,
+            ") exceeds the register file (", total_packs, " packs)");
+    RegisterMapper m;
+    m.regmutexMode = true;
+    m.totalPacks = total_packs;
+    m.baseRegs = base_regs;
+    m.extRegs = ext_regs;
+    m.srpOff = srp_offset;
+    m.srpSections = srp_sections;
+    return m;
+}
+
+int
+RegisterMapper::map(int widx, int x, int srp_section) const
+{
+    panicIf(widx < 0 || x < 0, "RegisterMapper: negative operand index");
+    int y;
+    if (!regmutexMode) {
+        panicIf(x >= coeff && coeff > 0,
+                "RegisterMapper: baseline access r", x,
+                " beyond per-warp allocation of ", coeff);
+        y = coeff * widx + x;
+    } else if (x < baseRegs) {
+        y = baseRegs * widx + x;
+        panicIf(y >= srpOff,
+                "RegisterMapper: base access of warp ", widx,
+                " overlaps the SRP region");
+    } else {
+        panicIf(x >= baseRegs + extRegs,
+                "RegisterMapper: access r", x,
+                " beyond |Bs|+|Es| = ", baseRegs + extRegs);
+        panicIf(srp_section < 0,
+                "RegisterMapper: extended-set access r", x, " by warp ",
+                widx, " without a held SRP section — compiler invariant "
+                "violated");
+        panicIf(srp_section >= srpSections,
+                "RegisterMapper: SRP section ", srp_section,
+                " out of range (", srpSections, " sections)");
+        y = srpOff + srp_section * extRegs + (x - baseRegs);
+    }
+    panicIf(y < 0 || y >= totalPacks,
+            "RegisterMapper: physical pack ", y,
+            " outside the register file (", totalPacks, " packs)");
+    return y;
+}
+
+} // namespace rm

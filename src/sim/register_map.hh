@@ -1,0 +1,75 @@
+#ifndef RM_SIM_REGISTER_MAP_HH
+#define RM_SIM_REGISTER_MAP_HH
+
+/**
+ * @file
+ * Architected-to-physical register mapping as performed in the Operand
+ * Collector Unit (paper Fig. 6). Works in per-thread register "pack"
+ * units: one pack is one architected register for all threads of a
+ * warp (warpSize physical 32-bit registers).
+ *
+ * Baseline (Fig. 6a):   Y = Coeff * Widx + X
+ * RegMutex (Fig. 6b):   Y = |Bs| * Widx + X                  (X < |Bs|)
+ *                       Y = SRPoffset + LUT(Widx)*|Es| + (X - |Bs|)
+ *
+ * The simulator routes every operand access through this unit and
+ * panics on any violation of the mapping invariants (out-of-file
+ * access, extended access without a held SRP section) — this is the
+ * runtime validator for the compiler's index-compaction pass.
+ */
+
+#include <cstdint>
+
+namespace rm {
+
+/** Operand-collector register mapper for one kernel launch. */
+class RegisterMapper
+{
+  public:
+    /**
+     * Baseline configuration.
+     * @param total_packs register file size in packs (regs / warpSize)
+     * @param coeff per-warp allocation in packs (rounded regs/thread)
+     */
+    static RegisterMapper baseline(int total_packs, int coeff);
+
+    /**
+     * RegMutex configuration.
+     * @param total_packs register file size in packs
+     * @param base_regs |Bs|
+     * @param ext_regs |Es|
+     * @param srp_offset first pack of the SRP region
+     * @param srp_sections number of SRP sections
+     */
+    static RegisterMapper regmutex(int total_packs, int base_regs,
+                                   int ext_regs, int srp_offset,
+                                   int srp_sections);
+
+    /**
+     * Map architected register @p x of warp slot @p widx to a physical
+     * pack index. @p srp_section is the warp's LUT entry (-1 when the
+     * warp holds no section); accessing x >= |Bs| with no section held
+     * panics — the hardware invariant RegMutex's compiler guarantees.
+     */
+    int map(int widx, int x, int srp_section = -1) const;
+
+    /** True when @p x belongs to the extended set under this mapping. */
+    bool isExtended(int x) const { return regmutexMode && x >= baseRegs; }
+
+    int srpOffset() const { return srpOff; }
+
+  private:
+    RegisterMapper() = default;
+
+    bool regmutexMode = false;
+    int totalPacks = 0;
+    int coeff = 0;
+    int baseRegs = 0;
+    int extRegs = 0;
+    int srpOff = 0;
+    int srpSections = 0;
+};
+
+} // namespace rm
+
+#endif // RM_SIM_REGISTER_MAP_HH

@@ -1,0 +1,191 @@
+#include "sim/semantics.hh"
+
+#include "common/errors.hh"
+
+namespace rm {
+
+namespace {
+
+std::int64_t
+mix64(std::int64_t v)
+{
+    std::uint64_t x = static_cast<std::uint64_t>(v);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<std::int64_t>(x);
+}
+
+bool
+evalCmp(CmpOp cmp, std::int64_t a, std::int64_t b)
+{
+    switch (cmp) {
+      case CmpOp::Eq: return a == b;
+      case CmpOp::Ne: return a != b;
+      case CmpOp::Lt: return a < b;
+      case CmpOp::Le: return a <= b;
+      case CmpOp::Gt: return a > b;
+      case CmpOp::Ge: return a >= b;
+    }
+    panic("evalCmp: bad comparison");
+}
+
+} // namespace
+
+SpecialRegs
+SpecialRegs::forWarp(const KernelInfo &info, int cta_id, int warp_in_cta,
+                     int warp_size)
+{
+    SpecialRegs sregs;
+    sregs.values[static_cast<int>(SpecialReg::CtaId)] = cta_id;
+    sregs.values[static_cast<int>(SpecialReg::WarpInCta)] = warp_in_cta;
+    sregs.values[static_cast<int>(SpecialReg::WarpsPerCta)] =
+        info.ctaThreads / warp_size;
+    sregs.values[static_cast<int>(SpecialReg::GridCtas)] = info.gridCtas;
+    sregs.values[static_cast<int>(SpecialReg::Param0)] = info.params[0];
+    sregs.values[static_cast<int>(SpecialReg::Param1)] = info.params[1];
+    sregs.values[static_cast<int>(SpecialReg::Param2)] = info.params[2];
+    sregs.values[static_cast<int>(SpecialReg::Param3)] = info.params[3];
+    return sregs;
+}
+
+StepResult
+executeStep(const Program &program, int pc, std::vector<std::int64_t> &regs,
+            const SpecialRegs &sregs, GlobalMemory &gmem, SharedMemory &smem)
+{
+    panicIf(pc < 0 || pc >= static_cast<int>(program.code.size()),
+            "executeStep: pc ", pc, " out of range");
+    const Instruction &inst = program.code[pc];
+
+    StepResult result;
+    result.nextPc = pc + 1;
+
+    auto src = [&](int i) -> std::int64_t { return regs[inst.srcs[i]]; };
+    auto setDst = [&](std::int64_t value) { regs[inst.dst] = value; };
+
+    switch (inst.op) {
+      case Opcode::IAdd:
+      case Opcode::FAdd:
+        setDst(src(0) + src(1));
+        break;
+      case Opcode::ISub:
+        setDst(src(0) - src(1));
+        break;
+      case Opcode::IMul:
+      case Opcode::FMul:
+        setDst(src(0) * src(1));
+        break;
+      case Opcode::IMad:
+      case Opcode::FFma:
+        setDst(src(0) * src(1) + src(2));
+        break;
+      case Opcode::IMin:
+        setDst(std::min(src(0), src(1)));
+        break;
+      case Opcode::IMax:
+        setDst(std::max(src(0), src(1)));
+        break;
+      case Opcode::And:
+        setDst(src(0) & src(1));
+        break;
+      case Opcode::Or:
+        setDst(src(0) | src(1));
+        break;
+      case Opcode::Xor:
+        setDst(src(0) ^ src(1));
+        break;
+      case Opcode::Shl:
+        setDst(src(0) << (src(1) & 63));
+        break;
+      case Opcode::Shr:
+        setDst(static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(src(0)) >> (src(1) & 63)));
+        break;
+      case Opcode::FRcp:
+      case Opcode::FSqrt:
+        // SFU ops: deterministic value mix standing in for the
+        // transcendental result.
+        setDst(mix64(src(0)));
+        break;
+      case Opcode::Mov:
+        setDst(src(0));
+        break;
+      case Opcode::MovImm:
+        setDst(inst.imm);
+        break;
+      case Opcode::ReadSreg:
+        setDst(sregs.read(static_cast<SpecialReg>(inst.imm)));
+        break;
+      case Opcode::Sel:
+        setDst(src(0) != 0 ? src(1) : src(2));
+        break;
+      case Opcode::Setp:
+        setDst(evalCmp(static_cast<CmpOp>(inst.imm), src(0), src(1)) ? 1
+                                                                     : 0);
+        break;
+      case Opcode::LdGlobal: {
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(src(0) + inst.imm);
+        setDst(gmem.load(addr));
+        result.memAccess = true;
+        result.memIsLoad = true;
+        result.memIsGlobal = true;
+        result.memAddr = addr;
+        break;
+      }
+      case Opcode::StGlobal: {
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(src(0) + inst.imm);
+        gmem.store(addr, src(1));
+        result.memAccess = true;
+        result.memIsGlobal = true;
+        result.memAddr = addr;
+        break;
+      }
+      case Opcode::LdShared: {
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(src(0) + inst.imm);
+        setDst(smem.load(addr));
+        result.memAccess = true;
+        result.memIsLoad = true;
+        result.memAddr = addr;
+        break;
+      }
+      case Opcode::StShared: {
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(src(0) + inst.imm);
+        smem.store(addr, src(1));
+        result.memAccess = true;
+        result.memAddr = addr;
+        break;
+      }
+      case Opcode::Bra:
+        result.nextPc = inst.target;
+        break;
+      case Opcode::BraNz:
+        if (src(0) != 0)
+            result.nextPc = inst.target;
+        break;
+      case Opcode::BraZ:
+        if (src(0) == 0)
+            result.nextPc = inst.target;
+        break;
+      case Opcode::Exit:
+        result.exited = true;
+        break;
+      case Opcode::Bar:
+        result.barrier = true;
+        break;
+      case Opcode::RegAcquire:
+        result.acquire = true;
+        break;
+      case Opcode::RegRelease:
+        result.release = true;
+        break;
+      case Opcode::Nop:
+        break;
+    }
+    return result;
+}
+
+} // namespace rm

@@ -1,0 +1,64 @@
+#ifndef RM_SIM_SEMANTICS_HH
+#define RM_SIM_SEMANTICS_HH
+
+/**
+ * @file
+ * Functional execution semantics of a single instruction, shared by the
+ * reference interpreter and the timing simulator's issue stage (the
+ * timing model executes functionally at issue and models latency via
+ * the scoreboard). Floating-point opcodes are evaluated in the integer
+ * domain (deterministic value mixes) — only their latency class differs
+ * from integer ALU ops; see DESIGN.md.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/memory.hh"
+
+namespace rm {
+
+/** Values of the special registers for one warp. */
+struct SpecialRegs
+{
+    std::int64_t values[static_cast<int>(SpecialReg::NumSpecialRegs)] = {};
+
+    std::int64_t read(SpecialReg sreg) const
+    {
+        return values[static_cast<int>(sreg)];
+    }
+
+    /** Populate from launch coordinates and kernel parameters. */
+    static SpecialRegs forWarp(const KernelInfo &info, int cta_id,
+                               int warp_in_cta, int warp_size);
+};
+
+/** Outcome of executing one instruction. */
+struct StepResult
+{
+    int nextPc = 0;
+    bool exited = false;
+    bool barrier = false;
+    bool acquire = false;
+    bool release = false;
+    /** Memory access performed (already applied functionally). */
+    bool memAccess = false;
+    bool memIsLoad = false;
+    bool memIsGlobal = false;
+    std::uint64_t memAddr = 0;
+};
+
+/**
+ * Execute @p program.code[pc] against warp state. Registers are
+ * updated in place; loads/stores hit the supplied memories immediately
+ * (the timing model accounts latency separately).
+ */
+StepResult executeStep(const Program &program, int pc,
+                       std::vector<std::int64_t> &regs,
+                       const SpecialRegs &sregs, GlobalMemory &gmem,
+                       SharedMemory &smem);
+
+} // namespace rm
+
+#endif // RM_SIM_SEMANTICS_HH

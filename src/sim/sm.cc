@@ -1,0 +1,618 @@
+#include "sim/sm.hh"
+
+#include <algorithm>
+
+#include "common/errors.hh"
+#include "sim/occupancy.hh"
+
+namespace rm {
+
+Sm::Sm(const GpuConfig &gpu_config, const Program &kernel,
+       RegisterAllocator &alloc, int ctas_to_run, GlobalMemory &global_mem,
+       std::optional<RegisterMapper> reg_mapper, IssueTrace *issue_trace)
+    : config(gpu_config),
+      program(kernel),
+      allocator(alloc),
+      gmem(global_mem),
+      mapper(std::move(reg_mapper)),
+      trace(issue_trace),
+      ctasToRun(ctas_to_run),
+      warpsPerCta(kernel.info.ctaThreads / gpu_config.warpSize)
+{
+    fatalIf(warpsPerCta <= 0 || warpsPerCta > config.maxWarpsPerSm,
+            "Sm: CTA of ", warpsPerCta, " warps cannot fit the SM");
+    warps.resize(config.maxWarpsPerSm);
+    for (int slot = 0; slot < config.maxWarpsPerSm; ++slot)
+        warps[slot].slot = slot;
+    ctas.resize(config.maxCtasPerSm);
+    schedLastIssued.assign(config.numSchedulers, -1);
+    computeResidentCap();
+}
+
+void
+Sm::computeResidentCap()
+{
+    // Non-register constraints.
+    const Occupancy other = computeOccupancy(
+        config, 0, program.info.ctaThreads, program.info.sharedBytesPerCta);
+    const int by_regs = allocator.maxCtasByRegisters();
+    residentCap = std::min(other.ctasPerSm, by_regs);
+
+    stats.kernelName = program.info.name;
+    stats.allocatorName = allocator.name();
+    stats.theoreticalCtas = residentCap;
+    stats.theoreticalWarps = residentCap * warpsPerCta;
+    stats.theoreticalOccupancy =
+        static_cast<double>(stats.theoreticalWarps) / config.maxWarpsPerSm;
+}
+
+void
+Sm::launchCtas()
+{
+    while (nextCtaId < ctasToRun && residentCtas < residentCap) {
+        // Find a free CTA slot.
+        int cta_slot = -1;
+        for (int s = 0; s < static_cast<int>(ctas.size()); ++s) {
+            if (!ctas[s].active) {
+                cta_slot = s;
+                break;
+            }
+        }
+        panicIf(cta_slot < 0, "Sm: residentCap exceeds CTA slots");
+
+        // Find warpsPerCta free warp slots (lowest first).
+        std::vector<int> slots;
+        for (int slot = 0;
+             slot < config.maxWarpsPerSm &&
+             static_cast<int>(slots.size()) < warpsPerCta;
+             ++slot) {
+            if (warps[slot].state == WarpState::Unused ||
+                warps[slot].state == WarpState::Finished) {
+                if (warps[slot].ctaSlot == -1)
+                    slots.push_back(slot);
+            }
+        }
+        panicIf(static_cast<int>(slots.size()) < warpsPerCta,
+                "Sm: no free warp slots despite free CTA slot");
+
+        ResidentCta &cta = ctas[cta_slot];
+        cta.ctaId = nextCtaId;
+        cta.warpSlots = slots;
+        cta.smem = SharedMemory(program.info.sharedBytesPerCta);
+        cta.warpsAlive = warpsPerCta;
+        cta.barrierArrived = 0;
+        cta.active = true;
+
+        for (int w = 0; w < warpsPerCta; ++w) {
+            SimWarp &warp = warps[slots[w]];
+            warp.ctaSlot = cta_slot;
+            warp.ctaId = nextCtaId;
+            warp.warpInCta = w;
+            warp.launchOrder = launchCounter++;
+            warp.state = WarpState::Ready;
+            warp.pc = 0;
+            warp.regs.assign(program.info.numRegs, 0);
+            warp.sregs = SpecialRegs::forWarp(program.info, nextCtaId, w,
+                                              config.warpSize);
+            warp.pendingWrites = Bitmask(program.info.numRegs);
+            warp.pendingMem = 0;
+            warp.holdsExt = false;
+            warp.srpSection = -1;
+            warp.physMapped = Bitmask(program.info.numRegs);
+            warp.ownsLock = false;
+            allocator.onWarpLaunch(warp);
+            ++aliveWarps;
+        }
+        if (trace) {
+            trace->record(TraceEvent{cycle, slots.front(), nextCtaId,
+                                     -1, TraceKind::CtaLaunch});
+        }
+        ++residentCtas;
+        ++nextCtaId;
+    }
+}
+
+void
+Sm::retireCta(int cta_slot)
+{
+    ResidentCta &cta = ctas[cta_slot];
+    for (int slot : cta.warpSlots) {
+        warps[slot].state = WarpState::Unused;
+        warps[slot].ctaSlot = -1;
+    }
+    if (trace) {
+        trace->record(TraceEvent{cycle, cta.warpSlots.front(),
+                                 cta.ctaId, -1, TraceKind::CtaRetire});
+    }
+    cta.active = false;
+    cta.ctaId = -1;
+    --residentCtas;
+    ++stats.ctasCompleted;
+    launchCtas();
+}
+
+void
+Sm::processEvents()
+{
+    while (!events.empty() && events.top().cycle <= cycle) {
+        const Event event = events.top();
+        events.pop();
+        SimWarp &warp = warps[event.warpSlot];
+        if (event.reg != kNoReg)
+            warp.pendingWrites.unset(event.reg);
+        if (event.memCompletion)
+            --warp.pendingMem;
+        if (event.spillWake && warp.state == WarpState::WaitSpill)
+            warp.state = WarpState::Ready;
+        lastProgressCycle = cycle;
+    }
+}
+
+void
+Sm::dispatchMemQueue()
+{
+    for (int i = 0; i < config.memIssuePerCycle && !memQueue.empty(); ++i) {
+        const MemRequest req = memQueue.front();
+        memQueue.pop();
+        events.push(Event{cycle + config.globalLatency, req.warpSlot,
+                          req.reg, true, false});
+    }
+}
+
+Sm::BlockReason
+Sm::issueBlocked(const SimWarp &warp) const
+{
+    const Instruction &inst = program.code[warp.pc];
+
+    // Scoreboard: RAW / WAW against in-flight writes.
+    if (inst.hasDst() && warp.pendingWrites.test(inst.dst))
+        return BlockReason::Scoreboard;
+    for (int s = 0; s < inst.numSrcs; ++s) {
+        if (warp.pendingWrites.test(inst.srcs[s]))
+            return BlockReason::Scoreboard;
+    }
+
+    // Structural: outstanding global-memory limit.
+    if (latClass(inst.op) == LatClass::GlobalMem &&
+        warp.pendingMem >= config.maxPendingMemPerWarp) {
+        return BlockReason::MemStructural;
+    }
+
+    // Policy gate (OWF pair lock, RFV physical registers).
+    if (!allocator.canIssue(warp, inst))
+        return BlockReason::Resource;
+
+    return BlockReason::None;
+}
+
+void
+Sm::verifyOperands(const SimWarp &warp, const Instruction &inst)
+{
+    pendingConflictPenalty = 0;
+    if (!mapper)
+        return;
+    auto check = [&](RegId reg) {
+        const int phys = mapper->map(warp.slot, reg, warp.srpSection);
+        if (mapper->isExtended(reg))
+            ++stats.extRegAccesses;
+        return phys;
+    };
+    if (inst.hasDst())
+        check(inst.dst);
+    // Source operands fetch through the banked register file; two
+    // distinct sources hitting the same bank collide (paper Fig. 6's
+    // Operand Collector; optional model).
+    int banks[3] = {-1, -1, -1};
+    int packs[3] = {-1, -1, -1};
+    int conflicts = 0;
+    for (int s = 0; s < inst.numSrcs; ++s) {
+        const int phys = check(inst.srcs[s]);
+        banks[s] = phys % config.rfBanks;
+        packs[s] = phys;
+        for (int t = 0; t < s; ++t) {
+            if (banks[t] == banks[s] && packs[t] != packs[s])
+                ++conflicts;
+        }
+    }
+    if (config.modelBankConflicts && conflicts > 0) {
+        stats.bankConflicts += conflicts;
+        pendingConflictPenalty = conflicts;
+    }
+}
+
+void
+Sm::wakeParked()
+{
+    if (!allocator.consumeFreedFlag())
+        return;
+    for (auto &warp : warps) {
+        if (warp.state == WarpState::WaitAcquire ||
+            warp.state == WarpState::WaitResource) {
+            warp.state = WarpState::Ready;
+        }
+    }
+}
+
+void
+Sm::issue(SimWarp &warp)
+{
+    const Instruction &inst = program.code[warp.pc];
+    const int pc = warp.pc;
+    const LatClass lat = latClass(inst.op);
+    ResidentCta &cta = ctas[warp.ctaSlot];
+
+    // RegMutex directives are handled at the issue stage (paper Sec.
+    // III-B1) before any functional execution.
+    if (lat == LatClass::AcqRel) {
+        if (inst.op == Opcode::RegAcquire) {
+            const AcquireOutcome outcome = allocator.acquire(warp);
+            if (outcome != AcquireOutcome::AlreadyHeld)
+                ++stats.acquireAttempts;
+            if (trace) {
+                trace->record(TraceEvent{
+                    cycle, warp.slot, warp.ctaId, pc,
+                    outcome == AcquireOutcome::Blocked
+                        ? TraceKind::AcquireBlocked
+                        : TraceKind::AcquireOk});
+            }
+            switch (outcome) {
+              case AcquireOutcome::Blocked:
+                if (config.wakeOnRelease) {
+                    warp.state = WarpState::WaitAcquire;
+                } else {
+                    // Poll model (ablation): the warp retries after a
+                    // fixed back-off instead of sleeping until a
+                    // release, burning extra acquire attempts.
+                    warp.state = WarpState::WaitSpill;
+                    events.push(Event{cycle + 20, warp.slot, kNoReg,
+                                      false, true});
+                }
+                // PC unchanged: the warp will retry the acquire.
+                return;
+              case AcquireOutcome::Acquired:
+                ++stats.acquireSuccesses;
+                break;
+              case AcquireOutcome::AlreadyHeld:
+                ++stats.acquireAlreadyHeld;
+                break;
+              case AcquireOutcome::NotNeeded:
+                ++stats.acquireSuccesses;
+                break;
+            }
+        } else {
+            allocator.release(warp);
+            ++stats.releases;
+            if (trace) {
+                trace->record(TraceEvent{cycle, warp.slot, warp.ctaId,
+                                         pc, TraceKind::Release});
+            }
+        }
+        ++warp.pc;
+        ++warp.instructions;
+        ++stats.instructions;
+        ++stats.issuedSlots;
+        lastProgressCycle = cycle;
+        return;
+    }
+
+    verifyOperands(warp, inst);
+
+    if (lat == LatClass::Barrier) {
+        if (trace) {
+            trace->record(TraceEvent{cycle, warp.slot, warp.ctaId, pc,
+                                     TraceKind::BarrierWait});
+        }
+        ++cta.barrierArrived;
+        warp.state = WarpState::WaitBarrier;
+        ++warp.pc;
+        ++warp.instructions;
+        ++stats.instructions;
+        ++stats.issuedSlots;
+        lastProgressCycle = cycle;
+        if (cta.barrierArrived >= cta.warpsAlive) {
+            cta.barrierArrived = 0;
+            for (int slot : cta.warpSlots) {
+                if (warps[slot].state == WarpState::WaitBarrier)
+                    warps[slot].state = WarpState::Ready;
+            }
+        }
+        return;
+    }
+
+    // Functional execution at issue.
+    if (trace) {
+        trace->record(TraceEvent{cycle, warp.slot, warp.ctaId, pc,
+                                 TraceKind::Issue});
+    }
+    StepResult step = executeStep(program, warp.pc, warp.regs, warp.sregs,
+                                  gmem, cta.smem);
+    allocator.onIssued(warp, inst, pc);
+    ++warp.instructions;
+    ++stats.instructions;
+    ++stats.issuedSlots;
+    lastProgressCycle = cycle;
+    warp.pc = step.nextPc;
+
+    if (step.exited) {
+        if (trace) {
+            trace->record(TraceEvent{cycle, warp.slot, warp.ctaId, pc,
+                                     TraceKind::WarpExit});
+        }
+        warp.state = WarpState::Finished;
+        allocator.onWarpExit(warp);
+        --aliveWarps;
+        --cta.warpsAlive;
+        // A barrier can complete once an exited warp stops counting.
+        if (cta.warpsAlive > 0 &&
+            cta.barrierArrived >= cta.warpsAlive &&
+            cta.barrierArrived > 0) {
+            cta.barrierArrived = 0;
+            for (int slot : cta.warpSlots) {
+                if (warps[slot].state == WarpState::WaitBarrier)
+                    warps[slot].state = WarpState::Ready;
+            }
+        }
+        if (cta.warpsAlive == 0)
+            retireCta(warp.ctaSlot);
+        return;
+    }
+
+    // Latency modeling.
+    switch (lat) {
+      case LatClass::Alu:
+        if (inst.hasDst()) {
+            warp.pendingWrites.set(inst.dst);
+            events.push(Event{cycle + config.aluLatency, warp.slot,
+                              inst.dst, false, false});
+        }
+        break;
+      case LatClass::Sfu:
+        warp.pendingWrites.set(inst.dst);
+        events.push(Event{cycle + config.sfuLatency, warp.slot, inst.dst,
+                          false, false});
+        break;
+      case LatClass::SharedMem:
+        if (inst.hasDst()) {
+            warp.pendingWrites.set(inst.dst);
+            events.push(Event{cycle + config.sharedLatency, warp.slot,
+                              inst.dst, false, false});
+        }
+        break;
+      case LatClass::GlobalMem:
+        ++warp.pendingMem;
+        if (inst.hasDst())
+            warp.pendingWrites.set(inst.dst);
+        memQueue.push(MemRequest{warp.slot,
+                                 inst.hasDst() ? inst.dst : kNoReg});
+        break;
+      case LatClass::Control:
+      case LatClass::NopClass:
+        break;
+      default:
+        panic("Sm::issue: unexpected latency class");
+    }
+
+    // Operand-collector bank conflicts delay the warp's next issue by
+    // one collection cycle per conflict (the wake event at C+1 would
+    // allow an issue at C+1, i.e. no delay — hence the extra +1).
+    if (pendingConflictPenalty > 0) {
+        if (warp.state == WarpState::Ready) {
+            warp.state = WarpState::WaitSpill;
+            events.push(Event{cycle + 1 + pendingConflictPenalty,
+                              warp.slot, kNoReg, false, true});
+        }
+        pendingConflictPenalty = 0;
+    }
+}
+
+void
+Sm::schedule(int scheduler)
+{
+    // Candidate warps: slots assigned to this scheduler by parity.
+    auto issuable = [&](int slot) -> bool {
+        SimWarp &warp = warps[slot];
+        if (warp.state != WarpState::Ready || warp.ctaSlot < 0)
+            return false;
+        return issueBlocked(warp) == BlockReason::None;
+    };
+
+    // Greedy: stick with the last issued warp while it can issue.
+    const int last = schedLastIssued[scheduler];
+    if (config.schedPolicy == SchedPolicy::Gto && last >= 0 &&
+        issuable(last)) {
+        issue(warps[last]);
+        if (warps[last].state != WarpState::Ready)
+            schedLastIssued[scheduler] = -1;
+        return;
+    }
+
+    // Then-oldest with policy priority (owner-warp-first for OWF).
+    int best = -1;
+    int best_priority = 0;
+    BlockReason sample_reason = BlockReason::None;
+    bool saw_ready = false;
+    for (int slot = scheduler; slot < config.maxWarpsPerSm;
+         slot += config.numSchedulers) {
+        SimWarp &warp = warps[slot];
+        if (warp.state != WarpState::Ready || warp.ctaSlot < 0)
+            continue;
+        const BlockReason reason = issueBlocked(warp);
+        if (reason != BlockReason::None) {
+            saw_ready = true;
+            if (sample_reason == BlockReason::None)
+                sample_reason = reason;
+            // Park policy-blocked warps until resources free up.
+            if (reason == BlockReason::Resource && config.wakeOnRelease)
+                warp.state = WarpState::WaitResource;
+            continue;
+        }
+        const int priority = allocator.schedPriority(warp);
+        // GTO breaks ties by age; LRR rotates from the last issued slot.
+        const auto key = [&](const SimWarp &w) -> std::uint64_t {
+            if (config.schedPolicy == SchedPolicy::Gto)
+                return w.launchOrder;
+            const int n = config.maxWarpsPerSm;
+            return static_cast<std::uint64_t>((w.slot - last - 1 + 2 * n) %
+                                              n);
+        };
+        if (best < 0 || priority > best_priority ||
+            (priority == best_priority && key(warp) < key(warps[best]))) {
+            best = slot;
+            best_priority = priority;
+        }
+    }
+
+    if (best >= 0) {
+        issue(warps[best]);
+        schedLastIssued[scheduler] =
+            warps[best].state == WarpState::Ready ? best : -1;
+        return;
+    }
+
+    // Nothing issued: account the stall.
+    ++stats.idleSchedulerSlots;
+    schedLastIssued[scheduler] = -1;
+    if (saw_ready) {
+        switch (sample_reason) {
+          case BlockReason::Scoreboard:
+            ++stats.scoreboardStalls;
+            break;
+          case BlockReason::MemStructural:
+            ++stats.memStructuralStalls;
+            break;
+          case BlockReason::Resource:
+            ++stats.resourceStalls;
+            break;
+          default:
+            break;
+        }
+    } else {
+        // Classify by what the candidate warps are waiting on.
+        bool any = false;
+        for (int slot = scheduler; slot < config.maxWarpsPerSm;
+             slot += config.numSchedulers) {
+            const SimWarp &warp = warps[slot];
+            if (warp.ctaSlot < 0)
+                continue;
+            any = true;
+            if (warp.state == WarpState::WaitBarrier) {
+                ++stats.barrierStalls;
+                return;
+            }
+            if (warp.state == WarpState::WaitAcquire) {
+                ++stats.acquireStalls;
+                return;
+            }
+            if (warp.state == WarpState::WaitResource ||
+                warp.state == WarpState::WaitSpill) {
+                ++stats.resourceStalls;
+                return;
+            }
+        }
+        if (!any)
+            ++stats.noWarpStalls;
+    }
+}
+
+bool
+Sm::handleStarvation()
+{
+    // All progress mechanisms empty: either every warp is blocked on a
+    // policy resource (deadlock-breaker territory) or the design
+    // deadlocked.
+    if (!events.empty() || !memQueue.empty())
+        return true;
+
+    int blocked_resource = 0;
+    int blocked_acquire = 0;
+    int others = 0;
+    SimWarp *oldest_resource = nullptr;
+    for (auto &warp : warps) {
+        if (warp.ctaSlot < 0 || warp.state == WarpState::Finished ||
+            warp.state == WarpState::Unused) {
+            continue;
+        }
+        switch (warp.state) {
+          case WarpState::WaitResource:
+            ++blocked_resource;
+            if (!oldest_resource ||
+                warp.launchOrder < oldest_resource->launchOrder) {
+                oldest_resource = &warp;
+            }
+            break;
+          case WarpState::WaitAcquire:
+            ++blocked_acquire;
+            break;
+          case WarpState::WaitBarrier:
+            // Barrier waiters cannot make progress on their own; with
+            // no events pending they are part of the wedge.
+            break;
+          default:
+            ++others;  // Ready / WaitSpill: progress is still possible
+            break;
+        }
+    }
+
+    if (others > 0)
+        return true;  // runnable warps exist; not wedged yet.
+
+    if (blocked_resource > 0 && oldest_resource) {
+        const int penalty = allocator.forceProgress(*oldest_resource);
+        if (penalty >= 0) {
+            oldest_resource->state = WarpState::WaitSpill;
+            events.push(Event{cycle + penalty, oldest_resource->slot,
+                              kNoReg, false, true});
+            ++stats.emergencySpills;
+            return true;
+        }
+    }
+
+    // No runnable warp, no pending event, and the breaker could not
+    // help (or nothing was resource-blocked): the SM is deadlocked.
+    (void)blocked_acquire;
+    stats.deadlocked = true;
+    return false;
+}
+
+SimStats
+Sm::run()
+{
+    launchCtas();
+    std::uint64_t resident_integral = 0;
+
+    while (stats.ctasCompleted < static_cast<std::uint64_t>(ctasToRun)) {
+        ++cycle;
+        processEvents();
+        dispatchMemQueue();
+        wakeParked();
+        const std::uint64_t issued_before = stats.issuedSlots;
+        for (int s = 0; s < config.numSchedulers; ++s)
+            schedule(s);
+        wakeParked();
+        resident_integral += aliveWarps;
+
+        if (stats.issuedSlots == issued_before) {
+            // No instruction issued: check for a wedged SM.
+            if (cycle - lastProgressCycle >
+                static_cast<std::uint64_t>(config.globalLatency) * 4) {
+                if (!handleStarvation())
+                    break;
+                lastProgressCycle = cycle;  // breaker scheduled progress
+            }
+            fatalIf(cycle - lastProgressCycle >
+                    static_cast<std::uint64_t>(config.watchdogCycles),
+                    "Sm: watchdog expired for kernel '", program.info.name,
+                    "' under policy '", allocator.name(), "' at cycle ",
+                    cycle);
+        }
+    }
+
+    stats.cycles = cycle;
+    stats.avgResidentWarps =
+        cycle == 0 ? 0.0
+                   : static_cast<double>(resident_integral) / cycle;
+    stats.lockAcquisitions = allocator.lockCount();
+    return stats;
+}
+
+} // namespace rm

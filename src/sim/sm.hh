@@ -1,0 +1,130 @@
+#ifndef RM_SIM_SM_HH
+#define RM_SIM_SM_HH
+
+/**
+ * @file
+ * Streaming Multiprocessor timing model. Warp-granularity, cycle-based:
+ * two greedy-then-oldest schedulers issue one instruction per cycle
+ * each, gated by a per-warp scoreboard, a bandwidth-limited global
+ * memory pipe, CTA barriers, and the pluggable register-allocation
+ * policy (baseline / RegMutex / paired / OWF / RFV). Instructions
+ * execute functionally at issue; latency is modeled via scoreboard
+ * write-completion events.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/allocator.hh"
+#include "sim/config.hh"
+#include "sim/memory.hh"
+#include "sim/register_map.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+#include "sim/warp.hh"
+
+namespace rm {
+
+/** One SM executing a share of the grid to completion. */
+class Sm
+{
+  public:
+    /**
+     * @param config     architecture parameters
+     * @param program    verified kernel (RegMutex-compiled or not)
+     * @param allocator  prepared register-allocation policy
+     * @param ctas_to_run how many CTAs this SM executes
+     * @param gmem       global memory shared across CTAs
+     * @param mapper     optional operand-collector mapping to verify
+     *                   every register access against
+     */
+    Sm(const GpuConfig &config, const Program &program,
+       RegisterAllocator &allocator, int ctas_to_run, GlobalMemory &gmem,
+       std::optional<RegisterMapper> mapper,
+       IssueTrace *trace = nullptr);
+
+    /** Simulate to completion (or deadlock); returns the statistics. */
+    SimStats run();
+
+  private:
+    // --- Static context ---
+    const GpuConfig &config;
+    const Program &program;
+    RegisterAllocator &allocator;
+    GlobalMemory &gmem;
+    std::optional<RegisterMapper> mapper;
+    IssueTrace *trace;  ///< optional, owned by the caller
+    const int ctasToRun;
+    const int warpsPerCta;
+    int residentCap = 0;  ///< max co-resident CTAs for this kernel
+
+    // --- Dynamic state ---
+    struct ResidentCta
+    {
+        int ctaId = -1;
+        std::vector<int> warpSlots;
+        SharedMemory smem;
+        int warpsAlive = 0;
+        int barrierArrived = 0;
+        bool active = false;
+    };
+
+    struct Event
+    {
+        std::uint64_t cycle;
+        int warpSlot;
+        RegId reg;           ///< scoreboard bit to clear (kNoReg: none)
+        bool memCompletion;  ///< decrements pendingMem
+        bool spillWake;      ///< WaitSpill -> Ready
+
+        bool operator>(const Event &other) const
+        {
+            return cycle > other.cycle;
+        }
+    };
+
+    struct MemRequest
+    {
+        int warpSlot;
+        RegId reg;  ///< kNoReg for stores
+    };
+
+    std::uint64_t cycle = 0;
+    std::uint64_t launchCounter = 0;
+    std::vector<SimWarp> warps;          ///< indexed by slot
+    std::vector<ResidentCta> ctas;       ///< indexed by ctaSlot
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events;
+    std::queue<MemRequest> memQueue;
+    std::vector<int> schedLastIssued;    ///< greedy warp per scheduler
+    int nextCtaId = 0;
+    int residentCtas = 0;
+    int aliveWarps = 0;                  ///< resident, not finished
+    int pendingConflictPenalty = 0;      ///< operand-collector stall
+    std::uint64_t lastProgressCycle = 0;
+    SimStats stats;
+
+    // --- Helpers ---
+    void computeResidentCap();
+    void launchCtas();
+    void retireCta(int cta_slot);
+    void processEvents();
+    void dispatchMemQueue();
+    void schedule(int scheduler);
+
+    /** Block reason when a Ready warp cannot issue this cycle. */
+    enum class BlockReason { None, Scoreboard, MemStructural, Resource };
+    BlockReason issueBlocked(const SimWarp &warp) const;
+
+    void issue(SimWarp &warp);
+    void verifyOperands(const SimWarp &warp, const Instruction &inst);
+    void wakeParked();
+    bool handleStarvation();
+};
+
+} // namespace rm
+
+#endif // RM_SIM_SM_HH

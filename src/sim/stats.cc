@@ -1,0 +1,15 @@
+#include "sim/stats.hh"
+
+#include "common/errors.hh"
+
+namespace rm {
+
+double
+cycleReduction(const SimStats &baseline, const SimStats &technique)
+{
+    fatalIf(baseline.cycles == 0, "cycleReduction: baseline ran 0 cycles");
+    return 1.0 - static_cast<double>(technique.cycles) /
+                     static_cast<double>(baseline.cycles);
+}
+
+} // namespace rm

@@ -1,0 +1,88 @@
+#ifndef RM_SIM_STATS_HH
+#define RM_SIM_STATS_HH
+
+/**
+ * @file
+ * Statistics collected by a timing-simulation run. These are the raw
+ * series every reproduced figure is computed from: execution cycles
+ * (Figs 7-10, 12), theoretical occupancy (Figs 7, 8, 11a, 12), and
+ * acquire attempt/success counts (Figs 11b, 13).
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace rm {
+
+/** Result of one kernel timing simulation on one SM. */
+struct SimStats
+{
+    std::string kernelName;
+    std::string allocatorName;
+
+    // --- Primary outputs ---
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t ctasCompleted = 0;
+
+    /** Theoretical occupancy at launch (resident-warp capacity). */
+    int theoreticalCtas = 0;
+    int theoreticalWarps = 0;
+    double theoreticalOccupancy = 0.0;
+
+    /** Time-averaged resident warps (measured occupancy). */
+    double avgResidentWarps = 0.0;
+
+    // --- RegMutex extended-set statistics ---
+    std::uint64_t acquireAttempts = 0;
+    std::uint64_t acquireSuccesses = 0;
+    std::uint64_t acquireAlreadyHeld = 0;
+    std::uint64_t releases = 0;
+
+    // --- Issue accounting ---
+    std::uint64_t issuedSlots = 0;      ///< scheduler slots that issued
+    std::uint64_t idleSchedulerSlots = 0;
+
+    // --- Stall reasons sampled on failed scheduler picks ---
+    std::uint64_t scoreboardStalls = 0;
+    std::uint64_t memStructuralStalls = 0;
+    std::uint64_t barrierStalls = 0;
+    std::uint64_t acquireStalls = 0;
+    std::uint64_t resourceStalls = 0;   ///< RFV phys-reg / OWF lock waits
+    std::uint64_t noWarpStalls = 0;     ///< no resident warp at all
+
+    // --- Policy-specific ---
+    std::uint64_t emergencySpills = 0;  ///< RFV deadlock-breaker events
+    std::uint64_t lockAcquisitions = 0; ///< OWF pair-lock takeovers
+    std::uint64_t extRegAccesses = 0;   ///< operand accesses mapped to SRP
+    std::uint64_t bankConflicts = 0;    ///< operand-collector conflicts
+
+    bool deadlocked = false;
+
+    /** Instructions per cycle. */
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) / cycles;
+    }
+
+    /** Fraction of executed acquires that succeeded (Fig 11b / 13). */
+    double acquireSuccessRate() const
+    {
+        const std::uint64_t attempts = acquireAttempts;
+        return attempts == 0
+                   ? 1.0
+                   : static_cast<double>(acquireSuccesses) / attempts;
+    }
+};
+
+/**
+ * Relative cycle delta of @p technique versus @p baseline:
+ * positive = reduction (improvement), as in paper Figs 7/9a/10;
+ * negate for the "increase" plots (Figs 8/9b/12b).
+ */
+double cycleReduction(const SimStats &baseline, const SimStats &technique);
+
+} // namespace rm
+
+#endif // RM_SIM_STATS_HH

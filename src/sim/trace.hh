@@ -1,0 +1,78 @@
+#ifndef RM_SIM_TRACE_HH
+#define RM_SIM_TRACE_HH
+
+/**
+ * @file
+ * Issue-stage event trace for debugging and for visualizing the
+ * Fig. 2-style warp timelines: a bounded ring buffer of
+ * (cycle, warp, pc, event) records the SM appends to when a trace is
+ * attached (SimOptions::trace). Dumping renders one line per event
+ * with the disassembled instruction — the moral equivalent of gem5's
+ * Exec tracing, bounded so long runs cannot exhaust memory.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rm {
+
+/** What happened at the issue stage. */
+enum class TraceKind : std::uint8_t {
+    Issue,          ///< instruction issued
+    AcquireOk,      ///< extended set acquired
+    AcquireBlocked, ///< acquire failed; warp parked
+    Release,        ///< extended set released
+    BarrierWait,    ///< warp arrived at a barrier
+    WarpExit,
+    CtaLaunch,
+    CtaRetire,
+};
+
+/** One trace record. */
+struct TraceEvent
+{
+    std::uint64_t cycle = 0;
+    int warpSlot = -1;
+    int ctaId = -1;
+    int pc = -1;
+    TraceKind kind = TraceKind::Issue;
+};
+
+/** Bounded ring buffer of issue-stage events. */
+class IssueTrace
+{
+  public:
+    /** @param capacity maximum retained events (oldest evicted). */
+    explicit IssueTrace(std::size_t capacity = 4096);
+
+    void record(TraceEvent event);
+
+    /** Events currently retained, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    std::size_t size() const { return count; }
+    std::uint64_t totalRecorded() const { return recorded; }
+
+    /**
+     * Render the retained events, one per line, resolving PCs against
+     * @p program for disassembly.
+     */
+    void dump(std::ostream &os, const Program &program) const;
+
+    /** Human-readable kind name. */
+    static const char *kindName(TraceKind kind);
+
+  private:
+    std::vector<TraceEvent> ring;
+    std::size_t head = 0;   ///< next write position
+    std::size_t count = 0;  ///< valid entries
+    std::uint64_t recorded = 0;
+};
+
+} // namespace rm
+
+#endif // RM_SIM_TRACE_HH

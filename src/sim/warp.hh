@@ -1,0 +1,72 @@
+#ifndef RM_SIM_WARP_HH
+#define RM_SIM_WARP_HH
+
+/**
+ * @file
+ * Per-warp timing-simulation state: PC, architected register values,
+ * scoreboard, scheduler bookkeeping, and the policy scratch fields the
+ * register-allocation strategies (RegMutex / OWF / RFV) hang off each
+ * warp.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmask.hh"
+#include "sim/semantics.hh"
+
+namespace rm {
+
+/** Scheduler-visible warp state. */
+enum class WarpState {
+    Unused,       ///< slot not occupied
+    Ready,        ///< may issue (subject to scoreboard/structural checks)
+    WaitBarrier,  ///< arrived at a CTA barrier
+    WaitAcquire,  ///< blocked on an extended-set acquire (RegMutex)
+    WaitResource, ///< blocked on a physical register (RFV) or pair lock (OWF)
+    WaitSpill,    ///< serving an RFV emergency spill penalty
+    Finished,
+};
+
+/** One resident warp. */
+struct SimWarp
+{
+    // --- Identity ---
+    int slot = -1;        ///< warp index within the SM (Widx)
+    int ctaSlot = -1;     ///< resident-CTA index on the SM
+    int ctaId = -1;       ///< global CTA id
+    int warpInCta = -1;
+    std::uint64_t launchOrder = 0;  ///< age for greedy-then-oldest
+
+    // --- Execution state ---
+    WarpState state = WarpState::Unused;
+    int pc = 0;
+    std::vector<std::int64_t> regs;
+    SpecialRegs sregs;
+
+    // --- Scoreboard ---
+    Bitmask pendingWrites;  ///< arch registers with in-flight writes
+    int pendingMem = 0;     ///< outstanding global-memory requests
+    std::uint64_t wakeAt = 0;  ///< cycle at which WaitSpill ends
+
+    // --- RegMutex ---
+    bool holdsExt = false;
+    int srpSection = -1;
+
+    // --- RFV scratch ---
+    Bitmask physMapped;  ///< arch regs currently backed by phys regs
+    // --- OWF scratch ---
+    bool ownsLock = false;
+
+    // --- Stats ---
+    std::uint64_t instructions = 0;
+
+    bool resident() const
+    {
+        return state != WarpState::Unused && state != WarpState::Finished;
+    }
+};
+
+} // namespace rm
+
+#endif // RM_SIM_WARP_HH

@@ -1,0 +1,305 @@
+#include "workloads/generator.hh"
+
+#include <set>
+
+#include "common/errors.hh"
+#include "common/rng.hh"
+#include "isa/builder.hh"
+
+namespace rm {
+
+namespace {
+
+/**
+ * Free-list register allocator with exact capacity. With scrambling
+ * the free index handed out is seeded-random, simulating an
+ * unfavourable upstream register assignment.
+ */
+class RegPool
+{
+  public:
+    RegPool(int capacity, bool scramble, std::uint64_t seed)
+        : scramble(scramble), rng(seed)
+    {
+        for (int r = 0; r < capacity; ++r)
+            freeSet.insert(static_cast<RegId>(r));
+    }
+
+    RegId
+    alloc()
+    {
+        fatalIf(freeSet.empty(),
+                "workload generator ran out of registers — "
+                "phase peaks exceed the register budget");
+        auto it = freeSet.begin();
+        if (scramble && freeSet.size() > 1) {
+            const auto skip =
+                rng.uniformInt(0, static_cast<std::int64_t>(
+                                      freeSet.size()) - 1);
+            std::advance(it, skip);
+        }
+        const RegId r = *it;
+        freeSet.erase(it);
+        return r;
+    }
+
+    void
+    release(RegId r)
+    {
+        const bool inserted = freeSet.insert(r).second;
+        panicIf(!inserted, "double free of register r", r);
+    }
+
+  private:
+    bool scramble;
+    Rng rng;
+    std::set<RegId> freeSet;
+};
+
+/** Emission context shared by the phase emitters. */
+struct Gen
+{
+    ProgramBuilder &b;
+    RegPool &pool;
+    Rng rng;
+    RegId base;               ///< per-warp global base address
+    std::vector<RegId> accs;  ///< persistent accumulators
+
+    RegId
+    anyAcc(int i) const
+    {
+        return accs[static_cast<std::size_t>(i) % accs.size()];
+    }
+};
+
+/** Background live count: base address + accumulators. */
+int
+backgroundLive(const KernelSpec &spec)
+{
+    return 1 + spec.persistent;
+}
+
+void
+emitPrologue(Gen &g, const KernelSpec &spec)
+{
+    const RegId cta = g.pool.alloc();
+    const RegId warp = g.pool.alloc();
+    const RegId tmp = g.pool.alloc();
+    g.b.readSreg(cta, SpecialReg::CtaId);
+    g.b.readSreg(warp, SpecialReg::WarpInCta);
+    g.b.readSreg(tmp, SpecialReg::WarpsPerCta);
+    g.base = g.pool.alloc();
+    g.b.imad(g.base, cta, tmp, warp);   // base = cta * wpc + warp
+    g.b.movImm(tmp, 1 << 12);
+    g.b.imul(g.base, g.base, tmp);      // spread warps across memory
+    g.pool.release(cta);
+    g.pool.release(warp);
+    g.pool.release(tmp);
+
+    for (int i = 0; i < spec.persistent; ++i) {
+        const RegId acc = g.pool.alloc();
+        g.b.movImm(acc, 3 * i + 1);
+        g.accs.push_back(acc);
+    }
+}
+
+void
+emitPhase(Gen &g, const KernelSpec &spec, const PhaseSpec &phase)
+{
+    const int bg = backgroundLive(spec);
+    // Live at the burst peak: background + outer counter + temporaries
+    // (+ loaded values when they feed the burst directly).
+    const bool subloop = phase.memTrips > 0;
+    const int temps =
+        phase.peak - (bg + 1) - (subloop ? 0 : phase.loads);
+    fatalIf(temps < 1, "phase peak ", phase.peak,
+            " too small for background ", bg, " + counter + ",
+            phase.loads, " loads in kernel '", spec.name, "'");
+    fatalIf(phase.peak > spec.regs, "phase peak ", phase.peak,
+            " exceeds the register budget ", spec.regs, " of kernel '",
+            spec.name, "'");
+
+    const RegId counter = g.pool.alloc();
+    g.b.movImm(counter, phase.trips);
+    const auto head = g.b.newLabel();
+    g.b.bind(head);
+
+    std::vector<RegId> loaded;
+    if (subloop) {
+        // Latency-bound memory subloop: gather and fold immediately,
+        // keeping pressure low (released state under RegMutex).
+        const RegId mctr = g.pool.alloc();
+        g.b.movImm(mctr, phase.memTrips);
+        const auto mem_head = g.b.newLabel();
+        g.b.bind(mem_head);
+        std::vector<RegId> gathered;
+        for (int j = 0; j < phase.loads; ++j) {
+            const RegId addr = g.pool.alloc();
+            g.b.movImm(addr, 64 + 8 * j);
+            g.b.imad(addr, mctr, addr, g.base);
+            g.b.imad(addr, counter, addr, addr);
+            const RegId lv = g.pool.alloc();
+            g.b.ldGlobal(lv, addr, j);
+            g.pool.release(addr);
+            gathered.push_back(lv);
+        }
+        for (int j = phase.loads - 1; j >= 0; --j) {
+            g.b.bxor(g.anyAcc(j), g.anyAcc(j), gathered[j]);
+            g.pool.release(gathered[j]);
+        }
+        const RegId one = g.pool.alloc();
+        g.b.movImm(one, 1);
+        g.b.isub(mctr, mctr, one);
+        g.pool.release(one);
+        g.b.braNz(mctr, mem_head);
+        g.pool.release(mctr);
+    } else {
+        // Loads feed the burst directly (compute-bound shape).
+        for (int j = 0; j < phase.loads; ++j) {
+            const RegId addr = g.pool.alloc();
+            g.b.movImm(addr, 64 + 8 * j);
+            g.b.imad(addr, counter, addr, g.base);
+            const RegId lv = g.pool.alloc();
+            g.b.ldGlobal(lv, addr, j);
+            g.pool.release(addr);
+            loaded.push_back(lv);
+        }
+    }
+
+    // Pressure ramp: define all temporaries before consuming any.
+    // Chaining every 4th temp keeps ~4 independent dependence chains
+    // per warp, so compute phases have realistic ILP.
+    std::vector<RegId> burst;
+    for (int i = 0; i < temps; ++i) {
+        const RegId t = g.pool.alloc();
+        const RegId prev =
+            burst.size() < 4
+                ? (loaded.empty() ? g.anyAcc(i) : loaded[0])
+                : burst[burst.size() - 4];
+        const RegId other =
+            loaded.empty()
+                ? g.anyAcc(i + 1)
+                : loaded[static_cast<std::size_t>(i) % loaded.size()];
+        if (phase.useSfu && i % 5 == 4) {
+            g.b.frcp(t, prev);
+        } else {
+            g.b.ffma(t, prev, other, g.anyAcc(i));
+        }
+        for (int a = 0; a < phase.aluPerTemp; ++a)
+            g.b.iadd(t, t, g.anyAcc(i + a));
+        burst.push_back(t);
+    }
+
+    // Fold the temporaries back (reverse order: pressure decays).
+    for (int i = temps - 1; i >= 0; --i) {
+        g.b.iadd(g.anyAcc(i), g.anyAcc(i), burst[i]);
+        g.pool.release(burst[i]);
+    }
+    for (int j = static_cast<int>(loaded.size()) - 1; j >= 0; --j) {
+        g.b.bxor(g.anyAcc(j), g.anyAcc(j), loaded[j]);
+        g.pool.release(loaded[j]);
+    }
+
+    // Optional data-dependent diamond.
+    if (phase.divergent) {
+        const RegId cond = g.pool.alloc();
+        g.b.setp(cond, CmpOp::Lt, g.anyAcc(0), g.anyAcc(1));
+        const auto skip = g.b.newLabel();
+        g.b.braZ(cond, skip);
+        g.pool.release(cond);
+        g.b.imax(g.anyAcc(0), g.anyAcc(0), g.anyAcc(2));
+        g.b.bxor(g.anyAcc(1), g.anyAcc(1), g.anyAcc(0));
+        g.b.bind(skip);
+    }
+
+    // Decrement and loop.
+    const RegId one = g.pool.alloc();
+    g.b.movImm(one, 1);
+    g.b.isub(counter, counter, one);
+    g.pool.release(one);
+    g.b.braNz(counter, head);
+    g.pool.release(counter);
+
+    // Optional CTA barrier with a controlled live count.
+    if (phase.barrierAfter) {
+        const bool shared = spec.sharedBytes > 0;
+        RegId saddr = kNoReg;
+        if (shared) {
+            saddr = g.pool.alloc();
+            g.b.readSreg(saddr, SpecialReg::WarpInCta);
+            g.b.stShared(saddr, g.accs[0]);
+        }
+        std::vector<RegId> pads;
+        if (phase.barrierLive > 0) {
+            const int pad =
+                phase.barrierLive - bg - (shared ? 1 : 0);
+            fatalIf(pad < 0, "barrierLive ", phase.barrierLive,
+                    " below the background live count in kernel '",
+                    spec.name, "'");
+            for (int i = 0; i < pad; ++i) {
+                const RegId p = g.pool.alloc();
+                g.b.iadd(p, g.anyAcc(i), g.base);
+                pads.push_back(p);
+            }
+        }
+        g.b.bar();
+        if (shared) {
+            const RegId t = g.pool.alloc();
+            // Read the neighbour warp's contribution.
+            g.b.ldShared(t, saddr, 1);
+            g.b.iadd(g.accs[0], g.accs[0], t);
+            g.pool.release(t);
+            g.pool.release(saddr);
+        }
+        for (std::size_t i = 0; i < pads.size(); ++i) {
+            g.b.bxor(g.anyAcc(static_cast<int>(i)),
+                     g.anyAcc(static_cast<int>(i)), pads[i]);
+            g.pool.release(pads[i]);
+        }
+    }
+}
+
+void
+emitEpilogue(Gen &g, const KernelSpec &spec)
+{
+    for (int i = 0; i < spec.persistent; ++i)
+        g.b.stGlobal(g.base, g.accs[i], i);
+    g.b.exitKernel();
+}
+
+} // namespace
+
+Program
+buildKernel(const KernelSpec &spec, int num_sms)
+{
+    fatalIf(spec.phases.empty(), "kernel '", spec.name, "' has no phases");
+    fatalIf(spec.persistent < 2, "kernel '", spec.name,
+            "' needs at least two accumulators");
+    fatalIf(spec.regs < backgroundLive(spec) + 3,
+            "kernel '", spec.name, "': register budget ", spec.regs,
+            " too small");
+
+    KernelInfo info;
+    info.name = spec.name;
+    info.numRegs = spec.regs;
+    info.ctaThreads = spec.ctaThreads;
+    info.sharedBytesPerCta = spec.sharedBytes;
+    info.gridCtas = spec.gridCtasPerSm * num_sms;
+
+    ProgramBuilder builder(info);
+    RegPool pool(spec.regs, spec.scramble, spec.seed);
+    Gen gen{builder, pool, Rng(spec.seed * 77 + 13), kNoReg, {}};
+
+    emitPrologue(gen, spec);
+    for (const auto &phase : spec.phases)
+        emitPhase(gen, spec, phase);
+    emitEpilogue(gen, spec);
+
+    Program program = builder.finalize();
+    fatalIf(program.info.numRegs > spec.regs,
+            "kernel '", spec.name, "' generator exceeded its budget");
+    program.info.numRegs = spec.regs;
+    return program;
+}
+
+} // namespace rm

@@ -1,0 +1,90 @@
+#ifndef RM_WORKLOADS_GENERATOR_HH
+#define RM_WORKLOADS_GENERATOR_HH
+
+/**
+ * @file
+ * Parameterized synthetic kernel generator. Each workload is a
+ * phase-structured kernel: long-lived accumulators plus per-phase
+ * loops whose bodies load from global memory, ramp register pressure
+ * to a target peak with short-lived temporaries, and fold the results
+ * back into the accumulators — the "register consumption increases
+ * within inner loops" shape behind the paper's Fig. 1. Optional
+ * CTA barriers (with a controlled live count) and data-dependent
+ * diamonds exercise the deadlock rule and conservative liveness.
+ *
+ * Register indices are assigned by an internal free-list allocator
+ * whose capacity is exactly the target register count, so the
+ * generated kernel's architected register demand is precise by
+ * construction (tests assert the liveness peak equals the target).
+ * With `scramble` set the free list hands out indices in a seeded
+ * random order, simulating an unfavourable upstream allocation that
+ * the RegMutex compaction pass must undo.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rm {
+
+/** One phase of a synthetic kernel. */
+struct PhaseSpec
+{
+    /** Loop iterations (1 = straight-line phase). */
+    int trips = 1;
+    /** Peak live registers during the phase's burst (absolute). */
+    int peak = 16;
+    /** Global loads per (inner) iteration feeding the accumulators. */
+    int loads = 2;
+    /**
+     * Inner memory-subloop iterations per outer trip. When positive,
+     * each outer trip first runs a low-pressure, latency-bound memory
+     * subloop (`loads` loads per inner iteration folded immediately)
+     * and then a compute-only register burst — the paper's motivating
+     * shape where the full register demand is live only briefly. When
+     * zero, the loads feed the burst directly (compute-bound shape).
+     */
+    int memTrips = 0;
+    /** Extra ALU mixing operations per temporary. */
+    int aluPerTemp = 1;
+    /** Use SFU ops in the burst (compute-bound kernels). */
+    bool useSfu = false;
+    /** Insert a data-dependent diamond in the body. */
+    bool divergent = false;
+    /** CTA-wide barrier after the phase (with shared-memory exchange
+     *  when the kernel declares shared memory). */
+    bool barrierAfter = false;
+    /** Live-register count to hold at that barrier (0 = natural). */
+    int barrierLive = 0;
+};
+
+/** Full kernel specification. */
+struct KernelSpec
+{
+    std::string name = "synthetic";
+    /** Target architected registers per thread (Table I raw count). */
+    int regs = 16;
+    int ctaThreads = 256;
+    /** CTAs per SM share; the grid is this times the SM count. */
+    int gridCtasPerSm = 8;
+    int sharedBytes = 0;
+    /** Long-lived accumulator count (live for the whole kernel). */
+    int persistent = 4;
+    std::vector<PhaseSpec> phases;
+    /** Randomize register-index assignment (see file comment). */
+    bool scramble = true;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Build the kernel. Throws FatalError when the specification is
+ * internally inconsistent (e.g. a phase peak below the persistent
+ * baseline or above the register budget).
+ */
+Program buildKernel(const KernelSpec &spec, int num_sms = 15);
+
+} // namespace rm
+
+#endif // RM_WORKLOADS_GENERATOR_HH

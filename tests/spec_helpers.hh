@@ -1,0 +1,75 @@
+#ifndef RM_TESTS_SPEC_HELPERS_HH
+#define RM_TESTS_SPEC_HELPERS_HH
+
+/**
+ * @file
+ * Shared helpers for the parameterized test suites: the seeded random
+ * kernel-spec generator and the gtest name sanitizer.
+ */
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.hh"
+#include "workloads/generator.hh"
+
+namespace rm {
+namespace test {
+
+/** Deterministic random kernel specification from a seed. */
+inline KernelSpec
+randomSpec(std::uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b9ULL + 17);
+    KernelSpec spec;
+    spec.name = "prop" + std::to_string(seed);
+    spec.persistent = static_cast<int>(rng.uniformInt(2, 7));
+    const int bg = spec.persistent + 1;
+    spec.regs = static_cast<int>(rng.uniformInt(bg + 6, 44));
+    spec.ctaThreads = static_cast<int>(rng.uniformInt(2, 12)) * 32;
+    spec.ctaThreads = std::min(spec.ctaThreads, 24 * 32);
+    spec.gridCtasPerSm = static_cast<int>(rng.uniformInt(2, 6));
+    spec.sharedBytes = rng.chance(0.5) ? 2048 : 0;
+    spec.scramble = rng.chance(0.8);
+    spec.seed = seed;
+
+    const int phases = static_cast<int>(rng.uniformInt(1, 3));
+    for (int ph = 0; ph < phases; ++ph) {
+        PhaseSpec phase;
+        phase.loads = static_cast<int>(rng.uniformInt(1, 4));
+        phase.memTrips = static_cast<int>(rng.uniformInt(0, 4));
+        const int floor_peak =
+            bg + 1 + (phase.memTrips > 0 ? 0 : phase.loads) + 1;
+        phase.peak =
+            static_cast<int>(rng.uniformInt(floor_peak, spec.regs));
+        if (ph == 0)
+            phase.peak = spec.regs;
+        phase.trips = static_cast<int>(rng.uniformInt(1, 5));
+        phase.aluPerTemp = static_cast<int>(rng.uniformInt(0, 2));
+        phase.useSfu = rng.chance(0.2);
+        phase.divergent = rng.chance(0.4);
+        if (spec.sharedBytes > 0 && rng.chance(0.4)) {
+            phase.barrierAfter = true;
+            phase.barrierLive = static_cast<int>(rng.uniformInt(
+                bg + 1, std::max(bg + 1, spec.regs - 4)));
+        }
+        spec.phases.push_back(phase);
+    }
+    return spec;
+}
+
+/** Make a string safe for a gtest parameter name. */
+inline std::string
+testName(std::string name)
+{
+    for (auto &c : name) {
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+} // namespace test
+} // namespace rm
+
+#endif // RM_TESTS_SPEC_HELPERS_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * RegMutex microarchitecture tests: SRP bitmask acquire/release via
+ * FFZ, the warp-status bitmask and LUT (paper Figs. 4/5), pre-set
+ * out-of-range SRP bits, the paired-warps specialization, and the
+ * hardware storage-cost model (384 bits; >81x below RFV).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hh"
+#include "regmutex/allocator.hh"
+#include "regmutex/hw_cost.hh"
+#include "workloads/suite.hh"
+
+namespace rm {
+namespace {
+
+/** A prepared RegMutex allocator over the compiled BFS kernel. */
+class RegMutexAllocatorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        config = gtx480Config();
+        program = compileRegMutex(buildWorkload("BFS"), config).program;
+        allocator.prepare(config, program);
+        for (int slot = 0; slot < config.maxWarpsPerSm; ++slot) {
+            SimWarp warp;
+            warp.slot = slot;
+            warps.push_back(warp);
+        }
+    }
+
+    GpuConfig config;
+    Program program;
+    RegMutexAllocator allocator;
+    std::vector<SimWarp> warps;
+};
+
+TEST_F(RegMutexAllocatorTest, PreparesBfsSplit)
+{
+    EXPECT_EQ(allocator.baseRegs(), 18);
+    EXPECT_EQ(allocator.extRegs(), 6);
+    EXPECT_EQ(allocator.srpSections(), 26);
+    EXPECT_EQ(allocator.maxCtasByRegisters(), 3);
+}
+
+TEST_F(RegMutexAllocatorTest, OutOfRangeSrpBitsPreSet)
+{
+    // Paper Sec. III-B1: SRP bitmask bits with no backing section are
+    // set at kernel placement and stay set.
+    const Bitmask &srp = allocator.srpBitmask();
+    for (int s = 0; s < 26; ++s)
+        EXPECT_FALSE(srp.test(s));
+    for (int s = 26; s < config.maxWarpsPerSm; ++s)
+        EXPECT_TRUE(srp.test(s));
+}
+
+TEST_F(RegMutexAllocatorTest, AcquireAssignsSectionsInFfzOrder)
+{
+    EXPECT_EQ(allocator.acquire(warps[5]), AcquireOutcome::Acquired);
+    EXPECT_EQ(warps[5].srpSection, 0);
+    EXPECT_EQ(allocator.lutEntry(5), 0);
+    EXPECT_TRUE(allocator.warpStatusBitmask().test(5));
+
+    EXPECT_EQ(allocator.acquire(warps[9]), AcquireOutcome::Acquired);
+    EXPECT_EQ(warps[9].srpSection, 1);
+}
+
+TEST_F(RegMutexAllocatorTest, NestedAcquireHasNoEffect)
+{
+    allocator.acquire(warps[0]);
+    EXPECT_EQ(allocator.acquire(warps[0]),
+              AcquireOutcome::AlreadyHeld);
+    EXPECT_EQ(warps[0].srpSection, 0);
+}
+
+TEST_F(RegMutexAllocatorTest, ExhaustionBlocksThenReleaseFrees)
+{
+    for (int i = 0; i < 26; ++i)
+        EXPECT_EQ(allocator.acquire(warps[i]), AcquireOutcome::Acquired);
+    EXPECT_EQ(allocator.acquire(warps[30]), AcquireOutcome::Blocked);
+
+    allocator.release(warps[7]);
+    EXPECT_TRUE(allocator.consumeFreedFlag());
+    EXPECT_FALSE(allocator.consumeFreedFlag());  // clears on read
+    EXPECT_EQ(allocator.acquire(warps[30]), AcquireOutcome::Acquired);
+    EXPECT_EQ(warps[30].srpSection, 7);  // FFZ reuses the freed slot
+}
+
+TEST_F(RegMutexAllocatorTest, RedundantReleaseNoEffect)
+{
+    allocator.release(warps[3]);  // never acquired
+    EXPECT_FALSE(allocator.consumeFreedFlag());
+}
+
+TEST_F(RegMutexAllocatorTest, WarpExitReleasesSection)
+{
+    allocator.acquire(warps[2]);
+    allocator.onWarpExit(warps[2]);
+    EXPECT_FALSE(warps[2].holdsExt);
+    EXPECT_TRUE(allocator.consumeFreedFlag());
+    EXPECT_FALSE(allocator.srpBitmask().test(0));
+}
+
+TEST_F(RegMutexAllocatorTest, MapperMatchesSplit)
+{
+    const RegisterMapper mapper = allocator.makeMapper();
+    // Base registers map below the SRP offset.
+    EXPECT_LT(mapper.map(47, 17), mapper.srpOffset());
+    EXPECT_TRUE(mapper.isExtended(18));
+    EXPECT_FALSE(mapper.isExtended(17));
+}
+
+TEST(RegMutexAllocatorPlain, UncompiledProgramActsAsBaseline)
+{
+    const GpuConfig config = gtx480Config();
+    const Program p = buildWorkload("BFS");  // no RegMutex metadata
+    RegMutexAllocator allocator;
+    allocator.prepare(config, p);
+    SimWarp warp;
+    warp.slot = 0;
+    EXPECT_EQ(allocator.acquire(warp), AcquireOutcome::NotNeeded);
+    EXPECT_EQ(allocator.maxCtasByRegisters(), 2);  // 24 regs, cta 512
+}
+
+TEST(PairedAllocator, SharesOneSectionPerPair)
+{
+    const GpuConfig config = gtx480Config();
+    const Program p =
+        compileRegMutex(buildWorkload("BFS"), config).program;
+    PairedRegMutexAllocator allocator;
+    allocator.prepare(config, p);
+
+    SimWarp even, odd, other;
+    even.slot = 4;
+    odd.slot = 5;
+    other.slot = 6;
+
+    EXPECT_EQ(allocator.acquire(even), AcquireOutcome::Acquired);
+    // The partner is blocked until the owner releases.
+    EXPECT_EQ(allocator.acquire(odd), AcquireOutcome::Blocked);
+    // A warp of a different pair is unaffected.
+    EXPECT_EQ(allocator.acquire(other), AcquireOutcome::Acquired);
+
+    allocator.release(even);
+    EXPECT_TRUE(allocator.consumeFreedFlag());
+    EXPECT_EQ(allocator.acquire(odd), AcquireOutcome::Acquired);
+}
+
+TEST(PairedAllocator, SectionIndexIsPairId)
+{
+    const GpuConfig config = gtx480Config();
+    const Program p =
+        compileRegMutex(buildWorkload("BFS"), config).program;
+    PairedRegMutexAllocator allocator;
+    allocator.prepare(config, p);
+    SimWarp warp;
+    warp.slot = 10;
+    allocator.acquire(warp);
+    EXPECT_EQ(warp.srpSection, 5);
+}
+
+TEST(PairedAllocator, RegisterFootprintPerPair)
+{
+    // 2|Bs| + |Es| per pair: for BFS (|Bs|=18, |Es|=6, 512-thread
+    // CTAs) a pair of warps needs (2*18 + 6) * 32 = 1344 registers.
+    const GpuConfig config = gtx480Config();
+    const Program p =
+        compileRegMutex(buildWorkload("BFS"), config).program;
+    PairedRegMutexAllocator allocator;
+    allocator.prepare(config, p);
+    // 3 CTAs = 48 warps = 24 pairs -> 24 * 1344 = 32256 <= 32768.
+    EXPECT_EQ(allocator.maxCtasByRegisters(), 3);
+}
+
+TEST(HwCost, RegMutexIs384BitsAtNw48)
+{
+    const StorageCost cost = regmutexStorage(48);
+    EXPECT_EQ(cost.warpStatusBits, 48);
+    EXPECT_EQ(cost.srpBits, 48);
+    EXPECT_EQ(cost.lutBits, 48 * 6);
+    EXPECT_EQ(cost.totalBits(), 384);
+}
+
+TEST(HwCost, RfvMatchesPaperAccounting)
+{
+    // 48 warps x 63 arch regs x log2(1024) bits + 1024 availability
+    // bits = 30240 + 1024 (paper Sec. III-B1 / IV-C).
+    const StorageCost cost = rfvStorage(48, 63, 1024);
+    EXPECT_EQ(cost.renameTableBits, 30240);
+    EXPECT_EQ(cost.availabilityBits, 1024);
+    EXPECT_EQ(cost.totalBits(), 31264);
+}
+
+TEST(HwCost, RegMutexReductionExceeds81x)
+{
+    const int rmx = regmutexStorage(48).totalBits();
+    const int rfv = rfvStorage(48, 63, 1024).totalBits();
+    EXPECT_GT(static_cast<double>(rfv) / rmx, 81.0);
+}
+
+TEST(HwCost, PairedNeedsOnlyHalfWarpBits)
+{
+    const StorageCost cost = pairedStorage(48);
+    EXPECT_EQ(cost.totalBits(), 24);
+    EXPECT_GT(regmutexStorage(48).totalBits() / cost.totalBits(), 15);
+}
+
+} // namespace
+} // namespace rm

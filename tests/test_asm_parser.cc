@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Text assembler tests: parsing, diagnostics, and the
+ * parse(emit(p)) == p round-trip property over every suite workload
+ * and every compiled (RegMutex) form.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hh"
+#include "compiler/pipeline.hh"
+#include "isa/asm_parser.hh"
+#include "sim/config.hh"
+#include "sim/interpreter.hh"
+#include "workloads/suite.hh"
+
+#include "spec_helpers.hh"
+
+namespace rm {
+namespace {
+
+bool
+sameInstruction(const Instruction &a, const Instruction &b)
+{
+    if (a.op != b.op || a.dst != b.dst || a.numSrcs != b.numSrcs ||
+        a.imm != b.imm || a.target != b.target) {
+        return false;
+    }
+    for (int s = 0; s < a.numSrcs; ++s) {
+        if (a.srcs[s] != b.srcs[s])
+            return false;
+    }
+    return true;
+}
+
+void
+expectSameProgram(const Program &a, const Program &b)
+{
+    EXPECT_EQ(a.info.name, b.info.name);
+    EXPECT_EQ(a.info.numRegs, b.info.numRegs);
+    EXPECT_EQ(a.info.ctaThreads, b.info.ctaThreads);
+    EXPECT_EQ(a.info.gridCtas, b.info.gridCtas);
+    EXPECT_EQ(a.info.sharedBytesPerCta, b.info.sharedBytesPerCta);
+    EXPECT_EQ(a.regmutex.baseRegs, b.regmutex.baseRegs);
+    EXPECT_EQ(a.regmutex.extRegs, b.regmutex.extRegs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(sameInstruction(a.code[i], b.code[i]))
+            << "instruction " << i;
+    }
+}
+
+TEST(AsmParser, ParsesCountdownLoop)
+{
+    const Program p = parseProgram(R"(
+        // a simple countdown kernel
+        .kernel countdown
+        .ctaThreads 64
+        .gridCtas 3
+        .param0 7
+            movi r0, 10
+        loop:
+            movi r1, 1
+            isub r0, r0, r1
+            bra.nz r0, -> loop
+            st.global r0, r1, +8
+            exit
+    )");
+    EXPECT_EQ(p.info.name, "countdown");
+    EXPECT_EQ(p.info.ctaThreads, 64);
+    EXPECT_EQ(p.info.params[0], 7);
+    EXPECT_EQ(p.size(), 6u);
+    EXPECT_EQ(p.code[3].op, Opcode::BraNz);
+    EXPECT_EQ(p.code[3].target, 1);
+    EXPECT_EQ(p.code[4].imm, 8);
+    // Runs functionally.
+    const InterpResult r = interpret(p);
+    EXPECT_GT(r.totalInstructions, 0u);
+}
+
+TEST(AsmParser, ParsesAllOperandForms)
+{
+    const Program p = parseProgram(R"(
+        .kernel forms
+        .regs 8
+            sreg r0, %sreg1
+            setp.ge r1, r0, r0
+            sel r2, r1, r0, r0
+            imad r3, r0, r1, r2
+            ld.shared r4, r0, -4
+            frcp r5, r4
+            bar.sync
+            reg.acquire
+            reg.release
+            nop
+            exit
+    )");
+    EXPECT_EQ(p.code[0].imm,
+              static_cast<std::int64_t>(SpecialReg::WarpInCta));
+    EXPECT_EQ(p.code[1].imm, static_cast<std::int64_t>(CmpOp::Ge));
+    EXPECT_EQ(p.code[2].numSrcs, 3);
+    EXPECT_EQ(p.code[4].imm, -4);
+    EXPECT_EQ(p.code[6].op, Opcode::Bar);
+    EXPECT_EQ(p.code[7].op, Opcode::RegAcquire);
+}
+
+TEST(AsmParser, NumericBranchTargets)
+{
+    const Program p = parseProgram(R"(
+        .kernel numeric
+            movi r0, 1
+            bra.z r0, -> 0
+            exit
+    )");
+    EXPECT_EQ(p.code[1].target, 0);
+}
+
+TEST(AsmParser, DiagnosticsCarryLineNumbers)
+{
+    auto expectError = [](const char *source, const char *what) {
+        try {
+            parseProgram(source);
+            FAIL() << "expected FatalError for " << what;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("asm line"),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+    expectError(".kernel x\n  bogus r0, r1\n  exit\n",
+                "unknown mnemonic");
+    expectError(".kernel x\n  movi r0\n  exit\n", "missing operand");
+    expectError(".kernel x\n  iadd r0, r1, r2, r3\n  exit\n",
+                "too many registers");
+    expectError(".kernel x\n  bra -> nowhere\n  exit\n",
+                "unknown label");
+    expectError(".kernel x\n.bogus 3\n  exit\n", "unknown directive");
+    expectError(".kernel x\n  setp.xx r0, r1, r1\n  exit\n",
+                "bad comparison");
+}
+
+TEST(AsmParser, DuplicateLabelRejected)
+{
+    EXPECT_THROW(parseProgram(".kernel x\na:\na:\n  exit\n"),
+                 FatalError);
+}
+
+TEST(AsmParser, VerifiesResult)
+{
+    // Falls off the end: verify() must reject.
+    EXPECT_THROW(parseProgram(".kernel x\n  movi r0, 1\n"), FatalError);
+}
+
+class AsmRoundTrip : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(AsmRoundTrip, EmitParseIsIdentity)
+{
+    const Program original = buildWorkload(GetParam());
+    const Program reparsed = parseProgram(emitProgram(original));
+    expectSameProgram(original, reparsed);
+}
+
+TEST_P(AsmRoundTrip, CompiledFormRoundTripsToo)
+{
+    const WorkloadEntry &entry = workload(GetParam());
+    const GpuConfig config = entry.occupancyLimited
+                                 ? gtx480Config()
+                                 : halfRegisterFile(gtx480Config());
+    const Program compiled =
+        compileRegMutex(buildWorkload(GetParam()), config).program;
+    const Program reparsed = parseProgram(emitProgram(compiled));
+    expectSameProgram(compiled, reparsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, AsmRoundTrip,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const auto &entry : paperSuite())
+            names.push_back(entry.spec.name);
+        return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (auto &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+class AsmRoundTripFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AsmRoundTripFuzz, RandomProgramsRoundTrip)
+{
+    const Program original =
+        buildKernel(test::randomSpec(GetParam() * 53 + 11));
+    const Program reparsed = parseProgram(emitProgram(original));
+    expectSameProgram(original, reparsed);
+    // Emission is idempotent: text -> program -> text is a fixpoint.
+    EXPECT_EQ(emitProgram(original), emitProgram(reparsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsmRoundTripFuzz,
+                         ::testing::Range(1, 17));
+
+} // namespace
+} // namespace rm

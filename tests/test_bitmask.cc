@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the Bitmask hardware-structure model, including the
+ * Find-First-Zero primitive the RegMutex SRP acquire logic relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitmask.hh"
+#include "common/errors.hh"
+
+namespace rm {
+namespace {
+
+TEST(Bitmask, StartsAllClear)
+{
+    Bitmask mask(48);
+    EXPECT_EQ(mask.size(), 48u);
+    EXPECT_EQ(mask.count(), 0u);
+    EXPECT_TRUE(mask.none());
+    for (std::size_t i = 0; i < 48; ++i)
+        EXPECT_FALSE(mask.test(i));
+}
+
+TEST(Bitmask, SetUnsetTest)
+{
+    Bitmask mask(48);
+    mask.set(0);
+    mask.set(47);
+    EXPECT_TRUE(mask.test(0));
+    EXPECT_TRUE(mask.test(47));
+    EXPECT_FALSE(mask.test(23));
+    EXPECT_EQ(mask.count(), 2u);
+    mask.unset(0);
+    EXPECT_FALSE(mask.test(0));
+    EXPECT_EQ(mask.count(), 1u);
+}
+
+TEST(Bitmask, AssignSelectsSetOrUnset)
+{
+    Bitmask mask(8);
+    mask.assign(3, true);
+    EXPECT_TRUE(mask.test(3));
+    mask.assign(3, false);
+    EXPECT_FALSE(mask.test(3));
+}
+
+TEST(Bitmask, OutOfRangePanics)
+{
+    Bitmask mask(16);
+    EXPECT_THROW(mask.set(16), PanicError);
+    EXPECT_THROW(mask.test(100), PanicError);
+    EXPECT_THROW(mask.unset(16), PanicError);
+}
+
+TEST(Bitmask, FfzFindsLeastSignificantZero)
+{
+    Bitmask mask(48);
+    ASSERT_TRUE(mask.ffz().has_value());
+    EXPECT_EQ(*mask.ffz(), 0u);
+    mask.set(0);
+    mask.set(1);
+    mask.set(3);
+    EXPECT_EQ(*mask.ffz(), 2u);
+}
+
+TEST(Bitmask, FfzAcrossWordBoundary)
+{
+    Bitmask mask(130);
+    for (std::size_t i = 0; i < 128; ++i)
+        mask.set(i);
+    EXPECT_EQ(*mask.ffz(), 128u);
+    mask.set(128);
+    mask.set(129);
+    EXPECT_FALSE(mask.ffz().has_value());
+}
+
+TEST(Bitmask, FfzFullMaskReturnsNullopt)
+{
+    Bitmask mask(48);
+    mask.setAll();
+    EXPECT_FALSE(mask.ffz().has_value());
+    EXPECT_TRUE(mask.all());
+}
+
+TEST(Bitmask, FfzIgnoresTailBitsBeyondSize)
+{
+    // 48-bit mask in a 64-bit word: bits 48..63 must never be
+    // reported by FFZ.
+    Bitmask mask(48);
+    for (std::size_t i = 0; i < 48; ++i)
+        mask.set(i);
+    EXPECT_FALSE(mask.ffz().has_value());
+}
+
+TEST(Bitmask, FfsFindsFirstSetBit)
+{
+    Bitmask mask(64);
+    EXPECT_FALSE(mask.ffs().has_value());
+    mask.set(41);
+    mask.set(63);
+    EXPECT_EQ(*mask.ffs(), 41u);
+}
+
+TEST(Bitmask, SetAllRespectsSize)
+{
+    Bitmask mask(48);
+    mask.setAll();
+    EXPECT_EQ(mask.count(), 48u);
+    mask.clearAll();
+    EXPECT_EQ(mask.count(), 0u);
+}
+
+TEST(Bitmask, OrAndSubtract)
+{
+    Bitmask a(10), b(10);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+
+    Bitmask o = a;
+    o |= b;
+    EXPECT_EQ(o.setIndices(), (std::vector<std::size_t>{1, 2, 3}));
+
+    Bitmask n = a;
+    n &= b;
+    EXPECT_EQ(n.setIndices(), (std::vector<std::size_t>{2}));
+
+    Bitmask s = a;
+    s.subtract(b);
+    EXPECT_EQ(s.setIndices(), (std::vector<std::size_t>{1}));
+}
+
+TEST(Bitmask, SizeMismatchPanics)
+{
+    Bitmask a(10), b(11);
+    EXPECT_THROW(a |= b, PanicError);
+    EXPECT_THROW(a &= b, PanicError);
+    EXPECT_THROW(a.subtract(b), PanicError);
+}
+
+TEST(Bitmask, EqualityAndToString)
+{
+    Bitmask a(5), b(5);
+    a.set(1);
+    EXPECT_NE(a, b);
+    b.set(1);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.toString(), "01000");
+}
+
+TEST(Bitmask, EmptyMaskBehaves)
+{
+    Bitmask mask(0);
+    EXPECT_EQ(mask.size(), 0u);
+    EXPECT_FALSE(mask.ffz().has_value());
+    EXPECT_TRUE(mask.none());
+}
+
+/** Property sweep: FFZ agrees with a linear scan for many shapes. */
+class BitmaskFfzProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitmaskFfzProperty, MatchesLinearScan)
+{
+    const int size = 97;
+    const std::uint64_t seed = GetParam();
+    Bitmask mask(size);
+    // Deterministic pseudo-random fill.
+    std::uint64_t state = seed * 2654435761u + 1;
+    for (int i = 0; i < size; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        if ((state >> 33) & 1)
+            mask.set(i);
+    }
+    std::optional<std::size_t> expected;
+    for (int i = 0; i < size; ++i) {
+        if (!mask.test(i)) {
+            expected = i;
+            break;
+        }
+    }
+    EXPECT_EQ(mask.ffz(), expected);
+    // count() agrees with a scan too.
+    std::size_t expected_count = 0;
+    for (int i = 0; i < size; ++i)
+        expected_count += mask.test(i);
+    EXPECT_EQ(mask.count(), expected_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmaskFfzProperty,
+                         ::testing::Range(1, 33));
+
+} // namespace
+} // namespace rm

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for CFG construction, dominators/post-dominators and
+ * natural-loop detection on hand-built programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/loops.hh"
+#include "isa/builder.hh"
+
+namespace rm {
+namespace {
+
+KernelInfo
+info()
+{
+    KernelInfo i;
+    i.numRegs = 8;
+    i.ctaThreads = 64;
+    return i;
+}
+
+/** Straight-line program: one block. */
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    ProgramBuilder b(info());
+    b.movImm(0, 1);
+    b.iadd(1, 0, 0);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+
+    ASSERT_EQ(cfg.numBlocks(), 1u);
+    EXPECT_EQ(cfg.block(0).first, 0);
+    EXPECT_EQ(cfg.block(0).last, 2);
+    EXPECT_TRUE(cfg.block(0).succs.empty());
+    EXPECT_EQ(cfg.exitBlocks(), std::vector<int>{0});
+}
+
+/** Diamond: entry -> {left, right} -> merge. */
+Program
+diamond()
+{
+    ProgramBuilder b(info());
+    const auto right = b.newLabel();
+    const auto merge = b.newLabel();
+    b.movImm(0, 1);        // 0  entry
+    b.braNz(0, right);     // 1
+    b.movImm(1, 2);        // 2  left
+    b.bra(merge);          // 3
+    b.bind(right);
+    b.movImm(1, 3);        // 4  right
+    b.bind(merge);
+    b.iadd(2, 1, 0);       // 5  merge
+    b.exitKernel();        // 6
+    return b.finalize();
+}
+
+TEST(Cfg, DiamondStructure)
+{
+    const Cfg cfg = Cfg::build(diamond());
+    ASSERT_EQ(cfg.numBlocks(), 4u);
+
+    const BasicBlock &entry = cfg.block(cfg.blockOf(0));
+    const BasicBlock &left = cfg.block(cfg.blockOf(2));
+    const BasicBlock &right = cfg.block(cfg.blockOf(4));
+    const BasicBlock &merge = cfg.block(cfg.blockOf(5));
+
+    EXPECT_EQ(entry.succs.size(), 2u);
+    EXPECT_EQ(left.succs, std::vector<int>{merge.id});
+    EXPECT_EQ(right.succs, std::vector<int>{merge.id});
+    EXPECT_EQ(merge.preds.size(), 2u);
+    EXPECT_EQ(merge.succs.size(), 0u);
+}
+
+TEST(Cfg, ReversePostOrderStartsAtEntryEndsAtExit)
+{
+    const Cfg cfg = Cfg::build(diamond());
+    const auto order = cfg.reversePostOrder();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order.front(), 0);
+    EXPECT_EQ(order.back(), cfg.blockOf(5));
+}
+
+TEST(Dominators, DiamondDominance)
+{
+    const Cfg cfg = Cfg::build(diamond());
+    const DominatorTree doms = DominatorTree::compute(cfg);
+
+    const int entry = cfg.blockOf(0);
+    const int left = cfg.blockOf(2);
+    const int right = cfg.blockOf(4);
+    const int merge = cfg.blockOf(5);
+
+    EXPECT_EQ(doms.idom(left), entry);
+    EXPECT_EQ(doms.idom(right), entry);
+    EXPECT_EQ(doms.idom(merge), entry);  // neither branch dominates
+    EXPECT_TRUE(doms.dominates(entry, merge));
+    EXPECT_FALSE(doms.dominates(left, merge));
+    EXPECT_TRUE(doms.dominates(merge, merge));
+}
+
+TEST(Dominators, PostDominance)
+{
+    const Cfg cfg = Cfg::build(diamond());
+    const DominatorTree pdoms = DominatorTree::computePost(cfg);
+
+    const int entry = cfg.blockOf(0);
+    const int left = cfg.blockOf(2);
+    const int merge = cfg.blockOf(5);
+
+    // The merge block post-dominates everything.
+    EXPECT_TRUE(pdoms.dominates(merge, entry));
+    EXPECT_TRUE(pdoms.dominates(merge, left));
+    EXPECT_FALSE(pdoms.dominates(left, entry));
+    EXPECT_EQ(pdoms.idom(entry), merge);
+}
+
+/** Loop: entry -> header <-> body -> exit. */
+Program
+loopProgram()
+{
+    ProgramBuilder b(info());
+    const auto head = b.newLabel();
+    b.movImm(0, 5);     // 0 entry
+    b.bind(head);
+    b.movImm(1, 1);     // 1 header/body
+    b.isub(0, 0, 1);    // 2
+    b.braNz(0, head);   // 3
+    b.exitKernel();     // 4
+    return b.finalize();
+}
+
+TEST(Loops, DetectsNaturalLoop)
+{
+    const Program p = loopProgram();
+    const Cfg cfg = Cfg::build(p);
+    const DominatorTree doms = DominatorTree::compute(cfg);
+    const auto loops = findLoops(cfg, doms);
+
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].header, cfg.blockOf(1));
+    EXPECT_EQ(loops[0].depth, 1);
+}
+
+TEST(Loops, NestedLoopsHaveDepth)
+{
+    ProgramBuilder b(info());
+    const auto outer = b.newLabel();
+    const auto inner = b.newLabel();
+    b.movImm(0, 3);      // 0
+    b.bind(outer);
+    b.movImm(1, 4);      // 1
+    b.bind(inner);
+    b.movImm(2, 1);      // 2
+    b.isub(1, 1, 2);     // 3
+    b.braNz(1, inner);   // 4
+    b.isub(0, 0, 2);     // 5
+    b.braNz(0, outer);   // 6
+    b.exitKernel();      // 7
+    const Program p = b.finalize();
+
+    const Cfg cfg = Cfg::build(p);
+    const auto loops = findLoops(cfg, DominatorTree::compute(cfg));
+    ASSERT_EQ(loops.size(), 2u);
+
+    int max_depth = 0;
+    for (const auto &loop : loops)
+        max_depth = std::max(max_depth, loop.depth);
+    EXPECT_EQ(max_depth, 2);
+}
+
+TEST(Cfg, BranchTargetsCreateLeaders)
+{
+    const Program p = loopProgram();
+    const Cfg cfg = Cfg::build(p);
+    // Instruction 1 is a branch target: must start a block.
+    EXPECT_EQ(cfg.block(cfg.blockOf(1)).first, 1);
+    // The loop back edge exists.
+    const BasicBlock &latch = cfg.block(cfg.blockOf(3));
+    EXPECT_NE(std::find(latch.succs.begin(), latch.succs.end(),
+                        cfg.blockOf(1)),
+              latch.succs.end());
+}
+
+TEST(Cfg, ConditionalBranchToFallthroughDeduplicated)
+{
+    ProgramBuilder b(info());
+    const auto next = b.newLabel();
+    b.movImm(0, 1);
+    b.braNz(0, next);  // target == fall-through
+    b.bind(next);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    const BasicBlock &first = cfg.block(0);
+    EXPECT_EQ(first.succs.size(), 1u);
+}
+
+} // namespace
+} // namespace rm

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Region-coalescing tests: short gaps between held regions merge
+ * (fewer directives, longer holds), barriers are never swallowed, and
+ * the transformed programs stay valid and equivalent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "compiler/pipeline.hh"
+#include "compiler/regions.hh"
+#include "compiler/validator.hh"
+#include "isa/builder.hh"
+#include "sim/interpreter.hh"
+#include "workloads/suite.hh"
+
+namespace rm {
+namespace {
+
+KernelInfo
+info(int regs = 8)
+{
+    KernelInfo i;
+    i.numRegs = regs;
+    i.ctaThreads = 64;
+    i.gridCtas = 2;
+    return i;
+}
+
+/** Two bursts above bs = 4 separated by a 2-instruction gap. */
+Program
+twoBursts()
+{
+    ProgramBuilder b(info(8));
+    b.movImm(0, 1);    // 0 low
+    b.movImm(5, 2);    // 1 ext burst 1
+    b.iadd(0, 0, 5);   // 2 ext dies
+    b.movImm(1, 3);    // 3 gap (low)
+    b.iadd(0, 0, 1);   // 4 gap (low)
+    b.movImm(6, 4);    // 5 ext burst 2
+    b.iadd(0, 0, 6);   // 6 ext dies
+    b.stGlobal(0, 0);  // 7 low
+    b.exitKernel();    // 8
+    return b.finalize();
+}
+
+TEST(Coalescing, DisabledKeepsTwoRegions)
+{
+    const Program p = twoBursts();
+    const Cfg cfg = Cfg::build(p);
+    const Liveness live = Liveness::compute(p, cfg);
+    InjectionCounts counts;
+    injectDirectives(p, cfg, live, 4, counts, 0);
+    EXPECT_EQ(counts.acquires, 2);
+    EXPECT_EQ(counts.releases, 2);
+}
+
+TEST(Coalescing, GapMergesIntoOneRegion)
+{
+    const Program p = twoBursts();
+    const Cfg cfg = Cfg::build(p);
+    const Liveness live = Liveness::compute(p, cfg);
+    InjectionCounts counts;
+    const Program q = injectDirectives(p, cfg, live, 4, counts, 2);
+    EXPECT_EQ(counts.acquires, 1);
+    EXPECT_EQ(counts.releases, 1);
+
+    Program r = q;
+    r.regmutex.baseRegs = 4;
+    r.regmutex.extRegs = 4;
+    r.info.numRegs = 8;
+    EXPECT_TRUE(validateRegMutex(r).ok);
+    EXPECT_EQ(interpret(p).memDigest, interpret(q).memDigest);
+}
+
+TEST(Coalescing, GapLargerThanLimitStaysSplit)
+{
+    const Program p = twoBursts();
+    const Cfg cfg = Cfg::build(p);
+    const Liveness live = Liveness::compute(p, cfg);
+    InjectionCounts counts;
+    injectDirectives(p, cfg, live, 4, counts, 1);  // gap is 2
+    EXPECT_EQ(counts.acquires, 2);
+}
+
+TEST(Coalescing, NeverSwallowsBarrier)
+{
+    ProgramBuilder b(info(8));
+    b.movImm(0, 1);
+    b.movImm(5, 2);    // ext burst 1
+    b.iadd(0, 0, 5);
+    b.bar();           // barrier in the gap
+    b.movImm(6, 4);    // ext burst 2
+    b.iadd(0, 0, 6);
+    b.stGlobal(0, 0);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    const Liveness live = Liveness::compute(p, cfg);
+    InjectionCounts counts;
+    const Program q = injectDirectives(p, cfg, live, 4, counts, 10);
+    EXPECT_EQ(counts.acquires, 2);  // barrier keeps the regions apart
+
+    Program r = q;
+    r.regmutex.baseRegs = 4;
+    r.regmutex.extRegs = 4;
+    r.info.numRegs = 8;
+    EXPECT_TRUE(validateRegMutex(r).ok);
+}
+
+TEST(Coalescing, PipelineOptionReducesDynamicDirectives)
+{
+    const Program p = buildWorkload("ParticleFilter");
+    const GpuConfig config = gtx480Config();
+    CompileOptions coalesce;
+    coalesce.coalesceGap = 6;
+    const CompileResult plain = compileRegMutex(p, config);
+    const CompileResult merged = compileRegMutex(p, config, coalesce);
+    ASSERT_TRUE(plain.enabled());
+    ASSERT_TRUE(merged.enabled());
+    const InterpResult a = interpret(plain.program);
+    const InterpResult b = interpret(merged.program);
+    EXPECT_LE(b.directiveInstructions, a.directiveInstructions);
+    EXPECT_EQ(a.memDigest, b.memDigest);
+    EXPECT_TRUE(validateRegMutex(merged.program).ok);
+}
+
+} // namespace
+} // namespace rm

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for errors, logging, RNG determinism and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+
+namespace rm {
+namespace {
+
+TEST(Errors, FatalThrowsFatalError)
+{
+    try {
+        fatal("bad config: ", 42);
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad config: 42");
+    }
+}
+
+TEST(Errors, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant"), PanicError);
+}
+
+TEST(Errors, ConditionalHelpers)
+{
+    EXPECT_NO_THROW(fatalIf(false, "x"));
+    EXPECT_THROW(fatalIf(true, "x"), FatalError);
+    EXPECT_NO_THROW(panicIf(false, "x"));
+    EXPECT_THROW(panicIf(true, "x"), PanicError);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+    EXPECT_EQ(rng.uniformInt(3, 3), 3);
+    EXPECT_THROW(rng.uniformInt(2, 1), PanicError);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const double v = rng.uniformDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 4000.0, 0.5, 0.05);
+}
+
+TEST(Table, RendersAlignedText)
+{
+    Table table({"name", "value"});
+    Row row;
+    row << "alpha" << 12;
+    table.addRow(row.take());
+    const std::string text = table.toText();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("12"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table table({"a", "b"});
+    Row row;
+    row << 1 << 2;
+    table.addRow(row.take());
+    EXPECT_EQ(table.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowSizeMismatchFatals)
+{
+    Table table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, CellAccessor)
+{
+    Table table({"a"});
+    table.addRow({"x"});
+    EXPECT_EQ(table.cell(0, 0), "x");
+    EXPECT_THROW(table.cell(1, 0), PanicError);
+}
+
+TEST(Formatting, PercentAndFixed)
+{
+    EXPECT_EQ(percent(0.135), "13.5%");
+    EXPECT_EQ(percent(-0.05, 0), "-5%");
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+TEST(Logging, LevelGate)
+{
+    setLogLevel(LogLevel::Silent);
+    inform("should not crash");
+    warn("nor this");
+    setLogLevel(LogLevel::Warn);
+}
+
+} // namespace
+} // namespace rm

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Compiler passes on adversarial control-flow shapes: held regions
+ * spanning loop boundaries, nested loops with pressure only in the
+ * inner body, webs merging across loop-carried definitions, and the
+ * live-range cutter's conservative refusal cases. Each case is proved
+ * equivalent under the interpreter and valid under the path-sensitive
+ * validator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/liveness.hh"
+#include "common/errors.hh"
+#include "compiler/regions.hh"
+#include "compiler/split.hh"
+#include "compiler/validator.hh"
+#include "compiler/webs.hh"
+#include "isa/builder.hh"
+#include "sim/interpreter.hh"
+
+namespace rm {
+namespace {
+
+KernelInfo
+info(int regs)
+{
+    KernelInfo i;
+    i.numRegs = regs;
+    i.ctaThreads = 64;
+    i.gridCtas = 2;
+    return i;
+}
+
+void
+expectValidAndEquivalent(const Program &original, Program transformed,
+                         int bs)
+{
+    transformed.regmutex.baseRegs = bs;
+    transformed.regmutex.extRegs = transformed.info.numRegs - bs;
+    const ValidationReport report = validateRegMutex(transformed);
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(interpret(original).memDigest,
+              interpret(transformed).memDigest);
+}
+
+/**
+ * A value in the extended range live across the whole loop (defined
+ * before, used after): the loop body must execute held, with the
+ * acquire before the loop and the release after it — exactly one of
+ * each despite the back edge.
+ */
+TEST(CfgCases, LoopLiveThroughExtendedValue)
+{
+    ProgramBuilder b(info(8));
+    const auto head = b.newLabel();
+    b.movImm(6, 42);    // 0: ext def (>= bs=4)
+    b.movImm(0, 3);     // 1: counter
+    b.bind(head);
+    b.movImm(1, 1);     // 2
+    b.isub(0, 0, 1);    // 3
+    b.braNz(0, head);   // 4: r6 live across the back edge
+    b.iadd(2, 6, 6);    // 5: last use of r6
+    b.stGlobal(2, 2);   // 6
+    b.exitKernel();     // 7
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    const Liveness live = Liveness::compute(p, cfg);
+    InjectionCounts counts;
+    const Program q = injectDirectives(p, cfg, live, 4, counts);
+
+    EXPECT_EQ(counts.acquires, 1);  // before the def, outside the loop
+    EXPECT_EQ(counts.releases, 1);  // after the last use
+    expectValidAndEquivalent(p, q, 4);
+}
+
+/**
+ * Nested loops where only the inner body touches extended registers:
+ * the directives stay inside the outer loop (re-acquired per outer
+ * trip) and the program validates.
+ */
+TEST(CfgCases, NestedLoopInnerPressure)
+{
+    ProgramBuilder b(info(8));
+    const auto outer = b.newLabel();
+    const auto inner = b.newLabel();
+    b.movImm(0, 3);      // outer counter
+    b.bind(outer);
+    b.movImm(1, 4);      // inner counter
+    b.bind(inner);
+    b.movImm(5, 9);      // ext def inside the inner body
+    b.iadd(2, 5, 5);     // ext dies here
+    b.movImm(3, 1);
+    b.isub(1, 1, 3);
+    b.braNz(1, inner);
+    b.isub(0, 0, 3);
+    b.braNz(0, outer);
+    b.stGlobal(2, 2);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    const Liveness live = Liveness::compute(p, cfg);
+    InjectionCounts counts;
+    const Program q = injectDirectives(p, cfg, live, 4, counts);
+
+    EXPECT_GE(counts.acquires, 1);
+    EXPECT_GE(counts.releases, 1);
+    expectValidAndEquivalent(p, q, 4);
+
+    // The held region sits inside the loops: the first instruction
+    // must not be an acquire.
+    EXPECT_NE(q.code[0].op, Opcode::RegAcquire);
+}
+
+/**
+ * A diamond whose two arms BOTH use extended registers but the merge
+ * does not: each arm gets its directives (or the region covers the
+ * branch), and the merged path is released on every way in.
+ */
+TEST(CfgCases, DiamondBothArmsHeld)
+{
+    ProgramBuilder b(info(8));
+    const auto arm = b.newLabel();
+    const auto merge = b.newLabel();
+    b.movImm(0, 1);
+    b.braNz(0, arm);
+    b.movImm(5, 2);      // left arm: ext
+    b.iadd(1, 5, 5);
+    b.bra(merge);
+    b.bind(arm);
+    b.movImm(6, 3);      // right arm: ext
+    b.iadd(1, 6, 6);
+    b.bind(merge);
+    b.stGlobal(1, 1);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    const Liveness live = Liveness::compute(p, cfg);
+    InjectionCounts counts;
+    const Program q = injectDirectives(p, cfg, live, 4, counts);
+    EXPECT_GE(counts.acquires, 2);  // one per arm
+    expectValidAndEquivalent(p, q, 4);
+}
+
+/**
+ * Web splitting with a loop-carried merge: the accumulator's def
+ * inside the loop and its init before the loop must stay one web
+ * (the back edge merges them at the header use).
+ */
+TEST(CfgCases, WebsKeepLoopCarriedValuesTogether)
+{
+    ProgramBuilder b(info(8));
+    const auto head = b.newLabel();
+    b.movImm(1, 0);     // 0: acc init (def A)
+    b.movImm(0, 4);     // 1: counter
+    b.bind(head);
+    b.iadd(1, 1, 0);    // 2: acc use + def (def B) — merges with A
+    b.movImm(2, 1);     // 3
+    b.isub(0, 0, 2);    // 4
+    b.braNz(0, head);   // 5
+    b.stGlobal(1, 1);   // 6: uses the merged web
+    b.exitKernel();
+    const Program p = b.finalize();
+    const WebSplit ws = splitWebs(p, Cfg::build(p));
+    // The init def and the loop def must carry the same unit.
+    EXPECT_EQ(ws.program.code[0].dst, ws.program.code[2].dst);
+    EXPECT_EQ(interpret(p).memDigest,
+              interpret(ws.program).memDigest);
+}
+
+/**
+ * The live-range cutter refuses units whose definitions are dominated
+ * by a cut point (renamed uses could read a stale copy) — the
+ * conservative soundness rule.
+ */
+TEST(CfgCases, CutterSkipsUnitsWithDominatedDefs)
+{
+    const int bs = 3;
+    ProgramBuilder b(info(16));
+    b.movImm(0, 1);     // 0: the unit of interest
+    // Pressure burst above bs.
+    b.movImm(1, 2);     // 1
+    b.movImm(2, 3);     // 2
+    b.iadd(3, 1, 2);    // 3: pressure 4 > 3
+    b.stGlobal(3, 3);   // 4
+    b.movImm(0, 5);     // 5: redefinition AFTER the boundary
+    b.iadd(4, 0, 0);    // 6: use of the redefinition
+    b.stGlobal(4, 4);   // 7
+    b.exitKernel();     // 8
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    const WebSplit ws = splitWebs(p, cfg);
+    const Cfg wcfg = Cfg::build(ws.program);
+    const Liveness wlive = Liveness::compute(ws.program, wcfg);
+    const DominatorTree doms = DominatorTree::compute(wcfg);
+    std::vector<bool> at_risk(ws.numUnits, true);
+    const SplitResult cut =
+        cutLiveRanges(ws.program, wcfg, wlive, doms, at_risk, bs);
+    // Whatever it cut (possibly nothing), semantics are intact.
+    EXPECT_EQ(interpret(p).memDigest,
+              interpret(cut.program).memDigest);
+}
+
+/** Unreachable code does not derail the validator. */
+TEST(CfgCases, ValidatorToleratesUnreachableCode)
+{
+    ProgramBuilder b(info(8));
+    const auto end = b.newLabel();
+    b.regAcquire();
+    b.movImm(5, 1);
+    b.stGlobal(5, 5);
+    b.regRelease();
+    b.bra(end);
+    b.movImm(6, 2);  // unreachable ext access: never executed
+    b.bind(end);
+    b.exitKernel();
+    Program p = b.finalize();
+    p.info.numRegs = 8;
+    p.regmutex.baseRegs = 4;
+    p.regmutex.extRegs = 4;
+    const ValidationReport report = validateRegMutex(p);
+    EXPECT_TRUE(report.ok) << report.error;
+}
+
+/** Release on one arm only: the merge state is Mixed; a later
+ *  extended access must be rejected. */
+TEST(CfgCases, ValidatorCatchesMixedStateAccess)
+{
+    ProgramBuilder b(info(8));
+    const auto arm = b.newLabel();
+    const auto merge = b.newLabel();
+    b.regAcquire();
+    b.movImm(0, 1);
+    b.braNz(0, arm);
+    b.regRelease();      // released on the fall-through arm only
+    b.bra(merge);
+    b.bind(arm);
+    b.nop();
+    b.bind(merge);
+    b.movImm(5, 2);      // ext access under Mixed state
+    b.stGlobal(5, 5);
+    b.exitKernel();
+    Program p = b.finalize();
+    p.info.numRegs = 8;
+    p.regmutex.baseRegs = 4;
+    p.regmutex.extRegs = 4;
+    EXPECT_FALSE(validateRegMutex(p).ok);
+}
+
+} // namespace
+} // namespace rm

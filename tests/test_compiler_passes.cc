@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the individual compiler passes: program editing, web
+ * splitting, compaction coloring and live-range cutting. Functional
+ * preservation is checked against the reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/liveness.hh"
+#include "compiler/coloring.hh"
+#include "compiler/edit.hh"
+#include "compiler/split.hh"
+#include "compiler/webs.hh"
+#include "isa/builder.hh"
+#include "sim/interpreter.hh"
+
+namespace rm {
+namespace {
+
+KernelInfo
+info(int regs = 8)
+{
+    KernelInfo i;
+    i.numRegs = regs;
+    i.ctaThreads = 64;
+    i.gridCtas = 2;
+    return i;
+}
+
+/** Two programs are equivalent when their observable effects match. */
+void
+expectEquivalent(const Program &a, const Program &b)
+{
+    const InterpResult ra = interpret(a);
+    const InterpResult rb = interpret(b);
+    EXPECT_EQ(ra.memDigest, rb.memDigest);
+    EXPECT_EQ(ra.storeDigest, rb.storeDigest);
+}
+
+TEST(Edit, InsertBeforeFixesBranchTargets)
+{
+    ProgramBuilder b(info());
+    const auto head = b.newLabel();
+    b.movImm(0, 3);     // 0
+    b.bind(head);
+    b.movImm(1, 1);     // 1 <- loop target
+    b.isub(0, 0, 1);    // 2
+    b.braNz(0, head);   // 3
+    b.exitKernel();     // 4
+    const Program p = b.finalize();
+
+    std::vector<std::vector<Instruction>> before(p.size());
+    before[1].push_back(makeAcquire());
+    const Program q = insertBefore(p, before);
+
+    ASSERT_EQ(q.size(), 6u);
+    EXPECT_EQ(q.code[1].op, Opcode::RegAcquire);
+    // The back edge must now target the inserted acquire.
+    EXPECT_EQ(q.code[4].op, Opcode::BraNz);
+    EXPECT_EQ(q.code[4].target, 1);
+}
+
+TEST(Edit, StripDirectivesRemovesAndRetargets)
+{
+    ProgramBuilder b(info());
+    const auto head = b.newLabel();
+    b.movImm(0, 3);     // 0
+    b.bind(head);
+    b.regAcquire();     // 1 <- loop target
+    b.movImm(1, 1);     // 2
+    b.regRelease();     // 3
+    b.isub(0, 0, 1);    // 4
+    b.braNz(0, head);   // 5
+    b.exitKernel();     // 6
+    const Program p = b.finalize();
+
+    const Program q = stripDirectives(p);
+    ASSERT_EQ(q.size(), 5u);
+    for (const auto &inst : q.code) {
+        EXPECT_NE(inst.op, Opcode::RegAcquire);
+        EXPECT_NE(inst.op, Opcode::RegRelease);
+    }
+    // Back edge retargets to the first kept instruction of the loop.
+    EXPECT_EQ(q.code[3].target, 1);
+}
+
+TEST(Webs, SplitsIndependentReuses)
+{
+    // r0 hosts two unrelated values; webs must separate them.
+    ProgramBuilder b(info());
+    b.movImm(0, 1);    // web A
+    b.stGlobal(0, 0);  // last use of web A
+    b.movImm(0, 2);    // web B (same architected register)
+    b.stGlobal(0, 0, 8);
+    b.exitKernel();
+    const Program p = b.finalize();
+
+    const WebSplit ws = splitWebs(p, Cfg::build(p));
+    EXPECT_NE(ws.program.code[0].dst, ws.program.code[2].dst);
+    EXPECT_EQ(ws.originalReg[ws.program.code[0].dst], 0);
+    EXPECT_EQ(ws.originalReg[ws.program.code[2].dst], 0);
+    expectEquivalent(p, ws.program);
+}
+
+TEST(Webs, MergesDefsReachingCommonUse)
+{
+    // Both arms define r1; the merge uses it: one web.
+    ProgramBuilder b(info());
+    const auto arm = b.newLabel();
+    const auto merge = b.newLabel();
+    b.movImm(0, 1);
+    b.braNz(0, arm);
+    b.movImm(1, 10);
+    b.bra(merge);
+    b.bind(arm);
+    b.movImm(1, 20);
+    b.bind(merge);
+    b.stGlobal(1, 1);
+    b.exitKernel();
+    const Program p = b.finalize();
+
+    const WebSplit ws = splitWebs(p, Cfg::build(p));
+    EXPECT_EQ(ws.program.code[2].dst, ws.program.code[4].dst);
+    expectEquivalent(p, ws.program);
+}
+
+TEST(Webs, EntryValueReadIsSound)
+{
+    // Reading a never-written register yields the entry value zero;
+    // web renaming must preserve that.
+    ProgramBuilder b(info());
+    b.iadd(1, 0, 0);   // r0 never defined
+    b.stGlobal(1, 1);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const WebSplit ws = splitWebs(p, Cfg::build(p));
+    expectEquivalent(p, ws.program);
+}
+
+TEST(Coloring, PacksLowPressureValuesLow)
+{
+    // A long-lived value in a high register plus short-lived burst
+    // temps: after coloring the long-lived value must sit at a low
+    // index.
+    ProgramBuilder b(info(8));
+    b.movImm(7, 42);   // long-lived, original index 7
+    b.movImm(1, 1);
+    b.movImm(2, 2);
+    b.iadd(3, 1, 2);
+    b.stGlobal(3, 3);
+    b.stGlobal(7, 7, 8);  // last use of the long-lived value
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    const Liveness live = Liveness::compute(p, cfg);
+
+    const ColoringResult cr = colorProgram(p, cfg, live, 8);
+    ASSERT_FALSE(cr.fallback);
+    // Peak pressure is 3; three colors suffice.
+    EXPECT_LE(cr.colorsUsed, 3);
+    expectEquivalent(p, cr.program);
+}
+
+TEST(Coloring, PreservesInterference)
+{
+    // Values live simultaneously must keep distinct registers.
+    ProgramBuilder b(info(8));
+    b.movImm(4, 1);
+    b.movImm(5, 2);
+    b.movImm(6, 3);
+    b.iadd(7, 4, 5);
+    b.iadd(7, 7, 6);
+    b.stGlobal(7, 7);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    const ColoringResult cr =
+        colorProgram(p, cfg, Liveness::compute(p, cfg), 8);
+    ASSERT_FALSE(cr.fallback);
+    const auto &c = cr.program.code;
+    EXPECT_NE(c[0].dst, c[1].dst);
+    EXPECT_NE(c[1].dst, c[2].dst);
+    EXPECT_NE(c[0].dst, c[2].dst);
+    expectEquivalent(p, cr.program);
+}
+
+TEST(Coloring, FallbackWhenBudgetTooSmall)
+{
+    ProgramBuilder b(info(8));
+    b.movImm(0, 1);
+    b.movImm(1, 2);
+    b.movImm(2, 3);
+    b.iadd(3, 0, 1);
+    b.iadd(3, 3, 2);
+    b.stGlobal(3, 3);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    // Peak pressure 3 but budget 2: must fall back, not miscompile.
+    const ColoringResult cr =
+        colorProgram(p, cfg, Liveness::compute(p, cfg), 2);
+    EXPECT_TRUE(cr.fallback);
+    expectEquivalent(p, cr.program);
+}
+
+/**
+ * Live-range cutting: a value defined at low pressure and consumed
+ * after a high-pressure burst is cut at the pressure boundaries so the
+ * pieces can be colored independently.
+ */
+TEST(Split, CutsAcrossPressureBoundary)
+{
+    const int bs = 4;
+    ProgramBuilder b(info(16));
+    b.movImm(0, 42);    // the crossing value
+    // Burst: pressure above bs.
+    b.movImm(1, 1);
+    b.movImm(2, 2);
+    b.movImm(3, 3);
+    b.movImm(4, 4);
+    b.iadd(5, 1, 2);
+    b.iadd(5, 5, 3);
+    b.iadd(5, 5, 4);
+    b.stGlobal(5, 5);
+    // Low-pressure tail still using r0.
+    b.iadd(6, 0, 0);
+    b.stGlobal(6, 6, 8);
+    b.exitKernel();
+    const Program p = b.finalize();
+
+    const Cfg cfg = Cfg::build(p);
+    const WebSplit ws = splitWebs(p, cfg);
+    const Cfg wcfg = Cfg::build(ws.program);
+    const Liveness wlive = Liveness::compute(ws.program, wcfg);
+    const DominatorTree doms = DominatorTree::compute(wcfg);
+
+    std::vector<bool> at_risk(ws.numUnits, true);
+    const SplitResult cut =
+        cutLiveRanges(ws.program, wcfg, wlive, doms, at_risk, bs);
+    EXPECT_GT(cut.cuts, 0);
+    expectEquivalent(p, cut.program);
+}
+
+TEST(Split, LoopCarriedValueStaysCorrect)
+{
+    // A loop-carried accumulator crossing pressure boundaries inside
+    // the loop: cutting must not change the result.
+    const int bs = 5;
+    ProgramBuilder b(info(16));
+    const auto head = b.newLabel();
+    b.movImm(0, 6);     // counter
+    b.movImm(1, 0);     // accumulator (loop-carried)
+    b.bind(head);
+    // Burst raising pressure above bs.
+    b.movImm(2, 1);
+    b.movImm(3, 2);
+    b.movImm(4, 3);
+    b.movImm(5, 4);
+    b.iadd(6, 2, 3);
+    b.iadd(6, 6, 4);
+    b.iadd(6, 6, 5);
+    b.iadd(1, 1, 6);    // fold into the accumulator
+    b.movImm(7, 1);
+    b.isub(0, 0, 7);
+    b.braNz(0, head);
+    b.stGlobal(1, 1);
+    b.exitKernel();
+    const Program p = b.finalize();
+
+    const Cfg cfg = Cfg::build(p);
+    const WebSplit ws = splitWebs(p, cfg);
+    const Cfg wcfg = Cfg::build(ws.program);
+    const Liveness wlive = Liveness::compute(ws.program, wcfg);
+    const DominatorTree doms = DominatorTree::compute(wcfg);
+    std::vector<bool> at_risk(ws.numUnits, true);
+    const SplitResult cut =
+        cutLiveRanges(ws.program, wcfg, wlive, doms, at_risk, bs);
+    expectEquivalent(p, cut.program);
+}
+
+TEST(Split, CountWastedHeld)
+{
+    ProgramBuilder b(info(8));
+    b.movImm(6, 1);     // high register live at low pressure
+    b.movImm(0, 2);
+    b.iadd(0, 0, 6);
+    b.stGlobal(0, 0);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    EXPECT_GT(countWastedHeld(p, live, 4), 0);
+    EXPECT_EQ(countWastedHeld(p, live, 7), 0);
+}
+
+} // namespace
+} // namespace rm

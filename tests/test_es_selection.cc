@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Extended-set size selection tests, anchored on the paper's worked
+ * example (Sec. III-A2): a 24-register kernel on the GTX480 yields
+ * candidates {2, 4, 6, 8}; {4, 6, 8} reach full occupancy with 16, 26
+ * and 32 SRP sections; |Es| = 6 is chosen (26 sections exceed half of
+ * the 48 resident warps, 16 do not).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "common/errors.hh"
+#include "compiler/es_selection.hh"
+#include "isa/builder.hh"
+
+namespace rm {
+namespace {
+
+/**
+ * A kernel demanding @p regs registers with @p cta_threads threads per
+ * CTA; a burst touches every register so maxLive == regs.
+ */
+Program
+kernelWithRegs(int regs, int cta_threads, bool with_barrier = false,
+               int live_at_barrier = 0)
+{
+    KernelInfo info;
+    info.numRegs = regs;
+    info.ctaThreads = cta_threads;
+    info.gridCtas = 15;
+    ProgramBuilder b(info);
+    for (int r = 0; r < regs; ++r)
+        b.movImm(static_cast<RegId>(r), r);
+    for (int r = 1; r < regs; ++r)
+        b.iadd(0, 0, static_cast<RegId>(r));
+    if (with_barrier) {
+        // live_at_barrier values span the barrier.
+        for (int r = 1; r < live_at_barrier; ++r)
+            b.movImm(static_cast<RegId>(r), r);
+        b.bar();
+        for (int r = 1; r < live_at_barrier; ++r)
+            b.iadd(0, 0, static_cast<RegId>(r));
+    }
+    b.stGlobal(0, 0);
+    b.exitKernel();
+    return b.finalize();
+}
+
+TEST(EsSelection, PaperWorkedExample)
+{
+    // 24 registers, 512-thread CTAs: register-limited at 2 CTAs
+    // (32 warps); |Bs| = 18 restores 3 CTAs (48 warps).
+    const GpuConfig config = gtx480Config();
+    const Program p = kernelWithRegs(24, 512);
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    const EsSelection sel = selectExtendedSet(p, config, live);
+
+    // Candidate set {2, 4, 6, 8} from 24 x {0.1 .. 0.35}.
+    std::vector<int> sizes;
+    for (const auto &cand : sel.candidates)
+        sizes.push_back(cand.es);
+    EXPECT_EQ(sizes, (std::vector<int>{2, 4, 6, 8}));
+
+    ASSERT_TRUE(sel.enabled());
+    EXPECT_EQ(sel.es, 6);
+    EXPECT_EQ(sel.bs, 18);
+    EXPECT_EQ(sel.occupancy.warpsPerSm, 48);
+    EXPECT_EQ(sel.srpSections, 26);  // (32768 - 48*32*18) / (6*32)
+
+    // The worked example's section counts for the full-occupancy
+    // candidates.
+    for (const auto &cand : sel.candidates) {
+        if (cand.es == 4) {
+            EXPECT_EQ(cand.srpSections, 16);
+        }
+        if (cand.es == 8) {
+            EXPECT_EQ(cand.srpSections, 32);
+        }
+    }
+}
+
+TEST(EsSelection, HalfRulePicksSmallestPassing)
+{
+    const GpuConfig config = gtx480Config();
+    const Program p = kernelWithRegs(24, 512);
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    const EsSelection sel = selectExtendedSet(p, config, live);
+    // |Es| = 4 reaches full occupancy but fails the half rule
+    // (16 sections vs 24 needed); 6 is the smallest passing.
+    bool found4 = false;
+    for (const auto &cand : sel.candidates) {
+        if (cand.es == 4) {
+            found4 = true;
+            EXPECT_EQ(cand.warpsPerSm, 48);
+            EXPECT_FALSE(cand.passesHalfRule);
+        }
+        if (cand.es == 6) {
+            EXPECT_TRUE(cand.passesHalfRule);
+        }
+    }
+    EXPECT_TRUE(found4);
+}
+
+TEST(EsSelection, NotRegisterLimitedDisables)
+{
+    const GpuConfig config = gtx480Config();
+    // 12 registers, 192-thread CTAs: CTA-slot limited.
+    const Program p = kernelWithRegs(12, 192);
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    const EsSelection sel = selectExtendedSet(p, config, live);
+    EXPECT_FALSE(sel.enabled());
+    EXPECT_EQ(sel.es, 0);
+}
+
+TEST(EsSelection, BarrierRuleExcludesSmallBase)
+{
+    const GpuConfig config = gtx480Config();
+    // 24-register kernel with 20 values live at a barrier: |Bs| must
+    // be >= 20, so only |Es| = 2 or 4 remain viable.
+    const Program p = kernelWithRegs(24, 512, true, 20);
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    const EsSelection sel = selectExtendedSet(p, config, live);
+    EXPECT_GE(sel.maxLiveAtBarrier, 20);
+    for (const auto &cand : sel.candidates) {
+        if (cand.bs < sel.maxLiveAtBarrier) {
+            EXPECT_FALSE(cand.viable);
+        }
+    }
+    if (sel.enabled()) {
+        EXPECT_GE(sel.bs, sel.maxLiveAtBarrier);
+    }
+}
+
+TEST(EsSelection, DeadlockRuleGuaranteesOneSection)
+{
+    const GpuConfig config = gtx480Config();
+    const Program p = kernelWithRegs(24, 512);
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    const EsSelection sel = selectExtendedSet(p, config, live);
+    for (const auto &cand : sel.candidates) {
+        if (cand.viable) {
+            EXPECT_GE(cand.srpSections, 1);
+        }
+    }
+}
+
+TEST(EsSelection, EvaluateCandidateManualSweep)
+{
+    const GpuConfig config = gtx480Config();
+    const Program p = kernelWithRegs(24, 512);
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    const EsCandidate cand = evaluateCandidate(p, config, live, 6);
+    EXPECT_EQ(cand.bs, 18);
+    EXPECT_EQ(cand.warpsPerSm, 48);
+    EXPECT_THROW(evaluateCandidate(p, config, live, 0), FatalError);
+    EXPECT_THROW(evaluateCandidate(p, config, live, 24), FatalError);
+}
+
+TEST(EsSelection, RankedOrderIsOccupancyThenHalfRuleThenSize)
+{
+    const GpuConfig config = gtx480Config();
+    const Program p = kernelWithRegs(24, 512);
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    const EsSelection sel = selectExtendedSet(p, config, live);
+    ASSERT_GE(sel.ranked.size(), 2u);
+    EXPECT_EQ(sel.ranked.front().es, 6);
+    for (std::size_t i = 1; i < sel.ranked.size(); ++i) {
+        EXPECT_GE(sel.ranked[i - 1].warpsPerSm,
+                  sel.ranked[i].warpsPerSm);
+    }
+}
+
+} // namespace
+} // namespace rm

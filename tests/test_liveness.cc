@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Liveness dataflow tests, including the paper's Figure 3 scenario:
+ * conservative liveness across divergent branches — a register defined
+ * before a branch and used in one arm is live through both arms, and a
+ * register defined in one arm and used at the post-dominator is live
+ * in the other arm too.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "isa/builder.hh"
+
+namespace rm {
+namespace {
+
+KernelInfo
+info(int regs = 8)
+{
+    KernelInfo i;
+    i.numRegs = regs;
+    i.ctaThreads = 64;
+    return i;
+}
+
+TEST(Liveness, StraightLineLiveRange)
+{
+    ProgramBuilder b(info());
+    b.movImm(0, 1);   // 0: def r0
+    b.movImm(1, 2);   // 1: def r1
+    b.iadd(2, 0, 1);  // 2: last use of r0, r1; def r2
+    b.stGlobal(2, 2); // 3: last use of r2
+    b.exitKernel();   // 4
+    const Program p = b.finalize();
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+
+    EXPECT_FALSE(live.isLiveIn(0, 0));
+    EXPECT_TRUE(live.isLiveOut(0, 0));
+    EXPECT_TRUE(live.isLiveIn(2, 0));
+    EXPECT_FALSE(live.isLiveOut(2, 0));  // r0 dies at 2
+    EXPECT_TRUE(live.isLiveOut(2, 2));
+    EXPECT_FALSE(live.isLiveOut(3, 2));
+    EXPECT_EQ(live.liveCount(4), 0);     // nothing live at exit
+}
+
+TEST(Liveness, MaxLiveCount)
+{
+    ProgramBuilder b(info());
+    b.movImm(0, 1);
+    b.movImm(1, 2);
+    b.movImm(2, 3);
+    b.iadd(3, 0, 1);   // r0,r1,r2 live here
+    b.iadd(3, 3, 2);
+    b.stGlobal(3, 3);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    EXPECT_EQ(live.maxLiveCount(), 3);
+}
+
+/**
+ * Paper Fig. 3 analogue:
+ *   s1: def r1; use r1; def r3; def r2(left arm?); branch
+ *   left  (s2): use r3
+ *   right (s3): def r2
+ *   merge: use r2
+ * R3 (defined before the branch, used only in s2) must be live into
+ * the branch; R2 (defined in s3, used at the merge) must be live
+ * through s2 as well because the merge may be reached from s2 with
+ * the pre-branch value.
+ */
+TEST(Liveness, ConservativeAcrossDivergence)
+{
+    ProgramBuilder b(info());
+    const auto s3 = b.newLabel();
+    const auto merge = b.newLabel();
+    b.movImm(1, 10);   // 0: def r1
+    b.movImm(3, 30);   // 1: def r3
+    b.movImm(2, 20);   // 2: def r2 (pre-branch value)
+    b.braNz(1, s3);    // 3: branch on r1
+    b.iadd(4, 3, 3);   // 4: s2 — use r3
+    b.bra(merge);      // 5
+    b.bind(s3);
+    b.movImm(2, 21);   // 6: s3 — redefine r2
+    b.bind(merge);
+    b.stGlobal(2, 2);  // 7: merge — use r2
+    b.exitKernel();    // 8
+    const Program p = b.finalize();
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+
+    // r3 live at the branch (used in one arm only).
+    EXPECT_TRUE(live.isLiveIn(3, 3));
+    // r3 dead in the s3 arm.
+    EXPECT_FALSE(live.isLiveIn(6, 3));
+    // r2 live through the s2 arm (merge uses it; s2 does not define it).
+    EXPECT_TRUE(live.isLiveIn(4, 2));
+    EXPECT_TRUE(live.isLiveOut(5, 2));
+    // r2 NOT live into instruction 6 (it is redefined there).
+    EXPECT_FALSE(live.isLiveIn(6, 2));
+    // And live at the branch itself: both arms may need it.
+    EXPECT_TRUE(live.isLiveIn(3, 2));
+}
+
+TEST(Liveness, LoopCarriedValueLiveAroundBackEdge)
+{
+    ProgramBuilder b(info());
+    const auto head = b.newLabel();
+    b.movImm(0, 5);    // 0: counter
+    b.movImm(1, 0);    // 1: accumulator
+    b.bind(head);
+    b.iadd(1, 1, 0);   // 2: acc += counter
+    b.movImm(2, 1);    // 3
+    b.isub(0, 0, 2);   // 4
+    b.braNz(0, head);  // 5
+    b.stGlobal(1, 1);  // 6
+    b.exitKernel();    // 7
+    const Program p = b.finalize();
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+
+    // The accumulator is live across the back edge.
+    EXPECT_TRUE(live.isLiveOut(5, 1));
+    EXPECT_TRUE(live.isLiveIn(2, 1));
+    // The counter is live throughout the loop but dead after it.
+    EXPECT_TRUE(live.isLiveOut(5, 0));
+    EXPECT_FALSE(live.isLiveIn(6, 0));
+}
+
+TEST(Liveness, DeadDefIsNotLive)
+{
+    ProgramBuilder b(info());
+    b.movImm(0, 1);   // dead def: never used
+    b.movImm(1, 2);
+    b.stGlobal(1, 1);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    EXPECT_FALSE(live.isLiveOut(0, 0));
+}
+
+TEST(Liveness, TimelineMatchesTrace)
+{
+    ProgramBuilder b(info(4));
+    b.movImm(0, 1);    // 0: live-in {}
+    b.movImm(1, 2);    // 1: live-in {r0}
+    b.iadd(2, 0, 1);   // 2: live-in {r0, r1}
+    b.stGlobal(2, 2);  // 3: live-in {r2}
+    b.exitKernel();    // 4
+    const Program p = b.finalize();
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+
+    const std::vector<int> trace{0, 1, 2, 3, 4};
+    const auto series = livenessTimeline(live, trace, 4);
+    ASSERT_EQ(series.size(), 5u);
+    EXPECT_DOUBLE_EQ(series[0], 0.0);
+    EXPECT_DOUBLE_EQ(series[1], 0.25);
+    EXPECT_DOUBLE_EQ(series[2], 0.5);
+    EXPECT_DOUBLE_EQ(series[3], 0.25);
+    EXPECT_DOUBLE_EQ(series[4], 0.0);
+}
+
+TEST(Liveness, CountsVectorMatchesPerInstruction)
+{
+    ProgramBuilder b(info());
+    b.movImm(0, 1);
+    b.stGlobal(0, 0);
+    b.exitKernel();
+    const Program p = b.finalize();
+    const Liveness live = Liveness::compute(p, Cfg::build(p));
+    const auto counts = live.liveCounts();
+    ASSERT_EQ(counts.size(), p.size());
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        EXPECT_EQ(counts[i], live.liveCount(static_cast<int>(i)));
+}
+
+} // namespace
+} // namespace rm

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the synthetic global/shared memories and the functional
+ * instruction semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hh"
+#include "sim/memory.hh"
+#include "sim/semantics.hh"
+
+namespace rm {
+namespace {
+
+TEST(GlobalMemory, StoreConsistent)
+{
+    GlobalMemory mem(10);
+    mem.store(123, 42);
+    EXPECT_EQ(mem.load(123), 42);
+}
+
+TEST(GlobalMemory, AddressesWrap)
+{
+    GlobalMemory mem(10);  // 1024 words
+    mem.store(5, 7);
+    EXPECT_EQ(mem.load(5 + 1024), 7);
+}
+
+TEST(GlobalMemory, DeterministicInitialContents)
+{
+    GlobalMemory a(10, 99), b(10, 99);
+    for (std::uint64_t addr = 0; addr < 64; ++addr)
+        EXPECT_EQ(a.load(addr), b.load(addr));
+    GlobalMemory c(10, 100);
+    int same = 0;
+    for (std::uint64_t addr = 0; addr < 64; ++addr)
+        same += a.load(addr) == c.load(addr);
+    EXPECT_LT(same, 4);
+}
+
+TEST(GlobalMemory, DigestReflectsContents)
+{
+    GlobalMemory a(8, 1), b(8, 1);
+    EXPECT_EQ(a.digest(), b.digest());
+    b.store(17, 1234567);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(GlobalMemory, RejectsBadSize)
+{
+    EXPECT_THROW(GlobalMemory(1), FatalError);
+    EXPECT_THROW(GlobalMemory(40), FatalError);
+}
+
+TEST(SharedMemory, ZeroInitialisedAndWraps)
+{
+    SharedMemory mem(64);  // 8 words
+    EXPECT_EQ(mem.load(3), 0);
+    mem.store(3, 9);
+    EXPECT_EQ(mem.load(3 + 8), 9);
+}
+
+TEST(SharedMemory, ZeroBytesStillOneWord)
+{
+    SharedMemory mem(0);
+    EXPECT_EQ(mem.sizeWords(), 1u);
+    mem.store(42, 5);
+    EXPECT_EQ(mem.load(0), 5);
+}
+
+class SemanticsTest : public ::testing::Test
+{
+  protected:
+    SemanticsTest() : gmem(10), smem(64)
+    {
+        program.info.numRegs = 8;
+        program.info.ctaThreads = 64;
+        regs.assign(8, 0);
+        sregs = SpecialRegs::forWarp(program.info, 3, 1, 32);
+    }
+
+    StepResult
+    run(Instruction inst)
+    {
+        program.code = {inst};
+        return executeStep(program, 0, regs, sregs, gmem, smem);
+    }
+
+    Program program;
+    std::vector<std::int64_t> regs;
+    SpecialRegs sregs;
+    GlobalMemory gmem;
+    SharedMemory smem;
+};
+
+Instruction
+make3(Opcode op, RegId d, RegId a, RegId b)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.dst = d;
+    inst.srcs[0] = a;
+    inst.srcs[1] = b;
+    inst.numSrcs = 2;
+    return inst;
+}
+
+TEST_F(SemanticsTest, IntegerAlu)
+{
+    regs[1] = 7;
+    regs[2] = 5;
+    run(make3(Opcode::IAdd, 0, 1, 2));
+    EXPECT_EQ(regs[0], 12);
+    run(make3(Opcode::ISub, 0, 1, 2));
+    EXPECT_EQ(regs[0], 2);
+    run(make3(Opcode::IMul, 0, 1, 2));
+    EXPECT_EQ(regs[0], 35);
+    run(make3(Opcode::IMin, 0, 1, 2));
+    EXPECT_EQ(regs[0], 5);
+    run(make3(Opcode::IMax, 0, 1, 2));
+    EXPECT_EQ(regs[0], 7);
+    run(make3(Opcode::Xor, 0, 1, 2));
+    EXPECT_EQ(regs[0], 2);
+    run(make3(Opcode::Shl, 0, 1, 2));
+    EXPECT_EQ(regs[0], 224);
+}
+
+TEST_F(SemanticsTest, ShiftCountMasked)
+{
+    regs[1] = 1;
+    regs[2] = 65;  // masked to 1
+    run(make3(Opcode::Shl, 0, 1, 2));
+    EXPECT_EQ(regs[0], 2);
+}
+
+TEST_F(SemanticsTest, SetpComparisons)
+{
+    regs[1] = 3;
+    regs[2] = 4;
+    Instruction inst = make3(Opcode::Setp, 0, 1, 2);
+    inst.imm = static_cast<std::int64_t>(CmpOp::Lt);
+    run(inst);
+    EXPECT_EQ(regs[0], 1);
+    inst.imm = static_cast<std::int64_t>(CmpOp::Ge);
+    run(inst);
+    EXPECT_EQ(regs[0], 0);
+}
+
+TEST_F(SemanticsTest, SelPicksByCondition)
+{
+    regs[1] = 1;
+    regs[2] = 10;
+    regs[3] = 20;
+    Instruction inst;
+    inst.op = Opcode::Sel;
+    inst.dst = 0;
+    inst.srcs = {1, 2, 3};
+    inst.numSrcs = 3;
+    run(inst);
+    EXPECT_EQ(regs[0], 10);
+    regs[1] = 0;
+    run(inst);
+    EXPECT_EQ(regs[0], 20);
+}
+
+TEST_F(SemanticsTest, SpecialRegisters)
+{
+    Instruction inst;
+    inst.op = Opcode::ReadSreg;
+    inst.dst = 0;
+    inst.imm = static_cast<std::int64_t>(SpecialReg::CtaId);
+    run(inst);
+    EXPECT_EQ(regs[0], 3);
+    inst.imm = static_cast<std::int64_t>(SpecialReg::WarpInCta);
+    run(inst);
+    EXPECT_EQ(regs[0], 1);
+    inst.imm = static_cast<std::int64_t>(SpecialReg::WarpsPerCta);
+    run(inst);
+    EXPECT_EQ(regs[0], 2);  // 64 threads / 32
+}
+
+TEST_F(SemanticsTest, GlobalLoadStoreRoundTrip)
+{
+    regs[1] = 100;
+    regs[2] = 77;
+    Instruction st;
+    st.op = Opcode::StGlobal;
+    st.srcs[0] = 1;
+    st.srcs[1] = 2;
+    st.numSrcs = 2;
+    st.imm = 4;
+    const StepResult st_result = run(st);
+    EXPECT_TRUE(st_result.memAccess);
+    EXPECT_TRUE(st_result.memIsGlobal);
+    EXPECT_FALSE(st_result.memIsLoad);
+    EXPECT_EQ(st_result.memAddr, 104u);
+
+    Instruction ld;
+    ld.op = Opcode::LdGlobal;
+    ld.dst = 0;
+    ld.srcs[0] = 1;
+    ld.numSrcs = 1;
+    ld.imm = 4;
+    const StepResult ld_result = run(ld);
+    EXPECT_TRUE(ld_result.memIsLoad);
+    EXPECT_EQ(regs[0], 77);
+}
+
+TEST_F(SemanticsTest, BranchesSetNextPc)
+{
+    program.code.clear();
+    Instruction bra;
+    bra.op = Opcode::BraNz;
+    bra.srcs[0] = 1;
+    bra.numSrcs = 1;
+    bra.target = 0;
+    Instruction ex;
+    ex.op = Opcode::Exit;
+    program.code = {bra, ex};
+
+    regs[1] = 1;
+    auto taken = executeStep(program, 0, regs, sregs, gmem, smem);
+    EXPECT_EQ(taken.nextPc, 0);
+    regs[1] = 0;
+    auto fall = executeStep(program, 0, regs, sregs, gmem, smem);
+    EXPECT_EQ(fall.nextPc, 1);
+
+    auto exit = executeStep(program, 1, regs, sregs, gmem, smem);
+    EXPECT_TRUE(exit.exited);
+}
+
+TEST_F(SemanticsTest, DirectiveAndBarrierFlags)
+{
+    Instruction acq;
+    acq.op = Opcode::RegAcquire;
+    EXPECT_TRUE(run(acq).acquire);
+    Instruction rel;
+    rel.op = Opcode::RegRelease;
+    EXPECT_TRUE(run(rel).release);
+    Instruction bar;
+    bar.op = Opcode::Bar;
+    EXPECT_TRUE(run(bar).barrier);
+}
+
+TEST_F(SemanticsTest, SfuOpsDeterministic)
+{
+    regs[1] = 12345;
+    Instruction inst;
+    inst.op = Opcode::FRcp;
+    inst.dst = 0;
+    inst.srcs[0] = 1;
+    inst.numSrcs = 1;
+    run(inst);
+    const std::int64_t first = regs[0];
+    run(inst);
+    EXPECT_EQ(regs[0], first);
+    EXPECT_NE(first, 12345);
+}
+
+} // namespace
+} // namespace rm

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Occupancy-calculator tests against hand-computed GTX480 values,
+ * including the paper's worked example (Sec. III-A2): a 24-register
+ * kernel supports at most 20 registers per thread at full occupancy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hh"
+#include "sim/config.hh"
+#include "sim/occupancy.hh"
+
+namespace rm {
+namespace {
+
+TEST(Config, Gtx480Defaults)
+{
+    const GpuConfig c = gtx480Config();
+    EXPECT_EQ(c.numSms, 15);
+    EXPECT_EQ(c.registersPerSm, 32768);  // 128 KB of 32-bit registers
+    EXPECT_EQ(c.maxWarpsPerSm, 48);
+    EXPECT_EQ(c.maxCtasPerSm, 8);
+    EXPECT_EQ(c.maxThreadsPerSm, 1536);
+    EXPECT_EQ(c.sharedMemPerSm, 49152);
+    EXPECT_EQ(c.numSchedulers, 2);
+    EXPECT_EQ(c.schedPolicy, SchedPolicy::Gto);
+}
+
+TEST(Config, HalfRegisterFile)
+{
+    const GpuConfig c = halfRegisterFile(gtx480Config());
+    EXPECT_EQ(c.registersPerSm, 16384);  // 64 KB
+    EXPECT_EQ(c.maxWarpsPerSm, 48);      // everything else unchanged
+}
+
+TEST(Occupancy, RoundRegsGranularity)
+{
+    const GpuConfig c = gtx480Config();
+    EXPECT_EQ(roundRegs(c, 21), 24);
+    EXPECT_EQ(roundRegs(c, 24), 24);
+    EXPECT_EQ(roundRegs(c, 25), 28);
+    EXPECT_EQ(roundRegs(c, 33), 36);
+    EXPECT_EQ(roundRegs(c, 1), 4);
+}
+
+TEST(Occupancy, PaperWorkedExampleTwentyRegisters)
+{
+    // Sec. III-A2: 20 regs/thread does not limit occupancy (48 warps
+    // of 32 threads use 30720 of 32768 registers); 24 does.
+    const GpuConfig c = gtx480Config();
+    const Occupancy at20 = computeOccupancy(c, 20, 32, 0);
+    EXPECT_EQ(at20.warpsPerSm, 8);  // CTA-slot limited for 1-warp CTAs
+    // Use 6-warp CTAs so CTA slots allow 48 warps.
+    const Occupancy full = computeOccupancy(c, 20, 192, 0);
+    EXPECT_EQ(full.ctasPerSm, 8);
+    EXPECT_EQ(full.warpsPerSm, 48);
+    EXPECT_DOUBLE_EQ(full.fraction(c), 1.0);
+
+    const Occupancy at24 = computeOccupancy(c, 24, 192, 0);
+    EXPECT_LT(at24.warpsPerSm, 48);
+    EXPECT_EQ(at24.limiter, OccLimiter::Registers);
+}
+
+TEST(Occupancy, RegisterLimited)
+{
+    const GpuConfig c = gtx480Config();
+    // BFS shape: 24 regs (rounded), 512-thread CTAs.
+    const Occupancy occ = computeOccupancy(c, 24, 512, 0);
+    EXPECT_EQ(occ.ctasPerSm, 2);   // 32768 / (24*512) = 2.67
+    EXPECT_EQ(occ.warpsPerSm, 32);
+    EXPECT_EQ(occ.limiter, OccLimiter::Registers);
+}
+
+TEST(Occupancy, ThreadLimited)
+{
+    const GpuConfig c = gtx480Config();
+    const Occupancy occ = computeOccupancy(c, 8, 512, 0);
+    EXPECT_EQ(occ.ctasPerSm, 3);   // 1536 / 512
+    EXPECT_EQ(occ.limiter, OccLimiter::ThreadSlots);
+}
+
+TEST(Occupancy, SharedMemLimited)
+{
+    const GpuConfig c = gtx480Config();
+    const Occupancy occ = computeOccupancy(c, 8, 128, 16384);
+    EXPECT_EQ(occ.ctasPerSm, 3);   // 49152 / 16384
+    EXPECT_EQ(occ.limiter, OccLimiter::SharedMem);
+}
+
+TEST(Occupancy, CtaSlotLimited)
+{
+    const GpuConfig c = gtx480Config();
+    const Occupancy occ = computeOccupancy(c, 4, 96, 0);
+    EXPECT_EQ(occ.ctasPerSm, 8);
+    EXPECT_EQ(occ.limiter, OccLimiter::CtaSlots);
+}
+
+TEST(Occupancy, RegisterTieIsNotRegisterLimited)
+{
+    const GpuConfig c = gtx480Config();
+    // by_regs == by_threads == 3: must not be classified as
+    // register-limited (the heuristic's applicability test).
+    const Occupancy occ = computeOccupancy(c, 21, 512, 0);
+    EXPECT_EQ(occ.ctasPerSm, 3);
+    EXPECT_NE(occ.limiter, OccLimiter::Registers);
+}
+
+TEST(Occupancy, ZeroRegistersMeansUnconstrained)
+{
+    const GpuConfig c = gtx480Config();
+    const Occupancy occ = computeOccupancy(c, 0, 192, 0);
+    EXPECT_EQ(occ.ctasPerSm, 8);
+}
+
+TEST(Occupancy, KernelTooLargeGivesZero)
+{
+    const GpuConfig c = gtx480Config();
+    const Occupancy occ = computeOccupancy(c, 64, 1024, 0);
+    EXPECT_EQ(occ.ctasPerSm, 0);  // 64*1024 = 65536 > 32768
+}
+
+TEST(Occupancy, InvalidInputsFatal)
+{
+    const GpuConfig c = gtx480Config();
+    EXPECT_THROW(computeOccupancy(c, 8, 100, 0), FatalError);
+    EXPECT_THROW(computeOccupancy(c, -1, 128, 0), FatalError);
+    EXPECT_THROW(computeOccupancy(c, 8, 128, -5), FatalError);
+}
+
+TEST(Occupancy, LimiterNames)
+{
+    EXPECT_STREQ(occLimiterName(OccLimiter::Registers), "registers");
+    EXPECT_STREQ(occLimiterName(OccLimiter::CtaSlots), "cta-slots");
+}
+
+} // namespace
+} // namespace rm

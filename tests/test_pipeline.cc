@@ -1,0 +1,174 @@
+/**
+ * @file
+ * End-to-end compiler tests: the full pipeline on every suite
+ * workload, validated and proved functionally equivalent to the input
+ * under the reference interpreter (the compiler's central property).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hh"
+#include "compiler/pipeline.hh"
+#include "compiler/validator.hh"
+#include "sim/interpreter.hh"
+#include "workloads/suite.hh"
+
+namespace rm {
+namespace {
+
+GpuConfig
+configFor(const WorkloadEntry &entry)
+{
+    return entry.occupancyLimited ? gtx480Config()
+                                  : halfRegisterFile(gtx480Config());
+}
+
+/** Compile-and-compare over every suite workload. */
+class PipelineOnSuite
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(PipelineOnSuite, ValidatesAndPreservesSemantics)
+{
+    const WorkloadEntry &entry = workload(GetParam());
+    const Program original = buildKernel(entry.spec);
+    const GpuConfig config = configFor(entry);
+
+    const CompileResult compiled = compileRegMutex(original, config);
+    ASSERT_TRUE(compiled.enabled())
+        << entry.spec.name << " unexpectedly left untouched";
+
+    // Structural and path-sensitive validity.
+    const ValidationReport report = validateRegMutex(compiled.program);
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_GT(report.acquires, 0);
+    EXPECT_GT(report.releases, 0);
+
+    // |Bs| + |Es| covers the rounded register demand.
+    EXPECT_EQ(compiled.program.regmutex.baseRegs +
+                  compiled.program.regmutex.extRegs,
+              compiled.program.info.numRegs);
+
+    // Functional equivalence with the original.
+    const InterpResult a = interpret(original);
+    const InterpResult b = interpret(compiled.program);
+    EXPECT_EQ(a.memDigest, b.memDigest) << entry.spec.name;
+    EXPECT_EQ(a.storeDigest, b.storeDigest) << entry.spec.name;
+    // Only directives and compaction MOVs may be added.
+    EXPECT_EQ(a.totalInstructions,
+              b.totalInstructions - b.directiveInstructions -
+                  (b.movInstructions - a.movInstructions));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, PipelineOnSuite,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const auto &entry : paperSuite())
+            names.push_back(entry.spec.name);
+        return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (auto &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Pipeline, ForcedEsSweepStaysSound)
+{
+    // Fig. 10's manual sweep must produce valid, equivalent programs
+    // for every size that satisfies the deadlock rules.
+    const WorkloadEntry &entry = workload("SAD");
+    const Program original = buildKernel(entry.spec);
+    const GpuConfig config = gtx480Config();
+    const InterpResult ref = interpret(original);
+
+    for (int es : {2, 4, 6, 8, 10, 12}) {
+        CompileOptions options;
+        options.forcedEs = es;
+        CompileResult compiled;
+        try {
+            compiled = compileRegMutex(original, config, options);
+        } catch (const FatalError &) {
+            continue;  // size violates a deadlock rule: acceptable
+        }
+        EXPECT_EQ(compiled.selection.es, es);
+        EXPECT_TRUE(validateRegMutex(compiled.program).ok);
+        const InterpResult out = interpret(compiled.program);
+        EXPECT_EQ(ref.memDigest, out.memDigest) << "|Es|=" << es;
+    }
+}
+
+TEST(Pipeline, CompactionDisabledStillSound)
+{
+    const WorkloadEntry &entry = workload("BFS");
+    const Program original = buildKernel(entry.spec);
+    CompileOptions options;
+    options.enableCompaction = false;
+    const CompileResult compiled =
+        compileRegMutex(original, gtx480Config(), options);
+    if (compiled.enabled()) {
+        EXPECT_TRUE(validateRegMutex(compiled.program).ok);
+        EXPECT_EQ(interpret(original).memDigest,
+                  interpret(compiled.program).memDigest);
+    }
+}
+
+TEST(Pipeline, CompactionShrinksHeldRegion)
+{
+    // Without compaction the scrambled register layout keeps high
+    // indices live at low pressure, inflating the held region.
+    const WorkloadEntry &entry = workload("SAD");
+    const Program original = buildKernel(entry.spec);
+    const GpuConfig config = gtx480Config();
+
+    CompileOptions no_compact;
+    no_compact.enableCompaction = false;
+    const CompileResult with = compileRegMutex(original, config);
+    const CompileResult without =
+        compileRegMutex(original, config, no_compact);
+    ASSERT_TRUE(with.enabled());
+    ASSERT_TRUE(without.enabled());
+    EXPECT_LT(with.wastedHeldInsts, without.wastedHeldInsts);
+    EXPECT_EQ(with.wastedHeldInsts, 0);
+}
+
+TEST(Pipeline, RejectsAlreadyCompiledInput)
+{
+    const Program compiled =
+        compileRegMutex(buildWorkload("BFS"), gtx480Config()).program;
+    EXPECT_THROW(compileRegMutex(compiled, gtx480Config()), FatalError);
+}
+
+TEST(Pipeline, UntouchedKernelReturnsOriginal)
+{
+    // A kernel that is not register-limited comes back unchanged.
+    KernelSpec spec;
+    spec.name = "small";
+    spec.regs = 12;
+    spec.ctaThreads = 192;
+    spec.gridCtasPerSm = 4;
+    spec.persistent = 3;
+    spec.phases = {{.trips = 2, .peak = 10, .loads = 1, .memTrips = 1}};
+    const Program p = buildKernel(spec);
+    const CompileResult compiled = compileRegMutex(p, gtx480Config());
+    EXPECT_FALSE(compiled.enabled());
+    EXPECT_EQ(compiled.program.size(), p.size());
+}
+
+TEST(Pipeline, ReportsInjectionCounts)
+{
+    const CompileResult compiled =
+        compileRegMutex(buildWorkload("DWT2D"), gtx480Config());
+    ASSERT_TRUE(compiled.enabled());
+    EXPECT_EQ(compiled.injected.acquires,
+              validateRegMutex(compiled.program).acquires);
+    EXPECT_EQ(compiled.injected.releases,
+              validateRegMutex(compiled.program).releases);
+}
+
+} // namespace
+} // namespace rm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Operand-collector mapping tests (paper Fig. 6): the baseline
+ * Y = Coeff*Widx + X scheme and the RegMutex base/SRP split, plus the
+ * invariants the mapper enforces (disjointness, no extended access
+ * without a held section).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/errors.hh"
+#include "sim/register_map.hh"
+
+namespace rm {
+namespace {
+
+TEST(BaselineMapper, LinearMapping)
+{
+    const auto m = RegisterMapper::baseline(1024, 24);
+    EXPECT_EQ(m.map(0, 0), 0);
+    EXPECT_EQ(m.map(0, 23), 23);
+    EXPECT_EQ(m.map(1, 0), 24);
+    EXPECT_EQ(m.map(5, 7), 5 * 24 + 7);
+    EXPECT_FALSE(m.isExtended(23));
+}
+
+TEST(BaselineMapper, DistinctWarpsDisjoint)
+{
+    const auto m = RegisterMapper::baseline(1024, 20);
+    std::set<int> seen;
+    for (int w = 0; w < 8; ++w) {
+        for (int x = 0; x < 20; ++x)
+            EXPECT_TRUE(seen.insert(m.map(w, x)).second);
+    }
+}
+
+TEST(BaselineMapper, BeyondAllocationPanics)
+{
+    const auto m = RegisterMapper::baseline(1024, 20);
+    EXPECT_THROW(m.map(0, 20), PanicError);
+}
+
+TEST(RegMutexMapper, BaseAndExtendedRegions)
+{
+    // |Bs|=18, |Es|=6, 48 resident warps: SRP at 48*18 = 864.
+    const auto m = RegisterMapper::regmutex(1024, 18, 6, 864, 26);
+    // Base set: Y = 18*Widx + X.
+    EXPECT_EQ(m.map(0, 0), 0);
+    EXPECT_EQ(m.map(3, 17), 3 * 18 + 17);
+    EXPECT_FALSE(m.isExtended(17));
+    // Extended set: Y = SRPoffset + section*|Es| + (X - |Bs|).
+    EXPECT_TRUE(m.isExtended(18));
+    EXPECT_EQ(m.map(0, 18, 0), 864);
+    EXPECT_EQ(m.map(7, 20, 4), 864 + 4 * 6 + 2);
+    EXPECT_EQ(m.srpOffset(), 864);
+}
+
+TEST(RegMutexMapper, ExtendedAccessWithoutSectionPanics)
+{
+    const auto m = RegisterMapper::regmutex(1024, 18, 6, 864, 26);
+    EXPECT_THROW(m.map(0, 18, -1), PanicError);
+    EXPECT_THROW(m.map(0, 18, 26), PanicError);  // bad section id
+}
+
+TEST(RegMutexMapper, AccessBeyondSplitPanics)
+{
+    const auto m = RegisterMapper::regmutex(1024, 18, 6, 864, 26);
+    EXPECT_THROW(m.map(0, 24, 0), PanicError);  // >= |Bs| + |Es|
+}
+
+TEST(RegMutexMapper, BaseAndSrpDisjoint)
+{
+    const auto m = RegisterMapper::regmutex(1024, 18, 6, 864, 26);
+    std::set<int> base, srp;
+    for (int w = 0; w < 48; ++w) {
+        for (int x = 0; x < 18; ++x)
+            base.insert(m.map(w, x));
+    }
+    for (int s = 0; s < 26; ++s) {
+        for (int x = 18; x < 24; ++x)
+            srp.insert(m.map(0, x, s));
+    }
+    for (int y : srp) {
+        EXPECT_EQ(base.count(y), 0u);
+        EXPECT_LT(y, 1024);
+    }
+    // Sections are pairwise disjoint: 26 sections x 6 packs each.
+    EXPECT_EQ(srp.size(), 26u * 6u);
+}
+
+TEST(RegMutexMapper, SrpExceedingFilePanics)
+{
+    EXPECT_THROW(RegisterMapper::regmutex(1024, 18, 6, 1000, 26),
+                 FatalError);
+}
+
+TEST(RegMutexMapper, BaseRegionOverlappingSrpPanics)
+{
+    // 48 warps * 18 base regs = 864 > srp offset 800.
+    const auto m = RegisterMapper::regmutex(1024, 18, 6, 800, 26);
+    EXPECT_THROW(m.map(47, 17), PanicError);
+}
+
+} // namespace
+} // namespace rm
