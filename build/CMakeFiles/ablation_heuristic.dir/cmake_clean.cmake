@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heuristic.dir/bench/ablation_heuristic.cc.o"
+  "CMakeFiles/ablation_heuristic.dir/bench/ablation_heuristic.cc.o.d"
+  "bench/ablation_heuristic"
+  "bench/ablation_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_liveness_timeline.dir/bench/fig01_liveness_timeline.cc.o"
+  "CMakeFiles/fig01_liveness_timeline.dir/bench/fig01_liveness_timeline.cc.o.d"
+  "bench/fig01_liveness_timeline"
+  "bench/fig01_liveness_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_liveness_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

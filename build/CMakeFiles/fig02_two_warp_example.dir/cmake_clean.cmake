@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_two_warp_example.dir/bench/fig02_two_warp_example.cc.o"
+  "CMakeFiles/fig02_two_warp_example.dir/bench/fig02_two_warp_example.cc.o.d"
+  "bench/fig02_two_warp_example"
+  "bench/fig02_two_warp_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_two_warp_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_occupancy_boost.dir/bench/fig07_occupancy_boost.cc.o"
+  "CMakeFiles/fig07_occupancy_boost.dir/bench/fig07_occupancy_boost.cc.o.d"
+  "bench/fig07_occupancy_boost"
+  "bench/fig07_occupancy_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_occupancy_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_half_register_file.dir/bench/fig08_half_register_file.cc.o"
+  "CMakeFiles/fig08_half_register_file.dir/bench/fig08_half_register_file.cc.o.d"
+  "bench/fig08_half_register_file"
+  "bench/fig08_half_register_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_half_register_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

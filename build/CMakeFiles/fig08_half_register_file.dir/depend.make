@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_half_register_file.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_comparison_baseline.dir/bench/fig09a_comparison_baseline.cc.o"
+  "CMakeFiles/fig09a_comparison_baseline.dir/bench/fig09a_comparison_baseline.cc.o.d"
+  "bench/fig09a_comparison_baseline"
+  "bench/fig09a_comparison_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_comparison_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09a_comparison_baseline.
+# This may be replaced when dependencies are built.

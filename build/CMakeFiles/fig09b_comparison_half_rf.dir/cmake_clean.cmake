@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_comparison_half_rf.dir/bench/fig09b_comparison_half_rf.cc.o"
+  "CMakeFiles/fig09b_comparison_half_rf.dir/bench/fig09b_comparison_half_rf.cc.o.d"
+  "bench/fig09b_comparison_half_rf"
+  "bench/fig09b_comparison_half_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_comparison_half_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_es_sensitivity.dir/bench/fig10_es_sensitivity.cc.o"
+  "CMakeFiles/fig10_es_sensitivity.dir/bench/fig10_es_sensitivity.cc.o.d"
+  "bench/fig10_es_sensitivity"
+  "bench/fig10_es_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_es_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_acquire_analysis.dir/bench/fig11_acquire_analysis.cc.o"
+  "CMakeFiles/fig11_acquire_analysis.dir/bench/fig11_acquire_analysis.cc.o.d"
+  "bench/fig11_acquire_analysis"
+  "bench/fig11_acquire_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_acquire_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

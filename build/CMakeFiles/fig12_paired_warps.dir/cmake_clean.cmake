@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_paired_warps.dir/bench/fig12_paired_warps.cc.o"
+  "CMakeFiles/fig12_paired_warps.dir/bench/fig12_paired_warps.cc.o.d"
+  "bench/fig12_paired_warps"
+  "bench/fig12_paired_warps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_paired_warps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

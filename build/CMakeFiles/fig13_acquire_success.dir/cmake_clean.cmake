@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_acquire_success.dir/bench/fig13_acquire_success.cc.o"
+  "CMakeFiles/fig13_acquire_success.dir/bench/fig13_acquire_success.cc.o.d"
+  "bench/fig13_acquire_success"
+  "bench/fig13_acquire_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_acquire_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_acquire_success.
+# This may be replaced when dependencies are built.

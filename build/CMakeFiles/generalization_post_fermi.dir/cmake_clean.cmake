@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalization_post_fermi.dir/bench/generalization_post_fermi.cc.o"
+  "CMakeFiles/generalization_post_fermi.dir/bench/generalization_post_fermi.cc.o.d"
+  "bench/generalization_post_fermi"
+  "bench/generalization_post_fermi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalization_post_fermi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for generalization_post_fermi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_cost_model.dir/bench/hw_cost_model.cc.o"
+  "CMakeFiles/hw_cost_model.dir/bench/hw_cost_model.cc.o.d"
+  "bench/hw_cost_model"
+  "bench/hw_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

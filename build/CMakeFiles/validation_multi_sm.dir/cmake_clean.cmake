@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_multi_sm.dir/bench/validation_multi_sm.cc.o"
+  "CMakeFiles/validation_multi_sm.dir/bench/validation_multi_sm.cc.o.d"
+  "bench/validation_multi_sm"
+  "bench/validation_multi_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_multi_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table1 "/root/repo/build/bench/table1_workloads")
+set_tests_properties(bench_smoke_table1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;20;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_hw_cost "/root/repo/build/bench/hw_cost_model")
+set_tests_properties(bench_smoke_hw_cost PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;20;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_smoke_fig02 "/root/repo/build/bench/fig02_two_warp_example")
+set_tests_properties(bench_smoke_fig02 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;;/root/repo/CMakeLists.txt;20;include;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("examples")

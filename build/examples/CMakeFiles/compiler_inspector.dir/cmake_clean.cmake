@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_inspector.dir/compiler_inspector.cpp.o"
+  "CMakeFiles/compiler_inspector.dir/compiler_inspector.cpp.o.d"
+  "compiler_inspector"
+  "compiler_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfsize_study.dir/halfsize_study.cpp.o"
+  "CMakeFiles/halfsize_study.dir/halfsize_study.cpp.o.d"
+  "halfsize_study"
+  "halfsize_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfsize_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

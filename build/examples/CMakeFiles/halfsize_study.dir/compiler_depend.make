@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for halfsize_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy_explorer.dir/occupancy_explorer.cpp.o"
+  "CMakeFiles/occupancy_explorer.dir/occupancy_explorer.cpp.o.d"
+  "occupancy_explorer"
+  "occupancy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

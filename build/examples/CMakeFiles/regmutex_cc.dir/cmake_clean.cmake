@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regmutex_cc.dir/regmutex_cc.cpp.o"
+  "CMakeFiles/regmutex_cc.dir/regmutex_cc.cpp.o.d"
+  "regmutex_cc"
+  "regmutex_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regmutex_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regmutex_sim.dir/regmutex_sim.cpp.o"
+  "CMakeFiles/regmutex_sim.dir/regmutex_sim.cpp.o.d"
+  "regmutex_sim"
+  "regmutex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regmutex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

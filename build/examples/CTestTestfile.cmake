@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_sim_baseline "/root/repo/build/examples/regmutex_sim" "BFS" "--policy" "baseline")
+set_tests_properties(cli_sim_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_sim_regmutex "/root/repo/build/examples/regmutex_sim" "SPMV" "--half-rf" "--energy")
+set_tests_properties(cli_sim_regmutex PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_compile "/root/repo/build/examples/regmutex_cc" "SAD")
+set_tests_properties(cli_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_sim_asm_kernel "/root/repo/build/examples/regmutex_sim" "/root/repo/examples/kernels/countdown.asm" "--policy" "baseline")
+set_tests_properties(cli_sim_asm_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_compile_asm_kernel "/root/repo/build/examples/regmutex_cc" "/root/repo/examples/kernels/burst.asm")
+set_tests_properties(cli_compile_asm_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

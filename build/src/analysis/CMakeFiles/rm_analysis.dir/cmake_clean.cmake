@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_analysis.dir/cfg.cc.o"
+  "CMakeFiles/rm_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/rm_analysis.dir/dominators.cc.o"
+  "CMakeFiles/rm_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/rm_analysis.dir/liveness.cc.o"
+  "CMakeFiles/rm_analysis.dir/liveness.cc.o.d"
+  "CMakeFiles/rm_analysis.dir/liveness_report.cc.o"
+  "CMakeFiles/rm_analysis.dir/liveness_report.cc.o.d"
+  "CMakeFiles/rm_analysis.dir/loops.cc.o"
+  "CMakeFiles/rm_analysis.dir/loops.cc.o.d"
+  "librm_analysis.a"
+  "librm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

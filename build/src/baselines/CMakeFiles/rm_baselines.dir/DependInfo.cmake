@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline.cc" "src/baselines/CMakeFiles/rm_baselines.dir/baseline.cc.o" "gcc" "src/baselines/CMakeFiles/rm_baselines.dir/baseline.cc.o.d"
+  "/root/repo/src/baselines/owf.cc" "src/baselines/CMakeFiles/rm_baselines.dir/owf.cc.o" "gcc" "src/baselines/CMakeFiles/rm_baselines.dir/owf.cc.o.d"
+  "/root/repo/src/baselines/rfv.cc" "src/baselines/CMakeFiles/rm_baselines.dir/rfv.cc.o" "gcc" "src/baselines/CMakeFiles/rm_baselines.dir/rfv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/rm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rm_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

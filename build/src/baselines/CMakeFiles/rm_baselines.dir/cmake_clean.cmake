@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_baselines.dir/baseline.cc.o"
+  "CMakeFiles/rm_baselines.dir/baseline.cc.o.d"
+  "CMakeFiles/rm_baselines.dir/owf.cc.o"
+  "CMakeFiles/rm_baselines.dir/owf.cc.o.d"
+  "CMakeFiles/rm_baselines.dir/rfv.cc.o"
+  "CMakeFiles/rm_baselines.dir/rfv.cc.o.d"
+  "librm_baselines.a"
+  "librm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

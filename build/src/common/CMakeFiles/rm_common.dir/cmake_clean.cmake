@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_common.dir/bitmask.cc.o"
+  "CMakeFiles/rm_common.dir/bitmask.cc.o.d"
+  "CMakeFiles/rm_common.dir/logging.cc.o"
+  "CMakeFiles/rm_common.dir/logging.cc.o.d"
+  "CMakeFiles/rm_common.dir/rng.cc.o"
+  "CMakeFiles/rm_common.dir/rng.cc.o.d"
+  "CMakeFiles/rm_common.dir/table.cc.o"
+  "CMakeFiles/rm_common.dir/table.cc.o.d"
+  "librm_common.a"
+  "librm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

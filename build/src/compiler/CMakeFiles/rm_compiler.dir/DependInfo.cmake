@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/coloring.cc" "src/compiler/CMakeFiles/rm_compiler.dir/coloring.cc.o" "gcc" "src/compiler/CMakeFiles/rm_compiler.dir/coloring.cc.o.d"
+  "/root/repo/src/compiler/edit.cc" "src/compiler/CMakeFiles/rm_compiler.dir/edit.cc.o" "gcc" "src/compiler/CMakeFiles/rm_compiler.dir/edit.cc.o.d"
+  "/root/repo/src/compiler/es_selection.cc" "src/compiler/CMakeFiles/rm_compiler.dir/es_selection.cc.o" "gcc" "src/compiler/CMakeFiles/rm_compiler.dir/es_selection.cc.o.d"
+  "/root/repo/src/compiler/pipeline.cc" "src/compiler/CMakeFiles/rm_compiler.dir/pipeline.cc.o" "gcc" "src/compiler/CMakeFiles/rm_compiler.dir/pipeline.cc.o.d"
+  "/root/repo/src/compiler/regions.cc" "src/compiler/CMakeFiles/rm_compiler.dir/regions.cc.o" "gcc" "src/compiler/CMakeFiles/rm_compiler.dir/regions.cc.o.d"
+  "/root/repo/src/compiler/split.cc" "src/compiler/CMakeFiles/rm_compiler.dir/split.cc.o" "gcc" "src/compiler/CMakeFiles/rm_compiler.dir/split.cc.o.d"
+  "/root/repo/src/compiler/validator.cc" "src/compiler/CMakeFiles/rm_compiler.dir/validator.cc.o" "gcc" "src/compiler/CMakeFiles/rm_compiler.dir/validator.cc.o.d"
+  "/root/repo/src/compiler/webs.cc" "src/compiler/CMakeFiles/rm_compiler.dir/webs.cc.o" "gcc" "src/compiler/CMakeFiles/rm_compiler.dir/webs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/rm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

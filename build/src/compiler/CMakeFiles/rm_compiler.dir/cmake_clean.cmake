@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_compiler.dir/coloring.cc.o"
+  "CMakeFiles/rm_compiler.dir/coloring.cc.o.d"
+  "CMakeFiles/rm_compiler.dir/edit.cc.o"
+  "CMakeFiles/rm_compiler.dir/edit.cc.o.d"
+  "CMakeFiles/rm_compiler.dir/es_selection.cc.o"
+  "CMakeFiles/rm_compiler.dir/es_selection.cc.o.d"
+  "CMakeFiles/rm_compiler.dir/pipeline.cc.o"
+  "CMakeFiles/rm_compiler.dir/pipeline.cc.o.d"
+  "CMakeFiles/rm_compiler.dir/regions.cc.o"
+  "CMakeFiles/rm_compiler.dir/regions.cc.o.d"
+  "CMakeFiles/rm_compiler.dir/split.cc.o"
+  "CMakeFiles/rm_compiler.dir/split.cc.o.d"
+  "CMakeFiles/rm_compiler.dir/validator.cc.o"
+  "CMakeFiles/rm_compiler.dir/validator.cc.o.d"
+  "CMakeFiles/rm_compiler.dir/webs.cc.o"
+  "CMakeFiles/rm_compiler.dir/webs.cc.o.d"
+  "librm_compiler.a"
+  "librm_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_core.dir/experiment.cc.o"
+  "CMakeFiles/rm_core.dir/experiment.cc.o.d"
+  "librm_core.a"
+  "librm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

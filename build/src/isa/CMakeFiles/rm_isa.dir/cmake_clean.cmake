@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_isa.dir/asm_parser.cc.o"
+  "CMakeFiles/rm_isa.dir/asm_parser.cc.o.d"
+  "CMakeFiles/rm_isa.dir/builder.cc.o"
+  "CMakeFiles/rm_isa.dir/builder.cc.o.d"
+  "CMakeFiles/rm_isa.dir/disasm.cc.o"
+  "CMakeFiles/rm_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/rm_isa.dir/instruction.cc.o"
+  "CMakeFiles/rm_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/rm_isa.dir/program.cc.o"
+  "CMakeFiles/rm_isa.dir/program.cc.o.d"
+  "librm_isa.a"
+  "librm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

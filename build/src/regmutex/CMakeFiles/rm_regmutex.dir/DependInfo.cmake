@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regmutex/allocator.cc" "src/regmutex/CMakeFiles/rm_regmutex.dir/allocator.cc.o" "gcc" "src/regmutex/CMakeFiles/rm_regmutex.dir/allocator.cc.o.d"
+  "/root/repo/src/regmutex/energy.cc" "src/regmutex/CMakeFiles/rm_regmutex.dir/energy.cc.o" "gcc" "src/regmutex/CMakeFiles/rm_regmutex.dir/energy.cc.o.d"
+  "/root/repo/src/regmutex/hw_cost.cc" "src/regmutex/CMakeFiles/rm_regmutex.dir/hw_cost.cc.o" "gcc" "src/regmutex/CMakeFiles/rm_regmutex.dir/hw_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rm_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_regmutex.dir/allocator.cc.o"
+  "CMakeFiles/rm_regmutex.dir/allocator.cc.o.d"
+  "CMakeFiles/rm_regmutex.dir/energy.cc.o"
+  "CMakeFiles/rm_regmutex.dir/energy.cc.o.d"
+  "CMakeFiles/rm_regmutex.dir/hw_cost.cc.o"
+  "CMakeFiles/rm_regmutex.dir/hw_cost.cc.o.d"
+  "librm_regmutex.a"
+  "librm_regmutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_regmutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

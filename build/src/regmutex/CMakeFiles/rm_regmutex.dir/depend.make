@@ -1,0 +1,2 @@
+# Empty dependencies file for rm_regmutex.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/rm_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/rm_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/sim/CMakeFiles/rm_sim.dir/gpu.cc.o" "gcc" "src/sim/CMakeFiles/rm_sim.dir/gpu.cc.o.d"
+  "/root/repo/src/sim/interpreter.cc" "src/sim/CMakeFiles/rm_sim.dir/interpreter.cc.o" "gcc" "src/sim/CMakeFiles/rm_sim.dir/interpreter.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/rm_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/rm_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/occupancy.cc" "src/sim/CMakeFiles/rm_sim.dir/occupancy.cc.o" "gcc" "src/sim/CMakeFiles/rm_sim.dir/occupancy.cc.o.d"
+  "/root/repo/src/sim/register_map.cc" "src/sim/CMakeFiles/rm_sim.dir/register_map.cc.o" "gcc" "src/sim/CMakeFiles/rm_sim.dir/register_map.cc.o.d"
+  "/root/repo/src/sim/semantics.cc" "src/sim/CMakeFiles/rm_sim.dir/semantics.cc.o" "gcc" "src/sim/CMakeFiles/rm_sim.dir/semantics.cc.o.d"
+  "/root/repo/src/sim/sm.cc" "src/sim/CMakeFiles/rm_sim.dir/sm.cc.o" "gcc" "src/sim/CMakeFiles/rm_sim.dir/sm.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/rm_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/rm_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/rm_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/rm_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

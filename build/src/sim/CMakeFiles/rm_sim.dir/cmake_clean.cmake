@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_sim.dir/config.cc.o"
+  "CMakeFiles/rm_sim.dir/config.cc.o.d"
+  "CMakeFiles/rm_sim.dir/gpu.cc.o"
+  "CMakeFiles/rm_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/rm_sim.dir/interpreter.cc.o"
+  "CMakeFiles/rm_sim.dir/interpreter.cc.o.d"
+  "CMakeFiles/rm_sim.dir/memory.cc.o"
+  "CMakeFiles/rm_sim.dir/memory.cc.o.d"
+  "CMakeFiles/rm_sim.dir/occupancy.cc.o"
+  "CMakeFiles/rm_sim.dir/occupancy.cc.o.d"
+  "CMakeFiles/rm_sim.dir/register_map.cc.o"
+  "CMakeFiles/rm_sim.dir/register_map.cc.o.d"
+  "CMakeFiles/rm_sim.dir/semantics.cc.o"
+  "CMakeFiles/rm_sim.dir/semantics.cc.o.d"
+  "CMakeFiles/rm_sim.dir/sm.cc.o"
+  "CMakeFiles/rm_sim.dir/sm.cc.o.d"
+  "CMakeFiles/rm_sim.dir/stats.cc.o"
+  "CMakeFiles/rm_sim.dir/stats.cc.o.d"
+  "CMakeFiles/rm_sim.dir/trace.cc.o"
+  "CMakeFiles/rm_sim.dir/trace.cc.o.d"
+  "librm_sim.a"
+  "librm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

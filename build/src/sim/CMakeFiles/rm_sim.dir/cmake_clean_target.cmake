@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librm_sim.a"
+)

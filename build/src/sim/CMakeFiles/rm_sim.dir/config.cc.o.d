@@ -1,0 +1,2 @@
+src/sim/CMakeFiles/rm_sim.dir/config.cc.o: /root/repo/src/sim/config.cc \
+ /usr/include/stdc-predef.h /root/repo/src/sim/config.hh

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm_workloads.dir/generator.cc.o"
+  "CMakeFiles/rm_workloads.dir/generator.cc.o.d"
+  "CMakeFiles/rm_workloads.dir/suite.cc.o"
+  "CMakeFiles/rm_workloads.dir/suite.cc.o.d"
+  "librm_workloads.a"
+  "librm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitmask.dir/test_bitmask.cc.o"
+  "CMakeFiles/test_bitmask.dir/test_bitmask.cc.o.d"
+  "test_bitmask"
+  "test_bitmask.pdb"
+  "test_bitmask[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitmask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

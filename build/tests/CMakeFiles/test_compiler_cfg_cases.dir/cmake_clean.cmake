@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_cfg_cases.dir/test_compiler_cfg_cases.cc.o"
+  "CMakeFiles/test_compiler_cfg_cases.dir/test_compiler_cfg_cases.cc.o.d"
+  "test_compiler_cfg_cases"
+  "test_compiler_cfg_cases.pdb"
+  "test_compiler_cfg_cases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_cfg_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

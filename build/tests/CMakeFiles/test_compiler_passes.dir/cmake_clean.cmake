@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_passes.dir/test_compiler_passes.cc.o"
+  "CMakeFiles/test_compiler_passes.dir/test_compiler_passes.cc.o.d"
+  "test_compiler_passes"
+  "test_compiler_passes.pdb"
+  "test_compiler_passes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_es_selection.dir/test_es_selection.cc.o"
+  "CMakeFiles/test_es_selection.dir/test_es_selection.cc.o.d"
+  "test_es_selection"
+  "test_es_selection.pdb"
+  "test_es_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_es_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/test_isa.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/rm_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/regmutex/CMakeFiles/rm_regmutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_register_map.dir/test_register_map.cc.o"
+  "CMakeFiles/test_register_map.dir/test_register_map.cc.o.d"
+  "test_register_map"
+  "test_register_map.pdb"
+  "test_register_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_register_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
