@@ -15,6 +15,7 @@
 #include "analysis/cfg.hh"
 #include "analysis/liveness.hh"
 #include "common/table.hh"
+#include "obs/report.hh"
 #include "sim/interpreter.hh"
 #include "workloads/suite.hh"
 
@@ -23,7 +24,7 @@ namespace {
 constexpr int kBuckets = 24;
 
 void
-plotKernel(const std::string &name)
+plotKernel(const std::string &name, rm::BenchReport &report)
 {
     using namespace rm;
     const Program p = buildWorkload(name);
@@ -49,6 +50,13 @@ plotKernel(const std::string &name)
     }
     mean /= static_cast<double>(series.size());
     below_half /= static_cast<double>(series.size());
+    report.addRecord({{"workload", name}},
+                     {{"dynamic_instructions",
+                       static_cast<double>(series.size())},
+                      {"allocated_regs", p.info.numRegs},
+                      {"mean_live_fraction", mean},
+                      {"peak_live_fraction", peak},
+                      {"share_at_most_half_live", below_half}});
 
     std::cout << "(" << name << ")  " << series.size()
               << " dynamic instructions, allocated " << p.info.numRegs
@@ -75,15 +83,16 @@ plotKernel(const std::string &name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    rm::BenchReport report("fig01_liveness_timeline", argc, argv);
     std::cout << "Fig. 1: utilization of a sample warp's allocated "
                  "register set during execution\n"
                  "(X: dynamic instructions, Y: % of allocated "
                  "registers live)\n\n";
     for (const char *name : {"CUTCP", "DWT2D", "HeartWall", "HotSpot3D",
                              "ParticleFilter", "SAD"}) {
-        plotKernel(name);
+        plotKernel(name, report);
     }
     std::cout << "Paper claim reproduced when the mean stays well "
                  "below 100% and the series fluctuates with the "

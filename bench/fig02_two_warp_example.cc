@@ -12,15 +12,17 @@
 
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "obs/report.hh"
 #include "regmutex/allocator.hh"
 #include "sim/gpu.hh"
 #include "sim/trace.hh"
 #include "workloads/generator.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rm;
+    BenchReport report("fig02_two_warp_example", argc, argv);
 
     // The figure's machine: 48 registers per thread of hardware, two
     // warp slots, one warp per CTA.
@@ -52,6 +54,13 @@ main()
     CompileOptions options;
     options.forcedEs = 16;  // the figure's 16/16 split
     const RegMutexRun rmx = runRegMutex(p, config, options);
+
+    report.addRun(base, {{"policy", "baseline"}});
+    report.addRun(rmx.stats, {{"policy", "regmutex"}},
+                  {{"cycle_reduction", cycleReduction(base, rmx.stats)},
+                   {"bs", rmx.compile.selection.bs},
+                   {"es", rmx.compile.selection.es},
+                   {"srp_sections", rmx.compile.selection.srpSections}});
 
     Table table({"configuration", "resident warps", "cycles",
                  "overlap"});

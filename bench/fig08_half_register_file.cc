@@ -11,14 +11,16 @@
 
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "obs/report.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rm;
     const GpuConfig full = gtx480Config();
     const GpuConfig half = halfRegisterFile(full);
+    BenchReport report("fig08_half_register_file", argc, argv);
 
     Table table({"Application", "Incr. w/o RegMutex", "Incr. w/ RegMutex",
                  "Occupancy w/o", "Occupancy w/", "|Bs|", "|Es|"});
@@ -35,6 +37,19 @@ main()
             -cycleReduction(base_full, rmx_half.stats);
         base_total += base_inc;
         rmx_total += rmx_inc;
+        report.addRun(base_full,
+                      {{"workload", name}, {"arch", "full-RF"},
+                       {"policy", "baseline"}});
+        report.addRun(base_half,
+                      {{"workload", name}, {"arch", "half-RF"},
+                       {"policy", "baseline"}},
+                      {{"cycle_increase", base_inc}});
+        report.addRun(rmx_half.stats,
+                      {{"workload", name}, {"arch", "half-RF"},
+                       {"policy", "regmutex"}},
+                      {{"cycle_increase", rmx_inc},
+                       {"bs", rmx_half.compile.selection.bs},
+                       {"es", rmx_half.compile.selection.es}});
 
         Row row;
         row << name << percent(base_inc) << percent(rmx_inc)
@@ -51,5 +66,7 @@ main()
               << percent(base_total / 8.0) << " without RegMutex vs "
               << percent(rmx_total / 8.0)
               << " with RegMutex   (paper: 23% vs 9%)\n";
+    report.summary("average_increase_baseline", base_total / 8.0);
+    report.summary("average_increase_regmutex", rmx_total / 8.0);
     return 0;
 }

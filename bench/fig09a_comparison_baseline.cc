@@ -10,13 +10,15 @@
 
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "obs/report.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rm;
     const GpuConfig config = gtx480Config();
+    BenchReport report("fig09a_comparison_baseline", argc, argv);
 
     Table table({"Application", "OWF", "RFV", "RegMutex"});
     double owf_total = 0.0, rfv_total = 0.0, rmx_total = 0.0;
@@ -30,6 +32,10 @@ main()
         owf_total += owf;
         rfv_total += rfv;
         rmx_total += rmx;
+        report.addRecord({{"workload", name}},
+                         {{"owf_cycle_reduction", owf},
+                          {"rfv_cycle_reduction", rfv},
+                          {"regmutex_cycle_reduction", rmx}});
 
         Row row;
         row << name << percent(owf) << percent(rfv) << percent(rmx);
@@ -48,5 +54,8 @@ main()
                  "12.8% — expected shape: OWF far behind, RFV "
                  "slightly ahead of RegMutex at >81x the storage "
                  "cost.\n";
+    report.summary("average_owf", owf_total / 8.0);
+    report.summary("average_rfv", rfv_total / 8.0);
+    report.summary("average_regmutex", rmx_total / 8.0);
     return 0;
 }

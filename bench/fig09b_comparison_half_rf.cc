@@ -10,14 +10,16 @@
 
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "obs/report.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rm;
     const GpuConfig full = gtx480Config();
     const GpuConfig half = halfRegisterFile(full);
+    BenchReport report("fig09b_comparison_half_rf", argc, argv);
 
     Table table({"Application", "No Technique", "OWF", "RFV",
                  "RegMutex"});
@@ -37,6 +39,11 @@ main()
         owf_total += owf;
         rfv_total += rfv;
         rmx_total += rmx;
+        report.addRecord({{"workload", name}},
+                         {{"none_cycle_increase", none},
+                          {"owf_cycle_increase", owf},
+                          {"rfv_cycle_increase", rfv},
+                          {"regmutex_cycle_increase", rmx}});
 
         Row row;
         row << name << percent(none) << percent(owf) << percent(rfv)
@@ -55,5 +62,9 @@ main()
               << table.toText()
               << "\nPaper averages: none 22.9%, OWF 20.6%, RFV 5.9%, "
                  "RegMutex 10.8%.\n";
+    report.summary("average_none", none_total / 8.0);
+    report.summary("average_owf", owf_total / 8.0);
+    report.summary("average_rfv", rfv_total / 8.0);
+    report.summary("average_regmutex", rmx_total / 8.0);
     return 0;
 }

@@ -12,14 +12,16 @@
 #include "common/errors.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "obs/report.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rm;
     const GpuConfig config = gtx480Config();
     const std::vector<int> sizes{2, 4, 6, 8, 10, 12};
+    BenchReport report("fig10_es_sensitivity", argc, argv);
 
     Table table({"Application", "|Es|=2", "|Es|=4", "|Es|=6", "|Es|=8",
                  "|Es|=10", "|Es|=12", "heuristic"});
@@ -38,8 +40,18 @@ main()
             try {
                 const RegMutexRun run = runRegMutex(p, config, options);
                 cell = percent(cycleReduction(base, run.stats));
+                report.addRun(run.stats,
+                              {{"workload", name},
+                               {"es", std::to_string(es)},
+                               {"heuristic_pick",
+                                es == pick ? "yes" : "no"}},
+                              {{"cycle_reduction",
+                                cycleReduction(base, run.stats)}});
             } catch (const FatalError &) {
                 cell = "n/a";
+                report.addRecord({{"workload", name},
+                                  {"es", std::to_string(es)},
+                                  {"status", "n/a"}});
             }
             if (es == pick)
                 cell += " *";

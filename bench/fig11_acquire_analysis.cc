@@ -12,14 +12,16 @@
 #include "common/errors.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "obs/report.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rm;
     const GpuConfig config = gtx480Config();
     const std::vector<int> sizes{2, 4, 6, 8, 10, 12};
+    BenchReport report("fig11_acquire_analysis", argc, argv);
 
     Table occ({"Application", "|Es|=2", "|Es|=4", "|Es|=6", "|Es|=8",
                "|Es|=10", "|Es|=12"});
@@ -37,6 +39,15 @@ main()
             options.forcedEs = es;
             try {
                 const RegMutexRun run = runRegMutex(p, config, options);
+                report.addRun(run.stats,
+                              {{"workload", name},
+                               {"es", std::to_string(es)},
+                               {"heuristic_pick",
+                                es == pick ? "yes" : "no"}},
+                              {{"occupancy",
+                                run.stats.theoreticalOccupancy},
+                               {"acquire_success_rate",
+                                run.stats.acquireSuccessRate()}});
                 std::string o =
                     percent(run.stats.theoreticalOccupancy);
                 std::string a =

@@ -12,14 +12,16 @@
 
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "obs/report.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rm;
     const GpuConfig full = gtx480Config();
     const GpuConfig half = halfRegisterFile(full);
+    BenchReport report("fig12_paired_warps", argc, argv);
 
     {
         Table table({"Application", "Paired red.", "Default red.",
@@ -34,6 +36,14 @@ main()
             const double dr = cycleReduction(base, dflt.stats);
             paired_total += pr;
             default_total += dr;
+            report.addRun(paired.stats,
+                          {{"workload", name}, {"arch", "full-RF"},
+                           {"policy", "paired"}},
+                          {{"cycle_reduction", pr}});
+            report.addRun(dflt.stats,
+                          {{"workload", name}, {"arch", "full-RF"},
+                           {"policy", "regmutex"}},
+                          {{"cycle_reduction", dr}});
             Row row;
             row << name << percent(pr) << percent(dr)
                 << percent(paired.stats.theoreticalOccupancy)
@@ -46,6 +56,8 @@ main()
                   << percent(paired_total / 8.0) << ", default "
                   << percent(default_total / 8.0)
                   << "   (paper: 8% vs 12%)\n\n";
+        report.summary("fig12a_average_paired", paired_total / 8.0);
+        report.summary("fig12a_average_default", default_total / 8.0);
     }
 
     {
@@ -65,6 +77,10 @@ main()
             paired_total += pi;
             default_total += di;
             none_total += none;
+            report.addRecord({{"workload", name}, {"arch", "half-RF"}},
+                             {{"paired_cycle_increase", pi},
+                              {"default_cycle_increase", di},
+                              {"none_cycle_increase", none}});
             Row row;
             row << name << percent(pi) << percent(di) << percent(none);
             table.addRow(row.take());
@@ -76,6 +92,9 @@ main()
                   << percent(default_total / 8.0) << ", none "
                   << percent(none_total / 8.0)
                   << "   (paper: 17% / 9% / 22%)\n";
+        report.summary("fig12b_average_paired", paired_total / 8.0);
+        report.summary("fig12b_average_default", default_total / 8.0);
+        report.summary("fig12b_average_none", none_total / 8.0);
     }
     return 0;
 }

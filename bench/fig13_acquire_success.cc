@@ -12,14 +12,16 @@
 
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "obs/report.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rm;
     const GpuConfig full = gtx480Config();
     const GpuConfig half = halfRegisterFile(full);
+    BenchReport report("fig13_acquire_success", argc, argv);
 
     Table table({"Application", "arch", "No specialization",
                  "Paired-warps"});
@@ -29,6 +31,20 @@ main()
             entry.occupancyLimited ? full : half;
         const RegMutexRun dflt = runRegMutex(p, config);
         const RegMutexRun paired = runPaired(p, config);
+        const char *arch =
+            entry.occupancyLimited ? "full-RF" : "half-RF";
+        report.addRun(dflt.stats,
+                      {{"workload", entry.spec.name},
+                       {"arch", arch},
+                       {"policy", "regmutex"}},
+                      {{"acquire_success_rate",
+                        dflt.stats.acquireSuccessRate()}});
+        report.addRun(paired.stats,
+                      {{"workload", entry.spec.name},
+                       {"arch", arch},
+                       {"policy", "paired"}},
+                      {{"acquire_success_rate",
+                        paired.stats.acquireSuccessRate()}});
         Row row;
         row << entry.spec.name
             << (entry.occupancyLimited ? "full-RF" : "half-RF")

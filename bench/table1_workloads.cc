@@ -14,16 +14,18 @@
 #include "analysis/liveness.hh"
 #include "common/table.hh"
 #include "compiler/pipeline.hh"
+#include "obs/report.hh"
 #include "sim/occupancy.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rm;
 
     const GpuConfig full = gtx480Config();
     const GpuConfig half = halfRegisterFile(full);
+    BenchReport report("table1_workloads", argc, argv);
 
     Table table({"Application", "# Regs.", "(rounded)", "|Bs| paper",
                  "|Bs| ours", "|Es| ours", "SRP sections", "arch"});
@@ -35,6 +37,15 @@ main()
         const CompileResult compiled = compileRegMutex(program, config);
         const int bs = compiled.enabled() ? compiled.selection.bs : 0;
         const int es = compiled.enabled() ? compiled.selection.es : 0;
+        report.addRecord(
+            {{"workload", entry.spec.name},
+             {"arch", entry.occupancyLimited ? "full-RF" : "half-RF"}},
+            {{"regs", program.info.numRegs},
+             {"regs_rounded", roundRegs(config, program.info.numRegs)},
+             {"paper_bs", entry.paperBs},
+             {"bs", bs},
+             {"es", es},
+             {"srp_sections", compiled.selection.srpSections}});
 
         Row row;
         row << entry.spec.name << program.info.numRegs

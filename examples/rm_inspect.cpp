@@ -1,0 +1,327 @@
+/**
+ * @file
+ * `rm-inspect` — run inspector for the observability layer: simulates
+ * one workload under one allocation policy with the full metrics stack
+ * attached (registry + interval sampler + issue trace) and emits the
+ * machine-readable artifacts next to a human summary:
+ *
+ *   rm-inspect --kernel BFS --allocator regmutex \
+ *       --json out.json --csv series.csv --chrome-trace out.trace.json
+ *
+ *   --kernel NAME|file.asm   workload (or positional argument)
+ *   --allocator P            baseline|regmutex|paired|owf|rfv
+ *   --json PATH              stats + metrics JSON document
+ *   --csv PATH               sampled time-series CSV
+ *   --chrome-trace PATH      Chrome trace_event JSON; open the file in
+ *                            chrome://tracing or https://ui.perfetto.dev
+ *   --sample-interval N      cycles between samples (default 1000)
+ *   --trace-capacity N       retained trace events (default 1M)
+ *   --pretty                 pretty-print the JSON document to stdout
+ *   --half-rf | --es N | --lrr | --poll | --list
+ *
+ * See docs/OBSERVABILITY.md for the metric catalog and file formats.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/errors.hh"
+#include "common/table.hh"
+#include "compiler/edit.hh"
+#include "core/experiment.hh"
+#include "isa/asm_parser.hh"
+#include "obs/export.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "sim/gpu.hh"
+#include "sim/trace.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: rm-inspect [options] [--kernel] <workload-or-file.asm>\n"
+           "  --allocator baseline|regmutex|paired|owf|rfv\n"
+           "  --json PATH | --csv PATH | --chrome-trace PATH\n"
+           "  --sample-interval N | --trace-capacity N | --pretty\n"
+           "  --half-rf | --es N | --lrr | --poll | --list\n";
+    return 2;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream file(path);
+    rm::fatalIf(!file, "rm-inspect: cannot open ", path, " for writing");
+    file << content;
+    if (!content.empty() && content.back() != '\n')
+        file << "\n";
+    rm::fatalIf(!file.good(), "rm-inspect: failed writing ", path);
+}
+
+/** Re-indent a JSON document for humans (strings have no braces we
+ *  would trip over thanks to JsonWriter's escaping). */
+std::string
+prettyPrint(const std::string &json)
+{
+    std::string out;
+    int depth = 0;
+    bool in_string = false;
+    auto newline = [&]() {
+        out += '\n';
+        out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    };
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (in_string) {
+            out += c;
+            if (c == '\\' && i + 1 < json.size())
+                out += json[++i];
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_string = true;
+            out += c;
+            break;
+          case '{':
+          case '[':
+            out += c;
+            ++depth;
+            newline();
+            break;
+          case '}':
+          case ']':
+            --depth;
+            newline();
+            out += c;
+            break;
+          case ',':
+            out += c;
+            newline();
+            break;
+          case ':':
+            out += ": ";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rm;
+
+    std::string allocator_name = "regmutex";
+    std::string target;
+    std::string json_path, csv_path, chrome_path;
+    std::uint64_t sample_interval = 1000;
+    std::size_t trace_capacity = 1u << 20;
+    bool pretty = false;
+    GpuConfig config = gtx480Config();
+    CompileOptions compile_options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                exit(usage());
+            }
+            return argv[++i];
+        };
+        auto nextNumber = [&]() -> std::uint64_t {
+            const std::string text = next();
+            try {
+                std::size_t used = 0;
+                const std::uint64_t v = std::stoull(text, &used);
+                if (used == text.size())
+                    return v;
+            } catch (const std::exception &) {
+            }
+            std::cerr << arg << " needs a number, got '" << text
+                      << "'\n";
+            exit(usage());
+        };
+        if (arg == "--kernel") {
+            target = next();
+        } else if (arg == "--allocator" || arg == "--policy") {
+            allocator_name = next();
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--chrome-trace") {
+            chrome_path = next();
+        } else if (arg == "--sample-interval") {
+            sample_interval = nextNumber();
+        } else if (arg == "--trace-capacity") {
+            trace_capacity = nextNumber();
+        } else if (arg == "--pretty") {
+            pretty = true;
+        } else if (arg == "--half-rf") {
+            config = halfRegisterFile(config);
+        } else if (arg == "--es") {
+            compile_options.forcedEs = static_cast<int>(nextNumber());
+        } else if (arg == "--lrr") {
+            config.schedPolicy = SchedPolicy::Lrr;
+        } else if (arg == "--poll") {
+            config.wakeOnRelease = false;
+        } else if (arg == "--list") {
+            for (const auto &entry : paperSuite())
+                std::cout << entry.spec.name << "\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option " << arg << "\n";
+            return usage();
+        } else {
+            target = arg;
+        }
+    }
+    if (target.empty())
+        return usage();
+
+    try {
+        Program program;
+        if (target.size() > 4 &&
+            target.substr(target.size() - 4) == ".asm") {
+            std::ifstream file(target);
+            if (!file) {
+                std::cerr << "cannot open " << target << "\n";
+                return 1;
+            }
+            std::ostringstream text;
+            text << file.rdbuf();
+            program = parseProgram(text.str());
+        } else {
+            program = buildWorkload(target);
+        }
+
+        // The full observability stack: registry + sampler + trace.
+        MetricsRegistry registry;
+        Sampler sampler(registry, sample_interval);
+        IssueTrace trace(trace_capacity);
+        ObsSinks obs;
+        obs.metrics = &registry;
+        obs.sampler = &sampler;
+        if (!chrome_path.empty())
+            obs.trace = &trace;
+
+        SimStats stats;
+        Program executed = program;
+        if (allocator_name == "baseline") {
+            stats = runBaseline(program, config, obs);
+        } else if (allocator_name == "regmutex") {
+            const RegMutexRun run =
+                runRegMutex(program, config, compile_options, obs);
+            stats = run.stats;
+            executed = run.compile.program;
+        } else if (allocator_name == "paired") {
+            const RegMutexRun run =
+                runPaired(program, config, compile_options, obs);
+            stats = run.stats;
+            executed = run.compile.program;
+        } else if (allocator_name == "owf") {
+            stats = runOwf(program, config, compile_options, obs);
+            // OWF executes the compacted program with directives
+            // stripped; rebuild it so trace PCs disassemble correctly.
+            executed = stripDirectives(
+                compileRegMutex(program, config, compile_options)
+                    .program);
+        } else if (allocator_name == "rfv") {
+            stats = runRfv(program, config, 0.25, obs);
+        } else {
+            std::cerr << "unknown allocator " << allocator_name << "\n";
+            return usage();
+        }
+
+        // Final partial-interval sample so the series reaches the end.
+        if (sampler.samples().empty() ||
+            sampler.samples().back().cycle != stats.cycles) {
+            sampler.snapshot(stats.cycles);
+        }
+
+        // --- Assemble the JSON document ---
+        JsonWriter w;
+        w.beginObject();
+        w.key("stats");
+        statsToJson(w, stats);
+        w.key("metrics");
+        registryToJson(w, registry);
+        w.key("sampling").beginObject();
+        w.key("interval_cycles").value(sampler.interval());
+        w.key("samples")
+            .value(static_cast<std::uint64_t>(sampler.samples().size()));
+        w.key("columns").beginArray();
+        for (const std::string &column : sampler.columns())
+            w.value(column);
+        w.endArray();
+        w.endObject();
+        w.endObject();
+        const std::string document = w.take();
+
+        if (!json_path.empty())
+            writeFile(json_path, document);
+        if (!csv_path.empty())
+            writeFile(csv_path, samplerToCsv(sampler));
+        if (!chrome_path.empty())
+            writeFile(chrome_path, chromeTrace(trace, executed));
+
+        if (pretty) {
+            std::cout << prettyPrint(document) << "\n";
+        } else {
+            Table table({"metric", "value"});
+            auto add = [&](const char *name, const std::string &value) {
+                table.addRow({name, value});
+            };
+            add("kernel", stats.kernelName);
+            add("allocator", stats.allocatorName);
+            add("cycles", std::to_string(stats.cycles));
+            add("instructions", std::to_string(stats.instructions));
+            add("IPC", fixed(stats.ipc(), 3));
+            add("theoretical occupancy",
+                percent(stats.theoreticalOccupancy));
+            add("avg resident warps",
+                fixed(stats.avgResidentWarps, 1));
+            add("acquire success", percent(stats.acquireSuccessRate()));
+            const Histogram &wait =
+                registry.histogram("srp.acquire_wait_cycles");
+            add("acquire waits observed",
+                std::to_string(wait.count()));
+            add("acquire wait mean (cyc)", fixed(wait.mean(), 1));
+            add("acquire wait max (cyc)",
+                std::to_string(wait.max()));
+            add("samples taken",
+                std::to_string(sampler.samples().size()));
+            add("deadlocked", stats.deadlocked ? "YES" : "no");
+            std::cout << table.toText();
+        }
+
+        auto report = [&](const char *what, const std::string &path) {
+            if (!path.empty())
+                std::cout << "wrote " << what << ": " << path << "\n";
+        };
+        report("stats+metrics JSON", json_path);
+        report("time-series CSV", csv_path);
+        report("Chrome trace (open in chrome://tracing or "
+               "ui.perfetto.dev)",
+               chrome_path);
+        return stats.deadlocked ? 1 : 0;
+    } catch (const FatalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

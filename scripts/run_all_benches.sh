@@ -1,21 +1,73 @@
-#!/usr/bin/env sh
-# Regenerate every reproduced table and figure (see EXPERIMENTS.md).
-# Usage: scripts/run_all_benches.sh [build-dir]
-set -eu
+#!/usr/bin/env bash
+# Regenerate every reproduced table and figure (see EXPERIMENTS.md) and
+# collect their machine-readable JSON reports under results/<timestamp>/.
+# Usage: scripts/run_all_benches.sh [build-dir] [results-root]
+set -euo pipefail
 
 BUILD="${1:-build}"
+RESULTS_ROOT="${2:-results}"
 
 if [ ! -d "$BUILD/bench" ]; then
     echo "error: $BUILD/bench not found — build first:" >&2
-    echo "  cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+    echo "  cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
     exit 1
 fi
 
+# Every figure/table bench must exist: a missing binary means a broken
+# build (or a renamed bench nobody updated here), not something to skip.
+REQUIRED=(
+    fig01_liveness_timeline
+    fig02_two_warp_example
+    fig07_occupancy_boost
+    fig08_half_register_file
+    fig09a_comparison_baseline
+    fig09b_comparison_half_rf
+    fig10_es_sensitivity
+    fig11_acquire_analysis
+    fig12_paired_warps
+    fig13_acquire_success
+    table1_workloads
+)
+missing=0
+for name in "${REQUIRED[@]}"; do
+    if [ ! -x "$BUILD/bench/$name" ]; then
+        echo "error: required bench binary missing: $BUILD/bench/$name" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "error: rebuild before running: cmake --build $BUILD -j" >&2
+    exit 1
+fi
+
+STAMP="$(date +%Y%m%d-%H%M%S)"
+OUTDIR="$RESULTS_ROOT/$STAMP"
+mkdir -p "$OUTDIR"
+echo "JSON reports -> $OUTDIR"
+echo
+
+for name in "${REQUIRED[@]}"; do
+    echo "==================================================================="
+    echo "== $name"
+    echo "==================================================================="
+    "$BUILD/bench/$name" --json "$OUTDIR/$name.json"
+    echo
+done
+
+# Benches with no figure/table report (e.g. micro_hotpaths) still run,
+# but without --json.
 for b in "$BUILD"/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
+    name="$(basename "$b")"
+    for req in "${REQUIRED[@]}"; do
+        [ "$name" = "$req" ] && continue 2
+    done
     echo "==================================================================="
-    echo "== $(basename "$b")"
+    echo "== $name"
     echo "==================================================================="
     "$b"
     echo
 done
+
+echo "All benches passed; reports in $OUTDIR:"
+ls -1 "$OUTDIR"

@@ -1,11 +1,47 @@
 #include "common/logging.hh"
 
+#include <cstdlib>
 #include <iostream>
 
 namespace rm {
 
 namespace {
-LogLevel globalLevel = LogLevel::Warn;
+
+/**
+ * Parse an RM_LOG_LEVEL value: a number ("0".."3") or a level name
+ * (silent/warn/warning/info/inform/debug, case-sensitive lowercase).
+ * Unrecognized values fall back to @p fallback — logging must never
+ * make a run fail.
+ */
+LogLevel
+parseLevel(const char *text, LogLevel fallback)
+{
+    const std::string value = text;
+    if (value == "0" || value == "silent")
+        return LogLevel::Silent;
+    if (value == "1" || value == "warn" || value == "warning")
+        return LogLevel::Warn;
+    if (value == "2" || value == "info" || value == "inform")
+        return LogLevel::Inform;
+    if (value == "3" || value == "debug")
+        return LogLevel::Debug;
+    return fallback;
+}
+
+/**
+ * The default comes from the RM_LOG_LEVEL environment variable so
+ * benches and tests can raise verbosity without code changes; absent
+ * or malformed, it stays at Warn.
+ */
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("RM_LOG_LEVEL");
+    return env ? parseLevel(env, LogLevel::Warn) : LogLevel::Warn;
+}
+
+LogLevel globalLevel = initialLevel();
+
 } // namespace
 
 void
@@ -39,7 +75,7 @@ emit(LogLevel level, const std::string &message)
       default:
         break;
     }
-    std::cerr << tag << ": " << message << "\n";
+    std::cerr << "rm: " << tag << ": " << message << "\n";
 }
 
 } // namespace detail

@@ -6,6 +6,11 @@
  * Minimal status-message facility following the gem5 inform/warn model.
  * Messages are informational only and never stop the run; errors go
  * through common/errors.hh instead.
+ *
+ * Every message goes to stderr prefixed "rm: <level>: ". The initial
+ * verbosity is Warn, overridable without code changes through the
+ * RM_LOG_LEVEL environment variable (0-3 or silent/warn/info/debug);
+ * setLogLevel() still wins once called.
  */
 
 #include <sstream>

@@ -9,20 +9,35 @@
 
 namespace rm {
 
+namespace {
+
+/** Copy the caller's observability sinks into a runner's SimOptions. */
+void
+attachSinks(SimOptions &options, const ObsSinks &obs)
+{
+    options.trace = obs.trace;
+    options.metrics = obs.metrics;
+    options.sampler = obs.sampler;
+}
+
+} // namespace
+
 SimStats
-runBaseline(const Program &program, const GpuConfig &config)
+runBaseline(const Program &program, const GpuConfig &config,
+            const ObsSinks &obs)
 {
     BaselineAllocator allocator;
     allocator.prepare(config, program);
     SimOptions options;
     options.mapper = allocator.makeMapper();
+    attachSinks(options, obs);
     return simulate(config, program, allocator, std::move(options),
                     /*prepare_allocator=*/false);
 }
 
 RegMutexRun
 runRegMutex(const Program &program, const GpuConfig &config,
-            const CompileOptions &options)
+            const CompileOptions &options, const ObsSinks &obs)
 {
     RegMutexRun run;
     run.compile = compileRegMutex(program, config, options);
@@ -31,6 +46,7 @@ runRegMutex(const Program &program, const GpuConfig &config,
     allocator.prepare(config, run.compile.program);
     SimOptions sim_options;
     sim_options.mapper = allocator.makeMapper();
+    attachSinks(sim_options, obs);
     run.stats = simulate(config, run.compile.program, allocator,
                          std::move(sim_options),
                          /*prepare_allocator=*/false);
@@ -39,7 +55,7 @@ runRegMutex(const Program &program, const GpuConfig &config,
 
 RegMutexRun
 runPaired(const Program &program, const GpuConfig &config,
-          const CompileOptions &options)
+          const CompileOptions &options, const ObsSinks &obs)
 {
     RegMutexRun run;
     run.compile = compileRegMutex(program, config, options);
@@ -48,6 +64,7 @@ runPaired(const Program &program, const GpuConfig &config,
     allocator.prepare(config, run.compile.program);
     SimOptions sim_options;
     sim_options.mapper = allocator.makeMapper();
+    attachSinks(sim_options, obs);
     run.stats = simulate(config, run.compile.program, allocator,
                          std::move(sim_options),
                          /*prepare_allocator=*/false);
@@ -56,7 +73,7 @@ runPaired(const Program &program, const GpuConfig &config,
 
 SimStats
 runOwf(const Program &program, const GpuConfig &config,
-       const CompileOptions &options)
+       const CompileOptions &options, const ObsSinks &obs)
 {
     // OWF shares the same compacted upper register set as RegMutex but
     // drives it with hardware locks instead of directives.
@@ -65,14 +82,19 @@ runOwf(const Program &program, const GpuConfig &config,
     const Program stripped = stripDirectives(compiled.program);
 
     OwfAllocator allocator;
-    return simulate(config, stripped, allocator);
+    SimOptions sim_options;
+    attachSinks(sim_options, obs);
+    return simulate(config, stripped, allocator, std::move(sim_options));
 }
 
 SimStats
-runRfv(const Program &program, const GpuConfig &config, double provisioning)
+runRfv(const Program &program, const GpuConfig &config, double provisioning,
+       const ObsSinks &obs)
 {
     RfvAllocator allocator(provisioning);
-    return simulate(config, program, allocator);
+    SimOptions sim_options;
+    attachSinks(sim_options, obs);
+    return simulate(config, program, allocator, std::move(sim_options));
 }
 
 } // namespace rm

@@ -16,6 +16,7 @@
 #include "compiler/pipeline.hh"
 #include "isa/program.hh"
 #include "sim/config.hh"
+#include "sim/gpu.hh"
 #include "sim/stats.hh"
 
 namespace rm {
@@ -27,8 +28,14 @@ struct RegMutexRun
     SimStats stats;
 };
 
-/** Simulate under the baseline static allocation (paper Fig. 6a). */
-SimStats runBaseline(const Program &program, const GpuConfig &config);
+/**
+ * Simulate under the baseline static allocation (paper Fig. 6a).
+ * Every runner takes optional observability sinks (issue trace,
+ * metrics registry, interval sampler — see sim/gpu.hh and src/obs/)
+ * threaded into the simulation it drives.
+ */
+SimStats runBaseline(const Program &program, const GpuConfig &config,
+                     const ObsSinks &obs = {});
 
 /**
  * Compile with the RegMutex pipeline and simulate under the pooled
@@ -37,11 +44,13 @@ SimStats runBaseline(const Program &program, const GpuConfig &config);
  * the kernel untouched.
  */
 RegMutexRun runRegMutex(const Program &program, const GpuConfig &config,
-                        const CompileOptions &options = {});
+                        const CompileOptions &options = {},
+                        const ObsSinks &obs = {});
 
 /** Same, under the paired-warps specialization (paper Sec. III-C). */
 RegMutexRun runPaired(const Program &program, const GpuConfig &config,
-                      const CompileOptions &options = {});
+                      const CompileOptions &options = {},
+                      const ObsSinks &obs = {});
 
 /**
  * Jatala et al. resource sharing with Owner-Warp-First scheduling: the
@@ -49,11 +58,12 @@ RegMutexRun runPaired(const Program &program, const GpuConfig &config,
  * the pairwise one-shot lock.
  */
 SimStats runOwf(const Program &program, const GpuConfig &config,
-                const CompileOptions &options = {});
+                const CompileOptions &options = {},
+                const ObsSinks &obs = {});
 
 /** Jeon et al. Register File Virtualization on the original program. */
 SimStats runRfv(const Program &program, const GpuConfig &config,
-                double provisioning = 0.25);
+                double provisioning = 0.25, const ObsSinks &obs = {});
 
 } // namespace rm
 

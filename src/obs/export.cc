@@ -1,0 +1,309 @@
+#include "obs/export.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "isa/disasm.hh"
+#include "isa/program.hh"
+
+namespace rm {
+
+void
+statsToJson(JsonWriter &w, const SimStats &stats)
+{
+    w.beginObject();
+    w.key("kernel").value(stats.kernelName);
+    w.key("allocator").value(stats.allocatorName);
+    w.key("cycles").value(stats.cycles);
+    w.key("instructions").value(stats.instructions);
+    w.key("ipc").value(stats.ipc());
+    w.key("ctas_completed").value(stats.ctasCompleted);
+    w.key("theoretical_ctas").value(stats.theoreticalCtas);
+    w.key("theoretical_warps").value(stats.theoreticalWarps);
+    w.key("theoretical_occupancy").value(stats.theoreticalOccupancy);
+    w.key("avg_resident_warps").value(stats.avgResidentWarps);
+    w.key("acquire_attempts").value(stats.acquireAttempts);
+    w.key("acquire_successes").value(stats.acquireSuccesses);
+    w.key("acquire_already_held").value(stats.acquireAlreadyHeld);
+    w.key("acquire_success_rate").value(stats.acquireSuccessRate());
+    w.key("releases").value(stats.releases);
+    w.key("issued_slots").value(stats.issuedSlots);
+    w.key("idle_scheduler_slots").value(stats.idleSchedulerSlots);
+    w.key("stalls").beginObject();
+    w.key("scoreboard").value(stats.scoreboardStalls);
+    w.key("mem_structural").value(stats.memStructuralStalls);
+    w.key("barrier").value(stats.barrierStalls);
+    w.key("acquire").value(stats.acquireStalls);
+    w.key("resource").value(stats.resourceStalls);
+    w.key("no_warp").value(stats.noWarpStalls);
+    w.endObject();
+    w.key("emergency_spills").value(stats.emergencySpills);
+    w.key("lock_acquisitions").value(stats.lockAcquisitions);
+    w.key("ext_reg_accesses").value(stats.extRegAccesses);
+    w.key("bank_conflicts").value(stats.bankConflicts);
+    w.key("deadlocked").value(stats.deadlocked);
+    w.endObject();
+}
+
+std::string
+statsToJson(const SimStats &stats)
+{
+    JsonWriter w;
+    statsToJson(w, stats);
+    return w.take();
+}
+
+void
+registryToJson(JsonWriter &w, const MetricsRegistry &registry)
+{
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, counter] : registry.counters())
+        w.key(name).value(counter.value());
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &[name, gauge] : registry.gauges())
+        w.key(name).value(gauge.value());
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, hist] : registry.histograms()) {
+        w.key(name).beginObject();
+        w.key("count").value(hist.count());
+        w.key("sum").value(hist.sum());
+        w.key("min").value(hist.min());
+        w.key("max").value(hist.max());
+        w.key("mean").value(hist.mean());
+        // Sparse bucket list: only non-empty buckets, upper-bound keyed.
+        w.key("buckets").beginArray();
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+            if (hist.bucketCount(i) == 0)
+                continue;
+            w.beginObject();
+            w.key("le").value(Histogram::bucketUpperBound(i));
+            w.key("count").value(hist.bucketCount(i));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+registryToJson(const MetricsRegistry &registry)
+{
+    JsonWriter w;
+    registryToJson(w, registry);
+    return w.take();
+}
+
+std::string
+samplerToCsv(const Sampler &sampler)
+{
+    std::ostringstream os;
+    os << "cycle";
+    for (const std::string &column : sampler.columns())
+        os << ',' << column;
+    os << '\n';
+    os.precision(12);
+    for (const SamplePoint &point : sampler.samples()) {
+        os << point.cycle;
+        for (const double v : point.values) {
+            os << ',';
+            // Counters and gauges are integral; print them as such.
+            if (v == static_cast<double>(static_cast<long long>(v)))
+                os << static_cast<long long>(v);
+            else
+                os << v;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Emit the shared fields of one trace_event record. */
+void
+eventCommon(JsonWriter &w, const char *ph, std::uint64_t ts, int tid,
+            const char *cat)
+{
+    w.key("ph").value(ph);
+    w.key("ts").value(ts);
+    w.key("pid").value(0);
+    w.key("tid").value(tid);
+    w.key("cat").value(cat);
+}
+
+void
+completeEvent(JsonWriter &w, const std::string &name, std::uint64_t start,
+              std::uint64_t end, int tid, const char *cat)
+{
+    w.beginObject();
+    w.key("name").value(name);
+    eventCommon(w, "X", start, tid, cat);
+    w.key("dur").value(end > start ? end - start : std::uint64_t{1});
+    w.endObject();
+}
+
+void
+instantEvent(JsonWriter &w, const std::string &name, std::uint64_t ts,
+             int tid, const char *cat)
+{
+    w.beginObject();
+    w.key("name").value(name);
+    eventCommon(w, "i", ts, tid, cat);
+    w.key("s").value("t");
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+chromeTrace(const IssueTrace &trace, const Program &program)
+{
+    const std::vector<TraceEvent> events = trace.events();
+    const std::uint64_t window_end =
+        events.empty() ? 1 : events.back().cycle + 1;
+
+    // Per-warp open spans (cycle they started at, or -1).
+    struct WarpSpans
+    {
+        std::int64_t waitSince = -1;
+        std::int64_t heldSince = -1;
+    };
+    std::map<int, WarpSpans> spans;
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+
+    // Track naming metadata (pid 0 = the simulated SM).
+    {
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(0);
+        w.key("name").value("process_name");
+        w.key("args").beginObject();
+        w.key("name").value("regmutex SM0: " + program.info.name);
+        w.endObject();
+        w.endObject();
+    }
+    std::map<int, bool> named;
+    auto nameTrack = [&](int tid) {
+        if (named[tid])
+            return;
+        named[tid] = true;
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(0);
+        w.key("tid").value(tid);
+        w.key("name").value("thread_name");
+        w.key("args").beginObject();
+        w.key("name").value("warp " + std::to_string(tid));
+        w.endObject();
+        w.endObject();
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(0);
+        w.key("tid").value(tid);
+        w.key("name").value("thread_sort_index");
+        w.key("args").beginObject();
+        w.key("sort_index").value(tid);
+        w.endObject();
+        w.endObject();
+    };
+
+    auto sliceName = [&](const TraceEvent &event) -> std::string {
+        if (event.pc >= 0 &&
+            event.pc < static_cast<int>(program.code.size())) {
+            return disassemble(program.code[event.pc]);
+        }
+        return IssueTrace::kindName(event.kind);
+    };
+
+    for (const TraceEvent &event : events) {
+        const int tid = event.warpSlot;
+        nameTrack(tid);
+        WarpSpans &span = spans[tid];
+        switch (event.kind) {
+          case TraceKind::Issue:
+            completeEvent(w, sliceName(event), event.cycle,
+                          event.cycle + 1, tid, "issue");
+            break;
+          case TraceKind::AcquireBlocked:
+            if (span.waitSince < 0)
+                span.waitSince = static_cast<std::int64_t>(event.cycle);
+            break;
+          case TraceKind::AcquireOk:
+            if (span.waitSince >= 0) {
+                completeEvent(w, "acquire-wait",
+                              static_cast<std::uint64_t>(span.waitSince),
+                              event.cycle, tid, "srp");
+                span.waitSince = -1;
+            }
+            if (span.heldSince < 0)
+                span.heldSince = static_cast<std::int64_t>(event.cycle);
+            break;
+          case TraceKind::Release:
+            if (span.heldSince >= 0) {
+                completeEvent(w, "ext-held",
+                              static_cast<std::uint64_t>(span.heldSince),
+                              event.cycle, tid, "srp");
+                span.heldSince = -1;
+            }
+            break;
+          case TraceKind::BarrierWait:
+            instantEvent(w, "barrier", event.cycle, tid, "sync");
+            break;
+          case TraceKind::WarpExit:
+            if (span.heldSince >= 0) {
+                completeEvent(w, "ext-held",
+                              static_cast<std::uint64_t>(span.heldSince),
+                              event.cycle, tid, "srp");
+                span.heldSince = -1;
+            }
+            span.waitSince = -1;
+            instantEvent(w, "exit", event.cycle, tid, "lifecycle");
+            break;
+          case TraceKind::CtaLaunch:
+            instantEvent(w,
+                         "cta-launch #" + std::to_string(event.ctaId),
+                         event.cycle, tid, "lifecycle");
+            break;
+          case TraceKind::CtaRetire:
+            instantEvent(w,
+                         "cta-retire #" + std::to_string(event.ctaId),
+                         event.cycle, tid, "lifecycle");
+            break;
+        }
+    }
+
+    // Close spans that never saw their end inside the retained window.
+    for (auto &[tid, span] : spans) {
+        if (span.waitSince >= 0) {
+            completeEvent(w, "acquire-wait",
+                          static_cast<std::uint64_t>(span.waitSince),
+                          window_end, tid, "srp");
+        }
+        if (span.heldSince >= 0) {
+            completeEvent(w, "ext-held",
+                          static_cast<std::uint64_t>(span.heldSince),
+                          window_end, tid, "srp");
+        }
+    }
+
+    w.endArray();
+    w.key("otherData").beginObject();
+    w.key("kernel").value(program.info.name);
+    w.key("events_retained").value(static_cast<std::uint64_t>(trace.size()));
+    w.key("events_recorded").value(trace.totalRecorded());
+    w.endObject();
+    w.endObject();
+    return w.take();
+}
+
+} // namespace rm

@@ -1,0 +1,66 @@
+#ifndef RM_OBS_EXPORT_HH
+#define RM_OBS_EXPORT_HH
+
+/**
+ * @file
+ * Artifact exporters for the observability layer:
+ *
+ *  - SimStats      -> one flat JSON object (machine-readable run stats)
+ *  - MetricsRegistry -> JSON (counters/gauges/histograms)
+ *  - Sampler       -> CSV time-series (one row per sample)
+ *  - IssueTrace    -> Chrome trace_event JSON, loadable directly in
+ *                     chrome://tracing or https://ui.perfetto.dev:
+ *                     per-warp tracks with issue slices, acquire-wait
+ *                     and extended-set-held spans — the paper's Fig. 2
+ *                     picture reconstructed from a real run.
+ *
+ * All exporters are pure (input structs -> string); callers own file
+ * I/O. See docs/OBSERVABILITY.md for the formats.
+ */
+
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace rm {
+
+class Program;
+
+/**
+ * Append @p stats as a JSON object to @p writer (for embedding in a
+ * larger document). The key set is frozen by a golden-file test; add
+ * keys deliberately and update tests/golden/simstats_keys.txt.
+ */
+void statsToJson(JsonWriter &writer, const SimStats &stats);
+
+/** @p stats as a standalone JSON document. */
+std::string statsToJson(const SimStats &stats);
+
+/** Append the registry as a JSON object to @p writer. */
+void registryToJson(JsonWriter &writer, const MetricsRegistry &registry);
+
+/** The registry as a standalone JSON document. */
+std::string registryToJson(const MetricsRegistry &registry);
+
+/**
+ * The sampler's time-series as CSV: header "cycle,<col>,...", one row
+ * per sample, raw numbers.
+ */
+std::string samplerToCsv(const Sampler &sampler);
+
+/**
+ * The retained trace window as a Chrome trace_event JSON document.
+ * Cycles map to microsecond timestamps (1 cycle = 1 us). @p program
+ * resolves PCs to disassembled slice names. Spans whose begin was
+ * evicted from the ring are dropped; spans still open at the end of
+ * the window are closed at the last retained cycle + 1.
+ */
+std::string chromeTrace(const IssueTrace &trace, const Program &program);
+
+} // namespace rm
+
+#endif // RM_OBS_EXPORT_HH

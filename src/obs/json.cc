@@ -1,0 +1,371 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+// --- Writer -------------------------------------------------------------
+
+void
+JsonWriter::separate()
+{
+    if (afterKey) {
+        afterKey = false;
+        return;
+    }
+    if (!needComma.empty()) {
+        if (needComma.back())
+            out << ',';
+        needComma.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out << '{';
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    fatalIf(needComma.empty(), "JsonWriter: endObject with no container");
+    needComma.pop_back();
+    out << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out << '[';
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    fatalIf(needComma.empty(), "JsonWriter: endArray with no container");
+    needComma.pop_back();
+    out << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    separate();
+    out << '"' << escape(name) << "\":";
+    afterKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    separate();
+    out << '"' << escape(text) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    separate();
+    if (!std::isfinite(number)) {
+        // JSON has no Inf/NaN; null keeps the document parseable.
+        out << "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", number);
+    out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    separate();
+    out << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    separate();
+    out << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    separate();
+    out << (flag ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    out << "null";
+    return *this;
+}
+
+std::string
+JsonWriter::take()
+{
+    fatalIf(!needComma.empty(), "JsonWriter: take with open containers");
+    return out.str();
+}
+
+std::string
+JsonWriter::escape(std::string_view text)
+{
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': escaped += "\\\""; break;
+          case '\\': escaped += "\\\\"; break;
+          case '\n': escaped += "\\n"; break;
+          case '\r': escaped += "\\r"; break;
+          case '\t': escaped += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                escaped += buf;
+            } else {
+                escaped += c;
+            }
+        }
+    }
+    return escaped;
+}
+
+// --- Parser -------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view input) : text(input) {}
+
+    JsonValue
+    document()
+    {
+        const JsonValue value = parseValue();
+        skipSpace();
+        fatalIf(pos != text.size(), "parseJson: trailing garbage at ", pos);
+        return value;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        fatalIf(pos >= text.size(), "parseJson: unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        fatalIf(peek() != c, "parseJson: expected '", c, "' at ", pos);
+        ++pos;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (peek() == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        fatalIf(text.substr(pos, word.size()) != word,
+                "parseJson: bad literal at ", pos);
+        pos += word.size();
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string value;
+        while (true) {
+            fatalIf(pos >= text.size(), "parseJson: unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return value;
+            if (c != '\\') {
+                value += c;
+                continue;
+            }
+            fatalIf(pos >= text.size(), "parseJson: unterminated escape");
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': value += '"'; break;
+              case '\\': value += '\\'; break;
+              case '/': value += '/'; break;
+              case 'b': value += '\b'; break;
+              case 'f': value += '\f'; break;
+              case 'n': value += '\n'; break;
+              case 'r': value += '\r'; break;
+              case 't': value += '\t'; break;
+              case 'u': {
+                fatalIf(pos + 4 > text.size(),
+                        "parseJson: short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code += 10 + h - 'a';
+                    else if (h >= 'A' && h <= 'F')
+                        code += 10 + h - 'A';
+                    else
+                        fatal("parseJson: bad \\u escape");
+                }
+                // Artifacts only ever escape control characters; emit
+                // the low byte and leave full UTF-16 out of scope.
+                value += static_cast<char>(code & 0xff);
+                break;
+              }
+              default:
+                fatal("parseJson: unknown escape '\\", esc, "'");
+            }
+        }
+    }
+
+    JsonValue
+    parseValue()
+    {
+        JsonValue value;
+        const char c = peek();
+        switch (c) {
+          case '{': {
+            value.kind = JsonValue::Kind::Object;
+            ++pos;
+            if (consumeIf('}'))
+                return value;
+            do {
+                std::string name = parseString();
+                expect(':');
+                value.members.emplace_back(std::move(name), parseValue());
+            } while (consumeIf(','));
+            expect('}');
+            return value;
+          }
+          case '[': {
+            value.kind = JsonValue::Kind::Array;
+            ++pos;
+            if (consumeIf(']'))
+                return value;
+            do {
+                value.items.push_back(parseValue());
+            } while (consumeIf(','));
+            expect(']');
+            return value;
+          }
+          case '"':
+            value.kind = JsonValue::Kind::String;
+            value.string = parseString();
+            return value;
+          case 't':
+            literal("true");
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = true;
+            return value;
+          case 'f':
+            literal("false");
+            value.kind = JsonValue::Kind::Bool;
+            return value;
+          case 'n':
+            literal("null");
+            return value;
+          default: {
+            const std::size_t start = pos;
+            if (text[pos] == '-')
+                ++pos;
+            while (pos < text.size() &&
+                   (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                    text[pos] == '.' || text[pos] == 'e' ||
+                    text[pos] == 'E' || text[pos] == '+' ||
+                    text[pos] == '-')) {
+                ++pos;
+            }
+            fatalIf(pos == start, "parseJson: unexpected character '", c,
+                    "' at ", pos);
+            value.kind = JsonValue::Kind::Number;
+            value.number =
+                std::stod(std::string(text.substr(start, pos - start)));
+            return value;
+          }
+        }
+    }
+
+    std::string_view text;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[key, member] : members) {
+        if (key == name)
+            return &member;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view name) const
+{
+    const JsonValue *member = find(name);
+    fatalIf(!member, "JsonValue: no member '", std::string(name), "'");
+    return *member;
+}
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+} // namespace rm

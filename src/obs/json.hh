@@ -1,0 +1,94 @@
+#ifndef RM_OBS_JSON_HH
+#define RM_OBS_JSON_HH
+
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming writer
+ * the exporters emit through, and a small recursive-descent parser so
+ * tests (and `rm-inspect --pretty`) can round-trip what we emit. Not a
+ * general-purpose JSON library — it covers exactly the subset the
+ * simulator's artifacts use (objects, arrays, strings, numbers, bools,
+ * null) and fails fast on anything malformed.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rm {
+
+/**
+ * Streaming JSON writer with automatic comma/key bookkeeping:
+ *
+ *     JsonWriter w;
+ *     w.beginObject().key("cycles").value(42).endObject();
+ *     std::string text = w.take();
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Member key; must be followed by a value or container begin. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text) { return value(std::string_view(text)); }
+    JsonWriter &value(const std::string &text) { return value(std::string_view(text)); }
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(int number) { return value(static_cast<std::int64_t>(number)); }
+    JsonWriter &value(bool flag);
+    JsonWriter &null();
+
+    /** The serialized document (containers must all be closed). */
+    std::string take();
+
+    /** Escape @p text per RFC 8259 (quotes not included). */
+    static std::string escape(std::string_view text);
+
+  private:
+    void separate();
+
+    std::ostringstream out;
+    std::vector<bool> needComma;  ///< per open container
+    bool afterKey = false;
+};
+
+/** Parsed JSON value (tree form). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> items;  ///< Array elements
+    std::vector<std::pair<std::string, JsonValue>> members;  ///< Object
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view name) const;
+
+    /** Member lookup; fatal when absent. */
+    const JsonValue &at(std::string_view name) const;
+
+    bool has(std::string_view name) const { return find(name) != nullptr; }
+};
+
+/** Parse @p text; throws FatalError on malformed input. */
+JsonValue parseJson(std::string_view text);
+
+} // namespace rm
+
+#endif // RM_OBS_JSON_HH

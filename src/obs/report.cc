@@ -1,0 +1,107 @@
+#include "obs/report.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "obs/export.hh"
+#include "obs/json.hh"
+
+namespace rm {
+
+BenchReport::BenchReport(std::string bench_name, int argc,
+                         char *const *argv)
+    : bench(std::move(bench_name))
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--json")
+            continue;
+        if (i + 1 >= argc) {
+            std::cerr << bench << ": --json needs a path\n";
+            std::exit(2);
+        }
+        path = argv[i + 1];
+        return;
+    }
+}
+
+void
+BenchReport::addRun(const SimStats &stats, Labels labels, Values values)
+{
+    records.push_back(
+        Record{stats, std::move(labels), std::move(values)});
+}
+
+void
+BenchReport::addRecord(Labels labels, Values values)
+{
+    records.push_back(
+        Record{std::nullopt, std::move(labels), std::move(values)});
+}
+
+void
+BenchReport::summary(const std::string &key, double value)
+{
+    summaries.emplace_back(key, value);
+}
+
+void
+BenchReport::write()
+{
+    written = true;
+    if (!enabled())
+        return;
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("bench").value(bench);
+    w.key("runs").beginArray();
+    for (const Record &record : records) {
+        w.beginObject();
+        if (!record.labels.empty()) {
+            w.key("labels").beginObject();
+            for (const auto &[key, value] : record.labels)
+                w.key(key).value(value);
+            w.endObject();
+        }
+        if (!record.values.empty()) {
+            w.key("values").beginObject();
+            for (const auto &[key, value] : record.values)
+                w.key(key).value(value);
+            w.endObject();
+        }
+        if (record.stats) {
+            w.key("stats");
+            statsToJson(w, *record.stats);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    if (!summaries.empty()) {
+        w.key("summary").beginObject();
+        for (const auto &[key, value] : summaries)
+            w.key(key).value(value);
+        w.endObject();
+    }
+    w.endObject();
+
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << bench << ": cannot open --json path " << path
+                  << "\n";
+        std::exit(1);
+    }
+    file << w.take() << "\n";
+    if (!file.good()) {
+        std::cerr << bench << ": failed writing " << path << "\n";
+        std::exit(1);
+    }
+}
+
+BenchReport::~BenchReport()
+{
+    if (!written)
+        write();
+}
+
+} // namespace rm

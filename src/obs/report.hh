@@ -1,0 +1,84 @@
+#ifndef RM_OBS_REPORT_HH
+#define RM_OBS_REPORT_HH
+
+/**
+ * @file
+ * Shared machine-readable output for the figure benchmarks: every bench
+ * constructs a BenchReport from argv, records the per-workload runs it
+ * already computes for its text table, and the report writes one JSON
+ * document when (and only when) `--json <path>` was passed. The text
+ * output is unchanged, so EXPERIMENTS.md workflows keep working while
+ * scripts/run_all_benches.sh collects the JSON artifacts.
+ *
+ *     int main(int argc, char **argv) {
+ *         rm::BenchReport report("fig07_occupancy_boost", argc, argv);
+ *         ...
+ *         report.addRun(stats, {{"workload", name}},
+ *                       {{"cycle_reduction", red}});
+ *         report.summary("average_reduction", total / 8.0);
+ *         report.write();
+ *     }
+ */
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace rm {
+
+/** Collects one benchmark's rows and writes them as JSON. */
+class BenchReport
+{
+  public:
+    using Labels = std::vector<std::pair<std::string, std::string>>;
+    using Values = std::vector<std::pair<std::string, double>>;
+
+    /**
+     * Scans @p argv for `--json <path>`; all other arguments are left
+     * for the bench. A missing value or unreadable path fails loudly.
+     */
+    BenchReport(std::string bench_name, int argc, char *const *argv);
+
+    /** True when `--json` was passed and write() will emit a file. */
+    bool enabled() const { return !path.empty(); }
+
+    /** Record one simulated run plus derived labels/values. */
+    void addRun(const SimStats &stats, Labels labels = {},
+                Values values = {});
+
+    /** Record a row with no SimStats (analysis-only benches). */
+    void addRecord(Labels labels, Values values = {});
+
+    /** Top-level scalar (averages, totals). */
+    void summary(const std::string &key, double value);
+
+    /** Write the JSON file now; no-op unless enabled. */
+    void write();
+
+    /** Writes on destruction if write() was never called. */
+    ~BenchReport();
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+  private:
+    struct Record
+    {
+        std::optional<SimStats> stats;
+        Labels labels;
+        Values values;
+    };
+
+    std::string bench;
+    std::string path;
+    std::vector<Record> records;
+    Values summaries;
+    bool written = false;
+};
+
+} // namespace rm
+
+#endif // RM_OBS_REPORT_HH

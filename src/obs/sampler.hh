@@ -1,0 +1,98 @@
+#ifndef RM_OBS_SAMPLER_HH
+#define RM_OBS_SAMPLER_HH
+
+/**
+ * @file
+ * Interval sampler: snapshots a MetricsRegistry every N simulated
+ * cycles into an in-memory time-series (one column per flattened
+ * metric, one row per sample). Counters and gauges sample as their
+ * current value; histograms flatten to <name>.count / <name>.sum /
+ * <name>.max. The hot-path cost is one modulo per cycle; a sample
+ * itself walks the registry, which is fine at any realistic interval.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace rm {
+
+/** One row of the time-series. */
+struct SamplePoint
+{
+    std::uint64_t cycle = 0;
+    std::vector<double> values;  ///< parallel to Sampler::columns()
+};
+
+/** Snapshots @p registry every @p interval cycles. */
+class Sampler
+{
+  public:
+    Sampler(MetricsRegistry &reg, std::uint64_t interval_cycles)
+        : registry(reg), sampleInterval(interval_cycles)
+    {}
+
+    /** Call once per simulated cycle. */
+    void
+    tick(std::uint64_t cycle)
+    {
+        if (sampleInterval == 0 || cycle % sampleInterval != 0)
+            return;
+        snapshot(cycle);
+    }
+
+    /** Take a sample right now (e.g. a final end-of-run row). */
+    void
+    snapshot(std::uint64_t cycle)
+    {
+        SamplePoint point;
+        point.cycle = cycle;
+        point.values.assign(columnNames.size(), 0.0);
+        auto store = [&](const std::string &name, double value) {
+            const auto it = columnIndex.find(name);
+            std::size_t col;
+            if (it == columnIndex.end()) {
+                // A metric appeared after earlier samples: open a new
+                // column and backfill the old rows with zero.
+                col = columnNames.size();
+                columnIndex.emplace(name, col);
+                columnNames.push_back(name);
+                for (SamplePoint &old : series)
+                    old.values.push_back(0.0);
+                point.values.push_back(value);
+            } else {
+                col = it->second;
+                point.values[col] = value;
+            }
+        };
+        for (const auto &[name, counter] : registry.counters())
+            store(name, static_cast<double>(counter.value()));
+        for (const auto &[name, gauge] : registry.gauges())
+            store(name, static_cast<double>(gauge.value()));
+        for (const auto &[name, histogram] : registry.histograms()) {
+            store(name + ".count",
+                  static_cast<double>(histogram.count()));
+            store(name + ".sum", static_cast<double>(histogram.sum()));
+            store(name + ".max", static_cast<double>(histogram.max()));
+        }
+        series.push_back(std::move(point));
+    }
+
+    std::uint64_t interval() const { return sampleInterval; }
+    const std::vector<std::string> &columns() const { return columnNames; }
+    const std::vector<SamplePoint> &samples() const { return series; }
+
+  private:
+    MetricsRegistry &registry;
+    std::uint64_t sampleInterval;
+    std::vector<std::string> columnNames;
+    std::map<std::string, std::size_t> columnIndex;
+    std::vector<SamplePoint> series;
+};
+
+} // namespace rm
+
+#endif // RM_OBS_SAMPLER_HH

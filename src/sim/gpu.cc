@@ -29,7 +29,8 @@ simulate(const GpuConfig &config, const Program &program,
 
     GlobalMemory gmem(options.log2MemWords, options.memSeed);
     Sm sm(config, program, allocator, ctas, gmem,
-          std::move(options.mapper), options.trace);
+          std::move(options.mapper), options.trace, options.metrics,
+          options.sampler);
     return sm.run();
 }
 

@@ -20,6 +20,9 @@
 
 namespace rm {
 
+class MetricsRegistry;
+class Sampler;
+
 /** Simulation inputs beyond the kernel and architecture. */
 struct SimOptions
 {
@@ -33,6 +36,28 @@ struct SimOptions
     std::optional<RegisterMapper> mapper;
     /** Optional issue-stage trace, owned by the caller. */
     IssueTrace *trace = nullptr;
+    /**
+     * Optional metrics registry (obs/metrics.hh) the SM populates with
+     * named counters/gauges/histograms, and an optional interval
+     * sampler (obs/sampler.hh) ticked once per simulated cycle. Both
+     * are owned by the caller; leaving them null disables the
+     * observability hooks entirely — simulated cycle counts are
+     * identical either way (metrics never feed back into timing).
+     */
+    MetricsRegistry *metrics = nullptr;
+    Sampler *sampler = nullptr;
+};
+
+/**
+ * Bundled observability sinks for the experiment facade (core/
+ * experiment.hh): the run* helpers build their own SimOptions, so
+ * callers pass the sinks separately and the runner threads them in.
+ */
+struct ObsSinks
+{
+    IssueTrace *trace = nullptr;
+    MetricsRegistry *metrics = nullptr;
+    Sampler *sampler = nullptr;
 };
 
 /**

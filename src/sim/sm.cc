@@ -9,16 +9,38 @@ namespace rm {
 
 Sm::Sm(const GpuConfig &gpu_config, const Program &kernel,
        RegisterAllocator &alloc, int ctas_to_run, GlobalMemory &global_mem,
-       std::optional<RegisterMapper> reg_mapper, IssueTrace *issue_trace)
+       std::optional<RegisterMapper> reg_mapper, IssueTrace *issue_trace,
+       MetricsRegistry *metrics, Sampler *interval_sampler)
     : config(gpu_config),
       program(kernel),
       allocator(alloc),
       gmem(global_mem),
       mapper(std::move(reg_mapper)),
       trace(issue_trace),
+      sampler(interval_sampler),
       ctasToRun(ctas_to_run),
       warpsPerCta(kernel.info.ctaThreads / gpu_config.warpSize)
 {
+    if (metrics) {
+        met.issued = &metrics->counter("issue.slots_issued");
+        met.idleSlots = &metrics->counter("issue.idle_slots");
+        met.instructions = &metrics->counter("issue.instructions");
+        met.stallScoreboard = &metrics->counter("stall.scoreboard");
+        met.stallMem = &metrics->counter("stall.mem_structural");
+        met.stallBarrier = &metrics->counter("stall.barrier");
+        met.stallAcquire = &metrics->counter("stall.acquire");
+        met.stallResource = &metrics->counter("stall.resource");
+        met.stallNoWarp = &metrics->counter("stall.no_warp");
+        met.acquireAttempts = &metrics->counter("srp.acquire_attempts");
+        met.acquireSuccesses = &metrics->counter("srp.acquire_successes");
+        met.acquireBlocked = &metrics->counter("srp.acquire_blocked");
+        met.releases = &metrics->counter("srp.releases");
+        met.emergencySpills = &metrics->counter("sim.emergency_spills");
+        met.srpHolders = &metrics->gauge("srp.holders");
+        met.residentWarps = &metrics->gauge("warps.resident");
+        met.residentCtas = &metrics->gauge("ctas.resident");
+        met.acquireWait = &metrics->histogram("srp.acquire_wait_cycles");
+    }
     fatalIf(warpsPerCta <= 0 || warpsPerCta > config.maxWarpsPerSm,
             "Sm: CTA of ", warpsPerCta, " warps cannot fit the SM");
     warps.resize(config.maxWarpsPerSm);
@@ -98,6 +120,7 @@ Sm::launchCtas()
             warp.pendingMem = 0;
             warp.holdsExt = false;
             warp.srpSection = -1;
+            warp.acquireWaitSince = 0;
             warp.physMapped = Bitmask(program.info.numRegs);
             warp.ownsLock = false;
             allocator.onWarpLaunch(warp);
@@ -109,6 +132,8 @@ Sm::launchCtas()
         }
         ++residentCtas;
         ++nextCtaId;
+        if (met.residentCtas)
+            met.residentCtas->set(residentCtas);
     }
 }
 
@@ -128,6 +153,8 @@ Sm::retireCta(int cta_slot)
     cta.ctaId = -1;
     --residentCtas;
     ++stats.ctasCompleted;
+    if (met.residentCtas)
+        met.residentCtas->set(residentCtas);
     launchCtas();
 }
 
@@ -246,8 +273,11 @@ Sm::issue(SimWarp &warp)
     if (lat == LatClass::AcqRel) {
         if (inst.op == Opcode::RegAcquire) {
             const AcquireOutcome outcome = allocator.acquire(warp);
-            if (outcome != AcquireOutcome::AlreadyHeld)
+            if (outcome != AcquireOutcome::AlreadyHeld) {
                 ++stats.acquireAttempts;
+                if (met.acquireAttempts)
+                    met.acquireAttempts->add();
+            }
             if (trace) {
                 trace->record(TraceEvent{
                     cycle, warp.slot, warp.ctaId, pc,
@@ -257,6 +287,11 @@ Sm::issue(SimWarp &warp)
             }
             switch (outcome) {
               case AcquireOutcome::Blocked:
+                if (met.acquireBlocked) {
+                    met.acquireBlocked->add();
+                    if (warp.acquireWaitSince == 0)
+                        warp.acquireWaitSince = cycle;
+                }
                 if (config.wakeOnRelease) {
                     warp.state = WarpState::WaitAcquire;
                 } else {
@@ -271,17 +306,34 @@ Sm::issue(SimWarp &warp)
                 return;
               case AcquireOutcome::Acquired:
                 ++stats.acquireSuccesses;
+                if (met.acquireSuccesses) {
+                    met.acquireSuccesses->add();
+                    met.srpHolders->add();
+                    met.acquireWait->observe(
+                        warp.acquireWaitSince == 0
+                            ? 0
+                            : cycle - warp.acquireWaitSince);
+                    warp.acquireWaitSince = 0;
+                }
                 break;
               case AcquireOutcome::AlreadyHeld:
                 ++stats.acquireAlreadyHeld;
                 break;
               case AcquireOutcome::NotNeeded:
                 ++stats.acquireSuccesses;
+                if (met.acquireSuccesses)
+                    met.acquireSuccesses->add();
                 break;
             }
         } else {
+            const bool held = warp.holdsExt;
             allocator.release(warp);
             ++stats.releases;
+            if (met.releases) {
+                met.releases->add();
+                if (held && !warp.holdsExt)
+                    met.srpHolders->sub();
+            }
             if (trace) {
                 trace->record(TraceEvent{cycle, warp.slot, warp.ctaId,
                                          pc, TraceKind::Release});
@@ -291,6 +343,10 @@ Sm::issue(SimWarp &warp)
         ++warp.instructions;
         ++stats.instructions;
         ++stats.issuedSlots;
+        if (met.issued) {
+            met.issued->add();
+            met.instructions->add();
+        }
         lastProgressCycle = cycle;
         return;
     }
@@ -308,6 +364,10 @@ Sm::issue(SimWarp &warp)
         ++warp.instructions;
         ++stats.instructions;
         ++stats.issuedSlots;
+        if (met.issued) {
+            met.issued->add();
+            met.instructions->add();
+        }
         lastProgressCycle = cycle;
         if (cta.barrierArrived >= cta.warpsAlive) {
             cta.barrierArrived = 0;
@@ -330,6 +390,10 @@ Sm::issue(SimWarp &warp)
     ++warp.instructions;
     ++stats.instructions;
     ++stats.issuedSlots;
+    if (met.issued) {
+        met.issued->add();
+        met.instructions->add();
+    }
     lastProgressCycle = cycle;
     warp.pc = step.nextPc;
 
@@ -339,7 +403,10 @@ Sm::issue(SimWarp &warp)
                                      TraceKind::WarpExit});
         }
         warp.state = WarpState::Finished;
+        const bool held = warp.holdsExt;
         allocator.onWarpExit(warp);
+        if (met.srpHolders && held && !warp.holdsExt)
+            met.srpHolders->sub();
         --aliveWarps;
         --cta.warpsAlive;
         // A barrier can complete once an exited warp stops counting.
@@ -471,17 +538,25 @@ Sm::schedule(int scheduler)
 
     // Nothing issued: account the stall.
     ++stats.idleSchedulerSlots;
+    if (met.idleSlots)
+        met.idleSlots->add();
     schedLastIssued[scheduler] = -1;
     if (saw_ready) {
         switch (sample_reason) {
           case BlockReason::Scoreboard:
             ++stats.scoreboardStalls;
+            if (met.stallScoreboard)
+                met.stallScoreboard->add();
             break;
           case BlockReason::MemStructural:
             ++stats.memStructuralStalls;
+            if (met.stallMem)
+                met.stallMem->add();
             break;
           case BlockReason::Resource:
             ++stats.resourceStalls;
+            if (met.stallResource)
+                met.stallResource->add();
             break;
           default:
             break;
@@ -497,20 +572,29 @@ Sm::schedule(int scheduler)
             any = true;
             if (warp.state == WarpState::WaitBarrier) {
                 ++stats.barrierStalls;
+                if (met.stallBarrier)
+                    met.stallBarrier->add();
                 return;
             }
             if (warp.state == WarpState::WaitAcquire) {
                 ++stats.acquireStalls;
+                if (met.stallAcquire)
+                    met.stallAcquire->add();
                 return;
             }
             if (warp.state == WarpState::WaitResource ||
                 warp.state == WarpState::WaitSpill) {
                 ++stats.resourceStalls;
+                if (met.stallResource)
+                    met.stallResource->add();
                 return;
             }
         }
-        if (!any)
+        if (!any) {
             ++stats.noWarpStalls;
+            if (met.stallNoWarp)
+                met.stallNoWarp->add();
+        }
     }
 }
 
@@ -563,6 +647,8 @@ Sm::handleStarvation()
             events.push(Event{cycle + penalty, oldest_resource->slot,
                               kNoReg, false, true});
             ++stats.emergencySpills;
+            if (met.emergencySpills)
+                met.emergencySpills->add();
             return true;
         }
     }
@@ -590,6 +676,10 @@ Sm::run()
             schedule(s);
         wakeParked();
         resident_integral += aliveWarps;
+        if (met.residentWarps)
+            met.residentWarps->set(aliveWarps);
+        if (sampler)
+            sampler->tick(cycle);
 
         if (stats.issuedSlots == issued_before) {
             // No instruction issued: check for a wedged SM.

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "isa/program.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
 #include "sim/allocator.hh"
 #include "sim/config.hh"
 #include "sim/memory.hh"
@@ -40,11 +42,14 @@ class Sm
      * @param gmem       global memory shared across CTAs
      * @param mapper     optional operand-collector mapping to verify
      *                   every register access against
+     * @param metrics    optional metrics registry the SM instruments
+     * @param sampler    optional interval sampler ticked every cycle
      */
     Sm(const GpuConfig &config, const Program &program,
        RegisterAllocator &allocator, int ctas_to_run, GlobalMemory &gmem,
        std::optional<RegisterMapper> mapper,
-       IssueTrace *trace = nullptr);
+       IssueTrace *trace = nullptr, MetricsRegistry *metrics = nullptr,
+       Sampler *sampler = nullptr);
 
     /** Simulate to completion (or deadlock); returns the statistics. */
     SimStats run();
@@ -57,6 +62,37 @@ class Sm
     GlobalMemory &gmem;
     std::optional<RegisterMapper> mapper;
     IssueTrace *trace;  ///< optional, owned by the caller
+    Sampler *sampler;   ///< optional, owned by the caller
+
+    /**
+     * Instrument pointers cached out of the registry at construction so
+     * the issue/stall paths pay one null-check per update site (all
+     * null when no registry is attached). See docs/OBSERVABILITY.md
+     * for the metric catalog.
+     */
+    struct Instruments
+    {
+        Counter *issued = nullptr;
+        Counter *idleSlots = nullptr;
+        Counter *instructions = nullptr;
+        Counter *stallScoreboard = nullptr;
+        Counter *stallMem = nullptr;
+        Counter *stallBarrier = nullptr;
+        Counter *stallAcquire = nullptr;
+        Counter *stallResource = nullptr;
+        Counter *stallNoWarp = nullptr;
+        Counter *acquireAttempts = nullptr;
+        Counter *acquireSuccesses = nullptr;
+        Counter *acquireBlocked = nullptr;
+        Counter *releases = nullptr;
+        Counter *emergencySpills = nullptr;
+        Gauge *srpHolders = nullptr;
+        Gauge *residentWarps = nullptr;
+        Gauge *residentCtas = nullptr;
+        Histogram *acquireWait = nullptr;
+    };
+    Instruments met;
+
     const int ctasToRun;
     const int warpsPerCta;
     int residentCap = 0;  ///< max co-resident CTAs for this kernel

@@ -54,10 +54,13 @@ IssueTrace::kindName(TraceKind kind)
 void
 IssueTrace::dump(std::ostream &os, const Program &program) const
 {
-    if (recorded > count) {
-        os << "... " << (recorded - count)
-           << " earlier events evicted ...\n";
-    }
+    // Always lead with the bookkeeping so silent ring-buffer eviction
+    // is visible in truncated dumps.
+    os << "# issue trace: " << count << " of " << recorded
+       << " recorded events retained";
+    if (recorded > count)
+        os << " (" << (recorded - count) << " oldest evicted)";
+    os << "\n";
     for (const TraceEvent &event : events()) {
         os << std::setw(9) << event.cycle << "  w" << std::setw(2)
            << std::left << event.warpSlot << std::right << " cta"

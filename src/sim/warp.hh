@@ -52,6 +52,9 @@ struct SimWarp
     // --- RegMutex ---
     bool holdsExt = false;
     int srpSection = -1;
+    /** Cycle the warp first blocked on its pending acquire (0: none);
+     *  feeds the srp.acquire_wait_cycles histogram when metrics are on. */
+    std::uint64_t acquireWaitSince = 0;
 
     // --- RFV scratch ---
     Bitmask physMapped;  ///< arch regs currently backed by phys regs

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Observability-layer tests: metric instrument semantics, sampler
+ * cadence and column management, JSON writer/parser round-trips, the
+ * CSV and Chrome-trace exporters, and a golden-file check pinning the
+ * SimStats JSON schema (downstream scripts key on those names).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/errors.hh"
+#include "core/experiment.hh"
+#include "obs/export.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "sim/gpu.hh"
+#include "sim/trace.hh"
+#include "workloads/suite.hh"
+
+namespace rm {
+namespace {
+
+// --- Instruments -----------------------------------------------------
+
+TEST(Metrics, CounterAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, GaugeMovesBothWays)
+{
+    Gauge g;
+    g.add(5);
+    g.sub(8);
+    EXPECT_EQ(g.value(), -3);
+    g.set(7);
+    EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Metrics, HistogramBucketsArePowersOfTwo)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0);
+    EXPECT_EQ(Histogram::bucketOf(1), 1);
+    EXPECT_EQ(Histogram::bucketOf(2), 2);
+    EXPECT_EQ(Histogram::bucketOf(3), 2);
+    EXPECT_EQ(Histogram::bucketOf(4), 3);
+    EXPECT_EQ(Histogram::bucketOf(1023), 10);
+    EXPECT_EQ(Histogram::bucketOf(1024), 11);
+    EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+    EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+    EXPECT_EQ(Histogram::bucketUpperBound(3), 7u);
+}
+
+TEST(Metrics, HistogramSummaryStats)
+{
+    Histogram h;
+    EXPECT_EQ(h.min(), 0u);   // empty histogram reports 0, not UINT64_MAX
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.observe(0);
+    h.observe(10);
+    h.observe(2);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 12u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);              // the zero
+    EXPECT_EQ(h.bucketCount(Histogram::bucketOf(10)), 1u);
+}
+
+TEST(Metrics, RegistryReferencesAreStable)
+{
+    MetricsRegistry registry;
+    EXPECT_TRUE(registry.empty());
+    Counter &a = registry.counter("a");
+    a.add(1);
+    // Creating many more instruments must not invalidate `a`.
+    for (int i = 0; i < 100; ++i)
+        registry.counter("c" + std::to_string(i));
+    a.add(1);
+    EXPECT_EQ(registry.counter("a").value(), 2u);
+    EXPECT_FALSE(registry.empty());
+    EXPECT_EQ(registry.counters().size(), 101u);
+}
+
+// --- Sampler ---------------------------------------------------------
+
+TEST(Sampler, SamplesOnExactMultiplesOfInterval)
+{
+    MetricsRegistry registry;
+    Counter &c = registry.counter("events");
+    Sampler sampler(registry, 3);
+    for (std::uint64_t cycle = 1; cycle <= 10; ++cycle) {
+        c.add();
+        sampler.tick(cycle);
+    }
+    ASSERT_EQ(sampler.samples().size(), 3u);
+    EXPECT_EQ(sampler.samples()[0].cycle, 3u);
+    EXPECT_EQ(sampler.samples()[1].cycle, 6u);
+    EXPECT_EQ(sampler.samples()[2].cycle, 9u);
+    // Counter values captured at the sampled cycles.
+    EXPECT_DOUBLE_EQ(sampler.samples()[0].values[0], 3.0);
+    EXPECT_DOUBLE_EQ(sampler.samples()[2].values[0], 9.0);
+}
+
+TEST(Sampler, ZeroIntervalDisablesTicks)
+{
+    MetricsRegistry registry;
+    Sampler sampler(registry, 0);
+    for (std::uint64_t cycle = 1; cycle <= 100; ++cycle)
+        sampler.tick(cycle);
+    EXPECT_TRUE(sampler.samples().empty());
+    // An explicit snapshot still works (end-of-run row).
+    sampler.snapshot(100);
+    EXPECT_EQ(sampler.samples().size(), 1u);
+}
+
+TEST(Sampler, LateMetricOpensBackfilledColumn)
+{
+    MetricsRegistry registry;
+    registry.counter("early").add(1);
+    Sampler sampler(registry, 1);
+    sampler.tick(1);
+    registry.counter("late").add(5);
+    sampler.tick(2);
+    ASSERT_EQ(sampler.columns().size(), 2u);
+    EXPECT_EQ(sampler.columns()[0], "early");
+    EXPECT_EQ(sampler.columns()[1], "late");
+    // Row 0 predates "late": backfilled with zero.
+    EXPECT_DOUBLE_EQ(sampler.samples()[0].values[1], 0.0);
+    EXPECT_DOUBLE_EQ(sampler.samples()[1].values[1], 5.0);
+}
+
+TEST(Sampler, HistogramsFlattenToThreeColumns)
+{
+    MetricsRegistry registry;
+    registry.histogram("wait").observe(4);
+    Sampler sampler(registry, 1);
+    sampler.tick(1);
+    const std::vector<std::string> expected{"wait.count", "wait.sum",
+                                            "wait.max"};
+    EXPECT_EQ(sampler.columns(), expected);
+    EXPECT_DOUBLE_EQ(sampler.samples()[0].values[0], 1.0);
+    EXPECT_DOUBLE_EQ(sampler.samples()[0].values[1], 4.0);
+    EXPECT_DOUBLE_EQ(sampler.samples()[0].values[2], 4.0);
+}
+
+// --- JSON writer / parser --------------------------------------------
+
+TEST(Json, WriterEscapesControlCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)),
+              "\\u0001");
+}
+
+TEST(Json, RoundTripNestedDocument)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("bfs \"quoted\"");
+    w.key("n").value(std::uint64_t{42});
+    w.key("ratio").value(0.5);
+    w.key("ok").value(true);
+    w.key("missing").null();
+    w.key("list").beginArray();
+    w.value(1).value(2).value(3);
+    w.endArray();
+    w.key("nested").beginObject();
+    w.key("deep").value(-7);
+    w.endObject();
+    w.endObject();
+
+    const JsonValue doc = parseJson(w.take());
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("name").string, "bfs \"quoted\"");
+    EXPECT_DOUBLE_EQ(doc.at("n").number, 42.0);
+    EXPECT_DOUBLE_EQ(doc.at("ratio").number, 0.5);
+    EXPECT_TRUE(doc.at("ok").boolean);
+    EXPECT_EQ(doc.at("missing").kind, JsonValue::Kind::Null);
+    ASSERT_TRUE(doc.at("list").isArray());
+    ASSERT_EQ(doc.at("list").items.size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.at("list").items[2].number, 3.0);
+    EXPECT_DOUBLE_EQ(doc.at("nested").at("deep").number, -7.0);
+    EXPECT_FALSE(doc.has("absent"));
+    EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson("{"), FatalError);
+    EXPECT_THROW(parseJson("[1,]"), FatalError);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), FatalError);
+    EXPECT_THROW(parseJson("tru"), FatalError);
+    EXPECT_THROW(parseJson("{} trailing"), FatalError);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.endArray();
+    const JsonValue doc = parseJson(w.take());
+    ASSERT_EQ(doc.items.size(), 2u);
+    EXPECT_EQ(doc.items[0].kind, JsonValue::Kind::Null);
+    EXPECT_EQ(doc.items[1].kind, JsonValue::Kind::Null);
+}
+
+// --- Exporters -------------------------------------------------------
+
+TEST(Export, SamplerCsvHasHeaderAndIntegralCells)
+{
+    MetricsRegistry registry;
+    registry.counter("issue.slots").add(7);
+    registry.gauge("warps").set(3);
+    Sampler sampler(registry, 10);
+    sampler.tick(10);
+    registry.counter("issue.slots").add(5);
+    sampler.tick(20);
+
+    const std::string csv = samplerToCsv(sampler);
+    std::istringstream lines(csv);
+    std::string header, row1, row2;
+    ASSERT_TRUE(std::getline(lines, header));
+    ASSERT_TRUE(std::getline(lines, row1));
+    ASSERT_TRUE(std::getline(lines, row2));
+    EXPECT_EQ(header, "cycle,issue.slots,warps");
+    EXPECT_EQ(row1, "10,7,3");
+    EXPECT_EQ(row2, "20,12,3");
+}
+
+TEST(Export, RegistryJsonCarriesHistogramBuckets)
+{
+    MetricsRegistry registry;
+    registry.counter("n").add(2);
+    registry.gauge("level").set(-4);
+    Histogram &h = registry.histogram("wait");
+    h.observe(0);
+    h.observe(5);
+
+    const JsonValue doc = parseJson(registryToJson(registry));
+    EXPECT_DOUBLE_EQ(doc.at("counters").at("n").number, 2.0);
+    EXPECT_DOUBLE_EQ(doc.at("gauges").at("level").number, -4.0);
+    const JsonValue &wait = doc.at("histograms").at("wait");
+    EXPECT_DOUBLE_EQ(wait.at("count").number, 2.0);
+    EXPECT_DOUBLE_EQ(wait.at("sum").number, 5.0);
+    EXPECT_DOUBLE_EQ(wait.at("mean").number, 2.5);
+    // Two non-empty buckets: the zero bucket and [4,8).
+    ASSERT_EQ(wait.at("buckets").items.size(), 2u);
+    EXPECT_DOUBLE_EQ(wait.at("buckets").items[0].at("le").number, 0.0);
+    EXPECT_DOUBLE_EQ(wait.at("buckets").items[1].at("le").number, 7.0);
+}
+
+// --- Golden file: SimStats JSON schema -------------------------------
+
+void
+collectKeys(const JsonValue &value, const std::string &prefix,
+            std::vector<std::string> &out)
+{
+    for (const auto &[name, member] : value.members) {
+        const std::string path =
+            prefix.empty() ? name : prefix + "." + name;
+        if (member.isObject())
+            collectKeys(member, path, out);
+        else
+            out.push_back(path);
+    }
+}
+
+TEST(Export, SimStatsJsonKeysMatchGoldenFile)
+{
+    const Program p = buildWorkload("BFS");
+    const SimStats stats = runBaseline(p, gtx480Config());
+    const JsonValue doc = parseJson(statsToJson(stats));
+    std::vector<std::string> keys;
+    collectKeys(doc, "", keys);
+
+    const std::string golden_path =
+        std::string(RM_TEST_GOLDEN_DIR) + "/simstats_keys.txt";
+    std::ifstream golden(golden_path);
+    ASSERT_TRUE(golden) << "cannot open " << golden_path;
+    std::vector<std::string> expected;
+    for (std::string line; std::getline(golden, line);)
+        if (!line.empty())
+            expected.push_back(line);
+
+    // The schema is an interface: scripts parse these names. Update the
+    // golden file deliberately when the schema deliberately changes.
+    EXPECT_EQ(keys, expected);
+}
+
+// --- End to end: a real run through the full stack -------------------
+
+class ObservedRun : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const Program p = buildWorkload("BFS");
+        ObsSinks obs;
+        obs.metrics = &registry;
+        obs.sampler = &sampler;
+        obs.trace = &trace;
+        run = runRegMutex(p, gtx480Config(), {}, obs);
+        executed = run.compile.program;
+    }
+
+    MetricsRegistry registry;
+    Sampler sampler{registry, 500};
+    IssueTrace trace{1 << 18};
+    RegMutexRun run;
+    Program executed;
+};
+
+TEST_F(ObservedRun, MetricsMirrorSimStats)
+{
+    EXPECT_EQ(registry.counter("issue.slots_issued").value(),
+              run.stats.issuedSlots);
+    EXPECT_EQ(registry.counter("srp.acquire_attempts").value(),
+              run.stats.acquireAttempts);
+    EXPECT_EQ(registry.counter("srp.acquire_successes").value(),
+              run.stats.acquireSuccesses);
+    EXPECT_EQ(registry.counter("srp.releases").value(),
+              run.stats.releases);
+    EXPECT_EQ(registry.counter("stall.scoreboard").value(),
+              run.stats.scoreboardStalls);
+    // Every successful acquire observed a wait (possibly zero cycles).
+    EXPECT_EQ(registry.histogram("srp.acquire_wait_cycles").count(),
+              run.stats.acquireSuccesses);
+    // All SRP sections released by the end of the run.
+    EXPECT_EQ(registry.gauge("srp.holders").value(), 0);
+}
+
+TEST_F(ObservedRun, SamplerCoversTheRun)
+{
+    ASSERT_FALSE(sampler.samples().empty());
+    EXPECT_EQ(sampler.samples().front().cycle, 500u);
+    EXPECT_LE(sampler.samples().back().cycle, run.stats.cycles);
+    EXPECT_EQ(sampler.samples().size(), run.stats.cycles / 500);
+}
+
+TEST_F(ObservedRun, ChromeTraceIsValidAndBalanced)
+{
+    const JsonValue doc = parseJson(chromeTrace(trace, executed));
+    const JsonValue &events = doc.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    ASSERT_FALSE(events.items.empty());
+    std::uint64_t slices = 0, instants = 0, metadata = 0;
+    for (const JsonValue &event : events.items) {
+        const std::string &ph = event.at("ph").string;
+        if (ph == "X") {
+            ++slices;
+            EXPECT_GE(event.at("dur").number, 1.0);
+        } else if (ph == "i") {
+            ++instants;
+        } else if (ph == "M") {
+            ++metadata;
+        } else {
+            ADD_FAILURE() << "unexpected phase " << ph;
+        }
+    }
+    EXPECT_GT(slices, 0u);
+    EXPECT_GT(instants, 0u);
+    EXPECT_GT(metadata, 0u);
+    EXPECT_DOUBLE_EQ(doc.at("otherData").at("events_recorded").number,
+                     static_cast<double>(trace.totalRecorded()));
+}
+
+TEST_F(ObservedRun, DisablingSinksChangesNoCycles)
+{
+    const Program p = buildWorkload("BFS");
+    const RegMutexRun plain = runRegMutex(p, gtx480Config());
+    EXPECT_EQ(plain.stats.cycles, run.stats.cycles);
+    EXPECT_EQ(plain.stats.instructions, run.stats.instructions);
+}
+
+} // namespace
+} // namespace rm
