@@ -4,12 +4,15 @@
  * al.), RFV (Jeon et al.) and RegMutex over the baseline architecture
  * for the eight register-limited kernels. Paper averages: OWF 1.9%,
  * RFV 16.2%, RegMutex 12.8%.
+ *
+ * Driven by the parallel sweep runner; `--sms N` runs the real N-SM
+ * machine, `--threads N` caps sweep parallelism.
  */
 
 #include <iostream>
 
 #include "common/table.hh"
-#include "core/experiment.hh"
+#include "core/sweep.hh"
 #include "obs/report.hh"
 #include "workloads/suite.hh"
 
@@ -17,18 +20,29 @@ int
 main(int argc, char **argv)
 {
     using namespace rm;
-    const GpuConfig config = gtx480Config();
+    GpuConfig config = gtx480Config();
     BenchReport report("fig09a_comparison_baseline", argc, argv);
+    const SweepCli cli(argc, argv);
+    SweepOptions sweep;
+    cli.apply(config, sweep);
+
+    const std::vector<std::string> workloads = occupancyLimitedSet();
+    const std::vector<SweepResult> results = runSweep(
+        sweepGrid(workloads, {"baseline", "owf", "rfv", "regmutex"},
+                  {{"GTX480", config}}),
+        sweep);
 
     Table table({"Application", "OWF", "RFV", "RegMutex"});
     double owf_total = 0.0, rfv_total = 0.0, rmx_total = 0.0;
-    for (const auto &name : occupancyLimitedSet()) {
-        const Program p = buildWorkload(name);
-        const SimStats base = runBaseline(p, config);
-        const double owf = cycleReduction(base, runOwf(p, config));
-        const double rfv = cycleReduction(base, runRfv(p, config));
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &name = workloads[w];
+        const SimStats &base = results[4 * w].stats();
+        const double owf =
+            cycleReduction(base, results[4 * w + 1].stats());
+        const double rfv =
+            cycleReduction(base, results[4 * w + 2].stats());
         const double rmx =
-            cycleReduction(base, runRegMutex(p, config).stats);
+            cycleReduction(base, results[4 * w + 3].stats());
         owf_total += owf;
         rfv_total += rfv;
         rmx_total += rmx;

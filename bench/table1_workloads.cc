@@ -13,7 +13,7 @@
 #include "analysis/cfg.hh"
 #include "analysis/liveness.hh"
 #include "common/table.hh"
-#include "compiler/pipeline.hh"
+#include "core/policy.hh"
 #include "obs/report.hh"
 #include "sim/occupancy.hh"
 #include "workloads/suite.hh"
@@ -30,11 +30,13 @@ main(int argc, char **argv)
     Table table({"Application", "# Regs.", "(rounded)", "|Bs| paper",
                  "|Bs| ours", "|Es| ours", "SRP sections", "arch"});
 
+    const PolicySpec &regmutex = PolicyRegistry::instance().at("regmutex");
     for (const auto &entry : paperSuite()) {
         const Program program = buildWorkload(entry.spec.name);
         const GpuConfig &config = entry.occupancyLimited ? full : half;
 
-        const CompileResult compiled = compileRegMutex(program, config);
+        const CompileResult compiled =
+            *regmutex.compile(program, config, {}).compile;
         const int bs = compiled.enabled() ? compiled.selection.bs : 0;
         const int es = compiled.enabled() ? compiled.selection.es : 0;
         report.addRecord(

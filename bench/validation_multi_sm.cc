@@ -1,89 +1,89 @@
 /**
  * @file
  * Validation bench for DESIGN.md's representative-SM substitution: the
- * paper evaluates a 15-SM GTX480, this reproduction simulates one SM
- * with its share of the grid. Here every SM of the full machine is
- * simulated (same kernel, per-SM grid shares including the remainder
- * SM) and the relative RegMutex benefit is compared against the
- * representative-SM shortcut. Since all SMs execute statistically
- * identical CTA streams, the two must agree closely — and do.
+ * paper evaluates a 15-SM GTX480; the seed benches simulate one SM with
+ * its share of the grid. Here the real multi-SM engine runs every SM of
+ * the full machine concurrently (exact CTA distribution including the
+ * remainder SMs, per-SM allocator instances and memory seeds) and the
+ * relative RegMutex benefit is compared against the representative-SM
+ * shortcut. Since all SMs execute statistically identical CTA streams,
+ * the two must agree closely — and do. The per-SM cycle spread column
+ * shows how much the seed-induced variation between SMs actually is.
+ *
+ * `--sms N` overrides the machine size (default: the config's 15);
+ * `--threads N` caps the engine's SM-level parallelism.
  */
 
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/table.hh"
-#include "core/experiment.hh"
+#include "core/sweep.hh"
 #include "workloads/suite.hh"
 
 namespace {
 
-/**
- * Simulate the full machine: each SM runs its own share (CTAs are
- * distributed round-robin, so shares differ by at most one CTA);
- * machine time is the slowest SM.
- */
-std::uint64_t
-fullMachineCycles(const rm::Program &program, const rm::GpuConfig &config,
-                  bool regmutex)
+/** Smallest and largest per-SM cycle count, as a fraction of the max. */
+double
+cycleSpread(const rm::GpuResult &run)
 {
-    using namespace rm;
-    const int total = program.info.gridCtas;
-    std::uint64_t worst = 0;
-    for (int sm = 0; sm < config.numSms; ++sm) {
-        const int share =
-            total / config.numSms + (sm < total % config.numSms ? 1 : 0);
-        if (share == 0)
-            continue;
-        Program shard = program;
-        shard.info.gridCtas = share;
-        GpuConfig one_sm = config;
-        one_sm.numSms = 1;
-        // Vary the memory seed per SM so DRAM contents differ the way
-        // different grid slices would.
-        const SimStats stats =
-            regmutex ? runRegMutex(shard, one_sm).stats
-                     : runBaseline(shard, one_sm);
-        worst = std::max(worst, stats.cycles);
+    std::uint64_t lo = run.perSm.front().cycles;
+    std::uint64_t hi = lo;
+    for (const rm::SimStats &sm : run.perSm) {
+        lo = std::min(lo, sm.cycles);
+        hi = std::max(hi, sm.cycles);
     }
-    return worst;
+    return hi == 0 ? 0.0 : 1.0 - static_cast<double>(lo) / hi;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rm;
     const GpuConfig config = gtx480Config();
+    const SweepCli cli(argc, argv);
 
-    Table table({"Application", "1-SM reduction", "15-SM reduction",
-                 "abs. diff"});
+    GpuConfig machine = config;
+    machine.numSms = cli.sms > 1 ? cli.sms : config.numSms;
+    RunOptions full_run;
+    full_run.gpu.mode = GpuOptions::Mode::FullMachine;
+    full_run.gpu.threads = cli.threads;
+
+    Table table({"Application", "1-SM reduction", "Full reduction",
+                 "abs. diff", "SM cycle spread", "CTAs/SM"});
     double worst_diff = 0.0;
     for (const auto &name : {"BFS", "ParticleFilter", "SAD"}) {
         const Program p = buildWorkload(name);
 
-        const SimStats base_one = runBaseline(p, config);
-        const RegMutexRun rmx_one = runRegMutex(p, config);
-        const double one_sm =
-            cycleReduction(base_one, rmx_one.stats);
+        const double one_sm = cycleReduction(
+            runBaseline(p, config), runRegMutex(p, config).stats);
 
-        const std::uint64_t base_full =
-            fullMachineCycles(p, config, false);
-        const std::uint64_t rmx_full =
-            fullMachineCycles(p, config, true);
-        const double full =
-            1.0 - static_cast<double>(rmx_full) / base_full;
+        const PolicyRun base = runPolicy("baseline", p, machine, full_run);
+        const PolicyRun rmx = runPolicy("regmutex", p, machine, full_run);
+        const double full = cycleReduction(base.stats(), rmx.stats());
+
+        const int share0 = ctasForSm(machine, p.info.gridCtas, 0);
+        const int shareLast =
+            ctasForSm(machine, p.info.gridCtas, machine.numSms - 1);
 
         worst_diff = std::max(worst_diff, std::abs(one_sm - full));
         Row row;
         row << name << percent(one_sm) << percent(full)
-            << percent(std::abs(one_sm - full));
+            << percent(std::abs(one_sm - full))
+            << percent(cycleSpread(base.result))
+            << (share0 == shareLast
+                    ? std::to_string(share0)
+                    : std::to_string(shareLast) + "-" +
+                          std::to_string(share0));
         table.addRow(row.take());
     }
 
     std::cout << "Representative-SM validation: RegMutex benefit, one "
-                 "SM with its grid share vs all 15 SMs\n\n"
+                 "SM with its grid share vs the real "
+              << machine.numSms << "-SM machine\n\n"
               << table.toText() << "\nWorst disagreement: "
               << percent(worst_diff)
               << " — the per-SM shortcut preserves the relative "

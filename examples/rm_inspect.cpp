@@ -9,7 +9,12 @@
  *       --json out.json --csv series.csv --chrome-trace out.trace.json
  *
  *   --kernel NAME|file.asm   workload (or positional argument)
- *   --allocator P            baseline|regmutex|paired|owf|rfv
+ *   --allocator P            any registered policy (core/policy.hh):
+ *                            baseline|regmutex|paired|owf|rfv|...
+ *   --sms N                  run the real N-SM machine; the metrics
+ *                            stack instruments SM 0, the summary adds
+ *                            the per-SM breakdown
+ *   --threads N              cap SM-level parallelism (0 = pool width)
  *   --json PATH              stats + metrics JSON document
  *   --csv PATH               sampled time-series CSV
  *   --chrome-trace PATH      Chrome trace_event JSON; open the file in
@@ -22,6 +27,7 @@
  * See docs/OBSERVABILITY.md for the metric catalog and file formats.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -29,8 +35,8 @@
 
 #include "common/errors.hh"
 #include "common/table.hh"
-#include "compiler/edit.hh"
 #include "core/experiment.hh"
+#include "core/policy.hh"
 #include "isa/asm_parser.hh"
 #include "obs/export.hh"
 #include "obs/json.hh"
@@ -45,9 +51,13 @@ namespace {
 int
 usage()
 {
+    std::string policies;
+    for (const std::string &name : rm::PolicyRegistry::instance().names())
+        policies += (policies.empty() ? "" : "|") + name;
     std::cerr
         << "usage: rm-inspect [options] [--kernel] <workload-or-file.asm>\n"
-           "  --allocator baseline|regmutex|paired|owf|rfv\n"
+           "  --allocator " << policies << "\n"
+           "  --sms N | --threads N\n"
            "  --json PATH | --csv PATH | --chrome-trace PATH\n"
            "  --sample-interval N | --trace-capacity N | --pretty\n"
            "  --half-rf | --es N | --lrr | --poll | --list\n";
@@ -130,6 +140,8 @@ main(int argc, char **argv)
     std::string json_path, csv_path, chrome_path;
     std::uint64_t sample_interval = 1000;
     std::size_t trace_capacity = 1u << 20;
+    int sms = 1;
+    int threads = 0;
     bool pretty = false;
     GpuConfig config = gtx480Config();
     CompileOptions compile_options;
@@ -170,6 +182,14 @@ main(int argc, char **argv)
             sample_interval = nextNumber();
         } else if (arg == "--trace-capacity") {
             trace_capacity = nextNumber();
+        } else if (arg == "--sms") {
+            sms = static_cast<int>(nextNumber());
+            if (sms < 1) {
+                std::cerr << "--sms needs at least 1 SM\n";
+                return usage();
+            }
+        } else if (arg == "--threads") {
+            threads = static_cast<int>(nextNumber());
         } else if (arg == "--pretty") {
             pretty = true;
         } else if (arg == "--half-rf") {
@@ -220,38 +240,35 @@ main(int argc, char **argv)
         if (!chrome_path.empty())
             obs.trace = &trace;
 
-        SimStats stats;
-        Program executed = program;
-        if (allocator_name == "baseline") {
-            stats = runBaseline(program, config, obs);
-        } else if (allocator_name == "regmutex") {
-            const RegMutexRun run =
-                runRegMutex(program, config, compile_options, obs);
-            stats = run.stats;
-            executed = run.compile.program;
-        } else if (allocator_name == "paired") {
-            const RegMutexRun run =
-                runPaired(program, config, compile_options, obs);
-            stats = run.stats;
-            executed = run.compile.program;
-        } else if (allocator_name == "owf") {
-            stats = runOwf(program, config, compile_options, obs);
-            // OWF executes the compacted program with directives
-            // stripped; rebuild it so trace PCs disassemble correctly.
-            executed = stripDirectives(
-                compileRegMutex(program, config, compile_options)
-                    .program);
-        } else if (allocator_name == "rfv") {
-            stats = runRfv(program, config, 0.25, obs);
-        } else {
+        const PolicySpec *policy =
+            PolicyRegistry::instance().find(allocator_name);
+        if (!policy) {
             std::cerr << "unknown allocator " << allocator_name << "\n";
             return usage();
         }
 
+        RunOptions run_options;
+        run_options.compile = compile_options;
+        run_options.gpu.obs = obs;
+        if (sms > 1) {
+            config.numSms = sms;
+            run_options.gpu.mode = GpuOptions::Mode::FullMachine;
+        }
+        run_options.gpu.threads = threads;
+
+        const PolicyRun run =
+            runPolicy(*policy, program, config, run_options);
+        const SimStats &stats = run.stats();
+        // The policy's executed program (OWF already has its directives
+        // stripped) so trace PCs disassemble correctly.
+        const Program &executed = run.compile.program;
+        // The sinks instrument SM 0; close the series at that SM's end.
+        const std::uint64_t obs_cycles = run.result.perSm.front().cycles;
+
         // Final partial-interval sample so the series reaches the end.
         if (sampler.samples().empty() ||
-            sampler.samples().back().cycle != stats.cycles) {
-            sampler.snapshot(stats.cycles);
+            sampler.samples().back().cycle != obs_cycles) {
+            sampler.snapshot(obs_cycles);
         }
 
         // --- Assemble the JSON document ---
@@ -307,6 +324,17 @@ main(int argc, char **argv)
             add("samples taken",
                 std::to_string(sampler.samples().size()));
             add("deadlocked", stats.deadlocked ? "YES" : "no");
+            if (run.result.numSms() > 1) {
+                std::uint64_t lo = run.result.perSm.front().cycles;
+                std::uint64_t hi = lo;
+                for (const SimStats &sm : run.result.perSm) {
+                    lo = std::min(lo, sm.cycles);
+                    hi = std::max(hi, sm.cycles);
+                }
+                add("SMs", std::to_string(run.result.numSms()));
+                add("per-SM cycles (min-max)",
+                    std::to_string(lo) + "-" + std::to_string(hi));
+            }
             std::cout << table.toText();
         }
 

@@ -1,7 +1,9 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace rm {
 
@@ -40,20 +42,33 @@ initialLevel()
     return env ? parseLevel(env, LogLevel::Warn) : LogLevel::Warn;
 }
 
-LogLevel globalLevel = initialLevel();
+std::atomic<LogLevel> globalLevel = initialLevel();
+
+/**
+ * Serializes emit(): parallel SM / sweep execution logs from many
+ * threads, and interleaved half-lines would make the output useless.
+ * Each message is assembled into one string first, so the lock is held
+ * only for a single stream insertion (line-atomic output).
+ */
+std::mutex &
+emitMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -75,7 +90,15 @@ emit(LogLevel level, const std::string &message)
       default:
         break;
     }
-    std::cerr << "rm: " << tag << ": " << message << "\n";
+    std::string line;
+    line.reserve(message.size() + 16);
+    line += "rm: ";
+    line += tag;
+    line += ": ";
+    line += message;
+    line += '\n';
+    const std::lock_guard<std::mutex> lock(emitMutex());
+    std::cerr << line;
 }
 
 } // namespace detail

@@ -1,0 +1,88 @@
+#ifndef RM_COMMON_THREAD_POOL_HH
+#define RM_COMMON_THREAD_POOL_HH
+
+/**
+ * @file
+ * Shared worker-thread pool and a deadlock-free parallel-for on top of
+ * it. The pool is the substrate for both levels of simulator
+ * parallelism: the multi-SM engine (sim/gpu.hh) fans its SMs out over
+ * it, and the sweep runner (core/sweep.hh) fans (workload × policy ×
+ * config) cells out over the same pool. Nesting is safe by
+ * construction: parallelFor() never blocks a thread on work that only
+ * another pool thread could perform — the calling thread always
+ * participates in its own batch, so a batch completes even when every
+ * pool worker is busy with outer batches.
+ *
+ * Determinism contract: parallelFor() only partitions *independent*
+ * iterations; callers must not let iteration bodies share mutable
+ * state. Under that contract results are bit-identical for any thread
+ * count, which the determinism tests assert for the simulator.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rm {
+
+/** Fixed-size worker pool executing submitted tasks FIFO. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; values < 1 are clamped to 1. */
+    explicit ThreadPool(int threads);
+
+    /** Joins all workers; pending tasks still run to completion. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int size() const { return static_cast<int>(workers.size()); }
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /**
+     * The process-wide pool. Sized by the RM_THREADS environment
+     * variable when set to a positive integer, otherwise by
+     * std::thread::hardware_concurrency().
+     */
+    static ThreadPool &shared();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+/**
+ * Run @p body(0) .. @p body(n-1), partitioned over the shared pool.
+ * The calling thread participates, so this is safe to call from inside
+ * another parallelFor() iteration (the nested batch degrades to serial
+ * execution when all workers are busy). Iterations are claimed from an
+ * atomic counter, so the assignment of iterations to threads is
+ * non-deterministic — bodies must be independent.
+ *
+ * @param threads parallelism cap: 1 (or n <= 1) runs inline with no
+ *        pool involvement; 0 uses the shared pool's full width; k > 1
+ *        uses at most k concurrent participants.
+ *
+ * The first exception a body throws is rethrown in the caller after
+ * all claimed iterations finish; remaining unclaimed iterations are
+ * skipped.
+ */
+void parallelFor(int n, const std::function<void(int)> &body,
+                 int threads = 0);
+
+} // namespace rm
+
+#endif // RM_COMMON_THREAD_POOL_HH

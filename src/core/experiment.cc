@@ -1,100 +1,91 @@
 #include "core/experiment.hh"
 
-#include "baselines/baseline.hh"
-#include "baselines/owf.hh"
-#include "baselines/rfv.hh"
-#include "compiler/edit.hh"
-#include "regmutex/allocator.hh"
-#include "sim/gpu.hh"
-
 namespace rm {
 
 namespace {
 
-/** Copy the caller's observability sinks into a runner's SimOptions. */
-void
-attachSinks(SimOptions &options, const ObsSinks &obs)
+/** run* convenience: representative mode with sinks on the one SM. */
+RunOptions
+representative(const CompileOptions &compile, const ObsSinks &obs)
 {
-    options.trace = obs.trace;
-    options.metrics = obs.metrics;
-    options.sampler = obs.sampler;
+    RunOptions options;
+    options.compile = compile;
+    options.gpu.obs = obs;
+    return options;
 }
 
 } // namespace
+
+PolicyRun
+runPolicy(const PolicySpec &policy, const Program &program,
+          const GpuConfig &config, const RunOptions &options)
+{
+    PolicyRun run;
+    run.compile = policy.compile(program, config, options.compile);
+    run.result =
+        simulateGpu(config, run.compile.program, policy.allocator,
+                    options.gpu);
+    return run;
+}
+
+PolicyRun
+runPolicy(const std::string &policy, const Program &program,
+          const GpuConfig &config, const RunOptions &options)
+{
+    return runPolicy(PolicyRegistry::instance().at(policy), program,
+                     config, options);
+}
 
 SimStats
 runBaseline(const Program &program, const GpuConfig &config,
             const ObsSinks &obs)
 {
-    BaselineAllocator allocator;
-    allocator.prepare(config, program);
-    SimOptions options;
-    options.mapper = allocator.makeMapper();
-    attachSinks(options, obs);
-    return simulate(config, program, allocator, std::move(options),
-                    /*prepare_allocator=*/false);
+    return runPolicy("baseline", program, config,
+                     representative({}, obs))
+        .result.aggregate;
 }
 
 RegMutexRun
 runRegMutex(const Program &program, const GpuConfig &config,
             const CompileOptions &options, const ObsSinks &obs)
 {
-    RegMutexRun run;
-    run.compile = compileRegMutex(program, config, options);
-
-    RegMutexAllocator allocator;
-    allocator.prepare(config, run.compile.program);
-    SimOptions sim_options;
-    sim_options.mapper = allocator.makeMapper();
-    attachSinks(sim_options, obs);
-    run.stats = simulate(config, run.compile.program, allocator,
-                         std::move(sim_options),
-                         /*prepare_allocator=*/false);
-    return run;
+    PolicyRun run = runPolicy("regmutex", program, config,
+                              representative(options, obs));
+    return RegMutexRun{std::move(*run.compile.compile),
+                       std::move(run.result.aggregate)};
 }
 
 RegMutexRun
 runPaired(const Program &program, const GpuConfig &config,
           const CompileOptions &options, const ObsSinks &obs)
 {
-    RegMutexRun run;
-    run.compile = compileRegMutex(program, config, options);
-
-    PairedRegMutexAllocator allocator;
-    allocator.prepare(config, run.compile.program);
-    SimOptions sim_options;
-    sim_options.mapper = allocator.makeMapper();
-    attachSinks(sim_options, obs);
-    run.stats = simulate(config, run.compile.program, allocator,
-                         std::move(sim_options),
-                         /*prepare_allocator=*/false);
-    return run;
+    PolicyRun run = runPolicy("paired", program, config,
+                              representative(options, obs));
+    return RegMutexRun{std::move(*run.compile.compile),
+                       std::move(run.result.aggregate)};
 }
 
 SimStats
 runOwf(const Program &program, const GpuConfig &config,
        const CompileOptions &options, const ObsSinks &obs)
 {
-    // OWF shares the same compacted upper register set as RegMutex but
-    // drives it with hardware locks instead of directives.
-    const CompileResult compiled =
-        compileRegMutex(program, config, options);
-    const Program stripped = stripDirectives(compiled.program);
-
-    OwfAllocator allocator;
-    SimOptions sim_options;
-    attachSinks(sim_options, obs);
-    return simulate(config, stripped, allocator, std::move(sim_options));
+    return runPolicy("owf", program, config, representative(options, obs))
+        .result.aggregate;
 }
 
 SimStats
 runRfv(const Program &program, const GpuConfig &config, double provisioning,
        const ObsSinks &obs)
 {
-    RfvAllocator allocator(provisioning);
-    SimOptions sim_options;
-    attachSinks(sim_options, obs);
-    return simulate(config, program, allocator, std::move(sim_options));
+    // The registered "rfv" uses the paper's 0.25; other provisioning
+    // levels run through an ad-hoc spec so callers can still sweep it.
+    if (provisioning == 0.25) {
+        return runPolicy("rfv", program, config, representative({}, obs))
+            .result.aggregate;
+    }
+    return runPolicy(makeRfvPolicy(provisioning), program, config,
+                     representative({}, obs))
+        .result.aggregate;
 }
 
 } // namespace rm

@@ -4,22 +4,59 @@
 /**
  * @file
  * Public facade of the RegMutex library: compile-and-simulate entry
- * points for every policy the paper evaluates. Each runner builds the
- * right compiler/allocator/mapper stack so benchmarks and examples
- * stay one-liners:
+ * points driven by the policy registry (core/policy.hh) and the
+ * multi-SM Gpu engine (sim/gpu.hh). runPolicy() is the general entry
+ * point — any registered policy, representative or full-machine mode,
+ * per-SM breakdowns; the named run* helpers keep the paper benchmarks
+ * one-liners:
  *
  *     auto base = rm::runBaseline(program, config);
  *     auto rmx  = rm::runRegMutex(program, config);
  *     std::cout << rm::cycleReduction(base, rmx.stats);
  */
 
+#include <string>
+
 #include "compiler/pipeline.hh"
+#include "core/policy.hh"
 #include "isa/program.hh"
 #include "sim/config.hh"
 #include "sim/gpu.hh"
 #include "sim/stats.hh"
 
 namespace rm {
+
+/** Knobs of one runPolicy() invocation. */
+struct RunOptions
+{
+    CompileOptions compile;
+    /**
+     * Engine options: mode (Representative vs FullMachine), SM
+     * parallelism, memory seed, and observability sinks (gpu.obs
+     * attaches to SM 0; gpu.sinksForSm covers every SM).
+     */
+    GpuOptions gpu;
+};
+
+/** Result of one policy run: compiler output plus the engine result. */
+struct PolicyRun
+{
+    PolicyCompile compile;
+    GpuResult result;
+
+    /** Machine-level statistics (the per-SM breakdown is in result). */
+    const SimStats &stats() const { return result.aggregate; }
+};
+
+/** Compile and simulate @p program under the registered @p policy. */
+PolicyRun runPolicy(const std::string &policy, const Program &program,
+                    const GpuConfig &config,
+                    const RunOptions &options = {});
+
+/** Same, with an unregistered (ad-hoc) policy specification. */
+PolicyRun runPolicy(const PolicySpec &policy, const Program &program,
+                    const GpuConfig &config,
+                    const RunOptions &options = {});
 
 /** Result of a RegMutex (or paired) compile-and-run. */
 struct RegMutexRun
@@ -32,7 +69,9 @@ struct RegMutexRun
  * Simulate under the baseline static allocation (paper Fig. 6a).
  * Every runner takes optional observability sinks (issue trace,
  * metrics registry, interval sampler — see sim/gpu.hh and src/obs/)
- * threaded into the simulation it drives.
+ * threaded into the simulation it drives. The run* helpers simulate
+ * the representative SM (the seed model); use runPolicy() for
+ * full-machine runs.
  */
 SimStats runBaseline(const Program &program, const GpuConfig &config,
                      const ObsSinks &obs = {});

@@ -1,0 +1,117 @@
+#include "core/sweep.hh"
+
+#include <map>
+#include <string>
+
+#include "common/errors.hh"
+#include "common/thread_pool.hh"
+#include "workloads/suite.hh"
+
+namespace rm {
+
+std::vector<SweepResult>
+runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
+{
+    // Build each distinct workload once, serially, before fanning out:
+    // the builders share no state with the simulation but this keeps
+    // the parallel phase allocation-light and the failure mode simple
+    // (a bad workload name fails before any simulation starts).
+    std::map<std::string, Program> programs;
+    for (const SweepCase &c : cases) {
+        if (!programs.count(c.workload))
+            programs.emplace(c.workload, buildWorkload(c.workload));
+    }
+    // Resolve every policy up front for the same reason; the returned
+    // spec references stay valid for the registry's lifetime.
+    std::map<std::string, const PolicySpec *> policies;
+    for (const SweepCase &c : cases) {
+        if (!policies.count(c.policy))
+            policies.emplace(c.policy,
+                             &PolicyRegistry::instance().at(c.policy));
+    }
+
+    std::vector<SweepResult> results(cases.size());
+    parallelFor(
+        static_cast<int>(cases.size()),
+        [&](int i) {
+            const SweepCase &c = cases[static_cast<std::size_t>(i)];
+            SweepResult &out = results[static_cast<std::size_t>(i)];
+            out.spec = c;
+
+            const PolicySpec &policy = *policies.at(c.policy);
+            out.compile = policy.compile(programs.at(c.workload), c.config,
+                                         c.compileOptions);
+
+            GpuOptions gpu = options.gpu;
+            // Observability sinks are per-run state; a sweep never
+            // attaches the caller's sinks to its (parallel) cells.
+            gpu.obs = ObsSinks{};
+            gpu.sinksForSm = nullptr;
+            out.run = simulateGpu(c.config, out.compile.program,
+                                  policy.allocator, gpu);
+        },
+        options.threads);
+    return results;
+}
+
+std::vector<SweepCase>
+sweepGrid(const std::vector<std::string> &workloads,
+          const std::vector<std::string> &policies,
+          const std::vector<std::pair<std::string, GpuConfig>> &configs,
+          const CompileOptions &compile_options)
+{
+    std::vector<SweepCase> grid;
+    grid.reserve(workloads.size() * policies.size() * configs.size());
+    for (const auto &[arch, config] : configs) {
+        for (const std::string &workload : workloads) {
+            for (const std::string &policy : policies) {
+                SweepCase c;
+                c.workload = workload;
+                c.policy = policy;
+                c.arch = arch;
+                c.config = config;
+                c.compileOptions = compile_options;
+                grid.push_back(std::move(c));
+            }
+        }
+    }
+    return grid;
+}
+
+SweepCli::SweepCli(int argc, char *const *argv)
+{
+    auto numberAfter = [&](int &i, const char *flag) {
+        fatalIf(i + 1 >= argc, flag, " needs a value");
+        const std::string text = argv[++i];
+        try {
+            std::size_t used = 0;
+            const int v = std::stoi(text, &used);
+            if (used == text.size() && v >= 0)
+                return v;
+        } catch (const std::exception &) {
+        }
+        fatal(flag, " needs a non-negative integer, got '", text, "'");
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--sms") {
+            sms = numberAfter(i, "--sms");
+            fatalIf(sms < 1, "--sms needs at least 1 SM");
+        } else if (arg == "--threads") {
+            threads = numberAfter(i, "--threads");
+        }
+        // Anything else belongs to the bench (e.g. --json).
+    }
+}
+
+void
+SweepCli::apply(GpuConfig &config, SweepOptions &options) const
+{
+    options.threads = threads;
+    if (sms > 1) {
+        config.numSms = sms;
+        options.gpu.mode = GpuOptions::Mode::FullMachine;
+    }
+}
+
+} // namespace rm

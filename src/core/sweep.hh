@@ -1,0 +1,120 @@
+#ifndef RM_CORE_SWEEP_HH
+#define RM_CORE_SWEEP_HH
+
+/**
+ * @file
+ * Parallel sweep runner: executes a (workload × policy × config) grid
+ * of simulations on the shared thread pool with deterministic seeding
+ * and deterministic result ordering. This is the engine behind the
+ * figure/table benches — each bench declares its grid, calls
+ * runSweep(), and formats the results — and the building block for any
+ * future batch/sharding layer.
+ *
+ *     std::vector<rm::SweepCase> grid = rm::sweepGrid(
+ *         rm::occupancyLimitedSet(), {"baseline", "regmutex"},
+ *         {{"GTX480", rm::gtx480Config()}});
+ *     auto results = rm::runSweep(grid);
+ *     // results[i] corresponds to grid[i], independent of timing.
+ *
+ * Determinism: every cell simulates with the same base memory seed
+ * (per-SM partitions derive from it inside the Gpu engine), cells are
+ * fully independent, and results are stored by case index — so a sweep
+ * is bit-identical for any thread count, including serial.
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/policy.hh"
+#include "isa/program.hh"
+#include "sim/config.hh"
+#include "sim/gpu.hh"
+
+namespace rm {
+
+/** One cell of a sweep grid. */
+struct SweepCase
+{
+    /** Suite workload name (workloads/suite.hh) — buildWorkload input. */
+    std::string workload;
+    /** Registered policy name (core/policy.hh). */
+    std::string policy;
+    /** Architecture label for reports ("GTX480", "half-RF", ...). */
+    std::string arch = "GTX480";
+    GpuConfig config = gtx480Config();
+    CompileOptions compileOptions;
+};
+
+/** Sweep-level execution knobs. */
+struct SweepOptions
+{
+    /**
+     * Case-level parallelism: 0 (default) uses the shared pool's full
+     * width, 1 runs serially, k > 1 caps concurrent cases at k.
+     * Results are identical for any value.
+     */
+    int threads = 0;
+    /**
+     * Per-case engine options. The default (Representative mode,
+     * gpu.threads = 1) matches the seed benches; switch mode to
+     * FullMachine for real multi-SM runs. Observability sinks are
+     * ignored here — per-case sinks cannot be shared across parallel
+     * cells; use runPolicy() directly to instrument a single run.
+     */
+    GpuOptions gpu;
+};
+
+/** One cell's outcome; results[i] corresponds to cases[i]. */
+struct SweepResult
+{
+    SweepCase spec;
+    PolicyCompile compile;
+    GpuResult run;
+
+    /** Machine-level statistics (per-SM breakdown is in run.perSm). */
+    const SimStats &stats() const { return run.aggregate; }
+};
+
+/**
+ * Execute every case, in parallel over the shared thread pool, and
+ * return the results in case order. Workload programs are built once
+ * per distinct name before the parallel phase. Throws (first error
+ * wins) when any cell's workload, policy or simulation fails.
+ */
+std::vector<SweepResult> runSweep(const std::vector<SweepCase> &cases,
+                                  const SweepOptions &options = {});
+
+/**
+ * Cross-product helper: one case per (workload, policy, config),
+ * configs ordered outermost, then workloads, then policies — i.e.
+ * grid[(c * W + w) * P + p].
+ */
+std::vector<SweepCase>
+sweepGrid(const std::vector<std::string> &workloads,
+          const std::vector<std::string> &policies,
+          const std::vector<std::pair<std::string, GpuConfig>> &configs,
+          const CompileOptions &compile_options = {});
+
+/**
+ * Shared bench command-line handling for the sweep-driven benches:
+ * `--sms N` selects a full-machine run with N SMs (N = 1 keeps the
+ * representative seed model), `--threads N` caps sweep parallelism
+ * (0 = shared pool width). Unrecognized arguments are ignored so it
+ * composes with BenchReport's `--json`.
+ */
+struct SweepCli
+{
+    int sms = 1;
+    int threads = 0;
+
+    SweepCli(int argc, char *const *argv);
+
+    /** Fold the flags into a bench's config and sweep options. */
+    void apply(GpuConfig &config, SweepOptions &options) const;
+};
+
+} // namespace rm
+
+#endif // RM_CORE_SWEEP_HH

@@ -1,15 +1,31 @@
 #include "sim/gpu.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/errors.hh"
+#include "common/thread_pool.hh"
 #include "sim/memory.hh"
 #include "sim/sm.hh"
 
 namespace rm {
 
 int
+ctasForSm(const GpuConfig &config, int grid_ctas, int sm_id)
+{
+    fatalIf(config.numSms <= 0, "ctasForSm: config has ", config.numSms,
+            " SMs");
+    fatalIf(sm_id < 0 || sm_id >= config.numSms, "ctasForSm: SM id ",
+            sm_id, " outside [0, ", config.numSms, ")");
+    const int share = grid_ctas / config.numSms;
+    const int remainder = grid_ctas % config.numSms;
+    return share + (sm_id < remainder ? 1 : 0);
+}
+
+int
 ctasPerSmShare(const GpuConfig &config, const Program &program)
 {
-    return (program.info.gridCtas + config.numSms - 1) / config.numSms;
+    return ctasForSm(config, program.info.gridCtas, 0);
 }
 
 SimStats
@@ -32,6 +48,139 @@ simulate(const GpuConfig &config, const Program &program,
           std::move(options.mapper), options.trace, options.metrics,
           options.sampler);
     return sm.run();
+}
+
+SimStats
+mergeSmStats(const std::vector<SimStats> &per_sm)
+{
+    fatalIf(per_sm.empty(), "mergeSmStats: no per-SM statistics");
+
+    // Identity and per-SM capacity figures are uniform across SMs;
+    // take them from SM 0 (which always has the largest grid share).
+    SimStats agg = per_sm.front();
+
+    // Machine time is the slowest SM; avgResidentWarps becomes the
+    // cycle-weighted mean so idle (zero-share) SMs do not dilute it.
+    agg.cycles = 0;
+    agg.instructions = 0;
+    agg.ctasCompleted = 0;
+    agg.acquireAttempts = 0;
+    agg.acquireSuccesses = 0;
+    agg.acquireAlreadyHeld = 0;
+    agg.releases = 0;
+    agg.issuedSlots = 0;
+    agg.idleSchedulerSlots = 0;
+    agg.scoreboardStalls = 0;
+    agg.memStructuralStalls = 0;
+    agg.barrierStalls = 0;
+    agg.acquireStalls = 0;
+    agg.resourceStalls = 0;
+    agg.noWarpStalls = 0;
+    agg.emergencySpills = 0;
+    agg.lockAcquisitions = 0;
+    agg.extRegAccesses = 0;
+    agg.bankConflicts = 0;
+    agg.deadlocked = false;
+
+    double resident_integral = 0.0;
+    std::uint64_t total_cycles = 0;
+    for (const SimStats &sm : per_sm) {
+        agg.cycles = std::max(agg.cycles, sm.cycles);
+        agg.instructions += sm.instructions;
+        agg.ctasCompleted += sm.ctasCompleted;
+        agg.acquireAttempts += sm.acquireAttempts;
+        agg.acquireSuccesses += sm.acquireSuccesses;
+        agg.acquireAlreadyHeld += sm.acquireAlreadyHeld;
+        agg.releases += sm.releases;
+        agg.issuedSlots += sm.issuedSlots;
+        agg.idleSchedulerSlots += sm.idleSchedulerSlots;
+        agg.scoreboardStalls += sm.scoreboardStalls;
+        agg.memStructuralStalls += sm.memStructuralStalls;
+        agg.barrierStalls += sm.barrierStalls;
+        agg.acquireStalls += sm.acquireStalls;
+        agg.resourceStalls += sm.resourceStalls;
+        agg.noWarpStalls += sm.noWarpStalls;
+        agg.emergencySpills += sm.emergencySpills;
+        agg.lockAcquisitions += sm.lockAcquisitions;
+        agg.extRegAccesses += sm.extRegAccesses;
+        agg.bankConflicts += sm.bankConflicts;
+        agg.deadlocked = agg.deadlocked || sm.deadlocked;
+        resident_integral += sm.avgResidentWarps *
+                             static_cast<double>(sm.cycles);
+        total_cycles += sm.cycles;
+    }
+    agg.avgResidentWarps =
+        total_cycles == 0 ? 0.0
+                          : resident_integral /
+                                static_cast<double>(total_cycles);
+    return agg;
+}
+
+Gpu::Gpu(const GpuConfig &gpu_config, const Program &kernel,
+         AllocatorFactory allocator_factory, GpuOptions run_options)
+    : config(gpu_config),
+      program(kernel),
+      factory(std::move(allocator_factory)),
+      options(std::move(run_options))
+{
+    fatalIf(!factory, "Gpu: no allocator factory");
+}
+
+SimStats
+Gpu::runOneSm(int sm_id, int ctas) const
+{
+    PreparedAllocator prepared = factory(config, program);
+    fatalIf(!prepared.allocator, "Gpu: allocator factory returned null");
+    fatalIf(prepared.allocator->maxCtasByRegisters() <= 0,
+            "Gpu: kernel '", program.info.name,
+            "' does not fit the register file under policy '",
+            prepared.allocator->name(), "'");
+
+    const ObsSinks sinks = options.sinksForSm
+                               ? options.sinksForSm(sm_id)
+                               : (sm_id == 0 ? options.obs : ObsSinks{});
+
+    // Each SM owns its memory partition: seed memSeed + smId keeps
+    // SM 0 identical to the single-SM model while the other slices
+    // see distinct (deterministic) data.
+    GlobalMemory gmem(options.log2MemWords,
+                      options.memSeed + static_cast<std::uint64_t>(sm_id));
+    Sm sm(config, program, *prepared.allocator, ctas, gmem,
+          std::move(prepared.mapper), sinks.trace, sinks.metrics,
+          sinks.sampler);
+    return sm.run();
+}
+
+GpuResult
+Gpu::run()
+{
+    program.verify();
+
+    const bool full = options.mode == GpuOptions::Mode::FullMachine;
+    const int sms = full ? config.numSms : 1;
+    fatalIf(sms <= 0, "Gpu: config has ", sms, " SMs");
+
+    GpuResult result;
+    result.perSm.resize(static_cast<std::size_t>(sms));
+    parallelFor(
+        sms,
+        [&](int sm_id) {
+            const int ctas =
+                full ? ctasForSm(config, program.info.gridCtas, sm_id)
+                     : ctasPerSmShare(config, program);
+            result.perSm[static_cast<std::size_t>(sm_id)] =
+                runOneSm(sm_id, ctas);
+        },
+        options.threads);
+    result.aggregate = mergeSmStats(result.perSm);
+    return result;
+}
+
+GpuResult
+simulateGpu(const GpuConfig &config, const Program &program,
+            const AllocatorFactory &factory, GpuOptions options)
+{
+    return Gpu(config, program, factory, std::move(options)).run();
 }
 
 } // namespace rm

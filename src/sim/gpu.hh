@@ -3,13 +3,28 @@
 
 /**
  * @file
- * Top-level simulation entry point. The grid is distributed evenly over
- * the configured SMs; since all SMs execute identical CTAs, one
- * representative SM is simulated with its share of the grid (see
- * DESIGN.md substitution table) and its cycle count is reported.
+ * Top-level simulation engine. Two modes are supported:
+ *
+ *  - Representative (the seed model, still the default for the paper
+ *    figures): one SM simulates the round-up per-SM grid share and its
+ *    cycle count stands in for the machine. Cheap, and sound for
+ *    RegMutex's strictly per-SM effects (see DESIGN.md).
+ *
+ *  - FullMachine: the Gpu engine instantiates config.numSms SMs, each
+ *    with its own allocator instance (built by an AllocatorFactory),
+ *    its own GlobalMemory partition seed and its own observability
+ *    sinks, distributes gridCtas exactly (remainder spread over the
+ *    first SMs), runs the SMs on the shared thread pool
+ *    (common/thread_pool.hh) and merges the per-SM SimStats into a
+ *    machine-level aggregate plus per-SM breakdowns. Per-SM runs are
+ *    fully independent, so results are bit-identical for any thread
+ *    count.
  */
 
+#include <functional>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "isa/program.hh"
 #include "sim/allocator.hh"
@@ -49,9 +64,11 @@ struct SimOptions
 };
 
 /**
- * Bundled observability sinks for the experiment facade (core/
- * experiment.hh): the run* helpers build their own SimOptions, so
- * callers pass the sinks separately and the runner threads them in.
+ * Bundled observability sinks: the facade runners and the Gpu engine
+ * build their own SimOptions, so callers pass the sinks separately and
+ * the runner threads them in. None of the sink types are thread-safe,
+ * so in FullMachine mode each SM needs its own set (see
+ * GpuOptions::sinksForSm).
  */
 struct ObsSinks
 {
@@ -61,16 +78,141 @@ struct ObsSinks
 };
 
 /**
+ * One SM's allocator stack: the prepared policy instance plus the
+ * operand-collector mapping derived from it (policies that rename
+ * registers run without one). Factories return this so every SM of a
+ * multi-SM run owns an independent instance — RegisterAllocator
+ * implementations carry mutable per-run state and must never be shared
+ * across concurrently simulated SMs.
+ */
+struct PreparedAllocator
+{
+    std::unique_ptr<RegisterAllocator> allocator;
+    std::optional<RegisterMapper> mapper;
+};
+
+/**
+ * Builds and prepares one SM's allocator for @p program on @p config.
+ * Must be pure (same inputs => equivalent instance) and thread-safe:
+ * the Gpu engine invokes it concurrently, once per SM.
+ */
+using AllocatorFactory =
+    std::function<PreparedAllocator(const GpuConfig &, const Program &)>;
+
+/** Engine-level options for a Gpu run. */
+struct GpuOptions
+{
+    enum class Mode {
+        /** One SM with the round-up grid share (the seed model). */
+        Representative,
+        /** config.numSms SMs with the exact grid distribution. */
+        FullMachine,
+    };
+
+    Mode mode = Mode::Representative;
+    /**
+     * SM-level parallelism: 1 (default) simulates SMs sequentially,
+     * 0 uses the shared thread pool's full width, k > 1 caps the
+     * concurrent SMs at k. Results are identical for any value.
+     */
+    int threads = 1;
+    /**
+     * Base memory seed. SM i's GlobalMemory partition is seeded with
+     * memSeed + i, so SM 0 reproduces the single-SM contents exactly
+     * while the other partitions differ the way distinct grid slices
+     * would.
+     */
+    std::uint64_t memSeed = 1;
+    int log2MemWords = 20;
+    /** Convenience sinks attached to SM 0 only (often the only SM). */
+    ObsSinks obs;
+    /**
+     * Per-SM observability sinks; overrides `obs` when set. Called
+     * once per SM id before launch, from the launching thread. The
+     * returned sinks must not be shared between SMs.
+     */
+    std::function<ObsSinks(int smId)> sinksForSm;
+};
+
+/** Outcome of a Gpu engine run. */
+struct GpuResult
+{
+    /**
+     * Machine-level merge of the per-SM statistics: cycles is the
+     * slowest SM (machine time), event counts are summed, occupancy
+     * figures are per-SM (identical across SMs), avgResidentWarps is
+     * the cycle-weighted mean. See mergeSmStats().
+     */
+    SimStats aggregate;
+    /** One entry per simulated SM, in SM-id order. */
+    std::vector<SimStats> perSm;
+
+    int numSms() const { return static_cast<int>(perSm.size()); }
+};
+
+/**
+ * The multi-SM engine. Construction captures the inputs; run()
+ * simulates every SM (in parallel when options.threads != 1) and
+ * merges the results. The config, program and factory must outlive
+ * the engine.
+ */
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &config, const Program &program,
+        AllocatorFactory factory, GpuOptions options = {});
+
+    /** Simulate all SMs to completion and merge their statistics. */
+    GpuResult run();
+
+  private:
+    SimStats runOneSm(int sm_id, int ctas) const;
+
+    const GpuConfig &config;
+    const Program &program;
+    AllocatorFactory factory;
+    GpuOptions options;
+};
+
+/** One-shot convenience wrapper around the Gpu engine. */
+GpuResult simulateGpu(const GpuConfig &config, const Program &program,
+                      const AllocatorFactory &factory,
+                      GpuOptions options = {});
+
+/**
  * Simulate @p program on one representative SM of @p config under
  * @p allocator (which must already be prepared by the caller, or will
- * be prepared here if @p prepare_allocator is true).
+ * be prepared here if @p prepare_allocator is true). This is the seed
+ * entry point; the Gpu engine's Representative mode produces
+ * bit-identical statistics.
  */
 SimStats simulate(const GpuConfig &config, const Program &program,
                   RegisterAllocator &allocator, SimOptions options = {},
                   bool prepare_allocator = true);
 
-/** CTAs a single SM executes for this grid under @p config. */
+/**
+ * CTAs SM @p sm_id executes for a @p grid_ctas-CTA grid under
+ * @p config: floor(grid/numSms), with the remainder spread one CTA
+ * each over the first (grid % numSms) SMs — the shares sum to exactly
+ * grid_ctas.
+ */
+int ctasForSm(const GpuConfig &config, int grid_ctas, int sm_id);
+
+/**
+ * CTAs the representative SM executes for this grid: the largest
+ * per-SM share, i.e. ctasForSm(config, gridCtas, 0). (The historical
+ * round-up formula over-simulated the machine total on grids that do
+ * not divide evenly; the multi-SM engine launches exactly gridCtas —
+ * use ctasForSm per SM.)
+ */
 int ctasPerSmShare(const GpuConfig &config, const Program &program);
+
+/**
+ * Merge per-SM run statistics into the machine-level aggregate (see
+ * GpuResult::aggregate for the field-by-field rules). Requires a
+ * non-empty vector of stats from the same kernel/policy.
+ */
+SimStats mergeSmStats(const std::vector<SimStats> &per_sm);
 
 } // namespace rm
 

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The multi-SM Gpu engine: exact CTA distribution across SMs, the
+ * representative-SM mode's equivalence with the seed single-SM path,
+ * bit-identical determinism for any engine thread count, and the
+ * aggregate/per-SM statistic identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/experiment.hh"
+#include "sim/gpu.hh"
+#include "workloads/suite.hh"
+
+namespace rm {
+namespace {
+
+/** Exact (bit-identical) SimStats equality, field by field. */
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.kernelName, b.kernelName);
+    EXPECT_EQ(a.allocatorName, b.allocatorName);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ctasCompleted, b.ctasCompleted);
+    EXPECT_EQ(a.theoreticalCtas, b.theoreticalCtas);
+    EXPECT_EQ(a.theoreticalWarps, b.theoreticalWarps);
+    EXPECT_EQ(a.theoreticalOccupancy, b.theoreticalOccupancy);
+    EXPECT_EQ(a.avgResidentWarps, b.avgResidentWarps);
+    EXPECT_EQ(a.acquireAttempts, b.acquireAttempts);
+    EXPECT_EQ(a.acquireSuccesses, b.acquireSuccesses);
+    EXPECT_EQ(a.acquireAlreadyHeld, b.acquireAlreadyHeld);
+    EXPECT_EQ(a.releases, b.releases);
+    EXPECT_EQ(a.issuedSlots, b.issuedSlots);
+    EXPECT_EQ(a.idleSchedulerSlots, b.idleSchedulerSlots);
+    EXPECT_EQ(a.scoreboardStalls, b.scoreboardStalls);
+    EXPECT_EQ(a.memStructuralStalls, b.memStructuralStalls);
+    EXPECT_EQ(a.barrierStalls, b.barrierStalls);
+    EXPECT_EQ(a.acquireStalls, b.acquireStalls);
+    EXPECT_EQ(a.resourceStalls, b.resourceStalls);
+    EXPECT_EQ(a.noWarpStalls, b.noWarpStalls);
+    EXPECT_EQ(a.emergencySpills, b.emergencySpills);
+    EXPECT_EQ(a.lockAcquisitions, b.lockAcquisitions);
+    EXPECT_EQ(a.extRegAccesses, b.extRegAccesses);
+    EXPECT_EQ(a.bankConflicts, b.bankConflicts);
+    EXPECT_EQ(a.deadlocked, b.deadlocked);
+}
+
+TEST(CtaDistribution, SharesSumToGridAndDifferByAtMostOne)
+{
+    for (int sms = 1; sms <= 16; ++sms) {
+        GpuConfig config = gtx480Config();
+        config.numSms = sms;
+        for (int grid = 0; grid <= 3 * sms + 2; ++grid) {
+            int total = 0;
+            int lo = grid, hi = 0;
+            for (int sm = 0; sm < sms; ++sm) {
+                const int share = ctasForSm(config, grid, sm);
+                total += share;
+                lo = std::min(lo, share);
+                hi = std::max(hi, share);
+                // Remainder CTAs land on the lowest SM ids: shares are
+                // non-increasing in the SM id.
+                if (sm > 0)
+                    EXPECT_LE(share, ctasForSm(config, grid, sm - 1));
+            }
+            EXPECT_EQ(total, grid) << grid << " CTAs on " << sms << " SMs";
+            EXPECT_LE(hi - lo, 1);
+        }
+    }
+}
+
+TEST(CtaDistribution, RepresentativeShareIsSmZerosShare)
+{
+    // ctasPerSmShare() must keep the seed's ceil(grid / numSms): SM 0
+    // always holds the largest share, which is exactly that ceiling.
+    Program p = buildWorkload("BFS");
+    for (int sms : {1, 2, 7, 15, 16}) {
+        GpuConfig config = gtx480Config();
+        config.numSms = sms;
+        const int grid = p.info.gridCtas;
+        EXPECT_EQ(ctasPerSmShare(config, p),
+                  (grid + sms - 1) / sms);
+        EXPECT_EQ(ctasPerSmShare(config, p), ctasForSm(config, grid, 0));
+    }
+}
+
+TEST(MultiSm, FullMachineWithOneSmMatchesSeedSimulatePath)
+{
+    const Program p = buildWorkload("BFS");
+    GpuConfig config = gtx480Config();
+    config.numSms = 1;
+
+    const SimStats seed = runBaseline(p, config);
+
+    RunOptions options;
+    options.gpu.mode = GpuOptions::Mode::FullMachine;
+    const PolicyRun full = runPolicy("baseline", p, config, options);
+
+    ASSERT_EQ(full.result.numSms(), 1);
+    expectSameStats(seed, full.stats());
+}
+
+TEST(MultiSm, RepresentativeModeIsTheDefaultSeedBehavior)
+{
+    const Program p = buildWorkload("ParticleFilter");
+    const GpuConfig config = gtx480Config(); // 15 SMs in the config
+
+    const SimStats seed = runBaseline(p, config);
+    const PolicyRun run = runPolicy("baseline", p, config);
+
+    // Default mode simulates one representative SM regardless of
+    // config.numSms, exactly like the seed facade.
+    ASSERT_EQ(run.result.numSms(), 1);
+    expectSameStats(seed, run.stats());
+}
+
+TEST(MultiSm, DeterministicAcrossEngineThreadCounts)
+{
+    Program p = buildWorkload("BFS");
+    p.info.gridCtas = 23; // uneven over 5 SMs: shares 5,5,5,4,4
+    GpuConfig config = gtx480Config();
+    config.numSms = 5;
+
+    auto runWith = [&](int threads) {
+        RunOptions options;
+        options.gpu.mode = GpuOptions::Mode::FullMachine;
+        options.gpu.threads = threads;
+        return runPolicy("regmutex", p, config, options).result;
+    };
+
+    const GpuResult serial = runWith(1);
+    const GpuResult four = runWith(4);
+    const GpuResult pool = runWith(0);
+
+    ASSERT_EQ(serial.numSms(), 5);
+    ASSERT_EQ(four.numSms(), 5);
+    ASSERT_EQ(pool.numSms(), 5);
+    for (int sm = 0; sm < 5; ++sm) {
+        const auto i = static_cast<std::size_t>(sm);
+        expectSameStats(serial.perSm[i], four.perSm[i]);
+        expectSameStats(serial.perSm[i], pool.perSm[i]);
+    }
+    expectSameStats(serial.aggregate, four.aggregate);
+    expectSameStats(serial.aggregate, pool.aggregate);
+}
+
+TEST(MultiSm, AggregateIdentitiesHold)
+{
+    Program p = buildWorkload("SAD");
+    p.info.gridCtas = 14; // 6 SMs: shares 3,3,2,2,2,2
+    GpuConfig config = gtx480Config();
+    config.numSms = 6;
+
+    RunOptions options;
+    options.gpu.mode = GpuOptions::Mode::FullMachine;
+    options.gpu.threads = 0;
+    const GpuResult run = runPolicy("baseline", p, config, options).result;
+
+    ASSERT_EQ(run.numSms(), 6);
+    std::uint64_t max_cycles = 0, instructions = 0, ctas = 0;
+    for (int sm = 0; sm < 6; ++sm) {
+        const SimStats &s = run.perSm[static_cast<std::size_t>(sm)];
+        max_cycles = std::max(max_cycles, s.cycles);
+        instructions += s.instructions;
+        ctas += s.ctasCompleted;
+        // Each SM completes exactly its assigned share.
+        EXPECT_EQ(s.ctasCompleted,
+                  static_cast<std::uint64_t>(
+                      ctasForSm(config, p.info.gridCtas, sm)));
+    }
+    EXPECT_EQ(run.aggregate.cycles, max_cycles);
+    EXPECT_EQ(run.aggregate.instructions, instructions);
+    EXPECT_EQ(run.aggregate.ctasCompleted, ctas);
+    EXPECT_EQ(ctas, static_cast<std::uint64_t>(p.info.gridCtas));
+    EXPECT_FALSE(run.aggregate.deadlocked);
+}
+
+TEST(MultiSm, FullMachineAgreesWithRepresentativeModel)
+{
+    // The acceptance check behind bench/validation_multi_sm: on the
+    // real 15-SM machine the per-SM grid slices are statistically
+    // identical, so machine time stays close to the representative SM.
+    const Program p = buildWorkload("BFS");
+    const GpuConfig config = gtx480Config();
+
+    const SimStats rep = runBaseline(p, config);
+
+    RunOptions options;
+    options.gpu.mode = GpuOptions::Mode::FullMachine;
+    options.gpu.threads = 0;
+    const PolicyRun full = runPolicy("baseline", p, config, options);
+
+    ASSERT_EQ(full.result.numSms(), config.numSms);
+    const double drift =
+        std::abs(static_cast<double>(full.stats().cycles) -
+                 static_cast<double>(rep.cycles)) /
+        static_cast<double>(rep.cycles);
+    EXPECT_LT(drift, 0.05);
+    // SM 0 shares the representative SM's seed and grid share, so it
+    // reproduces the single-SM run bit-exactly.
+    expectSameStats(rep, full.result.perSm.front());
+}
+
+} // namespace
+} // namespace rm

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The policy registry and the parallel sweep runner: the built-in
+ * policies reproduce the seed facade entry points bit-exactly, lookups
+ * fail loudly with the known names, custom policies register and run,
+ * sweepGrid() ordering is deterministic, and runSweep() results do not
+ * depend on the sweep thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/errors.hh"
+#include "core/experiment.hh"
+#include "core/policy.hh"
+#include "core/sweep.hh"
+#include "workloads/suite.hh"
+
+namespace rm {
+namespace {
+
+TEST(PolicyRegistry, BuiltinsAreRegistered)
+{
+    PolicyRegistry &registry = PolicyRegistry::instance();
+    for (const char *name :
+         {"baseline", "regmutex", "paired", "owf", "rfv"}) {
+        const PolicySpec *spec = registry.find(name);
+        ASSERT_NE(spec, nullptr) << name;
+        EXPECT_EQ(spec->name, name);
+        EXPECT_FALSE(spec->summary.empty());
+        EXPECT_TRUE(spec->compile != nullptr);
+        EXPECT_TRUE(spec->allocator != nullptr);
+    }
+    const std::vector<std::string> names = registry.names();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_GE(names.size(), 5u);
+}
+
+TEST(PolicyRegistry, UnknownPolicyFailsLoudly)
+{
+    EXPECT_EQ(PolicyRegistry::instance().find("no-such-policy"), nullptr);
+    try {
+        PolicyRegistry::instance().at("no-such-policy");
+        FAIL() << "at() must throw for unknown policies";
+    } catch (const FatalError &e) {
+        // The error names the known policies so typos are self-serve.
+        EXPECT_NE(std::string(e.what()).find("regmutex"),
+                  std::string::npos);
+    }
+}
+
+TEST(PolicyRegistry, CustomPolicyRegistersAndRuns)
+{
+    PolicyRegistry &registry = PolicyRegistry::instance();
+    if (!registry.find("rfv-0.4"))
+        registry.add(makeRfvPolicy(0.4, "rfv-0.4"));
+
+    Program p = buildWorkload("BFS");
+    p.info.gridCtas = 8;
+    GpuConfig config = gtx480Config();
+    config.numSms = 4;
+    RunOptions options;
+    options.gpu.mode = GpuOptions::Mode::FullMachine;
+    const PolicyRun run = runPolicy("rfv-0.4", p, config, options);
+    EXPECT_FALSE(run.stats().deadlocked);
+    EXPECT_EQ(run.stats().ctasCompleted, 8u);
+}
+
+TEST(PolicyFacade, MatchesLegacyEntryPoints)
+{
+    const Program p = buildWorkload("RadixSort");
+    const GpuConfig config = gtx480Config();
+
+    const SimStats base = runBaseline(p, config);
+    const RegMutexRun rmx = runRegMutex(p, config);
+    const RegMutexRun paired = runPaired(p, config);
+    const SimStats owf = runOwf(p, config);
+    const SimStats rfv = runRfv(p, config);
+
+    auto same = [](const SimStats &a, const SimStats &b) {
+        EXPECT_EQ(a.allocatorName, b.allocatorName);
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_EQ(a.instructions, b.instructions);
+        EXPECT_EQ(a.ctasCompleted, b.ctasCompleted);
+        EXPECT_EQ(a.acquireAttempts, b.acquireAttempts);
+        EXPECT_EQ(a.issuedSlots, b.issuedSlots);
+        EXPECT_EQ(a.avgResidentWarps, b.avgResidentWarps);
+    };
+    same(base, runPolicy("baseline", p, config).stats());
+    same(owf, runPolicy("owf", p, config).stats());
+    same(rfv, runPolicy("rfv", p, config).stats());
+
+    const PolicyRun rmx_run = runPolicy("regmutex", p, config);
+    same(rmx.stats, rmx_run.stats());
+    ASSERT_TRUE(rmx_run.compile.compile.has_value());
+    EXPECT_EQ(rmx.compile.selection.bs,
+              rmx_run.compile.compile->selection.bs);
+    EXPECT_EQ(rmx.compile.selection.es,
+              rmx_run.compile.compile->selection.es);
+
+    const PolicyRun paired_run = runPolicy("paired", p, config);
+    same(paired.stats, paired_run.stats());
+}
+
+TEST(Sweep, GridOrderingIsConfigOuterWorkloadThenPolicy)
+{
+    const GpuConfig full = gtx480Config();
+    const GpuConfig half = halfRegisterFile(full);
+    const std::vector<std::string> workloads = {"BFS", "SAD"};
+    const std::vector<std::string> policies = {"baseline", "regmutex"};
+    const std::vector<SweepCase> grid = sweepGrid(
+        workloads, policies, {{"GTX480", full}, {"half-RF", half}});
+
+    ASSERT_EQ(grid.size(), 8u);
+    const std::size_t W = workloads.size(), P = policies.size();
+    for (std::size_t c = 0; c < 2; ++c) {
+        for (std::size_t w = 0; w < W; ++w) {
+            for (std::size_t p = 0; p < P; ++p) {
+                const SweepCase &cell = grid[(c * W + w) * P + p];
+                EXPECT_EQ(cell.workload, workloads[w]);
+                EXPECT_EQ(cell.policy, policies[p]);
+                EXPECT_EQ(cell.arch, c == 0 ? "GTX480" : "half-RF");
+            }
+        }
+    }
+    EXPECT_EQ(grid.back().config.registersPerSm, half.registersPerSm);
+}
+
+TEST(Sweep, ResultsIndependentOfSweepThreadCount)
+{
+    const std::vector<SweepCase> grid = sweepGrid(
+        {"BFS"}, {"baseline", "regmutex"}, {{"GTX480", gtx480Config()}});
+
+    SweepOptions serial;
+    serial.threads = 1;
+    SweepOptions pooled;
+    pooled.threads = 0;
+    const std::vector<SweepResult> a = runSweep(grid, serial);
+    const std::vector<SweepResult> b = runSweep(grid, pooled);
+
+    ASSERT_EQ(a.size(), grid.size());
+    ASSERT_EQ(b.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(a[i].spec.policy, grid[i].policy);
+        EXPECT_EQ(a[i].stats().cycles, b[i].stats().cycles);
+        EXPECT_EQ(a[i].stats().instructions, b[i].stats().instructions);
+        EXPECT_EQ(a[i].stats().ctasCompleted, b[i].stats().ctasCompleted);
+        EXPECT_EQ(a[i].stats().avgResidentWarps,
+                  b[i].stats().avgResidentWarps);
+    }
+    // The regmutex cell carries its compile metadata with it.
+    ASSERT_TRUE(a[1].compile.compile.has_value());
+    EXPECT_EQ(a[1].compile.compile->selection.bs,
+              b[1].compile.compile->selection.bs);
+}
+
+TEST(Sweep, UnknownPolicyInGridThrowsBeforeSimulating)
+{
+    std::vector<SweepCase> grid(1);
+    grid[0].workload = "BFS";
+    grid[0].policy = "no-such-policy";
+    EXPECT_THROW(runSweep(grid), FatalError);
+}
+
+} // namespace
+} // namespace rm

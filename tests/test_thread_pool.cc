@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The shared thread pool and parallelFor: every index runs exactly
+ * once for any thread count, nesting cannot deadlock (the caller
+ * participates in its own batch), exceptions propagate to the caller
+ * without wedging the pool, and the logging facility stays line-atomic
+ * under concurrent emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace rm {
+namespace {
+
+TEST(ThreadPool, SharedPoolHasAtLeastOneThread)
+{
+    EXPECT_GE(ThreadPool::shared().size(), 1);
+}
+
+class ParallelFor : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ParallelFor, RunsEveryIndexExactlyOnce)
+{
+    const int n = 100;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(
+        n, [&](int i) { hits[static_cast<std::size_t>(i)]++; },
+        GetParam());
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelFor,
+                         ::testing::Values(0, 1, 2, 4, 13));
+
+TEST(ThreadPool, EmptyAndSingleItemBatches)
+{
+    std::atomic<int> runs{0};
+    parallelFor(0, [&](int) { runs++; });
+    EXPECT_EQ(runs.load(), 0);
+    parallelFor(1, [&](int i) {
+        EXPECT_EQ(i, 0);
+        runs++;
+    });
+    EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ThreadPool, CapLargerThanItems)
+{
+    std::atomic<int> sum{0};
+    parallelFor(3, [&](int i) { sum += i; }, 64);
+    EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // Outer width exceeds the pool on small machines; inner loops then
+    // find every worker busy and must make progress on the caller's
+    // thread. This mirrors runSweep() cells running multi-SM engines.
+    const int outer = 2 * ThreadPool::shared().size() + 1;
+    const int inner = 8;
+    std::atomic<int> runs{0};
+    parallelFor(outer, [&](int) {
+        parallelFor(inner, [&](int) { runs++; });
+    });
+    EXPECT_EQ(runs.load(), outer * inner);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives)
+{
+    EXPECT_THROW(parallelFor(
+                     32,
+                     [&](int i) {
+                         if (i == 7)
+                             throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+
+    // The pool must still be usable after a failed batch.
+    std::atomic<int> runs{0};
+    parallelFor(16, [&](int) { runs++; });
+    EXPECT_EQ(runs.load(), 16);
+}
+
+TEST(Logging, LinesStayAtomicUnderConcurrentEmitters)
+{
+    std::ostringstream captured;
+    std::streambuf *old = std::cerr.rdbuf(captured.rdbuf());
+    const LogLevel old_level = logLevel();
+    setLogLevel(LogLevel::Inform);
+
+    const int n = 200;
+    const std::string payload(60, 'x');
+    parallelFor(n, [&](int i) { inform("msg ", i, " ", payload); });
+
+    setLogLevel(old_level);
+    std::cerr.rdbuf(old);
+
+    // Every line must be one complete message: prefix, payload, no
+    // interleaved fragments.
+    std::istringstream lines(captured.str());
+    std::string line;
+    int count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        EXPECT_EQ(line.rfind("rm: info: msg ", 0), 0u) << line;
+        EXPECT_EQ(line.substr(line.size() - payload.size()), payload)
+            << line;
+    }
+    EXPECT_EQ(count, n);
+}
+
+} // namespace
+} // namespace rm
