@@ -33,6 +33,8 @@ main(int argc, char **argv)
         sweepGrid(workloads, {"baseline", "regmutex"},
                   {{"GTX480", config}}),
         sweep);
+    if (reportSweepFailures(results, std::cerr) > 0)
+        return 1;
 
     Table table({"Application", "Exec. cycle red.", "Init. occupancy",
                  "Occ. w/ RegMutex", "|Bs|", "|Es|", "Acq. success"});

@@ -44,6 +44,8 @@ main(int argc, char **argv)
         grid.push_back(c);
     }
     const std::vector<SweepResult> results = runSweep(grid, sweep);
+    if (reportSweepFailures(results, std::cerr) > 0)
+        return 1;
 
     Table table({"Application", "Incr. w/o RegMutex", "Incr. w/ RegMutex",
                  "Occupancy w/o", "Occupancy w/", "|Bs|", "|Es|"});

@@ -48,6 +48,8 @@ main(int argc, char **argv)
         }
     }
     const std::vector<SweepResult> results = runSweep(grid, sweep);
+    if (reportSweepFailures(results, std::cerr) > 0)
+        return 1;
 
     Table table({"Application", "No Technique", "OWF", "RFV",
                  "RegMutex"});

@@ -24,6 +24,18 @@
  *   --pretty                 pretty-print the JSON document to stdout
  *   --half-rf | --es N | --lrr | --poll | --list
  *
+ * Fault injection (docs/ROBUSTNESS.md; all cycles are simulated):
+ *   --fault-deny-acquire FROM:UNTIL    deny SRP acquires in [FROM,UNTIL)
+ *   --fault-delay-release FROM:UNTIL:DELAY
+ *                            park releasing warps for DELAY cycles
+ *   --fault-shrink-srp CYCLE:N   revoke N capacity units at CYCLE
+ *   --fault-mem-spike FROM:UNTIL:FACTOR  multiply memory latency
+ *   --fault-seed N           hash seed for probabilistic faults
+ *   --watchdog N             override the watchdog budget (cycles)
+ *
+ * A deadlocked or watchdog-expired run prints the hang forensics
+ * (embedded under "hang" in the JSON document) and exits nonzero.
+ *
  * See docs/OBSERVABILITY.md for the metric catalog and file formats.
  */
 
@@ -32,6 +44,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/errors.hh"
 #include "common/table.hh"
@@ -60,8 +73,40 @@ usage()
            "  --sms N | --threads N\n"
            "  --json PATH | --csv PATH | --chrome-trace PATH\n"
            "  --sample-interval N | --trace-capacity N | --pretty\n"
-           "  --half-rf | --es N | --lrr | --poll | --list\n";
+           "  --half-rf | --es N | --lrr | --poll | --list\n"
+           "  --fault-deny-acquire FROM:UNTIL\n"
+           "  --fault-delay-release FROM:UNTIL:DELAY\n"
+           "  --fault-shrink-srp CYCLE:N\n"
+           "  --fault-mem-spike FROM:UNTIL:FACTOR\n"
+           "  --fault-seed N | --watchdog N\n";
     return 2;
+}
+
+/** Split "a:b:c" into exactly @p n numbers; exits with usage on error. */
+std::vector<std::uint64_t>
+splitNumbers(const std::string &arg, const std::string &text, std::size_t n)
+{
+    std::vector<std::uint64_t> parts;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ':')) {
+        try {
+            std::size_t used = 0;
+            const std::uint64_t v = std::stoull(item, &used);
+            if (used != item.size())
+                throw std::invalid_argument(item);
+            parts.push_back(v);
+        } catch (const std::exception &) {
+            parts.clear();
+            break;
+        }
+    }
+    if (parts.size() != n) {
+        std::cerr << arg << " needs " << n
+                  << " colon-separated numbers, got '" << text << "'\n";
+        exit(usage());
+    }
+    return parts;
 }
 
 void
@@ -145,6 +190,7 @@ main(int argc, char **argv)
     bool pretty = false;
     GpuConfig config = gtx480Config();
     CompileOptions compile_options;
+    FaultPlan fault;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -200,6 +246,26 @@ main(int argc, char **argv)
             config.schedPolicy = SchedPolicy::Lrr;
         } else if (arg == "--poll") {
             config.wakeOnRelease = false;
+        } else if (arg == "--fault-deny-acquire") {
+            const auto v = splitNumbers(arg, next(), 2);
+            fault.denyAcquire = {v[0], v[1]};
+        } else if (arg == "--fault-delay-release") {
+            const auto v = splitNumbers(arg, next(), 3);
+            fault.delayRelease = {v[0], v[1]};
+            fault.releaseDelayCycles = v[2];
+        } else if (arg == "--fault-shrink-srp") {
+            const auto v = splitNumbers(arg, next(), 2);
+            fault.shrinkSrpAtCycle = v[0];
+            fault.shrinkSrpSections = static_cast<int>(v[1]);
+        } else if (arg == "--fault-mem-spike") {
+            const auto v = splitNumbers(arg, next(), 3);
+            fault.memSpike = {v[0], v[1]};
+            fault.memSpikeFactor = static_cast<int>(v[2]);
+        } else if (arg == "--fault-seed") {
+            fault.seed = nextNumber();
+        } else if (arg == "--watchdog") {
+            config.watchdogCycles =
+                static_cast<long long>(nextNumber());
         } else if (arg == "--list") {
             for (const auto &entry : paperSuite())
                 std::cout << entry.spec.name << "\n";
@@ -255,6 +321,7 @@ main(int argc, char **argv)
             run_options.gpu.mode = GpuOptions::Mode::FullMachine;
         }
         run_options.gpu.threads = threads;
+        run_options.gpu.fault = fault;
 
         const PolicyRun run =
             runPolicy(*policy, program, config, run_options);
@@ -324,6 +391,10 @@ main(int argc, char **argv)
             add("samples taken",
                 std::to_string(sampler.samples().size()));
             add("deadlocked", stats.deadlocked ? "YES" : "no");
+            add("deadlock cause",
+                deadlockCauseName(stats.deadlockCause));
+            if (fault.active())
+                add("fault events", std::to_string(stats.faultEvents));
             if (run.result.numSms() > 1) {
                 std::uint64_t lo = run.result.perSm.front().cycles;
                 std::uint64_t hi = lo;
@@ -347,7 +418,26 @@ main(int argc, char **argv)
         report("Chrome trace (open in chrome://tracing or "
                "ui.perfetto.dev)",
                chrome_path);
+        if (stats.deadlocked && stats.hang)
+            std::cerr << "\n" << stats.hang->summary() << "\n";
         return stats.deadlocked ? 1 : 0;
+    } catch (const SimulationError &e) {
+        // Watchdog expiry: the simulation never returned stats, but
+        // the exception carries the full forensics snapshot.
+        std::cerr << "error: " << e.what() << "\n";
+        if (e.diagnosis()) {
+            if (!json_path.empty()) {
+                JsonWriter w;
+                w.beginObject();
+                w.key("hang");
+                diagnosisToJson(w, *e.diagnosis());
+                w.endObject();
+                writeFile(json_path, w.take());
+                std::cerr << "wrote hang forensics JSON: " << json_path
+                          << "\n";
+            }
+        }
+        return 1;
     } catch (const FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

@@ -46,12 +46,26 @@ mkdir -p "$OUTDIR"
 echo "JSON reports -> $OUTDIR"
 echo
 
-for name in "${REQUIRED[@]}"; do
+# Fault isolation: one failing bench must not silence the rest. Every
+# bench runs; failures are collected and summarized at the end, and the
+# script exits nonzero if any failed.
+FAILED=()
+run_bench() {
+    local name="$1"; shift
     echo "==================================================================="
     echo "== $name"
     echo "==================================================================="
-    "$BUILD/bench/$name" --json "$OUTDIR/$name.json"
+    local status=0
+    "$@" || status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "** $name FAILED (exit $status)" >&2
+        FAILED+=("$name")
+    fi
     echo
+}
+
+for name in "${REQUIRED[@]}"; do
+    run_bench "$name" "$BUILD/bench/$name" --json "$OUTDIR/$name.json"
 done
 
 # Benches with no figure/table report (e.g. micro_hotpaths) still run,
@@ -62,12 +76,18 @@ for b in "$BUILD"/bench/*; do
     for req in "${REQUIRED[@]}"; do
         [ "$name" = "$req" ] && continue 2
     done
-    echo "==================================================================="
-    echo "== $name"
-    echo "==================================================================="
-    "$b"
-    echo
+    run_bench "$name" "$b"
 done
+
+if [ "${#FAILED[@]}" -ne 0 ]; then
+    echo "===================================================================" >&2
+    echo "${#FAILED[@]} bench(es) FAILED:" >&2
+    for name in "${FAILED[@]}"; do
+        echo "  FAIL  $name" >&2
+    done
+    echo "Reports for passing benches are in $OUTDIR." >&2
+    exit 1
+fi
 
 echo "All benches passed; reports in $OUTDIR:"
 ls -1 "$OUTDIR"

@@ -47,6 +47,20 @@ class RfvAllocator : public RegisterAllocator
     int forceProgress(SimWarp &warp) override;
     std::uint64_t emergencyCount() const override { return spills; }
 
+    /**
+     * Fault injection: permanently drain @p amount physical packs from
+     * the pool. The pool may go negative (the overdraft rules already
+     * tolerate that), starving issue and driving the emergency-spill
+     * breaker.
+     */
+    int faultShrinkCapacity(int amount) override
+    {
+        if (amount <= 0)
+            return 0;
+        physFree -= amount;
+        return amount;
+    }
+
     /** Free physical register packs right now (for tests). */
     int freePacks() const { return physFree; }
     int estimatedDemand() const { return estDemand; }

@@ -1,34 +1,193 @@
 #include "core/sweep.hh"
 
+#include <exception>
+#include <fstream>
 #include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
 #include <string>
 
 #include "common/errors.hh"
 #include "common/thread_pool.hh"
+#include "obs/export.hh"
+#include "obs/json.hh"
 #include "workloads/suite.hh"
 
 namespace rm {
+
+const char *
+sweepStatusName(SweepStatus status)
+{
+    switch (status) {
+      case SweepStatus::Ok:
+        return "ok";
+      case SweepStatus::CompileFailed:
+        return "compile-failed";
+      case SweepStatus::SimFailed:
+        return "sim-failed";
+      case SweepStatus::Deadlocked:
+        return "deadlocked";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** FNV-1a over a serialized field string: stable across processes. */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+configFingerprint(const SweepCase &spec)
+{
+    const GpuConfig &c = spec.config;
+    const FaultPlan &f = spec.fault;
+    std::ostringstream os;
+    os << c.numSms << ',' << c.maxWarpsPerSm << ',' << c.maxCtasPerSm
+       << ',' << c.maxThreadsPerSm << ',' << c.registersPerSm << ','
+       << c.sharedMemPerSm << ',' << c.warpSize << ',' << c.numSchedulers
+       << ',' << c.regAllocGranularity << ',' << c.aluLatency << ','
+       << c.sfuLatency << ',' << c.sharedLatency << ',' << c.globalLatency
+       << ',' << c.memIssuePerCycle << ',' << c.maxPendingMemPerWarp
+       << ',' << c.rfBanks << ',' << c.modelBankConflicts << ','
+       << static_cast<int>(c.schedPolicy) << ',' << c.wakeOnRelease << ','
+       << c.watchdogCycles
+       << '|' << spec.compileOptions.forcedEs << ','
+       << spec.compileOptions.enableCompaction << ','
+       << spec.compileOptions.enableRepair << ','
+       << spec.compileOptions.maxRepairIterations << ','
+       << static_cast<int>(spec.compileOptions.tieBreak) << ','
+       << spec.compileOptions.coalesceGap
+       << '|' << f.seed << ',' << f.denyAcquire.from << ','
+       << f.denyAcquire.until << ',' << f.denyAcquireChance << ','
+       << f.delayRelease.from << ',' << f.delayRelease.until << ','
+       << f.releaseDelayCycles << ',' << f.shrinkSrpAtCycle << ','
+       << f.shrinkSrpSections << ',' << f.memSpike.from << ','
+       << f.memSpike.until << ',' << f.memSpikeFactor << ','
+       << spec.faultSm;
+    std::ostringstream hex;
+    hex << std::hex << fnv1a(os.str());
+    return hex.str();
+}
+
+/** Checkpoint store: Ok aggregates keyed by sweepCaseKey. */
+class Checkpoint
+{
+  public:
+    explicit Checkpoint(std::string path) : path(std::move(path))
+    {
+        if (this->path.empty())
+            return;
+        std::ifstream in(this->path);
+        if (!in)
+            return;  // first run: nothing to restore
+        for (std::string line; std::getline(in, line);) {
+            if (line.empty())
+                continue;
+            try {
+                const JsonValue doc = parseJson(line);
+                const JsonValue *key = doc.find("key");
+                const JsonValue *stats = doc.find("stats");
+                if (key && stats)
+                    restored[key->string] = statsFromJson(*stats);
+            } catch (const std::exception &) {
+                // A torn final line from an interrupted run is
+                // expected; skip anything unparsable.
+            }
+        }
+    }
+
+    bool enabled() const { return !path.empty(); }
+
+    const SimStats *find(const std::string &key) const
+    {
+        const auto it = restored.find(key);
+        return it == restored.end() ? nullptr : &it->second;
+    }
+
+    void record(const std::string &key, const SimStats &stats)
+    {
+        if (path.empty())
+            return;
+        JsonWriter w;
+        w.beginObject();
+        w.key("key").value(key);
+        w.key("stats");
+        statsToJson(w, stats);
+        w.endObject();
+        const std::string line = w.take();
+
+        const std::lock_guard<std::mutex> lock(guard);
+        std::ofstream out(path, std::ios::app);
+        fatalIf(!out, "sweep checkpoint: cannot append to '", path, "'");
+        out << line << '\n';
+    }
+
+  private:
+    std::string path;
+    std::map<std::string, SimStats> restored;
+    std::mutex guard;
+};
+
+std::string
+exceptionMessage(const std::exception &e)
+{
+    return e.what() ? std::string(e.what()) : std::string("unknown error");
+}
+
+} // namespace
+
+std::string
+sweepCaseKey(const SweepCase &spec)
+{
+    return spec.workload + "|" + spec.policy + "|" + spec.arch + "|" +
+           configFingerprint(spec);
+}
 
 std::vector<SweepResult>
 runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
 {
     // Build each distinct workload once, serially, before fanning out:
     // the builders share no state with the simulation but this keeps
-    // the parallel phase allocation-light and the failure mode simple
-    // (a bad workload name fails before any simulation starts).
+    // the parallel phase allocation-light. A workload that fails to
+    // build poisons only the cells that reference it.
     std::map<std::string, Program> programs;
+    std::map<std::string, std::string> workloadErrors;
     for (const SweepCase &c : cases) {
-        if (!programs.count(c.workload))
+        if (programs.count(c.workload) || workloadErrors.count(c.workload))
+            continue;
+        try {
             programs.emplace(c.workload, buildWorkload(c.workload));
+        } catch (const std::exception &e) {
+            workloadErrors.emplace(c.workload, exceptionMessage(e));
+        }
     }
     // Resolve every policy up front for the same reason; the returned
-    // spec references stay valid for the registry's lifetime.
+    // spec references stay valid for the registry's lifetime. Unknown
+    // policies poison only their own cells.
     std::map<std::string, const PolicySpec *> policies;
+    std::map<std::string, std::string> policyErrors;
     for (const SweepCase &c : cases) {
-        if (!policies.count(c.policy))
+        if (policies.count(c.policy) || policyErrors.count(c.policy))
+            continue;
+        try {
             policies.emplace(c.policy,
                              &PolicyRegistry::instance().at(c.policy));
+        } catch (const std::exception &e) {
+            policyErrors.emplace(c.policy, exceptionMessage(e));
+        }
     }
+
+    Checkpoint checkpoint(options.checkpointPath);
 
     std::vector<SweepResult> results(cases.size());
     parallelFor(
@@ -38,20 +197,124 @@ runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
             SweepResult &out = results[static_cast<std::size_t>(i)];
             out.spec = c;
 
+            if (const auto it = workloadErrors.find(c.workload);
+                it != workloadErrors.end()) {
+                out.status = SweepStatus::CompileFailed;
+                out.error = "workload '" + c.workload +
+                            "' failed to build: " + it->second;
+                return;
+            }
+            if (const auto it = policyErrors.find(c.policy);
+                it != policyErrors.end()) {
+                out.status = SweepStatus::CompileFailed;
+                out.error = it->second;
+                return;
+            }
+
             const PolicySpec &policy = *policies.at(c.policy);
-            out.compile = policy.compile(programs.at(c.workload), c.config,
-                                         c.compileOptions);
+            try {
+                out.compile = policy.compile(programs.at(c.workload),
+                                             c.config, c.compileOptions);
+            } catch (const std::exception &e) {
+                out.status = SweepStatus::CompileFailed;
+                out.error = exceptionMessage(e);
+                return;
+            }
+
+            const std::string key = sweepCaseKey(c);
+            if (const SimStats *restored = checkpoint.find(key)) {
+                out.run.aggregate = *restored;
+                out.fromCheckpoint = true;
+                return;
+            }
 
             GpuOptions gpu = options.gpu;
             // Observability sinks are per-run state; a sweep never
             // attaches the caller's sinks to its (parallel) cells.
             gpu.obs = ObsSinks{};
             gpu.sinksForSm = nullptr;
-            out.run = simulateGpu(c.config, out.compile.program,
-                                  policy.allocator, gpu);
+            gpu.fault = c.fault;
+            gpu.faultSm = c.faultSm;
+
+            for (int attempt = 0; attempt <= options.retries; ++attempt) {
+                ++out.attempts;
+                // Deterministic reseed per retry: attempt 0 reproduces
+                // the un-retried sweep exactly.
+                gpu.memSeed =
+                    options.gpu.memSeed +
+                    static_cast<std::uint64_t>(attempt) * 0x9e3779b9ULL;
+                try {
+                    out.run = simulateGpu(c.config, out.compile.program,
+                                          policy.allocator, gpu);
+                } catch (const SimulationError &e) {
+                    out.status = SweepStatus::Deadlocked;
+                    out.error = exceptionMessage(e);
+                    out.diagnosis = e.diagnosis();
+                    continue;
+                } catch (const std::exception &e) {
+                    out.status = SweepStatus::SimFailed;
+                    out.error = exceptionMessage(e);
+                    continue;
+                }
+                if (out.run.aggregate.deadlocked) {
+                    out.status = SweepStatus::Deadlocked;
+                    out.diagnosis = out.run.aggregate.hang;
+                    out.error = out.diagnosis
+                                    ? out.diagnosis->summary()
+                                    : "simulation declared a deadlock";
+                    continue;
+                }
+                out.status = SweepStatus::Ok;
+                out.error.clear();
+                out.diagnosis = nullptr;
+                checkpoint.record(key, out.run.aggregate);
+                return;
+            }
         },
         options.threads);
     return results;
+}
+
+int
+reportSweepFailures(const std::vector<SweepResult> &results,
+                    std::ostream &out)
+{
+    int failed = 0;
+    for (const SweepResult &r : results)
+        if (!r.ok())
+            ++failed;
+    if (failed == 0)
+        return 0;
+
+    out << "sweep: " << failed << " of " << results.size()
+        << " cells failed\n";
+    out << "  workload      policy        arch      status          "
+           "attempts  error\n";
+    for (const SweepResult &r : results) {
+        if (r.ok())
+            continue;
+        // First line of the error only: hang summaries are paragraphs.
+        std::string brief = r.error;
+        if (const auto nl = brief.find('\n'); nl != std::string::npos)
+            brief.resize(nl);
+        std::ostringstream row;
+        row << "  " << r.spec.workload;
+        for (std::size_t n = r.spec.workload.size(); n < 14; ++n)
+            row << ' ';
+        row << r.spec.policy;
+        for (std::size_t n = r.spec.policy.size(); n < 14; ++n)
+            row << ' ';
+        row << r.spec.arch;
+        for (std::size_t n = r.spec.arch.size(); n < 10; ++n)
+            row << ' ';
+        const std::string status = sweepStatusName(r.status);
+        row << status;
+        for (std::size_t n = status.size(); n < 16; ++n)
+            row << ' ';
+        row << r.attempts << "         " << brief;
+        out << row.str() << '\n';
+    }
+    return failed;
 }
 
 std::vector<SweepCase>
@@ -99,6 +362,11 @@ SweepCli::SweepCli(int argc, char *const *argv)
             fatalIf(sms < 1, "--sms needs at least 1 SM");
         } else if (arg == "--threads") {
             threads = numberAfter(i, "--threads");
+        } else if (arg == "--retries") {
+            retries = numberAfter(i, "--retries");
+        } else if (arg == "--checkpoint") {
+            fatalIf(i + 1 >= argc, "--checkpoint needs a path");
+            checkpoint = argv[++i];
         }
         // Anything else belongs to the bench (e.g. --json).
     }
@@ -108,6 +376,8 @@ void
 SweepCli::apply(GpuConfig &config, SweepOptions &options) const
 {
     options.threads = threads;
+    options.retries = retries;
+    options.checkpointPath = checkpoint;
     if (sms > 1) {
         config.numSms = sms;
         options.gpu.mode = GpuOptions::Mode::FullMachine;

@@ -22,6 +22,8 @@
  * is bit-identical for any thread count, including serial.
  */
 
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +32,8 @@
 #include "core/policy.hh"
 #include "isa/program.hh"
 #include "sim/config.hh"
+#include "sim/diagnosis.hh"
+#include "sim/fault.hh"
 #include "sim/gpu.hh"
 
 namespace rm {
@@ -45,7 +49,25 @@ struct SweepCase
     std::string arch = "GTX480";
     GpuConfig config = gtx480Config();
     CompileOptions compileOptions;
+    /**
+     * Per-cell fault-injection plan (sim/fault.hh), applied to faultSm
+     * (-1: all SMs) of this cell only. The default plan injects
+     * nothing; cells with distinct plans get distinct checkpoint keys.
+     */
+    FaultPlan fault;
+    int faultSm = 0;
 };
+
+/** How one sweep cell ended. */
+enum class SweepStatus {
+    Ok,             ///< simulation completed
+    CompileFailed,  ///< workload build / policy lookup / compile threw
+    SimFailed,      ///< the simulation threw a non-hang error
+    Deadlocked,     ///< declared deadlock or watchdog expiry
+};
+
+/** Stable lower-case label ("ok", "compile-failed", ...). */
+const char *sweepStatusName(SweepStatus status);
 
 /** Sweep-level execution knobs. */
 struct SweepOptions
@@ -64,6 +86,21 @@ struct SweepOptions
      * cells; use runPolicy() directly to instrument a single run.
      */
     GpuOptions gpu;
+    /**
+     * Extra simulation attempts after a SimFailed/Deadlocked cell (0 =
+     * fail immediately). Each retry reseeds memory deterministically
+     * (base seed + attempt index), so retried sweeps stay reproducible.
+     * Compile failures never retry — they are deterministic.
+     */
+    int retries = 0;
+    /**
+     * JSONL checkpoint path; empty disables checkpointing. Every Ok
+     * cell appends one line as it completes, and a re-run with the
+     * same path restores matching cells (by sweepCaseKey) instead of
+     * simulating them again. Restored cells have fromCheckpoint set
+     * and an empty per-SM breakdown (only the aggregate is persisted).
+     */
+    std::string checkpointPath;
 };
 
 /** One cell's outcome; results[i] corresponds to cases[i]. */
@@ -73,18 +110,48 @@ struct SweepResult
     PolicyCompile compile;
     GpuResult run;
 
+    SweepStatus status = SweepStatus::Ok;
+    /** Failure message (empty when ok). */
+    std::string error;
+    /** Hang forensics for Deadlocked cells; null otherwise. */
+    std::shared_ptr<const HangDiagnosis> diagnosis;
+    /** Simulation attempts performed (0: compile failed / restored). */
+    int attempts = 0;
+    /** True when restored from the checkpoint instead of simulated. */
+    bool fromCheckpoint = false;
+
+    bool ok() const { return status == SweepStatus::Ok; }
+
     /** Machine-level statistics (per-SM breakdown is in run.perSm). */
     const SimStats &stats() const { return run.aggregate; }
 };
 
 /**
  * Execute every case, in parallel over the shared thread pool, and
- * return the results in case order. Workload programs are built once
- * per distinct name before the parallel phase. Throws (first error
- * wins) when any cell's workload, policy or simulation fails.
+ * return the results in case order. Failures are isolated per cell:
+ * a cell that fails to build, compile, or simulate — or that
+ * deadlocks — records its SweepStatus, error and (for hangs) the
+ * HangDiagnosis on its SweepResult while every other cell runs to
+ * completion. runSweep itself only throws on infrastructure errors
+ * (e.g. an unwritable checkpoint file).
  */
 std::vector<SweepResult> runSweep(const std::vector<SweepCase> &cases,
                                   const SweepOptions &options = {});
+
+/**
+ * Stable identity of a cell for checkpointing: workload, policy, arch,
+ * a fingerprint of the GpuConfig, compile options and fault plan.
+ * Cells that would simulate differently get different keys.
+ */
+std::string sweepCaseKey(const SweepCase &spec);
+
+/**
+ * Print a failure-summary table of the non-Ok cells to @p out (nothing
+ * when all cells passed) and return the number of failed cells — the
+ * benches turn that into their exit status.
+ */
+int reportSweepFailures(const std::vector<SweepResult> &results,
+                        std::ostream &out);
 
 /**
  * Cross-product helper: one case per (workload, policy, config),
@@ -101,13 +168,16 @@ sweepGrid(const std::vector<std::string> &workloads,
  * Shared bench command-line handling for the sweep-driven benches:
  * `--sms N` selects a full-machine run with N SMs (N = 1 keeps the
  * representative seed model), `--threads N` caps sweep parallelism
- * (0 = shared pool width). Unrecognized arguments are ignored so it
- * composes with BenchReport's `--json`.
+ * (0 = shared pool width), `--retries N` re-runs failed cells, and
+ * `--checkpoint PATH` enables the JSONL resume file. Unrecognized
+ * arguments are ignored so it composes with BenchReport's `--json`.
  */
 struct SweepCli
 {
     int sms = 1;
     int threads = 0;
+    int retries = 0;
+    std::string checkpoint;
 
     SweepCli(int argc, char *const *argv);
 

@@ -43,6 +43,12 @@ statsToJson(JsonWriter &w, const SimStats &stats)
     w.key("ext_reg_accesses").value(stats.extRegAccesses);
     w.key("bank_conflicts").value(stats.bankConflicts);
     w.key("deadlocked").value(stats.deadlocked);
+    w.key("deadlock_cause").value(deadlockCauseName(stats.deadlockCause));
+    w.key("fault_events").value(stats.faultEvents);
+    if (stats.hang) {
+        w.key("hang");
+        diagnosisToJson(w, *stats.hang);
+    }
     w.endObject();
 }
 
@@ -51,6 +57,122 @@ statsToJson(const SimStats &stats)
 {
     JsonWriter w;
     statsToJson(w, stats);
+    return w.take();
+}
+
+namespace {
+
+std::uint64_t
+u64At(const JsonValue &obj, std::string_view key)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? static_cast<std::uint64_t>(v->number) : 0;
+}
+
+} // namespace
+
+SimStats
+statsFromJson(const JsonValue &value)
+{
+    SimStats s;
+    if (const JsonValue *v = value.find("kernel"))
+        s.kernelName = v->string;
+    if (const JsonValue *v = value.find("allocator"))
+        s.allocatorName = v->string;
+    s.cycles = u64At(value, "cycles");
+    s.instructions = u64At(value, "instructions");
+    s.ctasCompleted = u64At(value, "ctas_completed");
+    s.theoreticalCtas = static_cast<int>(u64At(value, "theoretical_ctas"));
+    s.theoreticalWarps =
+        static_cast<int>(u64At(value, "theoretical_warps"));
+    if (const JsonValue *v = value.find("theoretical_occupancy"))
+        s.theoreticalOccupancy = v->number;
+    if (const JsonValue *v = value.find("avg_resident_warps"))
+        s.avgResidentWarps = v->number;
+    s.acquireAttempts = u64At(value, "acquire_attempts");
+    s.acquireSuccesses = u64At(value, "acquire_successes");
+    s.acquireAlreadyHeld = u64At(value, "acquire_already_held");
+    s.releases = u64At(value, "releases");
+    s.issuedSlots = u64At(value, "issued_slots");
+    s.idleSchedulerSlots = u64At(value, "idle_scheduler_slots");
+    if (const JsonValue *stalls = value.find("stalls")) {
+        s.scoreboardStalls = u64At(*stalls, "scoreboard");
+        s.memStructuralStalls = u64At(*stalls, "mem_structural");
+        s.barrierStalls = u64At(*stalls, "barrier");
+        s.acquireStalls = u64At(*stalls, "acquire");
+        s.resourceStalls = u64At(*stalls, "resource");
+        s.noWarpStalls = u64At(*stalls, "no_warp");
+    }
+    s.emergencySpills = u64At(value, "emergency_spills");
+    s.lockAcquisitions = u64At(value, "lock_acquisitions");
+    s.extRegAccesses = u64At(value, "ext_reg_accesses");
+    s.bankConflicts = u64At(value, "bank_conflicts");
+    if (const JsonValue *v = value.find("deadlocked"))
+        s.deadlocked = v->boolean;
+    if (const JsonValue *v = value.find("deadlock_cause"))
+        s.deadlockCause = deadlockCauseFromName(v->string);
+    s.faultEvents = u64At(value, "fault_events");
+    return s;
+}
+
+void
+diagnosisToJson(JsonWriter &w, const HangDiagnosis &diag)
+{
+    w.beginObject();
+    w.key("kernel").value(diag.kernel);
+    w.key("policy").value(diag.policy);
+    w.key("sm_id").value(diag.smId);
+    w.key("cycle").value(diag.cycle);
+    w.key("watchdog_expired").value(diag.watchdogExpired);
+    w.key("cause").value(deadlockCauseName(diag.cause));
+    w.key("blocked_acquire").value(diag.blockedAcquire);
+    w.key("blocked_resource").value(diag.blockedResource);
+    w.key("blocked_barrier").value(diag.blockedBarrier);
+    w.key("other_waiters").value(diag.otherWaiters);
+    w.key("event_queue_depth")
+        .value(static_cast<std::uint64_t>(diag.eventQueueDepth));
+    w.key("mem_queue_depth")
+        .value(static_cast<std::uint64_t>(diag.memQueueDepth));
+    w.key("next_event_cycle").value(diag.nextEventCycle);
+    w.key("sched_last_issued").beginArray();
+    for (const int slot : diag.schedLastIssued)
+        w.value(slot);
+    w.endArray();
+    w.key("srp_sections").value(diag.srpSections);
+    w.key("srp_holders").beginArray();
+    for (const int slot : diag.srpHolders)
+        w.value(slot);
+    w.endArray();
+    w.key("srp_waiters").beginArray();
+    for (const int slot : diag.srpWaiters)
+        w.value(slot);
+    w.endArray();
+    w.key("warps").beginArray();
+    for (const WarpSnapshot &warp : diag.warps) {
+        w.beginObject();
+        w.key("slot").value(warp.slot);
+        w.key("cta").value(warp.ctaId);
+        w.key("warp_in_cta").value(warp.warpInCta);
+        w.key("pc").value(warp.pc);
+        w.key("instruction").value(warp.instruction);
+        w.key("state").value(warpStateName(warp.state));
+        w.key("wait_age").value(warp.waitAge);
+        w.key("srp_section").value(warp.srpSection);
+        w.key("holds_ext").value(warp.holdsExt);
+        w.key("pending_mem").value(warp.pendingMem);
+        w.key("pending_writes").value(warp.pendingWrites);
+        w.key("instructions").value(warp.instructionsExecuted);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+diagnosisToJson(const HangDiagnosis &diag)
+{
+    JsonWriter w;
+    diagnosisToJson(w, diag);
     return w.take();
 }
 

@@ -23,6 +23,7 @@
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
+#include "sim/diagnosis.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -33,12 +34,27 @@ class Program;
 /**
  * Append @p stats as a JSON object to @p writer (for embedding in a
  * larger document). The key set is frozen by a golden-file test; add
- * keys deliberately and update tests/golden/simstats_keys.txt.
+ * keys deliberately and update tests/golden/simstats_keys.txt. When a
+ * hang diagnosis is attached (stats.hang) it is embedded under the
+ * optional "hang" key.
  */
 void statsToJson(JsonWriter &writer, const SimStats &stats);
 
 /** @p stats as a standalone JSON document. */
 std::string statsToJson(const SimStats &stats);
+
+/**
+ * Rebuild a SimStats from a statsToJson document (sweep checkpoint
+ * resume). Derived figures (ipc, rates) and the hang snapshot are not
+ * restored; unknown keys are ignored so old checkpoints keep loading.
+ */
+SimStats statsFromJson(const JsonValue &value);
+
+/** Append @p diag as a JSON object to @p writer (hang forensics). */
+void diagnosisToJson(JsonWriter &writer, const HangDiagnosis &diag);
+
+/** @p diag as a standalone JSON document. */
+std::string diagnosisToJson(const HangDiagnosis &diag);
 
 /** Append the registry as a JSON object to @p writer. */
 void registryToJson(JsonWriter &writer, const MetricsRegistry &registry);

@@ -13,6 +13,8 @@ RegMutexAllocator::prepare(const GpuConfig &config, const Program &program)
     enabled = program.regmutex.enabled();
     totalPacks = config.registersPerSm / config.warpSize;
     freed = false;
+    shrunk = 0;
+    pendingShrink = 0;
 
     if (!enabled) {
         // Zero-sized extended set: behave exactly like the baseline.
@@ -88,12 +90,44 @@ RegMutexAllocator::release(SimWarp &warp)
 {
     if (!enabled || !warp.holdsExt)
         return;  // redundant release: no effect (paper Sec. III)
-    srp.unset(static_cast<std::size_t>(lut[warp.slot]));
+    const std::size_t section = static_cast<std::size_t>(lut[warp.slot]);
+    srp.unset(section);
     warpStatus.unset(warp.slot);
     lut[warp.slot] = -1;
     warp.holdsExt = false;
     warp.srpSection = -1;
+    if (pendingShrink > 0) {
+        // A deferred fault-injected revocation claims the section the
+        // moment it frees: nothing is released to waiters.
+        srp.set(section);
+        --pendingShrink;
+        ++shrunk;
+        return;
+    }
     freed = true;
+}
+
+int
+RegMutexAllocator::faultShrinkCapacity(int amount)
+{
+    if (!enabled || amount <= 0)
+        return 0;
+    const int revocable = sections - shrunk - pendingShrink;
+    const int target = std::min(amount, revocable);
+    int reserved = 0;
+    // Free sections are revoked on the spot (their bitmask bit is
+    // pre-set like the beyond-capacity bits)...
+    for (int s = sections - 1; s >= 0 && reserved < target; --s) {
+        const std::size_t bit = static_cast<std::size_t>(s);
+        if (!srp.test(bit)) {
+            srp.set(bit);
+            ++shrunk;
+            ++reserved;
+        }
+    }
+    // ...held sections are revoked as their holders release.
+    pendingShrink += target - reserved;
+    return target;
 }
 
 void

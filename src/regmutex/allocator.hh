@@ -33,6 +33,8 @@ class RegMutexAllocator : public RegisterAllocator
     void release(SimWarp &warp) override;
     void onWarpExit(SimWarp &warp) override;
     bool consumeFreedFlag() override;
+    int srpSectionCount() const override { return sections - shrunk; }
+    int faultShrinkCapacity(int amount) override;
 
     /** Operand-collector mapping for this launch (paper Fig. 6b). */
     RegisterMapper makeMapper() const;
@@ -61,6 +63,10 @@ class RegMutexAllocator : public RegisterAllocator
     Bitmask warpStatus;
     std::vector<int> lut;
     bool freed = false;
+    // Fault injection (faultShrinkCapacity): sections already revoked
+    // and revocations still waiting for a holder's release.
+    int shrunk = 0;
+    int pendingShrink = 0;
 };
 
 /** Paired-warps specialization (Sec. III-C). */
@@ -76,6 +82,7 @@ class PairedRegMutexAllocator : public RegisterAllocator
     void release(SimWarp &warp) override;
     void onWarpExit(SimWarp &warp) override;
     bool consumeFreedFlag() override;
+    int srpSectionCount() const override { return pairs; }
 
     /** Pair section mapping: each pair owns a fixed SRP slice. */
     RegisterMapper makeMapper() const;

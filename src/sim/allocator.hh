@@ -129,6 +129,27 @@ class RegisterAllocator
 
     /** Pair-lock takeovers (OWF, for stats). */
     virtual std::uint64_t lockCount() const { return 0; }
+
+    /**
+     * Usable shared-capacity units for hang forensics: SRP sections
+     * (RegMutex), pair sets (paired), physical-register headroom is
+     * policy-defined. -1 when the policy has no shared capacity.
+     */
+    virtual int srpSectionCount() const { return -1; }
+
+    /**
+     * Fault injection (sim/fault.hh): permanently revoke @p amount
+     * units of shared capacity mid-run. Returns how many units the
+     * policy accepted to revoke (immediately or as holders release);
+     * 0 when unsupported. Must never corrupt policy invariants — a
+     * shrink may wedge the machine (that is the point) but not crash
+     * it.
+     */
+    virtual int faultShrinkCapacity(int amount)
+    {
+        (void)amount;
+        return 0;
+    }
 };
 
 } // namespace rm

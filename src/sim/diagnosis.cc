@@ -1,0 +1,54 @@
+#include "sim/diagnosis.hh"
+
+#include <sstream>
+
+namespace rm {
+
+const char *
+warpStateName(WarpState state)
+{
+    switch (state) {
+      case WarpState::Unused:
+        return "unused";
+      case WarpState::Ready:
+        return "ready";
+      case WarpState::WaitBarrier:
+        return "wait-barrier";
+      case WarpState::WaitAcquire:
+        return "wait-acquire";
+      case WarpState::WaitResource:
+        return "wait-resource";
+      case WarpState::WaitSpill:
+        return "wait-spill";
+      case WarpState::Finished:
+        return "finished";
+    }
+    return "unknown";
+}
+
+std::string
+HangDiagnosis::summary() const
+{
+    std::ostringstream os;
+    os << (watchdogExpired ? "watchdog expired" : "deadlock declared")
+       << " for kernel '" << kernel << "' under policy '" << policy
+       << "' on SM " << smId << " at cycle " << cycle
+       << " (cause: " << deadlockCauseName(cause) << "; "
+       << blockedAcquire << " warps wait-acquire, " << blockedResource
+       << " wait-resource, " << blockedBarrier << " wait-barrier, "
+       << otherWaiters << " other; " << eventQueueDepth
+       << " pending events";
+    if (eventQueueDepth > 0)
+        os << ", next at cycle " << nextEventCycle;
+    os << ", " << memQueueDepth << " queued memory requests";
+    if (srpSections >= 0) {
+        os << "; SRP " << srpHolders.size() << "/" << srpSections
+           << " sections held";
+        if (!srpWaiters.empty())
+            os << ", " << srpWaiters.size() << " waiters";
+    }
+    os << ")";
+    return os.str();
+}
+
+} // namespace rm

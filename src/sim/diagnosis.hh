@@ -1,0 +1,120 @@
+#ifndef RM_SIM_DIAGNOSIS_HH
+#define RM_SIM_DIAGNOSIS_HH
+
+/**
+ * @file
+ * Hang forensics. When the SM's watchdog expires or the deadlock
+ * breaker declares the machine wedged, the simulator captures a
+ * structured HangDiagnosis — per-warp wait states and ages, SRP
+ * section ownership and waiters, scheduler and event-queue depths, and
+ * a wedge-cause classification — instead of discarding everything into
+ * a one-line message. The watchdog path throws SimulationError (a
+ * FatalError subclass) with the diagnosis attached; the declared-
+ * deadlock path records it on SimStats::hang. obs/export.hh
+ * serializes a diagnosis to JSON; docs/ROBUSTNESS.md documents the
+ * taxonomy and workflow.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/errors.hh"
+#include "sim/stats.hh"
+#include "sim/warp.hh"
+
+namespace rm {
+
+/** Scheduler-visible name of a warp state ("ready", "wait-acquire"...). */
+const char *warpStateName(WarpState state);
+
+/** Frozen view of one resident warp at hang time. */
+struct WarpSnapshot
+{
+    int slot = -1;
+    int ctaId = -1;
+    int warpInCta = -1;
+    int pc = -1;
+    /** Disassembly of the instruction at pc (empty when out of range). */
+    std::string instruction;
+    WarpState state = WarpState::Unused;
+    /** Cycles spent in the current wait state (0 when not waiting). */
+    std::uint64_t waitAge = 0;
+    /** SRP section held (-1: none) and extended-set ownership. */
+    int srpSection = -1;
+    bool holdsExt = false;
+    int pendingMem = 0;
+    /** Architected registers with in-flight writes (scoreboard). */
+    int pendingWrites = 0;
+    std::uint64_t instructionsExecuted = 0;
+};
+
+/** Structured snapshot of a wedged (or watchdog-expired) SM. */
+struct HangDiagnosis
+{
+    // --- Run identity ---
+    std::string kernel;
+    std::string policy;
+    int smId = 0;
+    std::uint64_t cycle = 0;
+    /** True when the watchdog expired; false for a declared deadlock. */
+    bool watchdogExpired = false;
+
+    // --- Wedge classification ---
+    DeadlockCause cause = DeadlockCause::None;
+    int blockedAcquire = 0;   ///< warps in WaitAcquire
+    int blockedResource = 0;  ///< warps in WaitResource
+    int blockedBarrier = 0;   ///< warps in WaitBarrier
+    int otherWaiters = 0;     ///< Ready / WaitSpill warps
+
+    // --- Machine state ---
+    std::size_t eventQueueDepth = 0;
+    std::size_t memQueueDepth = 0;
+    /** Next pending event's cycle (0 when the queue is empty). */
+    std::uint64_t nextEventCycle = 0;
+    /** Greedy warp per scheduler (-1: none). */
+    std::vector<int> schedLastIssued;
+
+    // --- SRP ownership ---
+    /** Total usable SRP sections (-1: policy has none / unknown). */
+    int srpSections = -1;
+    /** Warp slots currently holding an SRP section. */
+    std::vector<int> srpHolders;
+    /** Warp slots blocked waiting for a section. */
+    std::vector<int> srpWaiters;
+
+    /** Every resident warp, in slot order. */
+    std::vector<WarpSnapshot> warps;
+
+    /** One-paragraph human summary for error messages and logs. */
+    std::string summary() const;
+};
+
+/**
+ * A simulation aborted by the robustness machinery (watchdog expiry)
+ * rather than by bad input: the message carries kernel / policy / SM /
+ * cycle context and the full HangDiagnosis rides along for forensics.
+ * Derives from FatalError so existing catch sites keep working.
+ */
+class SimulationError : public FatalError
+{
+  public:
+    SimulationError(const std::string &msg,
+                    std::shared_ptr<const HangDiagnosis> diag)
+        : FatalError(msg), diag(std::move(diag))
+    {}
+
+    /** The attached forensics snapshot (never null). */
+    const std::shared_ptr<const HangDiagnosis> &diagnosis() const
+    {
+        return diag;
+    }
+
+  private:
+    std::shared_ptr<const HangDiagnosis> diag;
+};
+
+} // namespace rm
+
+#endif // RM_SIM_DIAGNOSIS_HH

@@ -1,0 +1,104 @@
+#include "sim/fault.hh"
+
+#include <sstream>
+
+namespace rm {
+
+namespace {
+
+/** splitmix64 finalizer: a well-mixed hash of one 64-bit word. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+bool
+FaultPlan::active() const
+{
+    return denyAcquire.enabled() ||
+           (delayRelease.enabled() && releaseDelayCycles > 0) ||
+           (shrinkSrpAtCycle > 0 && shrinkSrpSections > 0) ||
+           (memSpike.enabled() && memSpikeFactor > 1);
+}
+
+bool
+FaultPlan::deniesAcquire(std::uint64_t cycle, int slot) const
+{
+    if (!denyAcquire.covers(cycle))
+        return false;
+    if (denyAcquireChance >= 1.0)
+        return true;
+    if (denyAcquireChance <= 0.0)
+        return false;
+    // Deterministic Bernoulli draw from (seed, cycle, slot).
+    const std::uint64_t h =
+        mix64(seed ^ mix64(cycle) ^
+              mix64(static_cast<std::uint64_t>(slot) + 0x517cc1b7ULL));
+    const double unit =
+        static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+    return unit < denyAcquireChance;
+}
+
+bool
+FaultPlan::delaysRelease(std::uint64_t cycle) const
+{
+    return releaseDelayCycles > 0 && delayRelease.covers(cycle);
+}
+
+int
+FaultPlan::memLatencyAt(std::uint64_t cycle, int base) const
+{
+    if (memSpikeFactor > 1 && memSpike.covers(cycle))
+        return base * memSpikeFactor;
+    return base;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    if (!active())
+        return "none";
+    std::ostringstream os;
+    auto window = [&](const FaultWindow &w) {
+        os << "[" << w.from << "," << w.until << ")";
+    };
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << " ";
+        first = false;
+    };
+    if (denyAcquire.enabled()) {
+        sep();
+        os << "deny-acquire";
+        window(denyAcquire);
+        if (denyAcquireChance < 1.0)
+            os << " p=" << denyAcquireChance;
+    }
+    if (delayRelease.enabled() && releaseDelayCycles > 0) {
+        sep();
+        os << "delay-release";
+        window(delayRelease);
+        os << " +" << releaseDelayCycles;
+    }
+    if (shrinkSrpAtCycle > 0 && shrinkSrpSections > 0) {
+        sep();
+        os << "shrink-capacity@" << shrinkSrpAtCycle << " -"
+           << shrinkSrpSections;
+    }
+    if (memSpike.enabled() && memSpikeFactor > 1) {
+        sep();
+        os << "mem-spike";
+        window(memSpike);
+        os << " x" << memSpikeFactor;
+    }
+    return os.str();
+}
+
+} // namespace rm

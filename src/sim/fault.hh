@@ -1,0 +1,109 @@
+#ifndef RM_SIM_FAULT_HH
+#define RM_SIM_FAULT_HH
+
+/**
+ * @file
+ * Deterministic fault injection for the timing simulator. A FaultPlan
+ * describes *when* and *how* an SM misbehaves — acquires denied,
+ * releases delayed, SRP capacity shrunk mid-run, memory latency spiked
+ * — so tests and stress harnesses can drive the deadlock detector, the
+ * watchdog, the emergency-spill breaker and the sweep runner's fault
+ * isolation on demand instead of hoping a workload wedges.
+ *
+ * Every fault is a pure function of (plan, cycle[, warp slot]): a
+ * faulted run is bit-identical across repetitions and thread counts,
+ * exactly like an unfaulted one. Probabilistic denial hashes
+ * (seed, cycle, slot) through splitmix64 rather than consuming any
+ * shared RNG stream.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace rm {
+
+/** Half-open cycle interval [from, until); until == 0 disables it. */
+struct FaultWindow
+{
+    std::uint64_t from = 0;
+    std::uint64_t until = 0;
+
+    bool enabled() const { return until > from; }
+
+    bool covers(std::uint64_t cycle) const
+    {
+        return enabled() && cycle >= from && cycle < until;
+    }
+};
+
+/** A deterministic, seeded schedule of injected faults for one SM. */
+struct FaultPlan
+{
+    /** Hash seed for probabilistic faults (denyAcquireChance < 1). */
+    std::uint64_t seed = 0;
+
+    /**
+     * Deny extended-set acquires issued inside the window: the acquire
+     * behaves as AcquireOutcome::Blocked without consulting the policy.
+     * With wake-on-release this parks the warp until a release, which
+     * under a total denial never comes — the canonical way to drive
+     * Sm::handleStarvation into declaring an acquire deadlock.
+     */
+    FaultWindow denyAcquire;
+    /**
+     * Fraction of in-window acquires denied (1.0 = all). Each decision
+     * hashes (seed, cycle, warp slot), so partial denial is still
+     * deterministic.
+     */
+    double denyAcquireChance = 1.0;
+
+    /**
+     * Delay releases issued inside the window: the releasing warp
+     * parks in WaitSpill for releaseDelayCycles and retries the
+     * directive afterwards. A delay longer than the watchdog budget
+     * wedges the SM with a pending far-future event — the way to test
+     * watchdog expiry (as opposed to a declared deadlock).
+     */
+    FaultWindow delayRelease;
+    std::uint64_t releaseDelayCycles = 0;
+
+    /**
+     * At shrinkSrpAtCycle (> 0 enables), permanently revoke
+     * shrinkSrpSections units of policy capacity via
+     * RegisterAllocator::faultShrinkCapacity(): SRP sections for
+     * RegMutex (held sections are revoked as they release), physical
+     * registers for RFV (driving the emergency-spill breaker).
+     */
+    std::uint64_t shrinkSrpAtCycle = 0;
+    int shrinkSrpSections = 0;
+
+    /** Multiply global-memory latency inside the window. */
+    FaultWindow memSpike;
+    int memSpikeFactor = 1;
+
+    /** True when any fault is configured. */
+    bool active() const;
+
+    /** Should the acquire issued at @p cycle by @p slot be denied? */
+    bool deniesAcquire(std::uint64_t cycle, int slot) const;
+
+    /** Should the release issued at @p cycle be delayed? */
+    bool delaysRelease(std::uint64_t cycle) const;
+
+    /** True once the capacity shrink is due at @p cycle. */
+    bool shrinkDue(std::uint64_t cycle) const
+    {
+        return shrinkSrpAtCycle > 0 && shrinkSrpSections > 0 &&
+               cycle >= shrinkSrpAtCycle;
+    }
+
+    /** Global-memory latency at @p cycle given the @p base latency. */
+    int memLatencyAt(std::uint64_t cycle, int base) const;
+
+    /** One-line human summary ("deny-acquire[10,20) mem-spike x4 ..."). */
+    std::string describe() const;
+};
+
+} // namespace rm
+
+#endif // RM_SIM_FAULT_HH

@@ -46,7 +46,7 @@ simulate(const GpuConfig &config, const Program &program,
     GlobalMemory gmem(options.log2MemWords, options.memSeed);
     Sm sm(config, program, allocator, ctas, gmem,
           std::move(options.mapper), options.trace, options.metrics,
-          options.sampler);
+          options.sampler, options.smId, options.fault);
     return sm.run();
 }
 
@@ -81,6 +81,9 @@ mergeSmStats(const std::vector<SimStats> &per_sm)
     agg.extRegAccesses = 0;
     agg.bankConflicts = 0;
     agg.deadlocked = false;
+    agg.faultEvents = 0;
+    agg.deadlockCause = DeadlockCause::None;
+    agg.hang = nullptr;
 
     double resident_integral = 0.0;
     std::uint64_t total_cycles = 0;
@@ -105,6 +108,13 @@ mergeSmStats(const std::vector<SimStats> &per_sm)
         agg.extRegAccesses += sm.extRegAccesses;
         agg.bankConflicts += sm.bankConflicts;
         agg.deadlocked = agg.deadlocked || sm.deadlocked;
+        agg.faultEvents += sm.faultEvents;
+        // First deadlocked SM (in id order) provides the machine-level
+        // cause and forensics snapshot.
+        if (agg.deadlockCause == DeadlockCause::None)
+            agg.deadlockCause = sm.deadlockCause;
+        if (!agg.hang)
+            agg.hang = sm.hang;
         resident_integral += sm.avgResidentWarps *
                              static_cast<double>(sm.cycles);
         total_cycles += sm.cycles;
@@ -145,9 +155,14 @@ Gpu::runOneSm(int sm_id, int ctas) const
     // see distinct (deterministic) data.
     GlobalMemory gmem(options.log2MemWords,
                       options.memSeed + static_cast<std::uint64_t>(sm_id));
+    // The fault plan applies to the selected SM only (-1: all SMs);
+    // the other SMs get the inert default plan.
+    const bool faulted =
+        options.fault.active() &&
+        (options.faultSm < 0 || options.faultSm == sm_id);
     Sm sm(config, program, *prepared.allocator, ctas, gmem,
           std::move(prepared.mapper), sinks.trace, sinks.metrics,
-          sinks.sampler);
+          sinks.sampler, sm_id, faulted ? options.fault : FaultPlan{});
     return sm.run();
 }
 

@@ -29,6 +29,7 @@
 #include "isa/program.hh"
 #include "sim/allocator.hh"
 #include "sim/config.hh"
+#include "sim/fault.hh"
 #include "sim/register_map.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -61,6 +62,14 @@ struct SimOptions
      */
     MetricsRegistry *metrics = nullptr;
     Sampler *sampler = nullptr;
+    /**
+     * Deterministic fault-injection plan (sim/fault.hh). The default
+     * plan injects nothing and adds no overhead beyond a few branch
+     * checks.
+     */
+    FaultPlan fault;
+    /** SM id recorded in forensics snapshots (single-SM entry point). */
+    int smId = 0;
 };
 
 /**
@@ -126,6 +135,12 @@ struct GpuOptions
     int log2MemWords = 20;
     /** Convenience sinks attached to SM 0 only (often the only SM). */
     ObsSinks obs;
+    /**
+     * Deterministic fault-injection plan applied to the SM selected by
+     * faultSm (-1: every SM). The default plan injects nothing.
+     */
+    FaultPlan fault;
+    int faultSm = 0;
     /**
      * Per-SM observability sinks; overrides `obs` when set. Called
      * once per SM id before launch, from the launching thread. The

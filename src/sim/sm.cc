@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/errors.hh"
+#include "isa/disasm.hh"
 #include "sim/occupancy.hh"
 
 namespace rm {
@@ -10,7 +11,8 @@ namespace rm {
 Sm::Sm(const GpuConfig &gpu_config, const Program &kernel,
        RegisterAllocator &alloc, int ctas_to_run, GlobalMemory &global_mem,
        std::optional<RegisterMapper> reg_mapper, IssueTrace *issue_trace,
-       MetricsRegistry *metrics, Sampler *interval_sampler)
+       MetricsRegistry *metrics, Sampler *interval_sampler, int sm_id,
+       FaultPlan fault_plan)
     : config(gpu_config),
       program(kernel),
       allocator(alloc),
@@ -19,7 +21,9 @@ Sm::Sm(const GpuConfig &gpu_config, const Program &kernel,
       trace(issue_trace),
       sampler(interval_sampler),
       ctasToRun(ctas_to_run),
-      warpsPerCta(kernel.info.ctaThreads / gpu_config.warpSize)
+      warpsPerCta(kernel.info.ctaThreads / gpu_config.warpSize),
+      smId(sm_id),
+      fault(fault_plan)
 {
     if (metrics) {
         met.issued = &metrics->counter("issue.slots_issued");
@@ -178,10 +182,15 @@ Sm::processEvents()
 void
 Sm::dispatchMemQueue()
 {
+    // Fault injection: a memory-latency spike multiplies the latency of
+    // requests dispatched inside the window.
+    const int latency = fault.memLatencyAt(cycle, config.globalLatency);
+    if (latency != config.globalLatency && !memQueue.empty())
+        ++stats.faultEvents;
     for (int i = 0; i < config.memIssuePerCycle && !memQueue.empty(); ++i) {
         const MemRequest req = memQueue.front();
         memQueue.pop();
-        events.push(Event{cycle + config.globalLatency, req.warpSlot,
+        events.push(Event{cycle + latency, req.warpSlot,
                           req.reg, true, false});
     }
 }
@@ -272,7 +281,15 @@ Sm::issue(SimWarp &warp)
     // III-B1) before any functional execution.
     if (lat == LatClass::AcqRel) {
         if (inst.op == Opcode::RegAcquire) {
-            const AcquireOutcome outcome = allocator.acquire(warp);
+            // Fault injection: a denied acquire behaves exactly like a
+            // Blocked outcome without consulting the policy.
+            AcquireOutcome outcome;
+            if (fault.deniesAcquire(cycle, warp.slot)) {
+                ++stats.faultEvents;
+                outcome = AcquireOutcome::Blocked;
+            } else {
+                outcome = allocator.acquire(warp);
+            }
             if (outcome != AcquireOutcome::AlreadyHeld) {
                 ++stats.acquireAttempts;
                 if (met.acquireAttempts)
@@ -293,12 +310,12 @@ Sm::issue(SimWarp &warp)
                         warp.acquireWaitSince = cycle;
                 }
                 if (config.wakeOnRelease) {
-                    warp.state = WarpState::WaitAcquire;
+                    park(warp, WarpState::WaitAcquire);
                 } else {
                     // Poll model (ablation): the warp retries after a
                     // fixed back-off instead of sleeping until a
                     // release, burning extra acquire attempts.
-                    warp.state = WarpState::WaitSpill;
+                    park(warp, WarpState::WaitSpill);
                     events.push(Event{cycle + 20, warp.slot, kNoReg,
                                       false, true});
                 }
@@ -326,6 +343,18 @@ Sm::issue(SimWarp &warp)
                 break;
             }
         } else {
+            // Fault injection: a delayed release parks the warp (PC
+            // unchanged, section still held) and retries the directive
+            // once the delay elapses. A delay beyond the watchdog
+            // budget leaves only a far-future event — the mechanism
+            // tests use to make the watchdog itself expire.
+            if (fault.delaysRelease(cycle)) {
+                ++stats.faultEvents;
+                park(warp, WarpState::WaitSpill);
+                events.push(Event{cycle + fault.releaseDelayCycles,
+                                  warp.slot, kNoReg, false, true});
+                return;
+            }
             const bool held = warp.holdsExt;
             allocator.release(warp);
             ++stats.releases;
@@ -359,7 +388,7 @@ Sm::issue(SimWarp &warp)
                                      TraceKind::BarrierWait});
         }
         ++cta.barrierArrived;
-        warp.state = WarpState::WaitBarrier;
+        park(warp, WarpState::WaitBarrier);
         ++warp.pc;
         ++warp.instructions;
         ++stats.instructions;
@@ -464,12 +493,19 @@ Sm::issue(SimWarp &warp)
     // allow an issue at C+1, i.e. no delay — hence the extra +1).
     if (pendingConflictPenalty > 0) {
         if (warp.state == WarpState::Ready) {
-            warp.state = WarpState::WaitSpill;
+            park(warp, WarpState::WaitSpill);
             events.push(Event{cycle + 1 + pendingConflictPenalty,
                               warp.slot, kNoReg, false, true});
         }
         pendingConflictPenalty = 0;
     }
+}
+
+void
+Sm::park(SimWarp &warp, WarpState wait_state)
+{
+    warp.state = wait_state;
+    warp.waitSince = cycle;
 }
 
 void
@@ -510,7 +546,7 @@ Sm::schedule(int scheduler)
                 sample_reason = reason;
             // Park policy-blocked warps until resources free up.
             if (reason == BlockReason::Resource && config.wakeOnRelease)
-                warp.state = WarpState::WaitResource;
+                park(warp, WarpState::WaitResource);
             continue;
         }
         const int priority = allocator.schedPriority(warp);
@@ -598,17 +634,21 @@ Sm::schedule(int scheduler)
     }
 }
 
-bool
+Sm::Starvation
 Sm::handleStarvation()
 {
-    // All progress mechanisms empty: either every warp is blocked on a
-    // policy resource (deadlock-breaker territory) or the design
-    // deadlocked.
+    // Events or memory traffic still pending: the SM is quiet but not
+    // provably wedged. The caller must NOT treat this as progress —
+    // under normal latencies (<= globalLatency) the next completion
+    // resets the watchdog clock anyway, and under a fault-injected
+    // far-future event (delayed release) the watchdog must be able to
+    // expire.
     if (!events.empty() || !memQueue.empty())
-        return true;
+        return Starvation::Waiting;
 
     int blocked_resource = 0;
     int blocked_acquire = 0;
+    int blocked_barrier = 0;
     int others = 0;
     SimWarp *oldest_resource = nullptr;
     for (auto &warp : warps) {
@@ -630,6 +670,7 @@ Sm::handleStarvation()
           case WarpState::WaitBarrier:
             // Barrier waiters cannot make progress on their own; with
             // no events pending they are part of the wedge.
+            ++blocked_barrier;
             break;
           default:
             ++others;  // Ready / WaitSpill: progress is still possible
@@ -638,26 +679,130 @@ Sm::handleStarvation()
     }
 
     if (others > 0)
-        return true;  // runnable warps exist; not wedged yet.
+        return Starvation::Runnable;
 
     if (blocked_resource > 0 && oldest_resource) {
         const int penalty = allocator.forceProgress(*oldest_resource);
         if (penalty >= 0) {
-            oldest_resource->state = WarpState::WaitSpill;
+            park(*oldest_resource, WarpState::WaitSpill);
             events.push(Event{cycle + penalty, oldest_resource->slot,
                               kNoReg, false, true});
             ++stats.emergencySpills;
             if (met.emergencySpills)
                 met.emergencySpills->add();
-            return true;
+            return Starvation::BreakerFired;
         }
     }
 
     // No runnable warp, no pending event, and the breaker could not
     // help (or nothing was resource-blocked): the SM is deadlocked.
-    (void)blocked_acquire;
+    // Record the forensics snapshot with the root-cause classification.
     stats.deadlocked = true;
-    return false;
+    stats.deadlockCause =
+        classifyWedge(blocked_acquire, blocked_resource, blocked_barrier);
+    stats.hang = captureDiagnosis(stats.deadlockCause, false);
+    return Starvation::Deadlocked;
+}
+
+DeadlockCause
+Sm::classifyWedge(int blocked_acquire, int blocked_resource,
+                  int blocked_barrier) const
+{
+    // Precedence, not majority: one warp parked on an acquire that
+    // will never be granted is the root cause even when every other
+    // warp piles up behind a barrier waiting for it.
+    if (blocked_acquire > 0)
+        return DeadlockCause::Acquire;
+    if (blocked_resource > 0)
+        return DeadlockCause::Resource;
+    if (blocked_barrier > 0)
+        return DeadlockCause::Barrier;
+    return DeadlockCause::None;
+}
+
+DeadlockCause
+Sm::classifyWedgeNow() const
+{
+    int acquire = 0;
+    int resource = 0;
+    int barrier = 0;
+    for (const auto &warp : warps) {
+        if (warp.ctaSlot < 0)
+            continue;
+        if (warp.state == WarpState::WaitAcquire)
+            ++acquire;
+        else if (warp.state == WarpState::WaitResource)
+            ++resource;
+        else if (warp.state == WarpState::WaitBarrier)
+            ++barrier;
+    }
+    return classifyWedge(acquire, resource, barrier);
+}
+
+std::shared_ptr<const HangDiagnosis>
+Sm::captureDiagnosis(DeadlockCause cause, bool watchdog_expired) const
+{
+    auto diag = std::make_shared<HangDiagnosis>();
+    diag->kernel = program.info.name;
+    diag->policy = allocator.name();
+    diag->smId = smId;
+    diag->cycle = cycle;
+    diag->watchdogExpired = watchdog_expired;
+    diag->cause = cause;
+    diag->eventQueueDepth = events.size();
+    diag->memQueueDepth = memQueue.size();
+    diag->nextEventCycle = events.empty() ? 0 : events.top().cycle;
+    diag->schedLastIssued = schedLastIssued;
+    diag->srpSections = allocator.srpSectionCount();
+
+    for (const auto &warp : warps) {
+        if (warp.state == WarpState::Unused || warp.ctaSlot < 0)
+            continue;
+        WarpSnapshot snap;
+        snap.slot = warp.slot;
+        snap.ctaId = warp.ctaId;
+        snap.warpInCta = warp.warpInCta;
+        snap.pc = warp.pc;
+        if (warp.pc >= 0 &&
+            warp.pc < static_cast<int>(program.code.size())) {
+            snap.instruction = disassemble(program.code[warp.pc]);
+        }
+        snap.state = warp.state;
+        snap.srpSection = warp.srpSection;
+        snap.holdsExt = warp.holdsExt;
+        snap.pendingMem = warp.pendingMem;
+        snap.pendingWrites = static_cast<int>(warp.pendingWrites.count());
+        snap.instructionsExecuted = warp.instructions;
+        switch (warp.state) {
+          case WarpState::WaitAcquire:
+          case WarpState::WaitResource:
+          case WarpState::WaitBarrier:
+          case WarpState::WaitSpill:
+            snap.waitAge = cycle - warp.waitSince;
+            break;
+          default:
+            break;
+        }
+        switch (warp.state) {
+          case WarpState::WaitAcquire:
+            ++diag->blockedAcquire;
+            diag->srpWaiters.push_back(warp.slot);
+            break;
+          case WarpState::WaitResource:
+            ++diag->blockedResource;
+            break;
+          case WarpState::WaitBarrier:
+            ++diag->blockedBarrier;
+            break;
+          default:
+            ++diag->otherWaiters;
+            break;
+        }
+        if (warp.holdsExt)
+            diag->srpHolders.push_back(warp.slot);
+        diag->warps.push_back(std::move(snap));
+    }
+    return diag;
 }
 
 SimStats
@@ -668,6 +813,14 @@ Sm::run()
 
     while (stats.ctasCompleted < static_cast<std::uint64_t>(ctasToRun)) {
         ++cycle;
+        // Fault injection: one-shot capacity shrink once its cycle is
+        // reached (the policy revokes what it can immediately and
+        // defers the rest to release time).
+        if (!shrinkApplied && fault.shrinkDue(cycle)) {
+            shrinkApplied = true;
+            stats.faultEvents += static_cast<std::uint64_t>(
+                allocator.faultShrinkCapacity(fault.shrinkSrpSections));
+        }
         processEvents();
         dispatchMemQueue();
         wakeParked();
@@ -683,17 +836,35 @@ Sm::run()
 
         if (stats.issuedSlots == issued_before) {
             // No instruction issued: check for a wedged SM.
+            bool declared_deadlock = false;
             if (cycle - lastProgressCycle >
                 static_cast<std::uint64_t>(config.globalLatency) * 4) {
-                if (!handleStarvation())
+                switch (handleStarvation()) {
+                  case Starvation::BreakerFired:
+                    // The breaker scheduled progress: that counts.
+                    lastProgressCycle = cycle;
                     break;
-                lastProgressCycle = cycle;  // breaker scheduled progress
+                  case Starvation::Runnable:
+                  case Starvation::Waiting:
+                    // Quiet but not provably wedged. Deliberately do
+                    // NOT reset the progress clock: a warp that never
+                    // issues again (or an event parked in the far
+                    // future by a fault) must eventually trip the
+                    // watchdog below.
+                    break;
+                  case Starvation::Deadlocked:
+                    declared_deadlock = true;
+                    break;
+                }
             }
-            fatalIf(cycle - lastProgressCycle >
-                    static_cast<std::uint64_t>(config.watchdogCycles),
-                    "Sm: watchdog expired for kernel '", program.info.name,
-                    "' under policy '", allocator.name(), "' at cycle ",
-                    cycle);
+            if (declared_deadlock)
+                break;
+            if (cycle - lastProgressCycle >
+                static_cast<std::uint64_t>(config.watchdogCycles)) {
+                const auto diag = captureDiagnosis(
+                    classifyWedgeNow(), true);
+                throw SimulationError(diag->summary(), diag);
+            }
         }
     }
 

@@ -22,6 +22,8 @@
 #include "obs/sampler.hh"
 #include "sim/allocator.hh"
 #include "sim/config.hh"
+#include "sim/diagnosis.hh"
+#include "sim/fault.hh"
 #include "sim/memory.hh"
 #include "sim/register_map.hh"
 #include "sim/stats.hh"
@@ -44,14 +46,21 @@ class Sm
      *                   every register access against
      * @param metrics    optional metrics registry the SM instruments
      * @param sampler    optional interval sampler ticked every cycle
+     * @param sm_id      machine-level SM id (forensics context only)
+     * @param fault      deterministic fault-injection plan (sim/fault.hh);
+     *                   the default plan injects nothing
      */
     Sm(const GpuConfig &config, const Program &program,
        RegisterAllocator &allocator, int ctas_to_run, GlobalMemory &gmem,
        std::optional<RegisterMapper> mapper,
        IssueTrace *trace = nullptr, MetricsRegistry *metrics = nullptr,
-       Sampler *sampler = nullptr);
+       Sampler *sampler = nullptr, int sm_id = 0, FaultPlan fault = {});
 
-    /** Simulate to completion (or deadlock); returns the statistics. */
+    /**
+     * Simulate to completion (or declared deadlock — see
+     * SimStats::deadlocked/hang); throws SimulationError with an
+     * attached HangDiagnosis when the watchdog expires.
+     */
     SimStats run();
 
   private:
@@ -95,6 +104,8 @@ class Sm
 
     const int ctasToRun;
     const int warpsPerCta;
+    const int smId;        ///< machine-level id (forensics context)
+    const FaultPlan fault; ///< deterministic fault-injection plan
     int residentCap = 0;  ///< max co-resident CTAs for this kernel
 
     // --- Dynamic state ---
@@ -141,6 +152,7 @@ class Sm
     int aliveWarps = 0;                  ///< resident, not finished
     int pendingConflictPenalty = 0;      ///< operand-collector stall
     std::uint64_t lastProgressCycle = 0;
+    bool shrinkApplied = false;  ///< SRP-shrink fault fired already
     SimStats stats;
 
     // --- Helpers ---
@@ -158,7 +170,32 @@ class Sm
     void issue(SimWarp &warp);
     void verifyOperands(const SimWarp &warp, const Instruction &inst);
     void wakeParked();
-    bool handleStarvation();
+
+    /** Move @p warp into a Wait* state, stamping waitSince. */
+    void park(SimWarp &warp, WarpState wait_state);
+
+    /**
+     * Outcome of the starvation check (no instruction issued and no
+     * event/memory activity this cycle).
+     */
+    enum class Starvation {
+        Runnable,     ///< a warp can still issue: not starving
+        Waiting,      ///< quiet but events are pending in the future
+        BreakerFired, ///< deadlock breaker forced progress (counts as
+                      ///< progress: the watchdog clock resets)
+        Deadlocked,   ///< wedged beyond repair: simulation must stop
+    };
+    Starvation handleStarvation();
+
+    /** Snapshot the wedged machine state for forensics. */
+    std::shared_ptr<const HangDiagnosis>
+    captureDiagnosis(DeadlockCause cause, bool watchdog_expired) const;
+
+    /** Classify why the SM is wedged (Acquire > Resource > Barrier). */
+    DeadlockCause classifyWedge(int blocked_acquire, int blocked_resource,
+                                int blocked_barrier) const;
+    /** classifyWedge over the current warp states (watchdog path). */
+    DeadlockCause classifyWedgeNow() const;
 };
 
 } // namespace rm

@@ -4,6 +4,34 @@
 
 namespace rm {
 
+const char *
+deadlockCauseName(DeadlockCause cause)
+{
+    switch (cause) {
+      case DeadlockCause::None:
+        return "none";
+      case DeadlockCause::Acquire:
+        return "acquire";
+      case DeadlockCause::Resource:
+        return "resource";
+      case DeadlockCause::Barrier:
+        return "barrier";
+    }
+    return "none";
+}
+
+DeadlockCause
+deadlockCauseFromName(const std::string &name)
+{
+    if (name == "acquire")
+        return DeadlockCause::Acquire;
+    if (name == "resource")
+        return DeadlockCause::Resource;
+    if (name == "barrier")
+        return DeadlockCause::Barrier;
+    return DeadlockCause::None;
+}
+
 double
 cycleReduction(const SimStats &baseline, const SimStats &technique)
 {

@@ -10,9 +10,32 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace rm {
+
+struct HangDiagnosis;
+
+/**
+ * Why a wedged SM could not make progress, recorded when the deadlock
+ * breaker gives up (see Sm::handleStarvation). Classification is by
+ * precedence — a blocked acquire is the root cause even when barrier
+ * waiters outnumber it, because barrier waiters are downstream of the
+ * warps that cannot acquire.
+ */
+enum class DeadlockCause {
+    None,      ///< not deadlocked
+    Acquire,   ///< warps blocked on an extended-set acquire (RegMutex)
+    Resource,  ///< warps blocked on policy resources, breaker exhausted
+    Barrier,   ///< only barrier waiters remain (broken barrier contract)
+};
+
+/** Stable lower-case name ("none", "acquire", ...). */
+const char *deadlockCauseName(DeadlockCause cause);
+
+/** Inverse of deadlockCauseName(); DeadlockCause::None when unknown. */
+DeadlockCause deadlockCauseFromName(const std::string &name);
 
 /** Result of one kernel timing simulation on one SM. */
 struct SimStats
@@ -57,7 +80,17 @@ struct SimStats
     std::uint64_t extRegAccesses = 0;   ///< operand accesses mapped to SRP
     std::uint64_t bankConflicts = 0;    ///< operand-collector conflicts
 
+    /** Injected faults that fired (sim/fault.hh); 0 without a plan. */
+    std::uint64_t faultEvents = 0;
+
     bool deadlocked = false;
+    DeadlockCause deadlockCause = DeadlockCause::None;
+    /**
+     * Forensics snapshot captured when the SM declared a deadlock
+     * (sim/diagnosis.hh); null on healthy runs. Shared so copying
+     * stats stays cheap; never feeds back into timing.
+     */
+    std::shared_ptr<const HangDiagnosis> hang;
 
     /** Instructions per cycle. */
     double ipc() const

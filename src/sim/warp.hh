@@ -49,6 +49,10 @@ struct SimWarp
     int pendingMem = 0;     ///< outstanding global-memory requests
     std::uint64_t wakeAt = 0;  ///< cycle at which WaitSpill ends
 
+    /** Cycle the warp last entered a Wait* state (hang forensics:
+     *  wait age = current cycle - waitSince while waiting). */
+    std::uint64_t waitSince = 0;
+
     // --- RegMutex ---
     bool holdsExt = false;
     int srpSection = -1;

@@ -12,6 +12,8 @@
 #include <cmath>
 
 #include "core/experiment.hh"
+#include "sim/diagnosis.hh"
+#include "sim/fault.hh"
 #include "sim/gpu.hh"
 #include "workloads/suite.hh"
 
@@ -47,7 +49,9 @@ expectSameStats(const SimStats &a, const SimStats &b)
     EXPECT_EQ(a.lockAcquisitions, b.lockAcquisitions);
     EXPECT_EQ(a.extRegAccesses, b.extRegAccesses);
     EXPECT_EQ(a.bankConflicts, b.bankConflicts);
+    EXPECT_EQ(a.faultEvents, b.faultEvents);
     EXPECT_EQ(a.deadlocked, b.deadlocked);
+    EXPECT_EQ(a.deadlockCause, b.deadlockCause);
 }
 
 TEST(CtaDistribution, SharesSumToGridAndDifferByAtMostOne)
@@ -204,6 +208,43 @@ TEST(MultiSm, FullMachineAgreesWithRepresentativeModel)
     // SM 0 shares the representative SM's seed and grid share, so it
     // reproduces the single-SM run bit-exactly.
     expectSameStats(rep, full.result.perSm.front());
+}
+
+TEST(MultiSm, WatchdogOnOneSmPropagatesCleanlyOutOfThreadPool)
+{
+    // A fault-wedged SM in the middle of a FullMachine run must
+    // surface its SimulationError (diagnosis attached) through
+    // parallelFor without hanging or tearing the other SMs' threads.
+    const Program p = buildWorkload("BFS");
+    GpuConfig config = gtx480Config();
+    config.numSms = 3;
+    config.watchdogCycles = 20'000;
+
+    RunOptions options;
+    options.gpu.mode = GpuOptions::Mode::FullMachine;
+    options.gpu.threads = 0; // shared pool: the error crosses threads
+    options.gpu.faultSm = 1;
+    options.gpu.fault.delayRelease = {0, 1'000'000'000};
+    options.gpu.fault.releaseDelayCycles = 1'000'000'000;
+
+    try {
+        runPolicy("regmutex", p, config, options);
+        FAIL() << "expected SimulationError from the wedged SM";
+    } catch (const SimulationError &e) {
+        ASSERT_TRUE(e.diagnosis());
+        EXPECT_EQ(e.diagnosis()->smId, 1);
+        EXPECT_TRUE(e.diagnosis()->watchdogExpired);
+        EXPECT_EQ(e.diagnosis()->kernel, "BFS");
+        EXPECT_EQ(e.diagnosis()->policy, "regmutex");
+        EXPECT_FALSE(e.diagnosis()->warps.empty());
+    }
+
+    // The pool survives the failure: the same run without the fault
+    // completes normally afterwards.
+    options.gpu.fault = FaultPlan{};
+    const PolicyRun clean = runPolicy("regmutex", p, config, options);
+    EXPECT_FALSE(clean.stats().deadlocked);
+    EXPECT_EQ(clean.result.numSms(), 3);
 }
 
 } // namespace

@@ -155,12 +155,19 @@ TEST(Sweep, ResultsIndependentOfSweepThreadCount)
               b[1].compile.compile->selection.bs);
 }
 
-TEST(Sweep, UnknownPolicyInGridThrowsBeforeSimulating)
+TEST(Sweep, UnknownPolicyIsIsolatedAsCompileFailure)
 {
+    // Failures are isolated per cell rather than thrown: an unknown
+    // policy marks its cell CompileFailed (naming the known policies
+    // in the error) without simulating it. See docs/ROBUSTNESS.md.
     std::vector<SweepCase> grid(1);
     grid[0].workload = "BFS";
     grid[0].policy = "no-such-policy";
-    EXPECT_THROW(runSweep(grid), FatalError);
+    const std::vector<SweepResult> results = runSweep(grid);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, SweepStatus::CompileFailed);
+    EXPECT_NE(results[0].error.find("no-such-policy"), std::string::npos);
+    EXPECT_EQ(results[0].attempts, 0);
 }
 
 } // namespace
