@@ -30,8 +30,22 @@
  *                            park releasing warps for DELAY cycles
  *   --fault-shrink-srp CYCLE:N   revoke N capacity units at CYCLE
  *   --fault-mem-spike FROM:UNTIL:FACTOR  multiply memory latency
+ *   --fault-corrupt CYCLE    corrupt allocator state at CYCLE (pairs
+ *                            with --sanitize to exercise the auditor)
  *   --fault-seed N           hash seed for probabilistic faults
  *   --watchdog N             override the watchdog budget (cycles)
+ *
+ * Run control and durability (docs/ROBUSTNESS.md):
+ *   --max-cycles N           preempt once every SM reaches cycle N
+ *   --wall-deadline SECONDS  preempt when the wall budget expires
+ *   --sanitize               audit register accounting every epoch
+ *   --snapshot PATH          write the engine snapshot to PATH on
+ *                            preemption (and at every --snapshot-every
+ *                            boundary)
+ *   --snapshot-every N       refresh the snapshot every N cycles
+ *   --restore PATH           resume from a snapshot written earlier
+ * A preempted run prints its progress and exits with status 3; rerun
+ * with --restore to continue it.
  *
  * A deadlocked or watchdog-expired run prints the hang forensics
  * (embedded under "hang" in the JSON document) and exits nonzero.
@@ -42,6 +56,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -78,7 +93,10 @@ usage()
            "  --fault-delay-release FROM:UNTIL:DELAY\n"
            "  --fault-shrink-srp CYCLE:N\n"
            "  --fault-mem-spike FROM:UNTIL:FACTOR\n"
-           "  --fault-seed N | --watchdog N\n";
+           "  --fault-corrupt CYCLE\n"
+           "  --fault-seed N | --watchdog N\n"
+           "  --max-cycles N | --wall-deadline SECONDS | --sanitize\n"
+           "  --snapshot PATH | --snapshot-every N | --restore PATH\n";
     return 2;
 }
 
@@ -188,6 +206,11 @@ main(int argc, char **argv)
     int sms = 1;
     int threads = 0;
     bool pretty = false;
+    std::uint64_t max_cycles = 0;
+    double wall_deadline_seconds = 0.0;
+    bool sanitize = false;
+    std::uint64_t snapshot_every = 0;
+    std::string snapshot_path, restore_path;
     GpuConfig config = gtx480Config();
     CompileOptions compile_options;
     FaultPlan fault;
@@ -261,6 +284,31 @@ main(int argc, char **argv)
             const auto v = splitNumbers(arg, next(), 3);
             fault.memSpike = {v[0], v[1]};
             fault.memSpikeFactor = static_cast<int>(v[2]);
+        } else if (arg == "--fault-corrupt") {
+            fault.corruptStateAtCycle = nextNumber();
+        } else if (arg == "--max-cycles") {
+            max_cycles = nextNumber();
+        } else if (arg == "--wall-deadline") {
+            const std::string text = next();
+            try {
+                std::size_t used = 0;
+                wall_deadline_seconds = std::stod(text, &used);
+                if (used != text.size() || wall_deadline_seconds <= 0.0)
+                    throw std::invalid_argument(text);
+            } catch (const std::exception &) {
+                std::cerr << "--wall-deadline needs a positive number "
+                             "of seconds, got '"
+                          << text << "'\n";
+                return usage();
+            }
+        } else if (arg == "--sanitize") {
+            sanitize = true;
+        } else if (arg == "--snapshot") {
+            snapshot_path = next();
+        } else if (arg == "--snapshot-every") {
+            snapshot_every = nextNumber();
+        } else if (arg == "--restore") {
+            restore_path = next();
         } else if (arg == "--fault-seed") {
             fault.seed = nextNumber();
         } else if (arg == "--watchdog") {
@@ -322,6 +370,21 @@ main(int argc, char **argv)
         }
         run_options.gpu.threads = threads;
         run_options.gpu.fault = fault;
+        run_options.gpu.control.maxCycles = max_cycles;
+        run_options.gpu.control.sanitize = sanitize;
+        if (wall_deadline_seconds > 0.0)
+            run_options.gpu.control =
+                run_options.gpu.control.withWallDeadlineSeconds(
+                    wall_deadline_seconds);
+        run_options.gpu.snapshotEvery = snapshot_every;
+        if (!snapshot_path.empty())
+            run_options.gpu.snapshotSink =
+                [&snapshot_path](const GpuSnapshot &snap) {
+                    writeSnapshotFile(snapshot_path, snap);
+                };
+        if (!restore_path.empty())
+            run_options.gpu.resume = std::make_shared<GpuSnapshot>(
+                readSnapshotFile(restore_path));
 
         const PolicyRun run =
             runPolicy(*policy, program, config, run_options);
@@ -393,6 +456,9 @@ main(int argc, char **argv)
             add("deadlocked", stats.deadlocked ? "YES" : "no");
             add("deadlock cause",
                 deadlockCauseName(stats.deadlockCause));
+            if (!run.result.completed())
+                add("preempted",
+                    preemptReasonName(run.result.preemptReason));
             if (fault.active())
                 add("fault events", std::to_string(stats.faultEvents));
             if (run.result.numSms() > 1) {
@@ -420,6 +486,16 @@ main(int argc, char **argv)
                chrome_path);
         if (stats.deadlocked && stats.hang)
             std::cerr << "\n" << stats.hang->summary() << "\n";
+        if (!run.result.completed()) {
+            std::cerr << "preempted ("
+                      << preemptReasonName(run.result.preemptReason)
+                      << ") after " << stats.cycles
+                      << " cycles on the slowest SM";
+            if (!snapshot_path.empty())
+                std::cerr << "; resume with --restore " << snapshot_path;
+            std::cerr << "\n";
+            return 3;
+        }
         return stats.deadlocked ? 1 : 0;
     } catch (const SimulationError &e) {
         // Watchdog expiry: the simulation never returned stats, but

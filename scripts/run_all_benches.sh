@@ -2,10 +2,17 @@
 # Regenerate every reproduced table and figure (see EXPERIMENTS.md) and
 # collect their machine-readable JSON reports under results/<timestamp>/.
 # Usage: scripts/run_all_benches.sh [build-dir] [results-root]
+#
+# Robustness: each bench runs under a wall-clock timeout
+# (RM_BENCH_TIMEOUT seconds, default 900, 0 disables) so one wedged
+# bench cannot stall the whole batch, and an interrupted or aborted run
+# leaves an INCOMPLETE marker in the results directory so partial
+# output is never mistaken for a finished batch.
 set -euo pipefail
 
 BUILD="${1:-build}"
 RESULTS_ROOT="${2:-results}"
+TIMEOUT_SECS="${RM_BENCH_TIMEOUT:-900}"
 
 if [ ! -d "$BUILD/bench" ]; then
     echo "error: $BUILD/bench not found — build first:" >&2
@@ -40,15 +47,42 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 
+# Per-bench timeout command; coreutils timeout may be absent on some
+# systems, in which case benches run unbounded (with a warning).
+TIMEOUT_CMD=()
+if [ "$TIMEOUT_SECS" -gt 0 ] 2>/dev/null; then
+    if command -v timeout >/dev/null 2>&1; then
+        TIMEOUT_CMD=(timeout --kill-after=30 "$TIMEOUT_SECS")
+    else
+        echo "warn: 'timeout' not found; benches run without a wall limit" >&2
+    fi
+fi
+
 STAMP="$(date +%Y%m%d-%H%M%S)"
 OUTDIR="$RESULTS_ROOT/$STAMP"
 mkdir -p "$OUTDIR"
 echo "JSON reports -> $OUTDIR"
 echo
 
+# Until the batch finishes, the results directory is marked INCOMPLETE;
+# the trap keeps the marker (with a reason) if we exit early for any
+# reason — a failed bench, Ctrl-C, or a crash in this script.
+DONE=0
+echo "bench batch started $(date -u +%Y-%m-%dT%H:%M:%SZ); still running or aborted" \
+    > "$OUTDIR/INCOMPLETE"
+finish() {
+    if [ "$DONE" -ne 1 ]; then
+        echo "bench batch did not complete; partial results only" \
+            >> "$OUTDIR/INCOMPLETE"
+        echo "** batch incomplete — see $OUTDIR/INCOMPLETE" >&2
+    fi
+}
+trap finish EXIT
+
 # Fault isolation: one failing bench must not silence the rest. Every
 # bench runs; failures are collected and summarized at the end, and the
-# script exits nonzero if any failed.
+# script exits nonzero if any failed. Exit 124 from timeout is reported
+# as such — a hang is a different bug than a wrong result.
 FAILED=()
 run_bench() {
     local name="$1"; shift
@@ -56,8 +90,11 @@ run_bench() {
     echo "== $name"
     echo "==================================================================="
     local status=0
-    "$@" || status=$?
-    if [ "$status" -ne 0 ]; then
+    "${TIMEOUT_CMD[@]}" "$@" || status=$?
+    if [ "$status" -eq 124 ] || [ "$status" -eq 137 ]; then
+        echo "** $name TIMED OUT after ${TIMEOUT_SECS}s (exit $status)" >&2
+        FAILED+=("$name (timeout)")
+    elif [ "$status" -ne 0 ]; then
         echo "** $name FAILED (exit $status)" >&2
         FAILED+=("$name")
     fi
@@ -78,6 +115,11 @@ for b in "$BUILD"/bench/*; do
     done
     run_bench "$name" "$b"
 done
+
+# Every bench was at least attempted: the batch is complete (even if
+# some benches failed — that is what the exit status reports).
+DONE=1
+rm -f "$OUTDIR/INCOMPLETE"
 
 if [ "${#FAILED[@]}" -ne 0 ]; then
     echo "===================================================================" >&2

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Snapshot/resume soak: prove that a sweep killed with SIGKILL mid-grid
+# — the ungraceful death a preemptible batch system actually delivers —
+# resumes from its checkpoint + engine snapshots and produces a report
+# byte-identical to an uninterrupted run.
+#
+# Usage: scripts/snapshot_soak.sh [build-dir]
+#   RM_SOAK_KILLS    max SIGKILLs to deliver (default 3)
+#   RM_SOAK_BENCH    sweep bench to soak (default fig07_occupancy_boost)
+#
+# Exits nonzero if the resumed report differs from the reference, if
+# the sweep cannot finish within the kill budget + one clean run, or if
+# no kill landed mid-run (the soak proved nothing — raise the grid size
+# or slow the build down).
+set -euo pipefail
+
+BUILD="${1:-build}"
+BENCH="${RM_SOAK_BENCH:-fig07_occupancy_boost}"
+KILLS="${RM_SOAK_KILLS:-3}"
+BIN="$BUILD/bench/$BENCH"
+
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not found — build first" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/rm-snapshot-soak.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+SNAPDIR="$WORK/snapshots"
+CHECKPOINT="$WORK/sweep.jsonl"
+mkdir -p "$SNAPDIR"
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+echo "== reference run (uninterrupted)"
+ref_start="$(now_ms)"
+"$BIN" --json "$WORK/reference.json" > /dev/null
+ref_ms=$(( $(now_ms) - ref_start ))
+echo "   reference finished in ${ref_ms}ms"
+
+# Snapshot cadence in simulated cycles: small enough that every cell
+# has persisted progress by the time the kill lands.
+SOAK_ARGS=(--snapshot-every 2000 --snapshot-dir "$SNAPDIR"
+           --checkpoint "$CHECKPOINT" --threads 2
+           --json "$WORK/resumed.json")
+
+killed=0
+for attempt in $(seq 1 "$KILLS"); do
+    # Kill at a different fraction of the reference runtime each round
+    # (40%, 60%, 80%, ...) so the grid dies in different states.
+    delay_ms=$(( ref_ms * (attempt + 1) * 2 / 10 ))
+    [ "$delay_ms" -lt 50 ] && delay_ms=50
+    echo "== soak round $attempt: SIGKILL after ~${delay_ms}ms"
+    "$BIN" "${SOAK_ARGS[@]}" > /dev/null 2>&1 &
+    pid=$!
+    sleep "$(awk "BEGIN {print $delay_ms / 1000}")"
+    if kill -KILL "$pid" 2>/dev/null; then
+        killed=$((killed + 1))
+        echo "   killed pid $pid mid-run"
+    else
+        echo "   run finished before the kill landed"
+    fi
+    wait "$pid" 2>/dev/null || true
+    snaps=$(find "$SNAPDIR" -name '*.snap' | wc -l)
+    lines=0
+    [ -f "$CHECKPOINT" ] && lines=$(wc -l < "$CHECKPOINT")
+    echo "   durable state: $lines checkpointed cells, $snaps snapshots"
+done
+
+if [ "$killed" -eq 0 ]; then
+    echo "error: no kill landed mid-run — the soak proved nothing" >&2
+    exit 1
+fi
+
+echo "== final run: resume from checkpoint + snapshots"
+"$BIN" "${SOAK_ARGS[@]}" > /dev/null
+
+echo "== comparing resumed report against the reference"
+# The reports carry no timestamps or host data: a correct resume is
+# byte-identical to the uninterrupted run.
+if ! cmp "$WORK/reference.json" "$WORK/resumed.json"; then
+    diff -u "$WORK/reference.json" "$WORK/resumed.json" | head -40 >&2
+    echo "error: resumed report differs from reference" >&2
+    exit 1
+fi
+
+remaining=$(find "$SNAPDIR" -name '*.snap' | wc -l)
+if [ "$remaining" -ne 0 ]; then
+    echo "error: $remaining snapshot(s) not cleaned up after completion" >&2
+    exit 1
+fi
+
+echo "snapshot soak OK: $killed kill(s) survived, report byte-identical"

@@ -2,6 +2,7 @@
 
 #include "common/errors.hh"
 #include "sim/occupancy.hh"
+#include "sim/snapshot.hh"
 
 namespace rm {
 
@@ -151,6 +152,113 @@ OwfAllocator::forceProgress(SimWarp &warp)
     ++emergencies;
     warp.ownsLock = true;
     return spillPenalty;
+}
+
+bool
+OwfAllocator::faultCorruptState()
+{
+    if (!enabled || holder.empty())
+        return false;
+    holder[0] = holder[0] < 0 ? 0 : -1;
+    return true;
+}
+
+void
+OwfAllocator::saveState(SnapshotWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(holder.size()));
+    for (const int slot : holder)
+        w.i32(slot);
+    w.boolean(freed);
+    w.u64(locksTaken);
+    w.u64(emergencies);
+}
+
+void
+OwfAllocator::restoreState(SnapshotReader &r)
+{
+    const std::uint32_t n = r.u32();
+    holder.assign(n, -1);
+    for (std::uint32_t i = 0; i < n; ++i)
+        holder[i] = r.i32();
+    freed = r.boolean();
+    locksTaken = r.u64();
+    emergencies = r.u64();
+}
+
+void
+OwfAllocator::auditInvariants(const std::vector<SimWarp> &warps,
+                              bool faults_active,
+                              std::vector<std::string> &violations) const
+{
+    if (!enabled)
+        return;
+
+    const auto fail = [&](const std::string &line) {
+        violations.push_back("owf: " + line);
+    };
+
+    // Every recorded holder must be a resident lock-owning warp of the
+    // right pair (never fault-gated: corruption must surface here).
+    for (int pair = 0; pair < static_cast<int>(holder.size()); ++pair) {
+        const int slot = holder[pair];
+        if (slot < 0)
+            continue;
+        const SimWarp *owner = nullptr;
+        for (const SimWarp &warp : warps) {
+            if (warp.slot == slot) {
+                owner = &warp;
+                break;
+            }
+        }
+        if (!owner || !owner->resident()) {
+            fail("pair " + std::to_string(pair) + " holder slot " +
+                 std::to_string(slot) + " is not resident");
+            continue;
+        }
+        if (pairOf(slot) != pair) {
+            fail("pair " + std::to_string(pair) + " holder slot " +
+                 std::to_string(slot) + " belongs to pair " +
+                 std::to_string(pairOf(slot)));
+        }
+        if (!owner->ownsLock) {
+            fail("pair " + std::to_string(pair) + " holder warp " +
+                 std::to_string(slot) + " does not own the lock");
+        }
+    }
+
+    // The reverse direction only holds while no emergency co-grant has
+    // handed a lock out without recording a holder.
+    if (emergencies == 0) {
+        for (const SimWarp &warp : warps) {
+            if (!warp.resident() || !warp.ownsLock)
+                continue;
+            const int pair = pairOf(warp.slot);
+            if (pair >= 0 && pair < static_cast<int>(holder.size()) &&
+                holder[pair] != warp.slot) {
+                fail("warp " + std::to_string(warp.slot) +
+                     " owns the pair-" + std::to_string(pair) +
+                     " lock but the holder entry is " +
+                     std::to_string(holder[pair]));
+            }
+        }
+    }
+
+    // Liveness: a warp parked on the pair lock while nobody holds it is
+    // a missed wake-up.
+    if (!faults_active) {
+        for (const SimWarp &warp : warps) {
+            if (!warp.resident() || warp.state != WarpState::WaitResource)
+                continue;
+            const int pair = pairOf(warp.slot);
+            if (pair >= 0 && pair < static_cast<int>(holder.size()) &&
+                holder[pair] < 0) {
+                fail("warp " + std::to_string(warp.slot) +
+                     " waits on pair " + std::to_string(pair) +
+                     " which nobody holds");
+            }
+        }
+    }
 }
 
 } // namespace rm

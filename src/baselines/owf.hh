@@ -51,6 +51,12 @@ class OwfAllocator : public RegisterAllocator
     int forceProgress(SimWarp &warp) override;
     std::uint64_t lockCount() const override { return locksTaken; }
     std::uint64_t emergencyCount() const override { return emergencies; }
+    bool faultCorruptState() override;
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+    void auditInvariants(const std::vector<SimWarp> &warps,
+                         bool faults_active,
+                         std::vector<std::string> &violations) const override;
 
     int threshold() const { return thresh; }
     /** Pair index of a warp slot (slot and slot + Nw/2 share it). */

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "analysis/cfg.hh"
 #include "analysis/liveness.hh"
 #include "common/errors.hh"
 #include "sim/occupancy.hh"
+#include "sim/snapshot.hh"
 
 namespace rm {
 
@@ -17,7 +19,9 @@ RfvAllocator::prepare(const GpuConfig &config, const Program &program)
     spills = 0;
     prog = &program;
     spillPenalty = config.globalLatency;
-    physFree = config.registersPerSm / config.warpSize;
+    totalPacks = config.registersPerSm / config.warpSize;
+    physFree = totalPacks;
+    drained = 0;
 
     // Compiler-side dead-register information: a register referenced at
     // pc and absent from live-out dies when pc issues.
@@ -172,6 +176,84 @@ RfvAllocator::forceProgress(SimWarp &warp)
     ++spills;
     mapOperands(warp, prog->code[warp.pc]);
     return spillPenalty;
+}
+
+bool
+RfvAllocator::faultCorruptState()
+{
+    if (prog == nullptr)
+        return false;
+    // Inflate the free pool without a matching unmap: breaks the
+    // physFree + mapped + drained == totalPacks conservation law.
+    physFree += 7;
+    return true;
+}
+
+void
+RfvAllocator::saveState(SnapshotWriter &w) const
+{
+    // deaths/estDemand/maxCtas are pure functions of the program and
+    // config, recomputed by prepare(); only pool state is serialized.
+    w.i32(physFree);
+    w.i32(drained);
+    w.boolean(freed);
+    w.u64(spills);
+}
+
+void
+RfvAllocator::restoreState(SnapshotReader &r)
+{
+    physFree = r.i32();
+    drained = r.i32();
+    freed = r.boolean();
+    spills = r.u64();
+}
+
+void
+RfvAllocator::auditInvariants(const std::vector<SimWarp> &warps,
+                              bool faults_active,
+                              std::vector<std::string> &violations) const
+{
+    if (prog == nullptr)
+        return;
+
+    const auto fail = [&](const std::string &line) {
+        violations.push_back("rfv: " + line);
+    };
+
+    // Conservation: free + mapped + fault-drained packs always sum to
+    // the pool capacity. Emergency overdrafts keep the sum exact (the
+    // pool goes negative by precisely the packs granted), so this holds
+    // under faults and spills alike — never gated.
+    int mapped = 0;
+    for (const SimWarp &warp : warps) {
+        if (warp.resident())
+            mapped += static_cast<int>(warp.physMapped.count());
+    }
+    if (physFree + mapped + drained != totalPacks) {
+        std::ostringstream os;
+        os << "pool conservation: " << physFree << " free + " << mapped
+           << " mapped + " << drained << " drained != capacity "
+           << totalPacks;
+        fail(os.str());
+    }
+
+    // Liveness: a warp parked on the pool must actually be unable to
+    // issue its current instruction.
+    if (!faults_active) {
+        for (const SimWarp &warp : warps) {
+            if (!warp.resident() || warp.state != WarpState::WaitResource)
+                continue;
+            if (warp.pc < 0 ||
+                warp.pc >= static_cast<int>(prog->code.size()))
+                continue;
+            if (canIssue(warp, prog->code[warp.pc])) {
+                fail("warp " + std::to_string(warp.slot) +
+                     " waits on the pool but its instruction at pc " +
+                     std::to_string(warp.pc) + " can issue");
+            }
+        }
+    }
 }
 
 } // namespace rm

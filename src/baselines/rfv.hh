@@ -58,8 +58,16 @@ class RfvAllocator : public RegisterAllocator
         if (amount <= 0)
             return 0;
         physFree -= amount;
+        drained += amount;
         return amount;
     }
+
+    bool faultCorruptState() override;
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+    void auditInvariants(const std::vector<SimWarp> &warps,
+                         bool faults_active,
+                         std::vector<std::string> &violations) const override;
 
     /** Free physical register packs right now (for tests). */
     int freePacks() const { return physFree; }
@@ -71,6 +79,9 @@ class RfvAllocator : public RegisterAllocator
     int maxCtas = 0;
     int estDemand = 0;
     int physFree = 0;
+    int totalPacks = 0;
+    /** Packs permanently drained by fault injection (conservation). */
+    int drained = 0;
     int spillPenalty = 0;
     bool freed = false;
     std::uint64_t spills = 0;

@@ -67,4 +67,18 @@ Rng::chance(double p)
     return uniformDouble() < p;
 }
 
+void
+Rng::exportState(std::uint64_t out[4]) const
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = state[i];
+}
+
+void
+Rng::restoreState(const std::uint64_t in[4])
+{
+    for (int i = 0; i < 4; ++i)
+        state[i] = in[i];
+}
+
 } // namespace rm

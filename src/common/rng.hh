@@ -34,6 +34,12 @@ class Rng
     /** Bernoulli draw with probability @p p of returning true. */
     bool chance(double p);
 
+    /** Raw xoshiro256** state, for snapshot round-trips. */
+    void exportState(std::uint64_t out[4]) const;
+
+    /** Resume exactly where an exported stream left off. */
+    void restoreState(const std::uint64_t in[4]);
+
   private:
     std::uint64_t state[4];
 };

@@ -1,5 +1,6 @@
 #include "core/sweep.hh"
 
+#include <cstdio>
 #include <exception>
 #include <fstream>
 #include <map>
@@ -9,9 +10,11 @@
 #include <string>
 
 #include "common/errors.hh"
+#include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "obs/export.hh"
 #include "obs/json.hh"
+#include "sim/snapshot.hh"
 #include "workloads/suite.hh"
 
 namespace rm {
@@ -28,6 +31,8 @@ sweepStatusName(SweepStatus status)
         return "sim-failed";
       case SweepStatus::Deadlocked:
         return "deadlocked";
+      case SweepStatus::Preempted:
+        return "preempted";
     }
     return "unknown";
 }
@@ -73,7 +78,7 @@ configFingerprint(const SweepCase &spec)
        << f.releaseDelayCycles << ',' << f.shrinkSrpAtCycle << ','
        << f.shrinkSrpSections << ',' << f.memSpike.from << ','
        << f.memSpike.until << ',' << f.memSpikeFactor << ','
-       << spec.faultSm;
+       << f.corruptStateAtCycle << ',' << spec.faultSm;
     std::ostringstream hex;
     hex << std::hex << fnv1a(os.str());
     return hex.str();
@@ -90,7 +95,11 @@ class Checkpoint
         std::ifstream in(this->path);
         if (!in)
             return;  // first run: nothing to restore
-        for (std::string line; std::getline(in, line);) {
+        std::vector<std::string> lines;
+        for (std::string line; std::getline(in, line);)
+            lines.push_back(std::move(line));
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            const std::string &line = lines[i];
             if (line.empty())
                 continue;
             try {
@@ -100,8 +109,18 @@ class Checkpoint
                 if (key && stats)
                     restored[key->string] = statsFromJson(*stats);
             } catch (const std::exception &) {
-                // A torn final line from an interrupted run is
-                // expected; skip anything unparsable.
+                // Records are appended and flushed atomically, so the
+                // only expected damage is a torn final line from a run
+                // killed mid-append: drop it. Anything earlier means
+                // the file was damaged some other way — still skip,
+                // but say which line.
+                if (i + 1 == lines.size())
+                    warn("sweep checkpoint '", this->path,
+                         "': dropping torn trailing record (line ",
+                         i + 1, ")");
+                else
+                    warn("sweep checkpoint '", this->path,
+                         "': skipping unparsable line ", i + 1);
             }
         }
     }
@@ -127,9 +146,18 @@ class Checkpoint
         const std::string line = w.take();
 
         const std::lock_guard<std::mutex> lock(guard);
+        // One open-append-flush-close per record: the record plus its
+        // newline go out in a single buffered write, so a concurrent
+        // reader (or a kill between records) sees whole lines only,
+        // and at worst one torn trailing line — which the loader
+        // tolerates. The flush is checked so a full disk fails the
+        // sweep loudly instead of silently dropping records.
         std::ofstream out(path, std::ios::app);
         fatalIf(!out, "sweep checkpoint: cannot append to '", path, "'");
         out << line << '\n';
+        out.flush();
+        fatalIf(!out.good(), "sweep checkpoint: write to '", path,
+                "' failed");
     }
 
   private:
@@ -236,25 +264,89 @@ runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
             gpu.fault = c.fault;
             gpu.faultSm = c.faultSm;
 
-            for (int attempt = 0; attempt <= options.retries; ++attempt) {
+            // Per-cell engine snapshot: resume a previously
+            // interrupted cell, and keep the file current while this
+            // run makes progress.
+            std::string snap_path;
+            if (!options.snapshotDir.empty()) {
+                std::ostringstream hex;
+                hex << std::hex << fnv1a(key);
+                snap_path =
+                    options.snapshotDir + "/" + hex.str() + ".snap";
+                if (std::ifstream probe(snap_path); probe.good()) {
+                    probe.close();
+                    try {
+                        gpu.resume = std::make_shared<GpuSnapshot>(
+                            readSnapshotFile(snap_path));
+                    } catch (const std::exception &e) {
+                        warn("sweep: unreadable snapshot '", snap_path,
+                             "' (", exceptionMessage(e),
+                             "); restarting cell fresh");
+                        std::remove(snap_path.c_str());
+                    }
+                }
+                if (gpu.snapshotEvery > 0)
+                    gpu.snapshotSink =
+                        [snap_path](const GpuSnapshot &snap) {
+                            writeSnapshotFile(snap_path, snap);
+                        };
+            }
+
+            int attempt = 0;
+            while (attempt <= options.retries) {
                 ++out.attempts;
                 // Deterministic reseed per retry: attempt 0 reproduces
-                // the un-retried sweep exactly.
+                // the un-retried sweep exactly. Retries never resume —
+                // the snapshot belongs to the attempt-0 seed.
                 gpu.memSeed =
                     options.gpu.memSeed +
                     static_cast<std::uint64_t>(attempt) * 0x9e3779b9ULL;
+                if (attempt > 0)
+                    gpu.resume = nullptr;
                 try {
                     out.run = simulateGpu(c.config, out.compile.program,
                                           policy.allocator, gpu);
+                } catch (const SnapshotError &e) {
+                    if (gpu.resume != nullptr) {
+                        // Stale snapshot (different kernel revision,
+                        // architecture, seed...): discard and rerun
+                        // this attempt from scratch.
+                        warn("sweep: stale snapshot for '", key, "' (",
+                             exceptionMessage(e),
+                             "); restarting cell fresh");
+                        gpu.resume = nullptr;
+                        if (!snap_path.empty())
+                            std::remove(snap_path.c_str());
+                        --out.attempts;
+                        continue;
+                    }
+                    out.status = SweepStatus::SimFailed;
+                    out.error = exceptionMessage(e);
+                    ++attempt;
+                    continue;
                 } catch (const SimulationError &e) {
                     out.status = SweepStatus::Deadlocked;
                     out.error = exceptionMessage(e);
                     out.diagnosis = e.diagnosis();
+                    ++attempt;
                     continue;
                 } catch (const std::exception &e) {
                     out.status = SweepStatus::SimFailed;
                     out.error = exceptionMessage(e);
+                    ++attempt;
                     continue;
+                }
+                if (out.run.status == GpuResult::Status::Preempted) {
+                    // Not a failure: the budget ran out. Persist the
+                    // snapshot so the next sweep resumes this cell,
+                    // and never burn retries on it.
+                    out.status = SweepStatus::Preempted;
+                    out.error =
+                        std::string("preempted: ") +
+                        preemptReasonName(out.run.preemptReason);
+                    if (!snap_path.empty() && out.run.snapshot)
+                        writeSnapshotFile(snap_path, *out.run.snapshot);
+                    return;
                 }
                 if (out.run.aggregate.deadlocked) {
                     out.status = SweepStatus::Deadlocked;
@@ -262,12 +354,15 @@ runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
                     out.error = out.diagnosis
                                     ? out.diagnosis->summary()
                                     : "simulation declared a deadlock";
+                    ++attempt;
                     continue;
                 }
                 out.status = SweepStatus::Ok;
                 out.error.clear();
                 out.diagnosis = nullptr;
                 checkpoint.record(key, out.run.aggregate);
+                if (!snap_path.empty())
+                    std::remove(snap_path.c_str());
                 return;
             }
         },
@@ -355,6 +450,31 @@ SweepCli::SweepCli(int argc, char *const *argv)
         }
         fatal(flag, " needs a non-negative integer, got '", text, "'");
     };
+    auto u64After = [&](int &i, const char *flag) -> std::uint64_t {
+        fatalIf(i + 1 >= argc, flag, " needs a value");
+        const std::string text = argv[++i];
+        try {
+            std::size_t used = 0;
+            const unsigned long long v = std::stoull(text, &used);
+            if (used == text.size())
+                return v;
+        } catch (const std::exception &) {
+        }
+        fatal(flag, " needs a non-negative integer, got '", text, "'");
+    };
+    auto secondsAfter = [&](int &i, const char *flag) -> double {
+        fatalIf(i + 1 >= argc, flag, " needs a value");
+        const std::string text = argv[++i];
+        try {
+            std::size_t used = 0;
+            const double v = std::stod(text, &used);
+            if (used == text.size() && v > 0.0)
+                return v;
+        } catch (const std::exception &) {
+        }
+        fatal(flag, " needs a positive number of seconds, got '", text,
+              "'");
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--sms") {
@@ -367,6 +487,17 @@ SweepCli::SweepCli(int argc, char *const *argv)
         } else if (arg == "--checkpoint") {
             fatalIf(i + 1 >= argc, "--checkpoint needs a path");
             checkpoint = argv[++i];
+        } else if (arg == "--max-cycles") {
+            maxCycles = u64After(i, "--max-cycles");
+        } else if (arg == "--wall-deadline") {
+            wallDeadlineSeconds = secondsAfter(i, "--wall-deadline");
+        } else if (arg == "--sanitize") {
+            sanitize = true;
+        } else if (arg == "--snapshot-every") {
+            snapshotEvery = u64After(i, "--snapshot-every");
+        } else if (arg == "--snapshot-dir") {
+            fatalIf(i + 1 >= argc, "--snapshot-dir needs a path");
+            snapshotDir = argv[++i];
         }
         // Anything else belongs to the bench (e.g. --json).
     }
@@ -378,6 +509,15 @@ SweepCli::apply(GpuConfig &config, SweepOptions &options) const
     options.threads = threads;
     options.retries = retries;
     options.checkpointPath = checkpoint;
+    options.snapshotDir = snapshotDir;
+    options.gpu.control.maxCycles = maxCycles;
+    options.gpu.control.sanitize = sanitize;
+    if (wallDeadlineSeconds > 0.0)
+        // One deadline for the whole sweep, fixed here so every cell
+        // races the same clock regardless of when it gets scheduled.
+        options.gpu.control = options.gpu.control.withWallDeadlineSeconds(
+            wallDeadlineSeconds);
+    options.gpu.snapshotEvery = snapshotEvery;
     if (sms > 1) {
         config.numSms = sms;
         options.gpu.mode = GpuOptions::Mode::FullMachine;

@@ -64,6 +64,7 @@ enum class SweepStatus {
     CompileFailed,  ///< workload build / policy lookup / compile threw
     SimFailed,      ///< the simulation threw a non-hang error
     Deadlocked,     ///< declared deadlock or watchdog expiry
+    Preempted,      ///< stopped by a RunControl limit; snapshot kept
 };
 
 /** Stable lower-case label ("ok", "compile-failed", ...). */
@@ -95,12 +96,27 @@ struct SweepOptions
     int retries = 0;
     /**
      * JSONL checkpoint path; empty disables checkpointing. Every Ok
-     * cell appends one line as it completes, and a re-run with the
-     * same path restores matching cells (by sweepCaseKey) instead of
-     * simulating them again. Restored cells have fromCheckpoint set
-     * and an empty per-SM breakdown (only the aggregate is persisted).
+     * cell appends (and flushes) one line as it completes, and a
+     * re-run with the same path restores matching cells (by
+     * sweepCaseKey) instead of simulating them again. A torn trailing
+     * line from a killed run is warned about and dropped. Restored
+     * cells have fromCheckpoint set and an empty per-SM breakdown
+     * (only the aggregate is persisted).
      */
     std::string checkpointPath;
+    /**
+     * Directory for per-cell engine snapshots (sim/snapshot.hh); empty
+     * disables them. Each cell writes <dir>/<key-hash>.snap — on every
+     * gpu.snapshotEvery boundary and when preempted — and a later
+     * sweep with the same directory resumes the cell from that file
+     * instead of restarting it (the file is removed once the cell
+     * completes). Works together with gpu.control: bound a sweep with
+     * a cycle budget / wall deadline / cancellation token and the
+     * interrupted cells carry their progress into the next run. A
+     * stale or mismatched snapshot is warned about, deleted, and the
+     * cell restarts fresh.
+     */
+    std::string snapshotDir;
 };
 
 /** One cell's outcome; results[i] corresponds to cases[i]. */
@@ -169,8 +185,14 @@ sweepGrid(const std::vector<std::string> &workloads,
  * `--sms N` selects a full-machine run with N SMs (N = 1 keeps the
  * representative seed model), `--threads N` caps sweep parallelism
  * (0 = shared pool width), `--retries N` re-runs failed cells, and
- * `--checkpoint PATH` enables the JSONL resume file. Unrecognized
- * arguments are ignored so it composes with BenchReport's `--json`.
+ * `--checkpoint PATH` enables the JSONL resume file. Run-control
+ * flags: `--max-cycles N` bounds every cell's simulated clock,
+ * `--wall-deadline SECONDS` preempts cells still running when the
+ * wall-clock budget expires, `--sanitize` audits register accounting
+ * every epoch, and `--snapshot-every N` with `--snapshot-dir DIR`
+ * persists per-cell snapshots so an interrupted sweep resumes instead
+ * of restarting. Unrecognized arguments are ignored so it composes
+ * with BenchReport's `--json`.
  */
 struct SweepCli
 {
@@ -178,6 +200,11 @@ struct SweepCli
     int threads = 0;
     int retries = 0;
     std::string checkpoint;
+    std::uint64_t maxCycles = 0;
+    double wallDeadlineSeconds = 0.0;
+    bool sanitize = false;
+    std::uint64_t snapshotEvery = 0;
+    std::string snapshotDir;
 
     SweepCli(int argc, char *const *argv);
 

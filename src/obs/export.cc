@@ -69,6 +69,27 @@ u64At(const JsonValue &obj, std::string_view key)
     return v ? static_cast<std::uint64_t>(v->number) : 0;
 }
 
+int
+intAt(const JsonValue &obj, std::string_view key, int fallback = 0)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? static_cast<int>(v->number) : fallback;
+}
+
+bool
+boolAt(const JsonValue &obj, std::string_view key)
+{
+    const JsonValue *v = obj.find(key);
+    return v != nullptr && v->boolean;
+}
+
+std::string
+stringAt(const JsonValue &obj, std::string_view key)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? v->string : std::string();
+}
+
 } // namespace
 
 SimStats
@@ -112,6 +133,9 @@ statsFromJson(const JsonValue &value)
     if (const JsonValue *v = value.find("deadlock_cause"))
         s.deadlockCause = deadlockCauseFromName(v->string);
     s.faultEvents = u64At(value, "fault_events");
+    if (const JsonValue *v = value.find("hang"); v && v->isObject())
+        s.hang = std::make_shared<const HangDiagnosis>(
+            diagnosisFromJson(*v));
     return s;
 }
 
@@ -174,6 +198,60 @@ diagnosisToJson(const HangDiagnosis &diag)
     JsonWriter w;
     diagnosisToJson(w, diag);
     return w.take();
+}
+
+HangDiagnosis
+diagnosisFromJson(const JsonValue &value)
+{
+    HangDiagnosis d;
+    d.kernel = stringAt(value, "kernel");
+    d.policy = stringAt(value, "policy");
+    d.smId = intAt(value, "sm_id");
+    d.cycle = u64At(value, "cycle");
+    d.watchdogExpired = boolAt(value, "watchdog_expired");
+    if (const JsonValue *v = value.find("cause"))
+        d.cause = deadlockCauseFromName(v->string);
+    d.blockedAcquire = intAt(value, "blocked_acquire");
+    d.blockedResource = intAt(value, "blocked_resource");
+    d.blockedBarrier = intAt(value, "blocked_barrier");
+    d.otherWaiters = intAt(value, "other_waiters");
+    d.eventQueueDepth =
+        static_cast<std::size_t>(u64At(value, "event_queue_depth"));
+    d.memQueueDepth =
+        static_cast<std::size_t>(u64At(value, "mem_queue_depth"));
+    d.nextEventCycle = u64At(value, "next_event_cycle");
+    if (const JsonValue *v = value.find("sched_last_issued");
+        v && v->isArray())
+        for (const JsonValue &slot : v->items)
+            d.schedLastIssued.push_back(static_cast<int>(slot.number));
+    d.srpSections = intAt(value, "srp_sections", -1);
+    if (const JsonValue *v = value.find("srp_holders"); v && v->isArray())
+        for (const JsonValue &slot : v->items)
+            d.srpHolders.push_back(static_cast<int>(slot.number));
+    if (const JsonValue *v = value.find("srp_waiters"); v && v->isArray())
+        for (const JsonValue &slot : v->items)
+            d.srpWaiters.push_back(static_cast<int>(slot.number));
+    if (const JsonValue *v = value.find("warps"); v && v->isArray()) {
+        for (const JsonValue &entry : v->items) {
+            if (!entry.isObject())
+                continue;
+            WarpSnapshot warp;
+            warp.slot = intAt(entry, "slot", -1);
+            warp.ctaId = intAt(entry, "cta", -1);
+            warp.warpInCta = intAt(entry, "warp_in_cta", -1);
+            warp.pc = intAt(entry, "pc", -1);
+            warp.instruction = stringAt(entry, "instruction");
+            warp.state = warpStateFromName(stringAt(entry, "state"));
+            warp.waitAge = u64At(entry, "wait_age");
+            warp.srpSection = intAt(entry, "srp_section", -1);
+            warp.holdsExt = boolAt(entry, "holds_ext");
+            warp.pendingMem = intAt(entry, "pending_mem");
+            warp.pendingWrites = intAt(entry, "pending_writes");
+            warp.instructionsExecuted = u64At(entry, "instructions");
+            d.warps.push_back(std::move(warp));
+        }
+    }
+    return d;
 }
 
 void
@@ -400,6 +478,12 @@ chromeTrace(const IssueTrace &trace, const Program &program)
             instantEvent(w,
                          "cta-retire #" + std::to_string(event.ctaId),
                          event.cycle, tid, "lifecycle");
+            break;
+          case TraceKind::Snapshot:
+            instantEvent(w, "snapshot", event.cycle, tid, "lifecycle");
+            break;
+          case TraceKind::Restore:
+            instantEvent(w, "restore", event.cycle, tid, "lifecycle");
             break;
         }
     }

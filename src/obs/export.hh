@@ -45,8 +45,11 @@ std::string statsToJson(const SimStats &stats);
 
 /**
  * Rebuild a SimStats from a statsToJson document (sweep checkpoint
- * resume). Derived figures (ipc, rates) and the hang snapshot are not
- * restored; unknown keys are ignored so old checkpoints keep loading.
+ * resume). Derived figures (ipc, rates) are not restored. Forward- and
+ * backward-compatible by construction: missing keys load as their
+ * default values and unknown keys are ignored, so both older and newer
+ * checkpoints keep loading. The optional "hang" object round-trips
+ * through diagnosisFromJson under the same rules.
  */
 SimStats statsFromJson(const JsonValue &value);
 
@@ -55,6 +58,13 @@ void diagnosisToJson(JsonWriter &writer, const HangDiagnosis &diag);
 
 /** @p diag as a standalone JSON document. */
 std::string diagnosisToJson(const HangDiagnosis &diag);
+
+/**
+ * Rebuild a HangDiagnosis from a diagnosisToJson document. Missing
+ * keys load as defaults and unknown keys are ignored (same
+ * compatibility rules as statsFromJson).
+ */
+HangDiagnosis diagnosisFromJson(const JsonValue &value);
 
 /** Append the registry as a JSON object to @p writer. */
 void registryToJson(JsonWriter &writer, const MetricsRegistry &registry);

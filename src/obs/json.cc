@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/errors.hh"
 
@@ -86,8 +87,12 @@ JsonWriter::value(double number)
         out << "null";
         return *this;
     }
+    // Shortest representation that parses back to the same bits, so
+    // JSON round-trips (e.g. the sweep checkpoint) are value-exact.
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.12g", number);
+    std::snprintf(buf, sizeof(buf), "%.15g", number);
+    if (std::strtod(buf, nullptr) != number)
+        std::snprintf(buf, sizeof(buf), "%.17g", number);
     out << buf;
     return *this;
 }

@@ -1,11 +1,26 @@
 #include "regmutex/allocator.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/errors.hh"
 #include "sim/occupancy.hh"
+#include "sim/snapshot.hh"
 
 namespace rm {
+
+namespace {
+
+void
+flipBitZero(Bitmask &mask)
+{
+    if (mask.test(0))
+        mask.unset(0);
+    else
+        mask.set(0);
+}
+
+} // namespace
 
 void
 RegMutexAllocator::prepare(const GpuConfig &config, const Program &program)
@@ -161,6 +176,157 @@ RegMutexAllocator::lutEntry(int slot) const
     return lut[slot];
 }
 
+bool
+RegMutexAllocator::faultCorruptState()
+{
+    if (!enabled || sections <= 0)
+        return false;
+    flipBitZero(srp);
+    return true;
+}
+
+void
+RegMutexAllocator::saveState(SnapshotWriter &w) const
+{
+    // Static configuration (enabled/bs/es/sections/...) is recomputed
+    // by prepare() on restore; only mutable state is serialized.
+    w.bitmask(srp);
+    w.bitmask(warpStatus);
+    w.u32(static_cast<std::uint32_t>(lut.size()));
+    for (const int entry : lut)
+        w.i32(entry);
+    w.boolean(freed);
+    w.i32(shrunk);
+    w.i32(pendingShrink);
+}
+
+void
+RegMutexAllocator::restoreState(SnapshotReader &r)
+{
+    srp = r.bitmask();
+    warpStatus = r.bitmask();
+    const std::uint32_t n = r.u32();
+    lut.assign(n, -1);
+    for (std::uint32_t i = 0; i < n; ++i)
+        lut[i] = r.i32();
+    freed = r.boolean();
+    shrunk = r.i32();
+    pendingShrink = r.i32();
+}
+
+void
+RegMutexAllocator::auditInvariants(const std::vector<SimWarp> &warps,
+                                   bool faults_active,
+                                   std::vector<std::string> &violations) const
+{
+    if (!enabled)
+        return;
+
+    const auto fail = [&](const std::string &line) {
+        violations.push_back("regmutex: " + line);
+    };
+
+    // Bits beyond the section count are hardware-pre-set and must stay.
+    for (std::size_t s = static_cast<std::size_t>(sections);
+         s < srp.size(); ++s) {
+        if (!srp.test(s)) {
+            fail("beyond-capacity SRP bit " + std::to_string(s) +
+                 " is clear");
+        }
+    }
+
+    // Per-warp ownership vs. the hardware structures (Fig. 4): the
+    // warp-status bit, the LUT entry and the SRP bit must agree, and
+    // no SRP section may appear in two LUT entries.
+    std::vector<int> section_owner(static_cast<std::size_t>(sections), -1);
+    int held_warps = 0;
+    for (const SimWarp &warp : warps) {
+        const std::size_t slot = static_cast<std::size_t>(warp.slot);
+        if (slot >= lut.size())
+            continue;
+        if (warp.resident() && warp.holdsExt) {
+            ++held_warps;
+            const int section = lut[slot];
+            if (!warpStatus.test(slot)) {
+                fail("warp " + std::to_string(warp.slot) +
+                     " holds an extended set but its status bit is clear");
+            }
+            if (section < 0 || section >= sections) {
+                fail("warp " + std::to_string(warp.slot) +
+                     " holds an extended set but LUT entry is " +
+                     std::to_string(section));
+                continue;
+            }
+            if (warp.srpSection != section) {
+                fail("warp " + std::to_string(warp.slot) +
+                     " srpSection " + std::to_string(warp.srpSection) +
+                     " disagrees with LUT entry " + std::to_string(section));
+            }
+            if (!srp.test(static_cast<std::size_t>(section))) {
+                fail("section " + std::to_string(section) + " held by warp " +
+                     std::to_string(warp.slot) + " but its SRP bit is clear");
+            }
+            const int other = section_owner[static_cast<std::size_t>(section)];
+            if (other >= 0) {
+                fail("section " + std::to_string(section) +
+                     " has two holders: warps " + std::to_string(other) +
+                     " and " + std::to_string(warp.slot));
+            }
+            section_owner[static_cast<std::size_t>(section)] = warp.slot;
+        } else {
+            if (warpStatus.test(slot)) {
+                fail("warp " + std::to_string(warp.slot) +
+                     " holds no extended set but its status bit is set");
+            }
+            if (lut[slot] != -1) {
+                fail("warp " + std::to_string(warp.slot) +
+                     " holds no extended set but LUT entry is " +
+                     std::to_string(lut[slot]));
+            }
+        }
+    }
+
+    // Conservation: every busy SRP bit is either held by exactly one
+    // warp or permanently revoked by a shrink fault. Never gated on
+    // faults — an injected corruption must be caught here.
+    int busy = 0;
+    for (int s = 0; s < sections; ++s) {
+        if (srp.test(static_cast<std::size_t>(s)))
+            ++busy;
+    }
+    if (static_cast<int>(warpStatus.count()) != held_warps) {
+        fail("warp-status population " + std::to_string(warpStatus.count()) +
+             " != warps holding extended sets " + std::to_string(held_warps));
+    }
+    if (busy != held_warps + shrunk) {
+        std::ostringstream os;
+        os << "SRP conservation: " << busy << " busy sections != "
+           << held_warps << " held + " << shrunk << " revoked (capacity "
+           << sections << ", pending revocations " << pendingShrink << ")";
+        fail(os.str());
+    }
+    if (shrunk < 0 || pendingShrink < 0 || shrunk + pendingShrink > sections)
+        fail("shrink accounting out of range");
+
+    // Liveness: a warp parked in WaitAcquire while a section sits free
+    // is a missed wake-up. Fault plans may legitimately strand waiters
+    // (revoked capacity), so this one is gated.
+    if (!faults_active) {
+        const int free_sections = sections - held_warps - shrunk;
+        if (free_sections > 0) {
+            for (const SimWarp &warp : warps) {
+                if (warp.resident() &&
+                    warp.state == WarpState::WaitAcquire) {
+                    fail("warp " + std::to_string(warp.slot) +
+                         " waits on acquire while " +
+                         std::to_string(free_sections) +
+                         " sections are free");
+                }
+            }
+        }
+    }
+}
+
 void
 PairedRegMutexAllocator::prepare(const GpuConfig &config,
                                  const Program &program)
@@ -257,6 +423,95 @@ PairedRegMutexAllocator::makeMapper() const
         return RegisterMapper::baseline(totalPacks, fallbackCoeff);
     return RegisterMapper::regmutex(totalPacks, bs, es, srpOffsetPacks,
                                     pairs);
+}
+
+bool
+PairedRegMutexAllocator::faultCorruptState()
+{
+    if (!enabled || pairHeld.size() == 0)
+        return false;
+    flipBitZero(pairHeld);
+    return true;
+}
+
+void
+PairedRegMutexAllocator::saveState(SnapshotWriter &w) const
+{
+    w.bitmask(pairHeld);
+    w.boolean(freed);
+}
+
+void
+PairedRegMutexAllocator::restoreState(SnapshotReader &r)
+{
+    pairHeld = r.bitmask();
+    freed = r.boolean();
+}
+
+void
+PairedRegMutexAllocator::auditInvariants(
+    const std::vector<SimWarp> &warps, bool faults_active,
+    std::vector<std::string> &violations) const
+{
+    if (!enabled)
+        return;
+
+    const auto fail = [&](const std::string &line) {
+        violations.push_back("regmutex-paired: " + line);
+    };
+
+    // Exactly one holder per held pair bit; holders agree with the mask.
+    std::vector<int> pair_owner(pairHeld.size(), -1);
+    int held_warps = 0;
+    for (const SimWarp &warp : warps) {
+        if (!warp.resident() || !warp.holdsExt)
+            continue;
+        ++held_warps;
+        const std::size_t pair = static_cast<std::size_t>(warp.slot) / 2;
+        if (pair >= pairHeld.size()) {
+            fail("warp " + std::to_string(warp.slot) +
+                 " holds a set beyond the pair mask");
+            continue;
+        }
+        if (warp.srpSection != static_cast<int>(pair)) {
+            fail("warp " + std::to_string(warp.slot) + " srpSection " +
+                 std::to_string(warp.srpSection) + " != its pair " +
+                 std::to_string(pair));
+        }
+        if (!pairHeld.test(pair)) {
+            fail("warp " + std::to_string(warp.slot) +
+                 " holds pair " + std::to_string(pair) +
+                 " but its bit is clear");
+        }
+        if (pair_owner[pair] >= 0) {
+            fail("pair " + std::to_string(pair) + " has two holders: warps " +
+                 std::to_string(pair_owner[pair]) + " and " +
+                 std::to_string(warp.slot));
+        }
+        pair_owner[pair] = warp.slot;
+    }
+
+    // Conservation: the held-pair population must equal the number of
+    // warps that believe they hold a set (never fault-gated).
+    if (static_cast<int>(pairHeld.count()) != held_warps) {
+        fail("pair-mask population " + std::to_string(pairHeld.count()) +
+             " != warps holding extended sets " + std::to_string(held_warps));
+    }
+
+    // Liveness: a paired waiter is only legitimate while its partner
+    // holds the shared set.
+    if (!faults_active) {
+        for (const SimWarp &warp : warps) {
+            if (!warp.resident() || warp.state != WarpState::WaitAcquire)
+                continue;
+            const std::size_t pair = static_cast<std::size_t>(warp.slot) / 2;
+            if (pair < pairHeld.size() && !pairHeld.test(pair)) {
+                fail("warp " + std::to_string(warp.slot) +
+                     " waits on pair " + std::to_string(pair) +
+                     " which nobody holds");
+            }
+        }
+    }
 }
 
 } // namespace rm

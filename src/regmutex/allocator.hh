@@ -35,6 +35,12 @@ class RegMutexAllocator : public RegisterAllocator
     bool consumeFreedFlag() override;
     int srpSectionCount() const override { return sections - shrunk; }
     int faultShrinkCapacity(int amount) override;
+    bool faultCorruptState() override;
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+    void auditInvariants(const std::vector<SimWarp> &warps,
+                         bool faults_active,
+                         std::vector<std::string> &violations) const override;
 
     /** Operand-collector mapping for this launch (paper Fig. 6b). */
     RegisterMapper makeMapper() const;
@@ -83,6 +89,12 @@ class PairedRegMutexAllocator : public RegisterAllocator
     void onWarpExit(SimWarp &warp) override;
     bool consumeFreedFlag() override;
     int srpSectionCount() const override { return pairs; }
+    bool faultCorruptState() override;
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+    void auditInvariants(const std::vector<SimWarp> &warps,
+                         bool faults_active,
+                         std::vector<std::string> &violations) const override;
 
     /** Pair section mapping: each pair owns a fixed SRP slice. */
     RegisterMapper makeMapper() const;

@@ -10,12 +10,16 @@
  */
 
 #include <string>
+#include <vector>
 
 #include "isa/program.hh"
 #include "sim/config.hh"
 #include "sim/warp.hh"
 
 namespace rm {
+
+class SnapshotWriter;
+class SnapshotReader;
 
 /** Outcome of an extended-set acquire at the issue stage. */
 enum class AcquireOutcome {
@@ -149,6 +153,41 @@ class RegisterAllocator
     {
         (void)amount;
         return 0;
+    }
+
+    /**
+     * Fault injection (sim/fault.hh): deliberately corrupt one unit of
+     * internal accounting state (flip an SRP bit, inflate a counter).
+     * Exists to prove the sanitizer catches real drift; returns false
+     * when the policy has no mutable state to corrupt.
+     */
+    virtual bool faultCorruptState() { return false; }
+
+    /**
+     * Serialize all policy state to @p w (sim/snapshot.hh). The
+     * default is correct only for stateless policies; any policy with
+     * mutable members must override both saveState and restoreState so
+     * restore-then-run stays bit-identical to an uninterrupted run.
+     */
+    virtual void saveState(SnapshotWriter &w) const { (void)w; }
+
+    /** Inverse of saveState; called after prepare() on a fresh run. */
+    virtual void restoreState(SnapshotReader &r) { (void)r; }
+
+    /**
+     * Sanitizer self-audit (sim/sanitizer.hh): append one line per
+     * violated accounting invariant to @p violations. @p faults_active
+     * is true when a fault plan may legitimately break liveness-style
+     * invariants (e.g. a revoked section leaves waiters with no
+     * holder); conservation checks must never be gated on it.
+     */
+    virtual void auditInvariants(const std::vector<SimWarp> &warps,
+                                 bool faults_active,
+                                 std::vector<std::string> &violations) const
+    {
+        (void)warps;
+        (void)faults_active;
+        (void)violations;
     }
 };
 

@@ -26,6 +26,24 @@ warpStateName(WarpState state)
     return "unknown";
 }
 
+WarpState
+warpStateFromName(const std::string &name)
+{
+    if (name == "ready")
+        return WarpState::Ready;
+    if (name == "wait-barrier")
+        return WarpState::WaitBarrier;
+    if (name == "wait-acquire")
+        return WarpState::WaitAcquire;
+    if (name == "wait-resource")
+        return WarpState::WaitResource;
+    if (name == "wait-spill")
+        return WarpState::WaitSpill;
+    if (name == "finished")
+        return WarpState::Finished;
+    return WarpState::Unused;
+}
+
 std::string
 HangDiagnosis::summary() const
 {

@@ -29,6 +29,9 @@ namespace rm {
 /** Scheduler-visible name of a warp state ("ready", "wait-acquire"...). */
 const char *warpStateName(WarpState state);
 
+/** Inverse of warpStateName(); WarpState::Unused when unknown. */
+WarpState warpStateFromName(const std::string &name);
+
 /** Frozen view of one resident warp at hang time. */
 struct WarpSnapshot
 {

@@ -24,7 +24,8 @@ FaultPlan::active() const
     return denyAcquire.enabled() ||
            (delayRelease.enabled() && releaseDelayCycles > 0) ||
            (shrinkSrpAtCycle > 0 && shrinkSrpSections > 0) ||
-           (memSpike.enabled() && memSpikeFactor > 1);
+           (memSpike.enabled() && memSpikeFactor > 1) ||
+           corruptStateAtCycle > 0;
 }
 
 bool
@@ -97,6 +98,10 @@ FaultPlan::describe() const
         os << "mem-spike";
         window(memSpike);
         os << " x" << memSpikeFactor;
+    }
+    if (corruptStateAtCycle > 0) {
+        sep();
+        os << "corrupt-state@" << corruptStateAtCycle;
     }
     return os.str();
 }

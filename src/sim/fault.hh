@@ -81,6 +81,15 @@ struct FaultPlan
     FaultWindow memSpike;
     int memSpikeFactor = 1;
 
+    /**
+     * At corruptStateAtCycle (> 0 enables), deliberately corrupt one
+     * unit of allocator accounting state via
+     * RegisterAllocator::faultCorruptState(). The machine keeps running
+     * on the corrupt books; only the sanitizer (RunControl::sanitize)
+     * notices — this fault exists to prove it does, within one epoch.
+     */
+    std::uint64_t corruptStateAtCycle = 0;
+
     /** True when any fault is configured. */
     bool active() const;
 
@@ -95,6 +104,12 @@ struct FaultPlan
     {
         return shrinkSrpAtCycle > 0 && shrinkSrpSections > 0 &&
                cycle >= shrinkSrpAtCycle;
+    }
+
+    /** True once the one-shot state corruption is due at @p cycle. */
+    bool corruptDue(std::uint64_t cycle) const
+    {
+        return corruptStateAtCycle > 0 && cycle >= corruptStateAtCycle;
     }
 
     /** Global-memory latency at @p cycle given the @p base latency. */

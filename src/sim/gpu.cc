@@ -175,6 +175,13 @@ Gpu::run()
     const int sms = full ? config.numSms : 1;
     fatalIf(sms <= 0, "Gpu: config has ", sms, " SMs");
 
+    // Budgets, snapshots and resumption need SM state kept alive across
+    // run legs; the plain streaming path below stays untouched (and
+    // bit-identical to the uncontrolled engine) when none are in play.
+    if (options.control.anyLimit() || options.control.sanitize ||
+        options.snapshotEvery > 0 || options.resume != nullptr)
+        return runControlled(sms);
+
     GpuResult result;
     result.perSm.resize(static_cast<std::size_t>(sms));
     parallelFor(
@@ -187,6 +194,224 @@ Gpu::run()
                 runOneSm(sm_id, ctas);
         },
         options.threads);
+    result.aggregate = mergeSmStats(result.perSm);
+    return result;
+}
+
+namespace {
+
+/**
+ * One SM's live simulation state, kept across run legs of a controlled
+ * run so a preempted SM resumes exactly where it stopped. The Sm holds
+ * references into `prepared` and `gmem`, so the cell owns all three.
+ */
+struct SmCell
+{
+    int ctas = 0;
+    bool finished = false;
+    SmRunOutcome outcome;
+    PreparedAllocator prepared;
+    std::unique_ptr<GlobalMemory> gmem;
+    std::unique_ptr<Sm> sm;
+};
+
+} // namespace
+
+GpuResult
+Gpu::runControlled(int sms)
+{
+    const bool full = options.mode == GpuOptions::Mode::FullMachine;
+    const std::uint64_t digest = gpuConfigDigest(config);
+    const GpuSnapshot *resume = options.resume.get();
+
+    if (resume != nullptr) {
+        if (resume->kernel != program.info.name)
+            throw SnapshotError(
+                "resume snapshot is for kernel '" + resume->kernel +
+                "', engine runs '" + program.info.name + "'");
+        if (resume->mode != static_cast<std::uint8_t>(options.mode))
+            throw SnapshotError(
+                "resume snapshot engine mode does not match");
+        if (resume->numSms != sms ||
+            static_cast<int>(resume->sms.size()) != sms)
+            throw SnapshotError(
+                "resume snapshot has " +
+                std::to_string(resume->sms.size()) +
+                " SMs, engine runs " + std::to_string(sms));
+        if (resume->configDigest != digest)
+            throw SnapshotError(
+                "resume snapshot was captured on a different "
+                "architecture (config digest mismatch)");
+    }
+
+    std::vector<SmCell> cells(static_cast<std::size_t>(sms));
+    for (int i = 0; i < sms; ++i) {
+        SmCell &cell = cells[static_cast<std::size_t>(i)];
+        cell.ctas = full ? ctasForSm(config, program.info.gridCtas, i)
+                         : ctasPerSmShare(config, program);
+        if (resume != nullptr) {
+            const GpuSnapshot::SmEntry &entry =
+                resume->sms[static_cast<std::size_t>(i)];
+            if (entry.smId != i || entry.ctas != cell.ctas)
+                throw SnapshotError(
+                    "resume snapshot SM entry " + std::to_string(i) +
+                    " does not match the engine's grid distribution");
+        }
+    }
+
+    // Cell construction is the expensive part of a leg-0 start
+    // (allocator prepare() runs liveness analysis; a resumed cell
+    // replays the global-memory diff), so build them in parallel too.
+    parallelFor(
+        sms,
+        [&](int sm_id) {
+            SmCell &cell = cells[static_cast<std::size_t>(sm_id)];
+            const GpuSnapshot::SmEntry *entry =
+                resume != nullptr
+                    ? &resume->sms[static_cast<std::size_t>(sm_id)]
+                    : nullptr;
+            if (entry != nullptr && entry->finished) {
+                cell.finished = true;
+                cell.outcome.stats = entry->stats;
+                return;
+            }
+            cell.prepared = factory(config, program);
+            fatalIf(!cell.prepared.allocator,
+                    "Gpu: allocator factory returned null");
+            fatalIf(cell.prepared.allocator->maxCtasByRegisters() <= 0,
+                    "Gpu: kernel '", program.info.name,
+                    "' does not fit the register file under policy '",
+                    cell.prepared.allocator->name(), "'");
+            const ObsSinks sinks =
+                options.sinksForSm
+                    ? options.sinksForSm(sm_id)
+                    : (sm_id == 0 ? options.obs : ObsSinks{});
+            cell.gmem = std::make_unique<GlobalMemory>(
+                options.log2MemWords,
+                options.memSeed + static_cast<std::uint64_t>(sm_id));
+            const bool faulted =
+                options.fault.active() &&
+                (options.faultSm < 0 || options.faultSm == sm_id);
+            cell.sm = std::make_unique<Sm>(
+                config, program, *cell.prepared.allocator, cell.ctas,
+                *cell.gmem, std::move(cell.prepared.mapper), sinks.trace,
+                sinks.metrics, sinks.sampler, sm_id,
+                faulted ? options.fault : FaultPlan{});
+            if (entry != nullptr) {
+                SnapshotReader r(entry->state);
+                cell.sm->restoreState(r);
+                if (!r.atEnd())
+                    throw SnapshotError(
+                        "trailing bytes after SM " +
+                        std::to_string(sm_id) +
+                        " state in resume snapshot");
+            }
+        },
+        options.threads);
+
+    // Serialize the whole machine. Runs between legs on the engine
+    // thread, so no cell is being simulated concurrently.
+    auto capture = [&]() {
+        GpuSnapshot snap;
+        snap.kernel = program.info.name;
+        // A resume where every SM already finished never constructs an
+        // allocator; carry the policy name through from the snapshot.
+        snap.policy = resume != nullptr ? resume->policy : std::string();
+        snap.mode = static_cast<std::uint8_t>(options.mode);
+        snap.numSms = sms;
+        snap.configDigest = digest;
+        snap.sms.resize(static_cast<std::size_t>(sms));
+        for (int i = 0; i < sms; ++i) {
+            SmCell &cell = cells[static_cast<std::size_t>(i)];
+            GpuSnapshot::SmEntry &entry =
+                snap.sms[static_cast<std::size_t>(i)];
+            entry.smId = i;
+            entry.ctas = cell.ctas;
+            entry.finished = cell.finished;
+            entry.stats = cell.outcome.stats;
+            if (!cell.finished) {
+                SnapshotWriter w;
+                cell.sm->saveState(w);
+                entry.state = w.take();
+            }
+            if (cell.prepared.allocator)
+                snap.policy = cell.prepared.allocator->name();
+        }
+        return snap;
+    };
+
+    GpuResult result;
+    result.perSm.resize(static_cast<std::size_t>(sms));
+
+    while (true) {
+        // One leg per unfinished SM. SMs are fully independent, so the
+        // legs need not stay in lockstep: each runs until its own next
+        // snapshot boundary, the global cycle budget, or completion.
+        parallelFor(
+            sms,
+            [&](int sm_id) {
+                SmCell &cell = cells[static_cast<std::size_t>(sm_id)];
+                if (cell.finished)
+                    return;
+                RunControl leg = options.control;
+                if (options.snapshotEvery > 0) {
+                    const std::uint64_t target =
+                        cell.sm->currentCycle() + options.snapshotEvery;
+                    leg.maxCycles = leg.maxCycles == 0
+                                        ? target
+                                        : std::min(leg.maxCycles, target);
+                }
+                cell.outcome = cell.sm->runControlled(leg);
+                if (!cell.outcome.preempted)
+                    cell.finished = true;
+            },
+            options.threads);
+
+        bool all_done = true;
+        bool global_stop = false;
+        bool any_progressable = false;
+        PreemptReason reason = PreemptReason::None;
+        for (SmCell &cell : cells) {
+            if (cell.finished)
+                continue;
+            all_done = false;
+            const PreemptReason r = cell.outcome.reason;
+            if (r == PreemptReason::Cancelled ||
+                r == PreemptReason::WallDeadline) {
+                global_stop = true;
+                reason = r;
+            }
+            // A leg that hit its per-leg cycle cap short of the global
+            // budget is just a snapshot boundary, not a preemption.
+            const bool at_global_limit =
+                options.control.maxCycles > 0 &&
+                cell.sm->currentCycle() >= options.control.maxCycles;
+            if (!at_global_limit)
+                any_progressable = true;
+            else if (reason == PreemptReason::None)
+                reason = PreemptReason::CycleLimit;
+        }
+        if (all_done)
+            break;
+        if (!global_stop && any_progressable) {
+            if (options.snapshotEvery > 0 && options.snapshotSink)
+                options.snapshotSink(capture());
+            continue;
+        }
+        result.status = GpuResult::Status::Preempted;
+        result.preemptReason =
+            reason != PreemptReason::None ? reason
+                                          : PreemptReason::CycleLimit;
+        auto snap = std::make_shared<GpuSnapshot>(capture());
+        if (options.snapshotSink)
+            options.snapshotSink(*snap);
+        result.snapshot = std::move(snap);
+        break;
+    }
+
+    for (int i = 0; i < sms; ++i)
+        result.perSm[static_cast<std::size_t>(i)] =
+            cells[static_cast<std::size_t>(i)].outcome.stats;
     result.aggregate = mergeSmStats(result.perSm);
     return result;
 }

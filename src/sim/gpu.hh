@@ -31,6 +31,7 @@
 #include "sim/config.hh"
 #include "sim/fault.hh"
 #include "sim/register_map.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -147,21 +148,65 @@ struct GpuOptions
      * returned sinks must not be shared between SMs.
      */
     std::function<ObsSinks(int smId)> sinksForSm;
+    /**
+     * Run budgets and cooperative cancellation (sim/snapshot.hh).
+     * maxCycles bounds every SM's simulated clock; the cancellation
+     * token and wall deadline are checked at epoch boundaries;
+     * control.sanitize enables the per-epoch register-accounting
+     * audit. A default-constructed control leaves the fast streaming
+     * path untouched.
+     */
+    RunControl control;
+    /**
+     * Capture a full-machine snapshot every N simulated cycles of SM
+     * progress (0: only on preemption). Snapshots are delivered to
+     * snapshotSink and recorded on the trace/metrics sinks; they never
+     * touch SimStats, so snapshotted runs stay bit-identical.
+     */
+    std::uint64_t snapshotEvery = 0;
+    /**
+     * Receives every captured snapshot (periodic and final). Called
+     * from the engine thread between legs, never concurrently.
+     */
+    std::function<void(const GpuSnapshot &)> snapshotSink;
+    /**
+     * Resume from a previously captured snapshot instead of launching
+     * fresh. The snapshot must match this engine's kernel, policy,
+     * mode, SM count and architecture digest (throws SnapshotError on
+     * mismatch).
+     */
+    std::shared_ptr<const GpuSnapshot> resume;
 };
 
 /** Outcome of a Gpu engine run. */
 struct GpuResult
 {
+    enum class Status {
+        Completed,  ///< every SM retired its grid share (or deadlocked)
+        Preempted,  ///< stopped early by a RunControl limit
+    };
+
     /**
      * Machine-level merge of the per-SM statistics: cycles is the
      * slowest SM (machine time), event counts are summed, occupancy
      * figures are per-SM (identical across SMs), avgResidentWarps is
-     * the cycle-weighted mean. See mergeSmStats().
+     * the cycle-weighted mean. See mergeSmStats(). On a Preempted run
+     * this merges the progress-so-far statistics.
      */
     SimStats aggregate;
     /** One entry per simulated SM, in SM-id order. */
     std::vector<SimStats> perSm;
 
+    Status status = Status::Completed;
+    /** Which limit fired (None when status == Completed). */
+    PreemptReason preemptReason = PreemptReason::None;
+    /**
+     * Full-machine state captured at the preemption point; resume by
+     * passing it back via GpuOptions::resume. Null when Completed.
+     */
+    std::shared_ptr<const GpuSnapshot> snapshot;
+
+    bool completed() const { return status == Status::Completed; }
     int numSms() const { return static_cast<int>(perSm.size()); }
 };
 
@@ -182,6 +227,7 @@ class Gpu
 
   private:
     SimStats runOneSm(int sm_id, int ctas) const;
+    GpuResult runControlled(int sms);
 
     const GpuConfig &config;
     const Program &program;

@@ -20,6 +20,7 @@ mix(std::uint64_t x)
 } // namespace
 
 GlobalMemory::GlobalMemory(int log2_words, std::uint64_t seed)
+    : log2(log2_words), seedValue(seed)
 {
     fatalIf(log2_words < 4 || log2_words > 28,
             "GlobalMemory: log2_words (", log2_words,
@@ -29,6 +30,12 @@ GlobalMemory::GlobalMemory(int log2_words, std::uint64_t seed)
     words.resize(n);
     for (std::size_t i = 0; i < n; ++i)
         words[i] = static_cast<std::int64_t>(mix(i ^ seed * 0x9e3779b9ULL));
+}
+
+std::int64_t
+GlobalMemory::initialWord(std::size_t index) const
+{
+    return static_cast<std::int64_t>(mix(index ^ seedValue * 0x9e3779b9ULL));
 }
 
 std::int64_t

@@ -34,9 +34,19 @@ class GlobalMemory
     /** Order-insensitive digest of the full contents (for equivalence tests). */
     std::uint64_t digest() const;
 
+    /** Construction parameters (snapshots rebuild + replay a diff). */
+    int log2Words() const { return log2; }
+    std::uint64_t seed() const { return seedValue; }
+
+    /** Current and pristine contents of word @p index (diff encoding). */
+    std::int64_t word(std::size_t index) const { return words[index]; }
+    std::int64_t initialWord(std::size_t index) const;
+
   private:
     std::vector<std::int64_t> words;
     std::uint64_t mask;
+    int log2 = 0;
+    std::uint64_t seedValue = 0;
 };
 
 /** Per-CTA shared scratchpad; addresses wrap modulo the word count. */
@@ -52,6 +62,13 @@ class SharedMemory
     std::size_t sizeWords() const { return words.size(); }
 
     std::uint64_t digest() const;
+
+    /** Direct word access (snapshots diff against the zero init). */
+    std::int64_t word(std::size_t index) const { return words[index]; }
+    void setWord(std::size_t index, std::int64_t value)
+    {
+        words[index] = value;
+    }
 
   private:
     std::vector<std::int64_t> words;

@@ -1,0 +1,20 @@
+#include "sim/sanitizer.hh"
+
+#include <sstream>
+
+namespace rm {
+
+std::string
+SanitizerReport::summary() const
+{
+    std::ostringstream os;
+    os << "sanitizer: " << violations.size() << " invariant violation"
+       << (violations.size() == 1 ? "" : "s") << " on SM " << smId
+       << " at cycle " << cycle << " (kernel=" << kernel
+       << ", policy=" << policy << ")";
+    for (const std::string &v : violations)
+        os << "\n  - " << v;
+    return os.str();
+}
+
+} // namespace rm

@@ -1,0 +1,74 @@
+#ifndef RM_SIM_SANITIZER_HH
+#define RM_SIM_SANITIZER_HH
+
+/**
+ * @file
+ * Cycle-level register-accounting sanitizer. When RunControl::sanitize
+ * is on, the SM audits conservation invariants at every epoch boundary
+ * — register counts sum to capacity, no SRP section has two holders,
+ * waiters only wait on held sections, release-after-shrink accounting
+ * — via Sm-level structural checks plus each policy's
+ * RegisterAllocator::auditInvariants() self-audit. The first violation
+ * aborts the run with a SanitizerError carrying the violation list and
+ * a HangDiagnosis-style machine snapshot. When disabled the audit is
+ * never invoked: the hot loop pays nothing (see Sm::runControlled).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/errors.hh"
+#include "sim/diagnosis.hh"
+
+namespace rm {
+
+/** Everything the sanitizer found wrong at one audit point. */
+struct SanitizerReport
+{
+    std::string kernel;
+    std::string policy;
+    int smId = 0;
+    std::uint64_t cycle = 0;
+    /** One human-readable line per violated invariant. */
+    std::vector<std::string> violations;
+
+    bool clean() const { return violations.empty(); }
+
+    /** One-paragraph summary for error messages and logs. */
+    std::string summary() const;
+};
+
+/**
+ * A sanitizer audit failed: simulator state violated a conservation
+ * invariant (a library bug — or an injected corruption fault proving
+ * the sanitizer works). Derives from FatalError, deliberately NOT from
+ * SimulationError: the sweep runner classifies this as SimFailed, not
+ * Deadlocked, because the machine is corrupt rather than wedged.
+ */
+class SanitizerError : public FatalError
+{
+  public:
+    SanitizerError(SanitizerReport report,
+                   std::shared_ptr<const HangDiagnosis> diag)
+        : FatalError(report.summary()),
+          rep(std::move(report)),
+          diag(std::move(diag))
+    {}
+
+    const SanitizerReport &report() const { return rep; }
+
+    /** Machine snapshot at the audit point (never null). */
+    const std::shared_ptr<const HangDiagnosis> &diagnosis() const
+    {
+        return diag;
+    }
+
+  private:
+    SanitizerReport rep;
+    std::shared_ptr<const HangDiagnosis> diag;
+};
+
+} // namespace rm
+
+#endif // RM_SIM_SANITIZER_HH

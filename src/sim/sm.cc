@@ -5,6 +5,7 @@
 #include "common/errors.hh"
 #include "isa/disasm.hh"
 #include "sim/occupancy.hh"
+#include "sim/sanitizer.hh"
 
 namespace rm {
 
@@ -44,6 +45,8 @@ Sm::Sm(const GpuConfig &gpu_config, const Program &kernel,
         met.residentWarps = &metrics->gauge("warps.resident");
         met.residentCtas = &metrics->gauge("ctas.resident");
         met.acquireWait = &metrics->histogram("srp.acquire_wait_cycles");
+        met.snapshots = &metrics->counter("sim.snapshots");
+        met.restores = &metrics->counter("sim.restores");
     }
     fatalIf(warpsPerCta <= 0 || warpsPerCta > config.maxWarpsPerSm,
             "Sm: CTA of ", warpsPerCta, " warps cannot fit the SM");
@@ -808,10 +811,44 @@ Sm::captureDiagnosis(DeadlockCause cause, bool watchdog_expired) const
 SimStats
 Sm::run()
 {
-    launchCtas();
-    std::uint64_t resident_integral = 0;
+    const SmRunOutcome outcome = runControlled(RunControl{});
+    panicIf(outcome.preempted, "Sm::run: preempted without any limit set");
+    return outcome.stats;
+}
+
+SmRunOutcome
+Sm::runControlled(const RunControl &control)
+{
+    if (!launched) {
+        launched = true;
+        launchCtas();
+    }
+    const bool epoch_work = control.epochWork();
 
     while (stats.ctasCompleted < static_cast<std::uint64_t>(ctasToRun)) {
+        // The cycle budget is checked every cycle so a snapshot can be
+        // captured at an exact point; the cancellation token, the wall
+        // deadline and the sanitizer only run at epoch boundaries.
+        if (control.maxCycles > 0 && cycle >= control.maxCycles) {
+            finishStats();
+            return SmRunOutcome{stats, true, PreemptReason::CycleLimit};
+        }
+        if (epoch_work && cycle > 0 && cycle % control.epochCycles == 0) {
+            if (control.cancel &&
+                control.cancel->load(std::memory_order_relaxed)) {
+                finishStats();
+                return SmRunOutcome{stats, true, PreemptReason::Cancelled};
+            }
+            if (control.hasWallDeadline &&
+                std::chrono::steady_clock::now() >= control.wallDeadline) {
+                finishStats();
+                return SmRunOutcome{stats, true,
+                                    PreemptReason::WallDeadline};
+            }
+            if (control.sanitize)
+                auditEpoch();
+        }
+
         ++cycle;
         // Fault injection: one-shot capacity shrink once its cycle is
         // reached (the policy revokes what it can immediately and
@@ -821,6 +858,13 @@ Sm::run()
             stats.faultEvents += static_cast<std::uint64_t>(
                 allocator.faultShrinkCapacity(fault.shrinkSrpSections));
         }
+        // Fault injection: one-shot accounting corruption — the run
+        // keeps going on the corrupt books; only the sanitizer notices.
+        if (!corruptApplied && fault.corruptDue(cycle)) {
+            corruptApplied = true;
+            if (allocator.faultCorruptState())
+                ++stats.faultEvents;
+        }
         processEvents();
         dispatchMemQueue();
         wakeParked();
@@ -828,7 +872,7 @@ Sm::run()
         for (int s = 0; s < config.numSchedulers; ++s)
             schedule(s);
         wakeParked();
-        resident_integral += aliveWarps;
+        residentIntegral += aliveWarps;
         if (met.residentWarps)
             met.residentWarps->set(aliveWarps);
         if (sampler)
@@ -868,12 +912,414 @@ Sm::run()
         }
     }
 
+    finishStats();
+    return SmRunOutcome{stats, false, PreemptReason::None};
+}
+
+void
+Sm::finishStats()
+{
     stats.cycles = cycle;
     stats.avgResidentWarps =
         cycle == 0 ? 0.0
-                   : static_cast<double>(resident_integral) / cycle;
+                   : static_cast<double>(residentIntegral) / cycle;
     stats.lockAcquisitions = allocator.lockCount();
-    return stats;
+}
+
+void
+Sm::auditEpoch()
+{
+    std::vector<std::string> violations;
+    const auto fail = [&](const std::string &line) {
+        violations.push_back("sm: " + line);
+    };
+
+    // SM-level structural accounting.
+    int resident_warps = 0;
+    for (const SimWarp &warp : warps) {
+        if (!warp.resident())
+            continue;
+        ++resident_warps;
+        if (warp.ctaSlot < 0 ||
+            warp.ctaSlot >= static_cast<int>(ctas.size()) ||
+            !ctas[warp.ctaSlot].active) {
+            fail("warp " + std::to_string(warp.slot) +
+                 " is resident without an active CTA slot");
+        } else if (ctas[warp.ctaSlot].ctaId != warp.ctaId) {
+            fail("warp " + std::to_string(warp.slot) + " claims CTA " +
+                 std::to_string(warp.ctaId) + " but its slot runs CTA " +
+                 std::to_string(ctas[warp.ctaSlot].ctaId));
+        }
+        // Note: pendingMem may legitimately dip negative — a warp can
+        // finish with a store still in flight, its slot relaunches,
+        // and the stale completion event decrements the new occupant.
+        // That quirk is part of the seed timing model, so it is not a
+        // violation.
+    }
+    if (resident_warps != aliveWarps) {
+        fail("aliveWarps " + std::to_string(aliveWarps) + " != " +
+             std::to_string(resident_warps) + " resident warps");
+    }
+
+    int active_ctas = 0;
+    for (const ResidentCta &cta : ctas) {
+        if (!cta.active)
+            continue;
+        ++active_ctas;
+        int alive = 0;
+        int at_barrier = 0;
+        for (const int slot : cta.warpSlots) {
+            const SimWarp &warp = warps[slot];
+            if (warp.resident())
+                ++alive;
+            if (warp.state == WarpState::WaitBarrier)
+                ++at_barrier;
+        }
+        if (alive != cta.warpsAlive) {
+            fail("CTA " + std::to_string(cta.ctaId) + " warpsAlive " +
+                 std::to_string(cta.warpsAlive) + " != " +
+                 std::to_string(alive) + " live warps");
+        }
+        if (at_barrier != cta.barrierArrived) {
+            fail("CTA " + std::to_string(cta.ctaId) + " barrierArrived " +
+                 std::to_string(cta.barrierArrived) + " != " +
+                 std::to_string(at_barrier) + " warps at the barrier");
+        }
+    }
+    if (active_ctas != residentCtas) {
+        fail("residentCtas " + std::to_string(residentCtas) + " != " +
+             std::to_string(active_ctas) + " active CTA slots");
+    }
+    if (static_cast<std::uint64_t>(nextCtaId) !=
+        stats.ctasCompleted + static_cast<std::uint64_t>(residentCtas)) {
+        fail("CTA conservation: launched " + std::to_string(nextCtaId) +
+             " != completed " + std::to_string(stats.ctasCompleted) +
+             " + resident " + std::to_string(residentCtas));
+    }
+
+    // Policy-level register accounting.
+    allocator.auditInvariants(warps, fault.active(), violations);
+
+    if (violations.empty())
+        return;
+    SanitizerReport report;
+    report.kernel = program.info.name;
+    report.policy = allocator.name();
+    report.smId = smId;
+    report.cycle = cycle;
+    report.violations = std::move(violations);
+    throw SanitizerError(std::move(report),
+                         captureDiagnosis(classifyWedgeNow(), false));
+}
+
+namespace {
+
+/** Identity header so a snapshot cannot restore into the wrong run. */
+constexpr std::uint32_t kSmStateTag = 0x534d5354U;  // "SMST"
+
+} // namespace
+
+void
+Sm::saveState(SnapshotWriter &w) const
+{
+    w.u32(kSmStateTag);
+    w.str(program.info.name);
+    w.str(allocator.name());
+    w.i32(smId);
+    w.i32(ctasToRun);
+    w.i32(config.maxWarpsPerSm);
+
+    w.u64(cycle);
+    w.u64(launchCounter);
+    w.u64(residentIntegral);
+    w.u64(lastProgressCycle);
+    w.boolean(launched);
+    w.boolean(shrinkApplied);
+    w.boolean(corruptApplied);
+    w.i32(nextCtaId);
+    w.i32(residentCtas);
+    w.i32(aliveWarps);
+    w.i32(pendingConflictPenalty);
+    saveStats(w, stats);
+
+    w.u32(static_cast<std::uint32_t>(warps.size()));
+    for (const SimWarp &warp : warps) {
+        w.i32(warp.slot);
+        w.i32(warp.ctaSlot);
+        w.i32(warp.ctaId);
+        w.i32(warp.warpInCta);
+        w.u64(warp.launchOrder);
+        w.u8(static_cast<std::uint8_t>(warp.state));
+        w.i32(warp.pc);
+        w.u32(static_cast<std::uint32_t>(warp.regs.size()));
+        for (const std::int64_t reg : warp.regs)
+            w.i64(reg);
+        constexpr int kNumSregs =
+            static_cast<int>(SpecialReg::NumSpecialRegs);
+        w.u32(static_cast<std::uint32_t>(kNumSregs));
+        for (int i = 0; i < kNumSregs; ++i)
+            w.i64(warp.sregs.values[i]);
+        w.bitmask(warp.pendingWrites);
+        w.i32(warp.pendingMem);
+        w.u64(warp.wakeAt);
+        w.u64(warp.waitSince);
+        w.boolean(warp.holdsExt);
+        w.i32(warp.srpSection);
+        w.u64(warp.acquireWaitSince);
+        w.bitmask(warp.physMapped);
+        w.boolean(warp.ownsLock);
+        w.u64(warp.instructions);
+    }
+
+    w.u32(static_cast<std::uint32_t>(ctas.size()));
+    for (const ResidentCta &cta : ctas) {
+        w.i32(cta.ctaId);
+        w.u32(static_cast<std::uint32_t>(cta.warpSlots.size()));
+        for (const int slot : cta.warpSlots)
+            w.i32(slot);
+        w.i32(cta.warpsAlive);
+        w.i32(cta.barrierArrived);
+        w.boolean(cta.active);
+        // Shared memory as a diff against its all-zero initial state.
+        w.u64(static_cast<std::uint64_t>(cta.smem.sizeWords()));
+        std::uint32_t nonzero = 0;
+        for (std::size_t i = 0; i < cta.smem.sizeWords(); ++i) {
+            if (cta.smem.word(i) != 0)
+                ++nonzero;
+        }
+        w.u32(nonzero);
+        for (std::size_t i = 0; i < cta.smem.sizeWords(); ++i) {
+            if (cta.smem.word(i) != 0) {
+                w.u64(static_cast<std::uint64_t>(i));
+                w.i64(cta.smem.word(i));
+            }
+        }
+    }
+
+    // Pending scoreboard/memory events. Draining a copy of the heap
+    // yields cycle order; same-cycle events commute in processEvents(),
+    // so heap-layout differences cannot change the simulation.
+    auto pending = events;
+    w.u32(static_cast<std::uint32_t>(pending.size()));
+    while (!pending.empty()) {
+        const Event event = pending.top();
+        pending.pop();
+        w.u64(event.cycle);
+        w.i32(event.warpSlot);
+        w.u32(event.reg);
+        w.boolean(event.memCompletion);
+        w.boolean(event.spillWake);
+    }
+
+    auto mem_pending = memQueue;
+    w.u32(static_cast<std::uint32_t>(mem_pending.size()));
+    while (!mem_pending.empty()) {
+        const MemRequest req = mem_pending.front();
+        mem_pending.pop();
+        w.i32(req.warpSlot);
+        w.u32(req.reg);
+    }
+
+    w.u32(static_cast<std::uint32_t>(schedLastIssued.size()));
+    for (const int slot : schedLastIssued)
+        w.i32(slot);
+
+    // Global memory as construction parameters + a store diff.
+    w.i32(gmem.log2Words());
+    w.u64(gmem.seed());
+    std::uint32_t dirty = 0;
+    for (std::size_t i = 0; i < gmem.sizeWords(); ++i) {
+        if (gmem.word(i) != gmem.initialWord(i))
+            ++dirty;
+    }
+    w.u32(dirty);
+    for (std::size_t i = 0; i < gmem.sizeWords(); ++i) {
+        if (gmem.word(i) != gmem.initialWord(i)) {
+            w.u64(static_cast<std::uint64_t>(i));
+            w.i64(gmem.word(i));
+        }
+    }
+
+    // Policy state as a framed blob: a policy serialization bug shows
+    // up as a framing error, not as silent misalignment of what follows.
+    SnapshotWriter policy_state;
+    allocator.saveState(policy_state);
+    w.bytes(policy_state.take());
+
+    if (trace) {
+        trace->record(TraceEvent{cycle, -1, -1, -1, TraceKind::Snapshot});
+    }
+    if (met.snapshots)
+        met.snapshots->add();
+}
+
+void
+Sm::restoreState(SnapshotReader &r)
+{
+    if (r.u32() != kSmStateTag)
+        throw SnapshotError("snapshot: bad SM state tag");
+    const std::string kernel = r.str();
+    const std::string policy = r.str();
+    const int saved_sm = r.i32();
+    const int saved_ctas = r.i32();
+    const int saved_slots = r.i32();
+    if (kernel != program.info.name || policy != allocator.name() ||
+        saved_sm != smId || saved_ctas != ctasToRun ||
+        saved_slots != config.maxWarpsPerSm) {
+        throw SnapshotError(
+            "snapshot: SM state for kernel '" + kernel + "' policy '" +
+            policy + "' SM " + std::to_string(saved_sm) +
+            " does not match this run (kernel '" + program.info.name +
+            "' policy '" + allocator.name() + "' SM " +
+            std::to_string(smId) + ")");
+    }
+
+    cycle = r.u64();
+    launchCounter = r.u64();
+    residentIntegral = r.u64();
+    lastProgressCycle = r.u64();
+    launched = r.boolean();
+    shrinkApplied = r.boolean();
+    corruptApplied = r.boolean();
+    nextCtaId = r.i32();
+    residentCtas = r.i32();
+    aliveWarps = r.i32();
+    pendingConflictPenalty = r.i32();
+    stats = loadStats(r);
+
+    const std::uint32_t num_warps = r.u32();
+    if (num_warps != warps.size())
+        throw SnapshotError("snapshot: warp slot count mismatch");
+    for (SimWarp &warp : warps) {
+        warp.slot = r.i32();
+        warp.ctaSlot = r.i32();
+        warp.ctaId = r.i32();
+        warp.warpInCta = r.i32();
+        warp.launchOrder = r.u64();
+        const std::uint8_t state = r.u8();
+        if (state > static_cast<std::uint8_t>(WarpState::Finished))
+            throw SnapshotError("snapshot: invalid warp state");
+        warp.state = static_cast<WarpState>(state);
+        warp.pc = r.i32();
+        const std::uint32_t num_regs = r.u32();
+        warp.regs.assign(num_regs, 0);
+        for (std::uint32_t i = 0; i < num_regs; ++i)
+            warp.regs[i] = r.i64();
+        const std::uint32_t num_sregs = r.u32();
+        if (num_sregs != static_cast<std::uint32_t>(
+                             SpecialReg::NumSpecialRegs)) {
+            throw SnapshotError("snapshot: special-register count "
+                                "mismatch");
+        }
+        for (std::uint32_t i = 0; i < num_sregs; ++i)
+            warp.sregs.values[i] = r.i64();
+        warp.pendingWrites = r.bitmask();
+        warp.pendingMem = r.i32();
+        warp.wakeAt = r.u64();
+        warp.waitSince = r.u64();
+        warp.holdsExt = r.boolean();
+        warp.srpSection = r.i32();
+        warp.acquireWaitSince = r.u64();
+        warp.physMapped = r.bitmask();
+        warp.ownsLock = r.boolean();
+        warp.instructions = r.u64();
+    }
+
+    const std::uint32_t num_ctas = r.u32();
+    if (num_ctas != ctas.size())
+        throw SnapshotError("snapshot: CTA slot count mismatch");
+    for (ResidentCta &cta : ctas) {
+        cta.ctaId = r.i32();
+        const std::uint32_t num_slots = r.u32();
+        cta.warpSlots.assign(num_slots, -1);
+        for (std::uint32_t i = 0; i < num_slots; ++i)
+            cta.warpSlots[i] = r.i32();
+        cta.warpsAlive = r.i32();
+        cta.barrierArrived = r.i32();
+        cta.active = r.boolean();
+        const std::uint64_t smem_words = r.u64();
+        // A slot that has hosted a CTA carries kernel-sized shared
+        // memory; one that never launched still has the default
+        // allocation. Rebuild whichever shape was saved.
+        cta.smem = SharedMemory(program.info.sharedBytesPerCta);
+        if (smem_words != cta.smem.sizeWords()) {
+            cta.smem = SharedMemory();
+            if (smem_words != cta.smem.sizeWords())
+                throw SnapshotError(
+                    "snapshot: shared-memory size mismatch");
+        }
+        const std::uint32_t nonzero = r.u32();
+        for (std::uint32_t i = 0; i < nonzero; ++i) {
+            const std::uint64_t index = r.u64();
+            if (index >= smem_words)
+                throw SnapshotError("snapshot: shared-memory index out "
+                                    "of range");
+            cta.smem.setWord(static_cast<std::size_t>(index), r.i64());
+        }
+    }
+
+    events = {};
+    const std::uint32_t num_events = r.u32();
+    for (std::uint32_t i = 0; i < num_events; ++i) {
+        Event event{};
+        event.cycle = r.u64();
+        event.warpSlot = r.i32();
+        event.reg = static_cast<RegId>(r.u32());
+        event.memCompletion = r.boolean();
+        event.spillWake = r.boolean();
+        events.push(event);
+    }
+
+    memQueue = {};
+    const std::uint32_t num_reqs = r.u32();
+    for (std::uint32_t i = 0; i < num_reqs; ++i) {
+        MemRequest req{};
+        req.warpSlot = r.i32();
+        req.reg = static_cast<RegId>(r.u32());
+        memQueue.push(req);
+    }
+
+    const std::uint32_t num_scheds = r.u32();
+    if (num_scheds != schedLastIssued.size())
+        throw SnapshotError("snapshot: scheduler count mismatch");
+    for (std::uint32_t i = 0; i < num_scheds; ++i)
+        schedLastIssued[i] = r.i32();
+
+    const int mem_log2 = r.i32();
+    const std::uint64_t mem_seed = r.u64();
+    if (mem_log2 != gmem.log2Words() || mem_seed != gmem.seed()) {
+        throw SnapshotError("snapshot: global-memory geometry or seed "
+                            "mismatch");
+    }
+    // Reset to pristine contents, then replay the recorded stores.
+    for (std::size_t i = 0; i < gmem.sizeWords(); ++i)
+        gmem.store(i, gmem.initialWord(i));
+    const std::uint32_t dirty = r.u32();
+    for (std::uint32_t i = 0; i < dirty; ++i) {
+        const std::uint64_t index = r.u64();
+        if (index >= gmem.sizeWords())
+            throw SnapshotError("snapshot: global-memory index out of "
+                                "range");
+        gmem.store(index, r.i64());
+    }
+
+    const std::string policy_state = r.bytes();
+    SnapshotReader policy_reader(policy_state);
+    allocator.restoreState(policy_reader);
+    if (!policy_reader.atEnd()) {
+        throw SnapshotError("snapshot: trailing bytes in '" +
+                            allocator.name() + "' policy state");
+    }
+
+    if (trace) {
+        trace->record(TraceEvent{cycle, -1, -1, -1, TraceKind::Restore});
+    }
+    if (met.restores)
+        met.restores->add();
+    if (met.residentCtas)
+        met.residentCtas->set(residentCtas);
+    if (met.residentWarps)
+        met.residentWarps->set(aliveWarps);
 }
 
 } // namespace rm

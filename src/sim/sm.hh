@@ -26,11 +26,20 @@
 #include "sim/fault.hh"
 #include "sim/memory.hh"
 #include "sim/register_map.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/warp.hh"
 
 namespace rm {
+
+/** Result of a controlled run leg: either done or preempted mid-run. */
+struct SmRunOutcome
+{
+    SimStats stats;
+    bool preempted = false;
+    PreemptReason reason = PreemptReason::None;
+};
 
 /** One SM executing a share of the grid to completion. */
 class Sm
@@ -62,6 +71,43 @@ class Sm
      * attached HangDiagnosis when the watchdog expires.
      */
     SimStats run();
+
+    /**
+     * Simulate under @p control: stop early with a Preempted outcome
+     * when the cycle budget, the cancellation token or the wall
+     * deadline fires, and (when control.sanitize) audit register
+     * accounting every epoch — throwing SanitizerError on the first
+     * violation. Callable repeatedly: a preempted Sm resumes exactly
+     * where it stopped. With a default-constructed control this is
+     * run() and pays no per-cycle overhead beyond one branch.
+     */
+    SmRunOutcome runControlled(const RunControl &control);
+
+    /** Simulated cycles completed so far (resume bookkeeping). */
+    std::uint64_t currentCycle() const { return cycle; }
+
+    /** True once every assigned CTA has retired. */
+    bool gridDone() const
+    {
+        return stats.ctasCompleted >= static_cast<std::uint64_t>(ctasToRun);
+    }
+
+    /**
+     * Serialize the complete dynamic state (warp contexts, event and
+     * memory queues, scheduler position, allocator state, memory diff,
+     * stats) so that restoreState() + runControlled() is bit-identical
+     * to an uninterrupted run. Records a Snapshot trace event and bumps
+     * the sim.snapshots counter (neither touches SimStats).
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /**
+     * Inverse of saveState. The Sm must have been constructed with the
+     * same config/program/policy/ctas (validated via an identity
+     * header; throws SnapshotError on mismatch) and a pristine
+     * GlobalMemory of the same geometry and seed.
+     */
+    void restoreState(SnapshotReader &r);
 
   private:
     // --- Static context ---
@@ -99,6 +145,8 @@ class Sm
         Gauge *residentWarps = nullptr;
         Gauge *residentCtas = nullptr;
         Histogram *acquireWait = nullptr;
+        Counter *snapshots = nullptr;
+        Counter *restores = nullptr;
     };
     Instruments met;
 
@@ -152,7 +200,10 @@ class Sm
     int aliveWarps = 0;                  ///< resident, not finished
     int pendingConflictPenalty = 0;      ///< operand-collector stall
     std::uint64_t lastProgressCycle = 0;
-    bool shrinkApplied = false;  ///< SRP-shrink fault fired already
+    bool shrinkApplied = false;   ///< SRP-shrink fault fired already
+    bool corruptApplied = false;  ///< state-corruption fault fired already
+    bool launched = false;        ///< initial launchCtas() done
+    std::uint64_t residentIntegral = 0;  ///< sum of aliveWarps per cycle
     SimStats stats;
 
     // --- Helpers ---
@@ -196,6 +247,12 @@ class Sm
                                 int blocked_barrier) const;
     /** classifyWedge over the current warp states (watchdog path). */
     DeadlockCause classifyWedgeNow() const;
+
+    /** Fill the derived SimStats fields (idempotent). */
+    void finishStats();
+
+    /** Sanitizer epoch audit; throws SanitizerError on violation. */
+    void auditEpoch();
 };
 
 } // namespace rm

@@ -110,6 +110,20 @@ struct SimStats
 };
 
 /**
+ * Bit-exact equality over every counter and derived value (doubles
+ * compare by value, which for our deterministic pipeline means by bit
+ * pattern). The hang forensics pointer compares by presence only: two
+ * equally-deadlocked runs carry equivalent but separately-allocated
+ * diagnoses. This is the invariant the snapshot/restore tests assert:
+ * restore-then-run == uninterrupted run.
+ */
+bool operator==(const SimStats &a, const SimStats &b);
+inline bool operator!=(const SimStats &a, const SimStats &b)
+{
+    return !(a == b);
+}
+
+/**
  * Relative cycle delta of @p technique versus @p baseline:
  * positive = reduction (improvement), as in paper Figs 7/9a/10;
  * negate for the "increase" plots (Figs 8/9b/12b).

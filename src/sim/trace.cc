@@ -47,6 +47,8 @@ IssueTrace::kindName(TraceKind kind)
       case TraceKind::WarpExit: return "exit";
       case TraceKind::CtaLaunch: return "cta-launch";
       case TraceKind::CtaRetire: return "cta-retire";
+      case TraceKind::Snapshot: return "snapshot";
+      case TraceKind::Restore: return "restore";
     }
     return "?";
 }

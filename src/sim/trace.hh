@@ -30,6 +30,8 @@ enum class TraceKind : std::uint8_t {
     WarpExit,
     CtaLaunch,
     CtaRetire,
+    Snapshot,       ///< engine state captured (sim/snapshot.hh)
+    Restore,        ///< engine state restored from a snapshot
 };
 
 /** One trace record. */

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "common/errors.hh"
 #include "core/experiment.hh"
 #include "obs/export.hh"
+#include "sim/diagnosis.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
@@ -300,6 +302,151 @@ TEST(Export, SimStatsJsonKeysMatchGoldenFile)
     // The schema is an interface: scripts parse these names. Update the
     // golden file deliberately when the schema deliberately changes.
     EXPECT_EQ(keys, expected);
+}
+
+// --- statsFromJson forward/backward compatibility --------------------
+
+/** A diagnosis with every field populated, for round-trip checks. */
+HangDiagnosis
+sampleDiagnosis()
+{
+    HangDiagnosis d;
+    d.kernel = "K";
+    d.policy = "regmutex";
+    d.smId = 3;
+    d.cycle = 4242;
+    d.watchdogExpired = true;
+    d.cause = DeadlockCause::Acquire;
+    d.blockedAcquire = 2;
+    d.blockedResource = 1;
+    d.blockedBarrier = 4;
+    d.otherWaiters = 1;
+    d.eventQueueDepth = 7;
+    d.memQueueDepth = 3;
+    d.nextEventCycle = 4300;
+    d.schedLastIssued = {5, -1};
+    d.srpSections = 4;
+    d.srpHolders = {0, 2};
+    d.srpWaiters = {1, 3};
+    WarpSnapshot warp;
+    warp.slot = 1;
+    warp.ctaId = 0;
+    warp.warpInCta = 1;
+    warp.pc = 17;
+    warp.instruction = "acq";
+    warp.state = WarpState::WaitAcquire;
+    warp.waitAge = 900;
+    warp.srpSection = 2;
+    warp.holdsExt = true;
+    warp.pendingMem = 1;
+    warp.pendingWrites = 2;
+    warp.instructionsExecuted = 55;
+    d.warps.push_back(warp);
+    return d;
+}
+
+TEST(Export, StatsFromJsonDefaultsMissingKeys)
+{
+    // A record written by an older producer: most keys absent.
+    const SimStats s = statsFromJson(
+        parseJson("{\"kernel\": \"K\", \"cycles\": 42}"));
+    EXPECT_EQ(s.kernelName, "K");
+    EXPECT_EQ(s.cycles, 42u);
+    EXPECT_EQ(s.instructions, 0u);
+    EXPECT_EQ(s.scoreboardStalls, 0u);
+    EXPECT_EQ(s.faultEvents, 0u);
+    EXPECT_FALSE(s.deadlocked);
+    EXPECT_EQ(s.deadlockCause, DeadlockCause::None);
+    EXPECT_EQ(s.hang, nullptr);
+}
+
+TEST(Export, StatsFromJsonIgnoresUnknownKeys)
+{
+    // A record written by a newer producer: extra keys at every level.
+    SimStats original;
+    original.kernelName = "K";
+    original.allocatorName = "regmutex";
+    original.cycles = 100;
+    original.scoreboardStalls = 7;
+    original.deadlocked = true;
+    original.deadlockCause = DeadlockCause::Acquire;
+    original.hang =
+        std::make_shared<const HangDiagnosis>(sampleDiagnosis());
+
+    JsonValue doc = parseJson(statsToJson(original));
+    JsonValue extra;
+    extra.kind = JsonValue::Kind::Number;
+    extra.number = 9;
+    doc.members.emplace_back("future_top_level_key", extra);
+    for (auto &[key, member] : doc.members) {
+        if (key == "stalls" || key == "hang")
+            member.members.emplace_back("future_nested_key", extra);
+    }
+
+    const SimStats back = statsFromJson(doc);
+    EXPECT_EQ(back, original);
+    ASSERT_NE(back.hang, nullptr);
+    EXPECT_EQ(back.hang->cycle, original.hang->cycle);
+}
+
+TEST(Export, HangDiagnosisRoundTripsThroughStatsJson)
+{
+    SimStats stats;
+    stats.kernelName = "K";
+    stats.deadlocked = true;
+    stats.deadlockCause = DeadlockCause::Acquire;
+    stats.hang = std::make_shared<const HangDiagnosis>(sampleDiagnosis());
+
+    const SimStats back = statsFromJson(parseJson(statsToJson(stats)));
+    ASSERT_NE(back.hang, nullptr);
+    const HangDiagnosis &d = *back.hang;
+    const HangDiagnosis &ref = *stats.hang;
+    EXPECT_EQ(d.kernel, ref.kernel);
+    EXPECT_EQ(d.policy, ref.policy);
+    EXPECT_EQ(d.smId, ref.smId);
+    EXPECT_EQ(d.cycle, ref.cycle);
+    EXPECT_EQ(d.watchdogExpired, ref.watchdogExpired);
+    EXPECT_EQ(d.cause, ref.cause);
+    EXPECT_EQ(d.blockedAcquire, ref.blockedAcquire);
+    EXPECT_EQ(d.blockedResource, ref.blockedResource);
+    EXPECT_EQ(d.blockedBarrier, ref.blockedBarrier);
+    EXPECT_EQ(d.otherWaiters, ref.otherWaiters);
+    EXPECT_EQ(d.eventQueueDepth, ref.eventQueueDepth);
+    EXPECT_EQ(d.memQueueDepth, ref.memQueueDepth);
+    EXPECT_EQ(d.nextEventCycle, ref.nextEventCycle);
+    EXPECT_EQ(d.schedLastIssued, ref.schedLastIssued);
+    EXPECT_EQ(d.srpSections, ref.srpSections);
+    EXPECT_EQ(d.srpHolders, ref.srpHolders);
+    EXPECT_EQ(d.srpWaiters, ref.srpWaiters);
+    ASSERT_EQ(d.warps.size(), ref.warps.size());
+    const WarpSnapshot &w = d.warps[0];
+    const WarpSnapshot &rw = ref.warps[0];
+    EXPECT_EQ(w.slot, rw.slot);
+    EXPECT_EQ(w.ctaId, rw.ctaId);
+    EXPECT_EQ(w.warpInCta, rw.warpInCta);
+    EXPECT_EQ(w.pc, rw.pc);
+    EXPECT_EQ(w.instruction, rw.instruction);
+    EXPECT_EQ(w.state, rw.state);
+    EXPECT_EQ(w.waitAge, rw.waitAge);
+    EXPECT_EQ(w.srpSection, rw.srpSection);
+    EXPECT_EQ(w.holdsExt, rw.holdsExt);
+    EXPECT_EQ(w.pendingMem, rw.pendingMem);
+    EXPECT_EQ(w.pendingWrites, rw.pendingWrites);
+    EXPECT_EQ(w.instructionsExecuted, rw.instructionsExecuted);
+}
+
+TEST(Export, StrippedHangObjectDefaultsItsFields)
+{
+    const SimStats s = statsFromJson(parseJson(
+        "{\"kernel\": \"K\", \"deadlocked\": true,"
+        " \"hang\": {\"kernel\": \"K\"}}"));
+    ASSERT_NE(s.hang, nullptr);
+    EXPECT_EQ(s.hang->kernel, "K");
+    EXPECT_EQ(s.hang->cause, DeadlockCause::None);
+    EXPECT_EQ(s.hang->srpSections, -1);
+    EXPECT_FALSE(s.hang->watchdogExpired);
+    EXPECT_TRUE(s.hang->warps.empty());
+    EXPECT_TRUE(s.hang->srpHolders.empty());
 }
 
 // --- End to end: a real run through the full stack -------------------

@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Run durability: the snapshot codec round-trips bit-exactly and fails
+ * loudly on damage, preempted runs resume to SimStats bit-identical to
+ * uninterrupted ones (for every policy, under fault plans, across
+ * thread counts), the sanitizer passes clean runs and catches injected
+ * state corruption within one epoch, and the sweep runner persists and
+ * resumes preempted cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/bitmask.hh"
+#include "common/rng.hh"
+#include "core/experiment.hh"
+#include "core/policy.hh"
+#include "core/sweep.hh"
+#include "sim/config.hh"
+#include "sim/gpu.hh"
+#include "sim/sanitizer.hh"
+#include "sim/snapshot.hh"
+#include "workloads/suite.hh"
+
+namespace rm {
+namespace {
+
+const std::vector<std::string> kPolicies = {"baseline", "regmutex",
+                                            "paired", "owf", "rfv"};
+
+/** Serialize + deserialize, as a resumed process would see it. */
+std::shared_ptr<const GpuSnapshot>
+roundTrip(const GpuSnapshot &snap)
+{
+    return std::make_shared<const GpuSnapshot>(
+        GpuSnapshot::deserialize(snap.serialize()));
+}
+
+// --- Codec ---
+
+TEST(SnapshotCodec, PrimitivesRoundTripBitExactly)
+{
+    SnapshotWriter w;
+    w.u8(0xab);
+    w.u32(0xdeadbeefU);
+    w.u64(0x0123456789abcdefULL);
+    w.i32(-42);
+    w.i64(-1234567890123456789LL);
+    w.f64(0.1);           // not exactly representable: bit-cast matters
+    w.f64(-0.0);
+    w.boolean(true);
+    w.str("hello \xE2\x9C\x93 world");
+    w.bytes(std::string("\x00\x01\x02", 3));
+
+    SnapshotReader r(w.buffer());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefU);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.i32(), -42);
+    EXPECT_EQ(r.i64(), -1234567890123456789LL);
+    EXPECT_EQ(r.f64(), 0.1);
+    const double neg_zero = r.f64();
+    EXPECT_EQ(neg_zero, 0.0);
+    EXPECT_TRUE(std::signbit(neg_zero));
+    EXPECT_TRUE(r.boolean());
+    EXPECT_EQ(r.str(), "hello \xE2\x9C\x93 world");
+    EXPECT_EQ(r.bytes(), std::string("\x00\x01\x02", 3));
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(SnapshotCodec, TruncationThrows)
+{
+    SnapshotWriter w;
+    w.u64(7);
+    const std::string bytes = w.buffer();
+    SnapshotReader r(std::string_view(bytes).substr(0, 5));
+    EXPECT_THROW(r.u64(), SnapshotError);
+}
+
+TEST(SnapshotCodec, BitmaskRoundTripsSparsely)
+{
+    Bitmask mask(300);
+    mask.set(0);
+    mask.set(63);
+    mask.set(64);
+    mask.set(299);
+    SnapshotWriter w;
+    w.bitmask(mask);
+    // Sparse encoding: size + count + one u64 per set bit, not 300 bits.
+    EXPECT_LT(w.buffer().size(), 64u);
+    SnapshotReader r(w.buffer());
+    const Bitmask back = r.bitmask();
+    ASSERT_EQ(back.size(), 300u);
+    EXPECT_EQ(back.count(), 4u);
+    EXPECT_TRUE(back.test(0));
+    EXPECT_TRUE(back.test(63));
+    EXPECT_TRUE(back.test(64));
+    EXPECT_TRUE(back.test(299));
+}
+
+TEST(SnapshotCodec, RngStateRoundTrips)
+{
+    Rng rng(12345);
+    rng.next();
+    rng.next();
+    std::uint64_t state[4];
+    rng.exportState(state);
+    const std::uint64_t expect = rng.next();
+
+    Rng resumed(999);  // different seed: restore must win
+    resumed.restoreState(state);
+    EXPECT_EQ(resumed.next(), expect);
+}
+
+TEST(SnapshotCodec, SimStatsRoundTrip)
+{
+    SimStats stats;
+    stats.kernelName = "K";
+    stats.allocatorName = "A";
+    stats.cycles = 123456;
+    stats.instructions = 789;
+    stats.theoreticalOccupancy = 2.0 / 3.0;
+    stats.avgResidentWarps = 17.25;
+    stats.deadlocked = true;
+    stats.deadlockCause = DeadlockCause::Acquire;
+    stats.faultEvents = 3;
+
+    SnapshotWriter w;
+    saveStats(w, stats);
+    SnapshotReader r(w.buffer());
+    const SimStats back = loadStats(r);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(back, stats);
+    EXPECT_EQ(back.deadlockCause, DeadlockCause::Acquire);
+}
+
+TEST(GpuSnapshotFormat, DamageFailsLoudly)
+{
+    GpuSnapshot snap;
+    snap.kernel = "K";
+    snap.policy = "P";
+    snap.numSms = 1;
+    snap.sms.resize(1);
+    snap.sms[0].finished = true;
+    const std::string bytes = snap.serialize();
+
+    // Clean round trip first.
+    const GpuSnapshot back = GpuSnapshot::deserialize(bytes);
+    EXPECT_EQ(back.kernel, "K");
+    EXPECT_EQ(back.policy, "P");
+    ASSERT_EQ(back.sms.size(), 1u);
+    EXPECT_TRUE(back.sms[0].finished);
+
+    // Bad magic.
+    std::string broken = bytes;
+    broken[0] = 'X';
+    EXPECT_THROW(GpuSnapshot::deserialize(broken), SnapshotError);
+    // Unsupported version (the u32 after the magic).
+    broken = bytes;
+    broken[4] = static_cast<char>(0x7f);
+    EXPECT_THROW(GpuSnapshot::deserialize(broken), SnapshotError);
+    // Truncated.
+    EXPECT_THROW(GpuSnapshot::deserialize(
+                     std::string_view(bytes).substr(0, bytes.size() - 3)),
+                 SnapshotError);
+    // Trailing garbage.
+    EXPECT_THROW(GpuSnapshot::deserialize(bytes + "zz"), SnapshotError);
+}
+
+TEST(GpuSnapshotFormat, FileRoundTripIsAtomic)
+{
+    const std::string path = testing::TempDir() + "rm_snapshot_test.snap";
+    GpuSnapshot snap;
+    snap.kernel = "K";
+    snap.numSms = 2;
+    snap.sms.resize(2);
+    writeSnapshotFile(path, snap);
+    // No temp file left behind by the write-then-rename.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    const GpuSnapshot back = readSnapshotFile(path);
+    EXPECT_EQ(back.kernel, "K");
+    EXPECT_EQ(back.numSms, 2);
+
+    std::ofstream(path, std::ios::trunc) << "not a snapshot";
+    EXPECT_THROW(readSnapshotFile(path), SnapshotError);
+    std::remove(path.c_str());
+}
+
+// --- Kill-resume equivalence ---
+
+/**
+ * Reference run, preempted run, resumed run; assert the resumed stats
+ * are bit-identical to the reference for the aggregate and every SM.
+ */
+void
+expectResumeEquivalence(const std::string &policy, const Program &program,
+                        const GpuConfig &config, GpuOptions base,
+                        std::uint64_t preempt_at)
+{
+    RunOptions ref_options;
+    ref_options.gpu = base;
+    const PolicyRun ref = runPolicy(policy, program, config, ref_options);
+    ASSERT_TRUE(ref.result.completed());
+
+    RunOptions cut_options;
+    cut_options.gpu = base;
+    cut_options.gpu.control.maxCycles = preempt_at;
+    const PolicyRun cut = runPolicy(policy, program, config, cut_options);
+    ASSERT_FALSE(cut.result.completed()) << policy;
+    ASSERT_EQ(cut.result.preemptReason, PreemptReason::CycleLimit);
+    ASSERT_NE(cut.result.snapshot, nullptr);
+    // maxCycles is enforced every cycle, so the cut is exact.
+    EXPECT_EQ(cut.stats().cycles, preempt_at);
+
+    RunOptions resume_options;
+    resume_options.gpu = base;
+    resume_options.gpu.resume = roundTrip(*cut.result.snapshot);
+    const PolicyRun resumed =
+        runPolicy(policy, program, config, resume_options);
+    ASSERT_TRUE(resumed.result.completed()) << policy;
+
+    EXPECT_EQ(resumed.stats(), ref.stats()) << policy;
+    ASSERT_EQ(resumed.result.perSm.size(), ref.result.perSm.size());
+    for (std::size_t i = 0; i < ref.result.perSm.size(); ++i)
+        EXPECT_EQ(resumed.result.perSm[i], ref.result.perSm[i])
+            << policy << " SM " << i;
+}
+
+class KillResume : public testing::TestWithParam<std::string>
+{};
+
+TEST_P(KillResume, BitIdenticalToStraightRun)
+{
+    const Program program = buildWorkload("BFS");
+    expectResumeEquivalence(GetParam(), program, gtx480Config(),
+                            GpuOptions{}, 2500);
+}
+
+TEST_P(KillResume, BitIdenticalUnderFaultPlan)
+{
+    const Program program = buildWorkload("BFS");
+    GpuOptions gpu;
+    gpu.fault.denyAcquire = {1000, 3000};
+    gpu.fault.memSpike = {500, 2500};
+    gpu.fault.memSpikeFactor = 4;
+    expectResumeEquivalence(GetParam(), program, gtx480Config(), gpu,
+                            2200);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, KillResume,
+                         testing::ValuesIn(kPolicies),
+                         [](const auto &info) { return info.param; });
+
+TEST(KillResumeDetail, ArbitrarySnapshotCycles)
+{
+    const Program program = buildWorkload("BFS");
+    for (const std::uint64_t at : {std::uint64_t{1}, std::uint64_t{17},
+                                   std::uint64_t{1024},
+                                   std::uint64_t{4097}}) {
+        expectResumeEquivalence("regmutex", program, gtx480Config(),
+                                GpuOptions{}, at);
+    }
+}
+
+TEST(KillResumeDetail, MultiSmAtOneAndEightThreads)
+{
+    Program program = buildWorkload("BFS");
+    program.info.gridCtas = 13;  // uneven share across 4 SMs
+    GpuConfig config = gtx480Config();
+    config.numSms = 4;
+    for (const int threads : {1, 8}) {
+        GpuOptions gpu;
+        gpu.mode = GpuOptions::Mode::FullMachine;
+        gpu.threads = threads;
+        expectResumeEquivalence("regmutex", program, config, gpu, 1800);
+        expectResumeEquivalence("rfv", program, config, gpu, 1800);
+    }
+}
+
+TEST(KillResumeDetail, PeriodicSnapshotsDoNotPerturbStats)
+{
+    const Program program = buildWorkload("SPMV");
+    const GpuConfig config = gtx480Config();
+
+    const PolicyRun ref = runPolicy("regmutex", program, config);
+
+    int captures = 0;
+    std::shared_ptr<const GpuSnapshot> last;
+    RunOptions options;
+    options.gpu.snapshotEvery = 512;
+    options.gpu.snapshotSink = [&](const GpuSnapshot &snap) {
+        ++captures;
+        last = roundTrip(snap);
+    };
+    const PolicyRun run = runPolicy("regmutex", program, config, options);
+    ASSERT_TRUE(run.result.completed());
+    EXPECT_EQ(run.stats(), ref.stats());
+    EXPECT_GT(captures, 0);
+    ASSERT_NE(last, nullptr);
+
+    // The last periodic snapshot also resumes to the same end state.
+    RunOptions resume_options;
+    resume_options.gpu.resume = last;
+    const PolicyRun resumed =
+        runPolicy("regmutex", program, config, resume_options);
+    EXPECT_EQ(resumed.stats(), ref.stats());
+}
+
+// --- Preemption triggers ---
+
+TEST(Preemption, CancellationTokenStopsAtEpoch)
+{
+    const Program program = buildWorkload("BFS");
+    std::atomic<bool> cancel{true};
+    RunOptions options;
+    options.gpu.control.cancel = &cancel;
+    const PolicyRun run =
+        runPolicy("regmutex", program, gtx480Config(), options);
+    ASSERT_FALSE(run.result.completed());
+    EXPECT_EQ(run.result.preemptReason, PreemptReason::Cancelled);
+    // Cancellation is checked at epoch boundaries.
+    EXPECT_EQ(run.stats().cycles, options.gpu.control.epochCycles);
+    ASSERT_NE(run.result.snapshot, nullptr);
+
+    // A resumed run with the token cleared finishes normally.
+    cancel = false;
+    RunOptions resume_options;
+    resume_options.gpu.resume = roundTrip(*run.result.snapshot);
+    const PolicyRun resumed =
+        runPolicy("regmutex", program, gtx480Config(), resume_options);
+    EXPECT_TRUE(resumed.result.completed());
+    const PolicyRun ref = runPolicy("regmutex", program, gtx480Config());
+    EXPECT_EQ(resumed.stats(), ref.stats());
+}
+
+TEST(Preemption, ExpiredWallDeadlineStops)
+{
+    const Program program = buildWorkload("BFS");
+    RunOptions options;
+    options.gpu.control.hasWallDeadline = true;
+    options.gpu.control.wallDeadline =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    const PolicyRun run =
+        runPolicy("regmutex", program, gtx480Config(), options);
+    ASSERT_FALSE(run.result.completed());
+    EXPECT_EQ(run.result.preemptReason, PreemptReason::WallDeadline);
+}
+
+TEST(Preemption, GenerousLimitsDoNotPreempt)
+{
+    const Program program = buildWorkload("BFS");
+    const PolicyRun ref = runPolicy("regmutex", program, gtx480Config());
+    std::atomic<bool> cancel{false};
+    RunOptions options;
+    options.gpu.control.maxCycles = ref.stats().cycles * 4;
+    options.gpu.control.cancel = &cancel;
+    options.gpu.control =
+        options.gpu.control.withWallDeadlineSeconds(3600.0);
+    const PolicyRun run =
+        runPolicy("regmutex", program, gtx480Config(), options);
+    ASSERT_TRUE(run.result.completed());
+    EXPECT_EQ(run.stats(), ref.stats());
+    EXPECT_EQ(run.result.snapshot, nullptr);
+}
+
+// --- Resume validation ---
+
+TEST(ResumeValidation, MismatchesFailLoudly)
+{
+    const Program program = buildWorkload("BFS");
+    RunOptions cut_options;
+    cut_options.gpu.control.maxCycles = 1500;
+    const PolicyRun cut =
+        runPolicy("regmutex", program, gtx480Config(), cut_options);
+    ASSERT_NE(cut.result.snapshot, nullptr);
+
+    // Different kernel.
+    {
+        RunOptions options;
+        options.gpu.resume = cut.result.snapshot;
+        EXPECT_THROW(runPolicy("regmutex", buildWorkload("SPMV"),
+                               gtx480Config(), options),
+                     SnapshotError);
+    }
+    // Different architecture (config digest).
+    {
+        RunOptions options;
+        options.gpu.resume = cut.result.snapshot;
+        EXPECT_THROW(runPolicy("regmutex", program,
+                               halfRegisterFile(gtx480Config()), options),
+                     SnapshotError);
+    }
+    // Different policy (caught by the per-SM identity header).
+    {
+        RunOptions options;
+        options.gpu.resume = cut.result.snapshot;
+        EXPECT_THROW(
+            runPolicy("rfv", program, gtx480Config(), options),
+            SnapshotError);
+    }
+}
+
+// --- Sanitizer ---
+
+TEST(Sanitizer, CleanRunsReportNoViolations)
+{
+    const Program program = buildWorkload("BFS");
+    for (const std::string &policy : kPolicies) {
+        RunOptions options;
+        options.gpu.control.sanitize = true;
+        const PolicyRun run =
+            runPolicy(policy, program, gtx480Config(), options);
+        EXPECT_TRUE(run.result.completed()) << policy;
+        EXPECT_FALSE(run.stats().deadlocked) << policy;
+    }
+}
+
+TEST(Sanitizer, SanitizedStatsMatchUnsanitized)
+{
+    const Program program = buildWorkload("BFS");
+    const PolicyRun ref = runPolicy("regmutex", program, gtx480Config());
+    RunOptions options;
+    options.gpu.control.sanitize = true;
+    const PolicyRun audited =
+        runPolicy("regmutex", program, gtx480Config(), options);
+    EXPECT_EQ(audited.stats(), ref.stats());
+}
+
+TEST(Sanitizer, CorruptionCaughtWithinOneEpoch)
+{
+    const Program program = buildWorkload("BFS");
+    constexpr std::uint64_t kCorruptAt = 2000;
+    for (const std::string &policy :
+         {std::string("regmutex"), std::string("paired"),
+          std::string("rfv"), std::string("owf")}) {
+        RunOptions options;
+        options.gpu.control.sanitize = true;
+        options.gpu.fault.corruptStateAtCycle = kCorruptAt;
+        try {
+            runPolicy(policy, program, gtx480Config(), options);
+            FAIL() << policy << ": corruption escaped the sanitizer";
+        } catch (const SanitizerError &e) {
+            EXPECT_FALSE(e.report().violations.empty()) << policy;
+            EXPECT_GE(e.report().cycle, kCorruptAt) << policy;
+            EXPECT_LE(e.report().cycle,
+                      kCorruptAt + options.gpu.control.epochCycles)
+                << policy;
+        }
+    }
+}
+
+// --- Sweep integration ---
+
+TEST(SweepResume, PreemptedCellResumesFromSnapshotDir)
+{
+    const std::string dir = testing::TempDir();
+    const std::vector<SweepCase> grid =
+        sweepGrid({"BFS"}, {"regmutex", "rfv"}, {{"GTX480",
+                                                  gtx480Config()}});
+
+    SweepOptions clean;
+    clean.threads = 1;
+    const std::vector<SweepResult> reference = runSweep(grid, clean);
+    for (const SweepResult &r : reference)
+        ASSERT_TRUE(r.ok()) << r.error;
+
+    SweepOptions budgeted = clean;
+    budgeted.snapshotDir = dir;
+    budgeted.gpu.control.maxCycles = 2000;
+    const std::vector<SweepResult> cut = runSweep(grid, budgeted);
+    for (const SweepResult &r : cut) {
+        ASSERT_EQ(r.status, SweepStatus::Preempted) << r.error;
+        EXPECT_EQ(r.error,
+                  std::string("preempted: cycle-limit"));
+    }
+
+    SweepOptions resumed_options = clean;
+    resumed_options.snapshotDir = dir;
+    const std::vector<SweepResult> resumed =
+        runSweep(grid, resumed_options);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        ASSERT_TRUE(resumed[i].ok()) << resumed[i].error;
+        EXPECT_EQ(resumed[i].stats(), reference[i].stats())
+            << grid[i].policy;
+    }
+}
+
+TEST(SweepCheckpoint, TornTrailingLineIsDropped)
+{
+    const std::string path =
+        testing::TempDir() + "rm_sweep_torn_checkpoint.jsonl";
+    std::remove(path.c_str());
+    const std::vector<SweepCase> grid =
+        sweepGrid({"BFS"}, {"baseline"}, {{"GTX480", gtx480Config()}});
+
+    SweepOptions options;
+    options.threads = 1;
+    options.checkpointPath = path;
+    const std::vector<SweepResult> first = runSweep(grid, options);
+    ASSERT_TRUE(first[0].ok());
+    EXPECT_FALSE(first[0].fromCheckpoint);
+
+    // A run killed mid-append leaves a torn trailing line.
+    std::ofstream(path, std::ios::app)
+        << "{\"key\":\"half-written..., \"stats\":{\"cyc";
+
+    const std::vector<SweepResult> second = runSweep(grid, options);
+    ASSERT_TRUE(second[0].ok());
+    EXPECT_TRUE(second[0].fromCheckpoint);
+    EXPECT_EQ(second[0].stats(), first[0].stats());
+    std::remove(path.c_str());
+}
+
+TEST(SweepCli, ParsesRunControlFlags)
+{
+    const char *argv[] = {"bench",           "--max-cycles",
+                          "5000",            "--wall-deadline",
+                          "2.5",             "--sanitize",
+                          "--snapshot-every", "1000",
+                          "--snapshot-dir",  "/tmp/snapdir"};
+    const SweepCli cli(static_cast<int>(std::size(argv)),
+                       const_cast<char *const *>(argv));
+    EXPECT_EQ(cli.maxCycles, 5000u);
+    EXPECT_DOUBLE_EQ(cli.wallDeadlineSeconds, 2.5);
+    EXPECT_TRUE(cli.sanitize);
+    EXPECT_EQ(cli.snapshotEvery, 1000u);
+    EXPECT_EQ(cli.snapshotDir, "/tmp/snapdir");
+
+    GpuConfig config = gtx480Config();
+    SweepOptions options;
+    cli.apply(config, options);
+    EXPECT_EQ(options.gpu.control.maxCycles, 5000u);
+    EXPECT_TRUE(options.gpu.control.sanitize);
+    EXPECT_TRUE(options.gpu.control.hasWallDeadline);
+    EXPECT_EQ(options.gpu.snapshotEvery, 1000u);
+    EXPECT_EQ(options.snapshotDir, "/tmp/snapdir");
+}
+
+} // namespace
+} // namespace rm
