@@ -22,6 +22,10 @@
  *   --sample-interval N      cycles between samples (default 1000)
  *   --trace-capacity N       retained trace events (default 1M)
  *   --pretty                 pretty-print the JSON document to stdout
+ *   --lint                   run the rm-lint suite (docs/ANALYSIS.md)
+ *                            on the policy's compiled program before
+ *                            simulating; error findings abort the run
+ *                            with exit status 4
  *   --half-rf | --es N | --lrr | --poll | --list
  *
  * Fault injection (docs/ROBUSTNESS.md; all cycles are simulated):
@@ -61,7 +65,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "common/errors.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
 #include "core/policy.hh"
@@ -88,6 +94,7 @@ usage()
            "  --sms N | --threads N\n"
            "  --json PATH | --csv PATH | --chrome-trace PATH\n"
            "  --sample-interval N | --trace-capacity N | --pretty\n"
+           "  --lint\n"
            "  --half-rf | --es N | --lrr | --poll | --list\n"
            "  --fault-deny-acquire FROM:UNTIL\n"
            "  --fault-delay-release FROM:UNTIL:DELAY\n"
@@ -206,6 +213,7 @@ main(int argc, char **argv)
     int sms = 1;
     int threads = 0;
     bool pretty = false;
+    bool lint = false;
     std::uint64_t max_cycles = 0;
     double wall_deadline_seconds = 0.0;
     bool sanitize = false;
@@ -261,6 +269,8 @@ main(int argc, char **argv)
             threads = static_cast<int>(nextNumber());
         } else if (arg == "--pretty") {
             pretty = true;
+        } else if (arg == "--lint") {
+            lint = true;
         } else if (arg == "--half-rf") {
             config = halfRegisterFile(config);
         } else if (arg == "--es") {
@@ -359,6 +369,37 @@ main(int argc, char **argv)
         if (!policy) {
             std::cerr << "unknown allocator " << allocator_name << "\n";
             return usage();
+        }
+
+        // Static gate: lint the policy's compiled program before
+        // spending any simulation time on it. runPolicy() recompiles,
+        // but compilation is pure and cheap next to a simulation.
+        if (lint) {
+            const PolicyCompile pc =
+                policy->compile(program, config, compile_options);
+            LintOptions lint_options;
+            lint_options.config = &config;
+            lint_options.disabledChecks = policy->lintSuppressions;
+            const LintReport report =
+                runLints(pc.program, lint_options);
+            inform("rm-inspect: lint: ", report.errorCount(),
+                   " error(s), ", report.warningCount(),
+                   " warning(s), ", report.noteCount(), " note(s)");
+            for (const Diagnostic &d : report.diagnostics) {
+                const std::string line =
+                    renderDiagnostic(pc.program, d);
+                if (d.severity == LintSeverity::Error)
+                    warn("rm-inspect: lint: ", line);
+                else
+                    inform("rm-inspect: lint: ", line);
+            }
+            if (!report.clean()) {
+                std::cerr << "lint failed: "
+                          << report.errorCount()
+                          << " error finding(s); rerun rm-lint for "
+                             "the full report\n";
+                return 4;
+            }
         }
 
         RunOptions run_options;

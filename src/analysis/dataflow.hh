@@ -1,0 +1,136 @@
+#ifndef RM_ANALYSIS_DATAFLOW_HH
+#define RM_ANALYSIS_DATAFLOW_HH
+
+/**
+ * @file
+ * Generic iterative dataflow framework over a Cfg: a worklist solver
+ * parameterized by a *problem* type that supplies the lattice value,
+ * the direction, the confluence (join) operator and the per-block
+ * transfer function. Liveness, the acquire/release hold-state analysis
+ * and the definite-assignment analysis behind the lint engine
+ * (analysis/lint.hh) are all instances of this one solver, so a
+ * convergence or ordering bug is fixed in exactly one place.
+ *
+ * A problem type provides:
+ *
+ *     struct P {
+ *         using Value = ...;                    // lattice element
+ *         static constexpr DataflowDirection direction = ...;
+ *         Value boundary() const;               // entry/exit blocks
+ *         Value top() const;                    // everything else
+ *         // Merge @p from into @p into; true when @p into changed.
+ *         bool join(Value &into, const Value &from) const;
+ *         // Value at the far side of @p block given the near side.
+ *         Value transfer(int block, const Value &near) const;
+ *     };
+ *
+ * join() must be monotone (values move one way along the lattice) and
+ * the lattice of finite height, or the solver will not terminate. The
+ * solver tracks change exclusively through join()'s return value, so
+ * Value needs no operator==.
+ *
+ * Results are reported in CFG orientation, not iteration orientation:
+ * in[b] is the value at the *entry* of block b and out[b] the value at
+ * its *exit*, for both directions. Unreachable blocks (never joined
+ * into) keep top().
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace rm {
+
+/** Which way facts propagate along CFG edges. */
+enum class DataflowDirection { Forward, Backward };
+
+/** Fixpoint of one dataflow problem; indexed by basic-block id. */
+template <typename Value>
+struct DataflowResult
+{
+    std::vector<Value> in;   ///< value at block entry
+    std::vector<Value> out;  ///< value at block exit
+};
+
+/**
+ * Solve @p problem over @p cfg with a deterministic round-robin
+ * worklist seeded in (reverse) post order.
+ */
+template <typename Problem>
+DataflowResult<typename Problem::Value>
+solveDataflow(const Cfg &cfg, const Problem &problem)
+{
+    using Value = typename Problem::Value;
+    constexpr bool forward =
+        Problem::direction == DataflowDirection::Forward;
+
+    const int num_blocks = static_cast<int>(cfg.numBlocks());
+    DataflowResult<Value> result;
+    result.in.assign(num_blocks, problem.top());
+    result.out.assign(num_blocks, problem.top());
+
+    // "near" is where a block receives facts (entry for forward, exit
+    // for backward); "far" is where its transfer deposits them.
+    std::vector<Value> &near = forward ? result.in : result.out;
+    std::vector<Value> &far = forward ? result.out : result.in;
+
+    // Boundary blocks receive the boundary value instead of joined
+    // neighbor facts: the entry block for forward problems, the exit
+    // blocks for backward ones.
+    std::vector<bool> boundary(num_blocks, false);
+    if (forward) {
+        boundary[0] = true;
+    } else {
+        for (int exit : cfg.exitBlocks())
+            boundary[exit] = true;
+    }
+
+    // Iteration order: reverse post order for forward problems (all
+    // acyclic predecessors first), its mirror for backward ones. The
+    // order only affects convergence speed, never the fixpoint.
+    std::vector<int> order = cfg.reversePostOrder();
+    if (!forward)
+        std::reverse(order.begin(), order.end());
+
+    // Round-robin passes over the fixed order until quiescent: the
+    // deterministic cousin of a FIFO worklist (same fixpoint, and a
+    // stable visit sequence the solver tests can count on).
+    std::vector<bool> queued(num_blocks, false);
+    for (int block : order)
+        queued[block] = true;
+    bool any_queued = true;
+    while (any_queued) {
+        any_queued = false;
+        for (int block : order) {
+            if (!queued[block])
+                continue;
+            queued[block] = false;
+
+            Value near_value =
+                boundary[block] ? problem.boundary() : problem.top();
+            const std::vector<int> &incoming =
+                forward ? cfg.block(block).preds : cfg.block(block).succs;
+            for (int from : incoming)
+                problem.join(near_value, far[from]);
+            problem.join(near[block], near_value);
+
+            const Value far_value = problem.transfer(block, near[block]);
+            if (!problem.join(far[block], far_value))
+                continue;  // already at this block's fixpoint
+            const std::vector<int> &outgoing =
+                forward ? cfg.block(block).succs : cfg.block(block).preds;
+            for (int to : outgoing) {
+                if (!queued[to]) {
+                    queued[to] = true;
+                    any_queued = true;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace rm
+
+#endif // RM_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,136 @@
+#include "analysis/lint.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/errors.hh"
+#include "isa/disasm.hh"
+
+namespace rm {
+
+const char *
+lintSeverityName(LintSeverity severity)
+{
+    switch (severity) {
+      case LintSeverity::Note:
+        return "note";
+      case LintSeverity::Warning:
+        return "warning";
+      case LintSeverity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+int
+LintReport::errorCount() const
+{
+    int n = 0;
+    for (const Diagnostic &d : diagnostics)
+        n += d.severity == LintSeverity::Error;
+    return n;
+}
+
+int
+LintReport::warningCount() const
+{
+    int n = 0;
+    for (const Diagnostic &d : diagnostics)
+        n += d.severity == LintSeverity::Warning;
+    return n;
+}
+
+int
+LintReport::noteCount() const
+{
+    int n = 0;
+    for (const Diagnostic &d : diagnostics)
+        n += d.severity == LintSeverity::Note;
+    return n;
+}
+
+std::vector<const Diagnostic *>
+LintReport::byCheck(const std::string &id) const
+{
+    std::vector<const Diagnostic *> found;
+    for (const Diagnostic &d : diagnostics)
+        if (d.checkId == id)
+            found.push_back(&d);
+    return found;
+}
+
+bool
+LintReport::has(const std::string &id) const
+{
+    for (const Diagnostic &d : diagnostics)
+        if (d.checkId == id)
+            return true;
+    return false;
+}
+
+LintReport
+runLints(const Program &program, const LintOptions &options)
+{
+    program.verify();
+    const Cfg cfg = Cfg::build(program);
+    const Liveness liveness = Liveness::compute(program, cfg);
+    const AcquireState holds = AcquireState::compute(program, cfg);
+    const LintContext context{program, cfg, liveness, holds,
+                              options.config};
+
+    const auto disabled = [&](const LintCheck &check) {
+        for (const std::string &id : options.disabledChecks)
+            if (id == check.id() || id == check.name())
+                return true;
+        return false;
+    };
+
+    LintReport report;
+    for (const auto &check : lintChecks()) {
+        if (disabled(*check))
+            continue;
+        check->run(context, report.diagnostics);
+    }
+    // Deterministic presentation order: by check id, then location.
+    std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.checkId != b.checkId)
+                             return a.checkId < b.checkId;
+                         if (a.inst != b.inst)
+                             return a.inst < b.inst;
+                         return a.block < b.block;
+                     });
+    return report;
+}
+
+std::string
+renderDiagnostic(const Program &program, const Diagnostic &diagnostic)
+{
+    std::ostringstream os;
+    os << diagnostic.checkId << ' '
+       << lintSeverityName(diagnostic.severity);
+    if (diagnostic.inst >= 0 &&
+        diagnostic.inst < static_cast<int>(program.code.size())) {
+        os << " @" << diagnostic.inst << " ("
+           << disassemble(program.code[diagnostic.inst]) << ")";
+    } else if (diagnostic.block >= 0) {
+        os << " [block " << diagnostic.block << "]";
+    }
+    os << ": " << diagnostic.message;
+    if (!diagnostic.note.empty())
+        os << " (" << diagnostic.note << ")";
+    return os.str();
+}
+
+std::string
+renderReport(const Program &program, const LintReport &report)
+{
+    std::string out;
+    for (const Diagnostic &d : report.diagnostics) {
+        out += renderDiagnostic(program, d);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace rm

@@ -1,0 +1,156 @@
+#ifndef RM_ANALYSIS_LINT_HH
+#define RM_ANALYSIS_LINT_HH
+
+/**
+ * @file
+ * `rm-lint`: whole-program static analysis over kernels and compiler
+ * output. Checks are plugins (LintCheck) running over a shared
+ * LintContext (program + CFG + liveness + hold state, all computed
+ * once) and produce structured Diagnostics instead of a single error
+ * string, so every violation on every path is reported with its check
+ * id, severity and location.
+ *
+ * Check catalog (docs/ANALYSIS.md has examples and suppression notes):
+ *
+ *   RM001 extended-access-unheld   error    extended-set register
+ *         accessed on a path where the acquire state is not guaranteed
+ *   RM002 held-across-barrier      error    CTA barrier reachable while
+ *         the extended set may be held (deadlock); also flags a loop
+ *         back-edge taken while held (starvation) as a warning
+ *   RM003 use-before-def           warning  register read on a path
+ *         with no prior definition (reads the zero-initialized value)
+ *   RM004 dead-write               warning  register written but never
+ *         read before being clobbered or the kernel exiting
+ *   RM005 unreachable-block        warning  basic block no path from
+ *         entry reaches (usually a compiler-edit bug)
+ *   RM006 occupancy-audit          error    recomputed worst-case
+ *         register pressure / barrier live-set / register-set metadata
+ *         contradict the coloring and |Es|-selection results
+ *   RM007 redundant-directive      note     acquire while maybe held /
+ *         release while maybe not held (no-ops by spec)
+ *
+ * "Lint-clean" everywhere in this repository means *no error-severity
+ * findings*: warnings and notes never fail a build, a sweep cell or a
+ * translation-validation pass.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/acquire_state.hh"
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "isa/program.hh"
+#include "sim/config.hh"
+
+namespace rm {
+
+/** How bad one finding is. */
+enum class LintSeverity : std::uint8_t { Note = 0, Warning = 1, Error = 2 };
+
+/** Stable lower-case label ("note", "warning", "error"). */
+const char *lintSeverityName(LintSeverity severity);
+
+/** One structured finding. */
+struct Diagnostic
+{
+    /** Stable check id ("RM001"...). */
+    std::string checkId;
+    LintSeverity severity = LintSeverity::Warning;
+    /** Basic-block id of the finding; -1 for whole-program findings. */
+    int block = -1;
+    /** Instruction index of the finding; -1 when not tied to one. */
+    int inst = -1;
+    /** What is wrong, in one sentence. */
+    std::string message;
+    /** Optional fix-it note (how to repair or suppress). */
+    std::string note;
+};
+
+/** Everything the checks see; computed once per program. */
+struct LintContext
+{
+    const Program &program;
+    const Cfg &cfg;
+    const Liveness &liveness;
+    const AcquireState &holds;
+    /**
+     * Architecture for the occupancy audit (RM006); null skips the
+     * config-dependent cross-checks and keeps the pure ones.
+     */
+    const GpuConfig *config = nullptr;
+};
+
+/** One pluggable check. Implementations must be stateless. */
+class LintCheck
+{
+  public:
+    virtual ~LintCheck() = default;
+
+    /** Stable id ("RM001"); the mutation corpus asserts against it. */
+    virtual const char *id() const = 0;
+
+    /** Kebab-case slug ("extended-access-unheld"). */
+    virtual const char *name() const = 0;
+
+    /** One-line description for catalogs and --list-checks. */
+    virtual const char *description() const = 0;
+
+    /** Append findings for @p context to @p out. */
+    virtual void run(const LintContext &context,
+                     std::vector<Diagnostic> &out) const = 0;
+};
+
+/** The built-in check suite, in check-id order. */
+const std::vector<std::unique_ptr<LintCheck>> &lintChecks();
+
+/** Engine knobs. */
+struct LintOptions
+{
+    /** Check ids to skip (suppression; see docs/ANALYSIS.md). */
+    std::vector<std::string> disabledChecks;
+    /** Architecture for RM006's config cross-checks (null: skip them). */
+    const GpuConfig *config = nullptr;
+};
+
+/** Result of one engine run. */
+struct LintReport
+{
+    /** All findings, in (check id, instruction) order. */
+    std::vector<Diagnostic> diagnostics;
+
+    int errorCount() const;
+    int warningCount() const;
+    int noteCount() const;
+
+    /** No error-severity findings (the repository-wide "clean" bar). */
+    bool clean() const { return errorCount() == 0; }
+
+    /** Findings of one check id. */
+    std::vector<const Diagnostic *> byCheck(const std::string &id) const;
+
+    /** True when any finding carries @p id. */
+    bool has(const std::string &id) const;
+};
+
+/**
+ * Run the full check suite over @p program. The program must verify();
+ * regmutex-specific checks degrade gracefully when the metadata is
+ * absent (an untransformed kernel with no directives is clean).
+ */
+LintReport runLints(const Program &program, const LintOptions &options = {});
+
+/**
+ * Render @p diagnostic as one human-readable line:
+ * "RM001 error @12 (iadd r5, r5, r1): <message>".
+ */
+std::string renderDiagnostic(const Program &program,
+                             const Diagnostic &diagnostic);
+
+/** Render every finding, one line each (empty string when none). */
+std::string renderReport(const Program &program, const LintReport &report);
+
+} // namespace rm
+
+#endif // RM_ANALYSIS_LINT_HH

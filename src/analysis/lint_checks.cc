@@ -1,0 +1,512 @@
+#include "analysis/lint.hh"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow.hh"
+#include "analysis/dominators.hh"
+#include "analysis/loops.hh"
+#include "sim/occupancy.hh"
+
+namespace rm {
+
+namespace {
+
+Diagnostic
+makeDiagnostic(const char *id, LintSeverity severity, int block, int inst,
+               std::string message, std::string note = "")
+{
+    Diagnostic d;
+    d.checkId = id;
+    d.severity = severity;
+    d.block = block;
+    d.inst = inst;
+    d.message = std::move(message);
+    d.note = std::move(note);
+    return d;
+}
+
+/** Blocks reachable from entry (the RPO only visits those). */
+std::vector<bool>
+reachableBlocks(const Cfg &cfg)
+{
+    std::vector<bool> reachable(cfg.numBlocks(), false);
+    for (int block : cfg.reversePostOrder())
+        reachable[block] = true;
+    return reachable;
+}
+
+// ---------------------------------------------------------------------
+// RM001: extended-set register accessed while not provably held.
+// ---------------------------------------------------------------------
+class ExtendedAccessUnheld final : public LintCheck
+{
+  public:
+    const char *id() const override { return "RM001"; }
+    const char *name() const override { return "extended-access-unheld"; }
+    const char *description() const override
+    {
+        return "extended-set register accessed on a path where the "
+               "acquire state is not guaranteed";
+    }
+
+    void run(const LintContext &ctx,
+             std::vector<Diagnostic> &out) const override
+    {
+        if (!ctx.program.regmutex.enabled())
+            return;
+        const int base_regs = ctx.program.regmutex.baseRegs;
+        for (std::size_t i = 0; i < ctx.program.code.size(); ++i) {
+            const Instruction &inst = ctx.program.code[i];
+            if (inst.op == Opcode::RegAcquire ||
+                inst.op == Opcode::RegRelease)
+                continue;
+            if (!referencesExtended(inst, base_regs))
+                continue;
+            const HoldState state = ctx.holds.before(static_cast<int>(i));
+            if (state == HoldState::Held ||
+                state == HoldState::Unreached)
+                continue;
+            std::ostringstream msg;
+            msg << "extended-set register accessed while the acquire "
+                   "state is "
+                << holdStateName(state);
+            out.push_back(makeDiagnostic(
+                id(), LintSeverity::Error,
+                ctx.cfg.blockOf(static_cast<int>(i)),
+                static_cast<int>(i), msg.str(),
+                "insert a RegAcquire on every path reaching this "
+                "instruction"));
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// RM002: CTA barrier (error) or loop back-edge (warning) while the
+// extended set may be held.
+// ---------------------------------------------------------------------
+class HeldAcrossBarrier final : public LintCheck
+{
+  public:
+    const char *id() const override { return "RM002"; }
+    const char *name() const override { return "held-across-barrier"; }
+    const char *description() const override
+    {
+        return "CTA barrier reachable while the extended set may be "
+               "held (deadlock); back-edge held is flagged as "
+               "starvation";
+    }
+
+    void run(const LintContext &ctx,
+             std::vector<Diagnostic> &out) const override
+    {
+        for (std::size_t i = 0; i < ctx.program.code.size(); ++i) {
+            if (ctx.program.code[i].op != Opcode::Bar)
+                continue;
+            const HoldState state = ctx.holds.before(static_cast<int>(i));
+            if (state == HoldState::NotHeld ||
+                state == HoldState::Unreached)
+                continue;
+            std::ostringstream msg;
+            msg << "CTA barrier while the extended set is "
+                << holdStateName(state)
+                << ": warps blocked on the acquire can never reach the "
+                   "barrier (deadlock)";
+            out.push_back(makeDiagnostic(
+                id(), LintSeverity::Error,
+                ctx.cfg.blockOf(static_cast<int>(i)),
+                static_cast<int>(i), msg.str(),
+                "release the extended set before every barrier"));
+        }
+
+        // Back edges taken while (maybe) held: a warp monopolizes its
+        // SRP section across iterations and contenders starve.
+        const DominatorTree doms = DominatorTree::compute(ctx.cfg);
+        for (const BasicBlock &block : ctx.cfg.blocks()) {
+            const HoldState state = ctx.holds.blockOut(block.id);
+            if (state == HoldState::NotHeld ||
+                state == HoldState::Unreached)
+                continue;
+            for (int succ : block.succs) {
+                if (doms.idom(block.id) < 0 ||
+                    !doms.dominates(succ, block.id))
+                    continue;  // not a back edge
+                std::ostringstream msg;
+                msg << "loop back-edge to block " << succ
+                    << " taken while the extended set is "
+                    << holdStateName(state)
+                    << ": contending warps can starve";
+                out.push_back(makeDiagnostic(
+                    id(), LintSeverity::Warning, block.id, block.last,
+                    msg.str(),
+                    "release at the loop bottom and re-acquire at the "
+                    "top unless the live range truly spans "
+                    "iterations"));
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// RM003: register read with no prior definition on some path.
+// ---------------------------------------------------------------------
+
+/**
+ * Forward must-analysis: a register is definitely-assigned at a point
+ * when every path from entry defines it first.
+ */
+struct DefinedProblem
+{
+    using Value = Bitmask;
+    static constexpr DataflowDirection direction =
+        DataflowDirection::Forward;
+    const Program &program;
+    const Cfg &cfg;
+    int numRegs;
+
+    Value boundary() const { return Bitmask(numRegs); }
+    Value top() const
+    {
+        Bitmask all(numRegs);
+        all.setAll();
+        return all;
+    }
+    bool join(Value &into, const Value &from) const
+    {
+        const std::size_t before = into.count();
+        into &= from;
+        return into.count() != before;
+    }
+    Value transfer(int block, const Value &in) const
+    {
+        Value defined = in;
+        for (int i = cfg.block(block).first; i <= cfg.block(block).last;
+             ++i) {
+            const Instruction &inst = program.code[i];
+            if (inst.hasDst())
+                defined.set(inst.dst);
+        }
+        return defined;
+    }
+};
+
+class UseBeforeDef final : public LintCheck
+{
+  public:
+    const char *id() const override { return "RM003"; }
+    const char *name() const override { return "use-before-def"; }
+    const char *description() const override
+    {
+        return "register read on a path with no prior definition "
+               "(reads the zero-initialized value)";
+    }
+
+    void run(const LintContext &ctx,
+             std::vector<Diagnostic> &out) const override
+    {
+        const int num_regs = ctx.program.info.numRegs;
+        if (num_regs == 0)
+            return;
+        const DefinedProblem problem{ctx.program, ctx.cfg, num_regs};
+        const auto solved = solveDataflow(ctx.cfg, problem);
+
+        const std::vector<bool> reachable = reachableBlocks(ctx.cfg);
+        for (const BasicBlock &block : ctx.cfg.blocks()) {
+            if (!reachable[block.id])
+                continue;  // RM005's department
+            Bitmask defined = solved.in[block.id];
+            for (int i = block.first; i <= block.last; ++i) {
+                const Instruction &inst = ctx.program.code[i];
+                for (int s = 0; s < inst.numSrcs; ++s) {
+                    if (defined.test(inst.srcs[s]))
+                        continue;
+                    // One finding per (instruction, register).
+                    bool dup = false;
+                    for (int t = 0; t < s; ++t)
+                        dup |= inst.srcs[t] == inst.srcs[s];
+                    if (dup)
+                        continue;
+                    std::ostringstream msg;
+                    msg << "r" << inst.srcs[s]
+                        << " read before any definition on some path "
+                           "from entry";
+                    out.push_back(makeDiagnostic(
+                        id(), LintSeverity::Warning, block.id, i,
+                        msg.str(),
+                        "the simulator zero-initializes registers, so "
+                        "this reads 0; initialize explicitly if that "
+                        "is intended"));
+                }
+                if (inst.hasDst())
+                    defined.set(inst.dst);
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// RM004: register written but never read afterwards.
+// ---------------------------------------------------------------------
+class DeadWrite final : public LintCheck
+{
+  public:
+    const char *id() const override { return "RM004"; }
+    const char *name() const override { return "dead-write"; }
+    const char *description() const override
+    {
+        return "register written but never read before being "
+               "clobbered or the kernel exiting";
+    }
+
+    void run(const LintContext &ctx,
+             std::vector<Diagnostic> &out) const override
+    {
+        const std::vector<bool> reachable = reachableBlocks(ctx.cfg);
+        for (std::size_t i = 0; i < ctx.program.code.size(); ++i) {
+            const Instruction &inst = ctx.program.code[i];
+            if (!inst.hasDst())
+                continue;
+            if (!reachable[ctx.cfg.blockOf(static_cast<int>(i))])
+                continue;
+            if (ctx.liveness.isLiveOut(static_cast<int>(i), inst.dst))
+                continue;
+            std::ostringstream msg;
+            msg << "r" << inst.dst
+                << " written here but never read afterwards";
+            const bool is_load = inst.op == Opcode::LdGlobal ||
+                                 inst.op == Opcode::LdShared;
+            out.push_back(makeDiagnostic(
+                id(), LintSeverity::Warning,
+                ctx.cfg.blockOf(static_cast<int>(i)),
+                static_cast<int>(i), msg.str(),
+                is_load ? "the load still spends memory bandwidth; "
+                          "delete it if the value is truly unused"
+                        : "delete the instruction or use the value"));
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// RM005: basic blocks no path from entry reaches.
+// ---------------------------------------------------------------------
+class UnreachableBlock final : public LintCheck
+{
+  public:
+    const char *id() const override { return "RM005"; }
+    const char *name() const override { return "unreachable-block"; }
+    const char *description() const override
+    {
+        return "basic block no path from entry reaches (usually a "
+               "compiler-edit bug)";
+    }
+
+    void run(const LintContext &ctx,
+             std::vector<Diagnostic> &out) const override
+    {
+        const std::vector<bool> reachable = reachableBlocks(ctx.cfg);
+        for (const BasicBlock &block : ctx.cfg.blocks()) {
+            if (reachable[block.id])
+                continue;
+            std::ostringstream msg;
+            msg << "block " << block.id << " (instructions "
+                << block.first << ".." << block.last
+                << ") is unreachable from entry";
+            out.push_back(makeDiagnostic(
+                id(), LintSeverity::Warning, block.id, block.first,
+                msg.str(),
+                "dead code inflates live ranges and register "
+                "pressure; delete it"));
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// RM006: static register-pressure / metadata audit.
+// ---------------------------------------------------------------------
+class OccupancyAudit final : public LintCheck
+{
+  public:
+    const char *id() const override { return "RM006"; }
+    const char *name() const override { return "occupancy-audit"; }
+    const char *description() const override
+    {
+        return "recomputed worst-case register pressure and register-"
+               "set metadata cross-checked against the coloring and "
+               "|Es|-selection results";
+    }
+
+    void run(const LintContext &ctx,
+             std::vector<Diagnostic> &out) const override
+    {
+        const Program &p = ctx.program;
+        const RegMutexInfo &rmx = p.regmutex;
+
+        // Directive/metadata agreement.
+        bool has_directives = false;
+        for (const Instruction &inst : p.code)
+            if (inst.op == Opcode::RegAcquire ||
+                inst.op == Opcode::RegRelease)
+                has_directives = true;
+        if (!rmx.enabled() && has_directives) {
+            out.push_back(makeDiagnostic(
+                id(), LintSeverity::Error, -1, -1,
+                "acquire/release directive in a program without "
+                "RegMutex metadata",
+                "set RegMutexInfo{|Bs|, |Es|} or strip the "
+                "directives"));
+        }
+        if (rmx.enabled() &&
+            (rmx.baseRegs <= 0 || rmx.extRegs <= 0 ||
+             rmx.baseRegs + rmx.extRegs != p.info.numRegs)) {
+            std::ostringstream msg;
+            msg << "register-set metadata |Bs|=" << rmx.baseRegs
+                << " + |Es|=" << rmx.extRegs
+                << " does not partition the " << p.info.numRegs
+                << " architected registers";
+            out.push_back(makeDiagnostic(id(), LintSeverity::Error, -1,
+                                         -1, msg.str(),
+                                         "the compiler must set "
+                                         "numRegs = |Bs| + |Es|"));
+        }
+
+        // Worst-case pressure per program point vs. the register count
+        // the coloring claims (a violation means the compaction
+        // metadata lies about the program it describes).
+        const int max_live = ctx.liveness.maxLiveCount();
+        if (max_live > p.info.numRegs) {
+            std::ostringstream msg;
+            msg << "worst-case register pressure " << max_live
+                << " exceeds the declared register count "
+                << p.info.numRegs;
+            out.push_back(makeDiagnostic(id(), LintSeverity::Error, -1,
+                                         -1, msg.str(),
+                                         "recolor or raise numRegs"));
+        }
+
+        // Deadlock-avoidance rule: the live set at every CTA barrier
+        // must fit in the base set (the extended set is released
+        // there), i.e. no extended register is live into a barrier.
+        if (rmx.enabled()) {
+            for (std::size_t i = 0; i < p.code.size(); ++i) {
+                if (p.code[i].op != Opcode::Bar)
+                    continue;
+                const Bitmask &live =
+                    ctx.liveness.liveIn(static_cast<int>(i));
+                for (std::size_t reg = rmx.baseRegs; reg < live.size();
+                     ++reg) {
+                    if (!live.test(reg))
+                        continue;
+                    std::ostringstream msg;
+                    msg << "extended-set register r" << reg
+                        << " is live across a CTA barrier; the live "
+                           "set at a barrier must fit in |Bs|="
+                        << rmx.baseRegs;
+                    out.push_back(makeDiagnostic(
+                        id(), LintSeverity::Error,
+                        ctx.cfg.blockOf(static_cast<int>(i)),
+                        static_cast<int>(i), msg.str(),
+                        "the |Es| selection must reject this "
+                        "candidate (barrier rule)"));
+                }
+            }
+        }
+
+        // Config-dependent cross-checks (need the architecture).
+        if (ctx.config && rmx.enabled()) {
+            const GpuConfig &config = *ctx.config;
+            if (roundRegs(config, p.info.numRegs) != p.info.numRegs) {
+                std::ostringstream msg;
+                msg << "declared register count " << p.info.numRegs
+                    << " is not a multiple of the allocation "
+                       "granularity "
+                    << config.regAllocGranularity;
+                out.push_back(makeDiagnostic(
+                    id(), LintSeverity::Error, -1, -1, msg.str(),
+                    "the compiler rounds the compacted count before "
+                    "splitting |Bs|/|Es|"));
+            }
+            const Occupancy with_bs = computeOccupancy(
+                config, rmx.baseRegs, p.info.ctaThreads,
+                p.info.sharedBytesPerCta);
+            const Occupancy with_all = computeOccupancy(
+                config, roundRegs(config, p.info.numRegs),
+                p.info.ctaThreads, p.info.sharedBytesPerCta);
+            if (with_bs.warpsPerSm < with_all.warpsPerSm) {
+                std::ostringstream msg;
+                msg << "base-set occupancy (" << with_bs.warpsPerSm
+                    << " warps/SM) is below the untransformed "
+                       "occupancy ("
+                    << with_all.warpsPerSm
+                    << "): the transform can only hurt";
+                out.push_back(makeDiagnostic(
+                    id(), LintSeverity::Warning, -1, -1, msg.str(),
+                    "re-run |Es| selection for this architecture"));
+            }
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// RM007: redundant (no-effect) directives.
+// ---------------------------------------------------------------------
+class RedundantDirective final : public LintCheck
+{
+  public:
+    const char *id() const override { return "RM007"; }
+    const char *name() const override { return "redundant-directive"; }
+    const char *description() const override
+    {
+        return "acquire while maybe already held, or release while "
+               "maybe not held (no-ops by spec)";
+    }
+
+    void run(const LintContext &ctx,
+             std::vector<Diagnostic> &out) const override
+    {
+        for (std::size_t i = 0; i < ctx.program.code.size(); ++i) {
+            const Opcode op = ctx.program.code[i].op;
+            if (op != Opcode::RegAcquire && op != Opcode::RegRelease)
+                continue;
+            const HoldState state = ctx.holds.before(static_cast<int>(i));
+            if (state == HoldState::Unreached)
+                continue;
+            const bool redundant =
+                op == Opcode::RegAcquire ? state != HoldState::NotHeld
+                                         : state != HoldState::Held;
+            if (!redundant)
+                continue;
+            std::ostringstream msg;
+            msg << (op == Opcode::RegAcquire ? "acquire" : "release")
+                << " while the set is " << holdStateName(state)
+                << ": a no-op on at least one incoming path";
+            out.push_back(makeDiagnostic(
+                id(), LintSeverity::Note,
+                ctx.cfg.blockOf(static_cast<int>(i)),
+                static_cast<int>(i), msg.str(),
+                "harmless by spec, but usually a sign of sloppy "
+                "region placement"));
+        }
+    }
+};
+
+} // namespace
+
+const std::vector<std::unique_ptr<LintCheck>> &
+lintChecks()
+{
+    static const std::vector<std::unique_ptr<LintCheck>> checks = [] {
+        std::vector<std::unique_ptr<LintCheck>> list;
+        list.push_back(std::make_unique<ExtendedAccessUnheld>());
+        list.push_back(std::make_unique<HeldAcrossBarrier>());
+        list.push_back(std::make_unique<UseBeforeDef>());
+        list.push_back(std::make_unique<DeadWrite>());
+        list.push_back(std::make_unique<UnreachableBlock>());
+        list.push_back(std::make_unique<OccupancyAudit>());
+        list.push_back(std::make_unique<RedundantDirective>());
+        return list;
+    }();
+    return checks;
+}
+
+} // namespace rm

@@ -2,9 +2,48 @@
 
 #include <algorithm>
 
+#include "analysis/dataflow.hh"
 #include "common/errors.hh"
 
 namespace rm {
+
+namespace {
+
+/** Backward may-liveness as an instance of the generic solver. */
+struct LiveProblem
+{
+    using Value = Bitmask;
+    static constexpr DataflowDirection direction =
+        DataflowDirection::Backward;
+
+    const Cfg &cfg;
+    /** Per-block upward-exposed uses. */
+    const std::vector<Bitmask> &gen;
+    /** Per-block definitions. */
+    const std::vector<Bitmask> &kill;
+    int numRegs;
+
+    Value boundary() const { return Bitmask(numRegs); }
+    Value top() const { return Bitmask(numRegs); }
+
+    bool join(Value &into, const Value &from) const
+    {
+        const std::size_t before = into.count();
+        into |= from;
+        return into.count() != before;
+    }
+
+    /** liveIn = gen | (liveOut - kill). */
+    Value transfer(int block, const Value &out) const
+    {
+        Value in = out;
+        in.subtract(kill[block]);
+        in |= gen[block];
+        return in;
+    }
+};
+
+} // namespace
 
 Liveness
 Liveness::compute(const Program &program, const Cfg &cfg)
@@ -28,26 +67,8 @@ Liveness::compute(const Program &program, const Cfg &cfg)
         }
     }
 
-    // Block-level backward fixpoint: liveIn = gen | (liveOut - kill).
-    std::vector<Bitmask> block_in(num_blocks, Bitmask(num_regs));
-    std::vector<Bitmask> block_out(num_blocks, Bitmask(num_regs));
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (int b = num_blocks - 1; b >= 0; --b) {
-            Bitmask out(num_regs);
-            for (int succ : cfg.block(b).succs)
-                out |= block_in[succ];
-            Bitmask in = out;
-            in.subtract(kill[b]);
-            in |= gen[b];
-            if (in != block_in[b] || out != block_out[b]) {
-                block_in[b] = std::move(in);
-                block_out[b] = std::move(out);
-                changed = true;
-            }
-        }
-    }
+    const LiveProblem problem{cfg, gen, kill, num_regs};
+    const DataflowResult<Bitmask> solved = solveDataflow(cfg, problem);
 
     // Per-instruction backward sweep within each block.
     Liveness result;
@@ -55,7 +76,7 @@ Liveness::compute(const Program &program, const Cfg &cfg)
     result.liveInSets.assign(code.size(), Bitmask(num_regs));
     result.liveOutSets.assign(code.size(), Bitmask(num_regs));
     for (const auto &block : cfg.blocks()) {
-        Bitmask live = block_out[block.id];
+        Bitmask live = solved.out[block.id];
         for (int i = block.last; i >= block.first; --i) {
             const Instruction &inst = code[i];
             result.liveOutSets[i] = live;

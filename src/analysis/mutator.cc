@@ -1,0 +1,654 @@
+#include "analysis/mutator.hh"
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "analysis/acquire_state.hh"
+#include "analysis/cfg.hh"
+#include "analysis/liveness.hh"
+#include "common/errors.hh"
+
+namespace rm {
+
+namespace {
+
+bool
+isDirective(Opcode op)
+{
+    return op == Opcode::RegAcquire || op == Opcode::RegRelease;
+}
+
+Instruction
+makeOp(Opcode op)
+{
+    Instruction inst;
+    inst.op = op;
+    return inst;
+}
+
+Instruction
+makeMovImm(RegId dst, std::int64_t value)
+{
+    Instruction inst;
+    inst.op = Opcode::MovImm;
+    inst.dst = dst;
+    inst.imm = value;
+    return inst;
+}
+
+Instruction
+makeBra(int target)
+{
+    Instruction inst;
+    inst.op = Opcode::Bra;
+    inst.target = target;
+    return inst;
+}
+
+/** Shared per-program facts the site conditions query. */
+struct Site
+{
+    const Program &p;
+    Cfg cfg;
+    Liveness live;
+    AcquireState holds;
+    /** Instruction is the target of some branch. */
+    std::vector<bool> targeted;
+
+    explicit Site(const Program &program)
+        : p(program),
+          cfg(Cfg::build(program)),
+          live(Liveness::compute(program, cfg)),
+          holds(AcquireState::compute(program, cfg)),
+          targeted(program.code.size(), false)
+    {
+        for (const Instruction &inst : p.code)
+            if (inst.isBranch() && inst.target >= 0)
+                targeted[inst.target] = true;
+    }
+
+    int numInsts() const { return static_cast<int>(p.code.size()); }
+
+    bool reachable(int i) const
+    {
+        return holds.before(i) != HoldState::Unreached;
+    }
+
+    /** Both in one block => neither is a leader/terminator boundary. */
+    bool sameBlock(int a, int b) const
+    {
+        return cfg.blockOf(a) == cfg.blockOf(b);
+    }
+
+    /** True when no j < i writes the same register code[i] writes. */
+    bool firstWriteOf(int i) const
+    {
+        if (!p.code[i].hasDst())
+            return false;
+        for (int j = 0; j < i; ++j)
+            if (p.code[j].hasDst() && p.code[j].dst == p.code[i].dst)
+                return false;
+        return true;
+    }
+
+    /** A register index never written anywhere, preferring the base
+     *  set (so the mutation does not also trip RM001); kNoReg if all
+     *  registers are written. */
+    RegId neverWrittenReg() const
+    {
+        RegId fallback = kNoReg;
+        for (int r = 0; r < p.info.numRegs; ++r) {
+            bool written = false;
+            for (const Instruction &inst : p.code)
+                written |= inst.hasDst() && inst.dst == r;
+            if (written)
+                continue;
+            if (!p.regmutex.enabled() || r < p.regmutex.baseRegs)
+                return static_cast<RegId>(r);
+            if (fallback == kNoReg)
+                fallback = static_cast<RegId>(r);
+        }
+        return fallback;
+    }
+
+    /** A register index never read anywhere; kNoReg if all are read. */
+    RegId neverReadReg() const
+    {
+        for (int r = 0; r < p.info.numRegs; ++r) {
+            bool read = false;
+            for (const Instruction &inst : p.code)
+                for (int s = 0; s < inst.numSrcs; ++s)
+                    read |= inst.srcs[s] == r;
+            if (!read)
+                return static_cast<RegId>(r);
+        }
+        return kNoReg;
+    }
+};
+
+using Generator = std::function<std::optional<Program>(const Site &)>;
+
+struct MutationClass
+{
+    const char *name;
+    const char *expectCheck;
+    const char *description;
+    bool needsConfig;
+    Generator generate;
+};
+
+// --- RM001: extended access outside a held region --------------------
+
+std::optional<Program>
+nopGuardAcquire(const Site &s)
+{
+    if (!s.p.regmutex.enabled())
+        return std::nullopt;
+    const int base = s.p.regmutex.baseRegs;
+    for (int a = 0; a < s.numInsts(); ++a) {
+        if (s.p.code[a].op != Opcode::RegAcquire || !s.reachable(a))
+            continue;
+        // The acquire must guard an extended access before the next
+        // directive, or removing it proves nothing.
+        for (int j = a + 1;
+             j < s.numInsts() && !isDirective(s.p.code[j].op); ++j) {
+            if (!referencesExtended(s.p.code[j], base))
+                continue;
+            Program m = s.p;
+            m.code[a] = makeOp(Opcode::Nop);
+            return m;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+swapAcquireExt(const Site &s)
+{
+    if (!s.p.regmutex.enabled())
+        return std::nullopt;
+    const int base = s.p.regmutex.baseRegs;
+    for (int a = 0; a + 1 < s.numInsts(); ++a) {
+        if (s.p.code[a].op != Opcode::RegAcquire || !s.reachable(a))
+            continue;
+        const Instruction &next = s.p.code[a + 1];
+        if (isDirective(next.op) || next.isTerminator() ||
+            !referencesExtended(next, base) || !s.sameBlock(a, a + 1) ||
+            s.targeted[a] || s.targeted[a + 1])
+            continue;
+        Program m = s.p;
+        std::swap(m.code[a], m.code[a + 1]);
+        return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+releaseBeforeExt(const Site &s)
+{
+    if (!s.p.regmutex.enabled())
+        return std::nullopt;
+    const int base = s.p.regmutex.baseRegs;
+    for (int j = 1; j < s.numInsts(); ++j) {
+        const Instruction &inst = s.p.code[j];
+        if (isDirective(inst.op) || !s.reachable(j) ||
+            s.holds.before(j) != HoldState::Held ||
+            !referencesExtended(inst, base) || !s.sameBlock(j - 1, j))
+            continue;
+        Program m = s.p;
+        m.code[j - 1] = makeOp(Opcode::RegRelease);
+        return m;
+    }
+    return std::nullopt;
+}
+
+// --- RM002: barrier / back-edge while held ---------------------------
+
+std::optional<Program>
+barInHeld(const Site &s)
+{
+    for (int j = 0; j + 1 < s.numInsts(); ++j) {
+        const Instruction &inst = s.p.code[j];
+        if (isDirective(inst.op) || inst.isTerminator() ||
+            s.holds.before(j) != HoldState::Held)
+            continue;
+        Program m = s.p;
+        m.code[j] = makeOp(Opcode::Bar);
+        return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+nopReleaseBeforeBar(const Site &s)
+{
+    // Try each reachable release; keep the first whose removal lets
+    // the held region leak into a CTA barrier. Recomputing the hold
+    // state per candidate beats pattern-matching the release/barrier
+    // placement, which the coalescing passes move across blocks.
+    for (int k = 0; k < s.numInsts(); ++k) {
+        if (s.p.code[k].op != Opcode::RegRelease || !s.reachable(k))
+            continue;
+        Program m = s.p;
+        m.code[k] = makeOp(Opcode::Nop);
+        const Cfg cfg = Cfg::build(m);
+        const AcquireState holds = AcquireState::compute(m, cfg);
+        for (int j = 0; j < static_cast<int>(m.code.size()); ++j) {
+            if (m.code[j].op != Opcode::Bar)
+                continue;
+            const HoldState at = holds.before(j);
+            if (at == HoldState::Held || at == HoldState::Mixed)
+                return m;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+acquireBeforeBar(const Site &s)
+{
+    if (!s.p.regmutex.enabled())
+        return std::nullopt;
+    for (int j = 1; j < s.numInsts(); ++j) {
+        const Instruction &prev = s.p.code[j - 1];
+        if (s.p.code[j].op != Opcode::Bar || !s.reachable(j) ||
+            s.holds.before(j) != HoldState::NotHeld ||
+            isDirective(prev.op) || prev.isTerminator() ||
+            !s.sameBlock(j - 1, j))
+            continue;
+        Program m = s.p;
+        m.code[j - 1] = makeOp(Opcode::RegAcquire);
+        return m;
+    }
+    return std::nullopt;
+}
+
+// --- RM003: use before definition ------------------------------------
+
+std::optional<Program>
+nopFirstDef(const Site &s)
+{
+    for (int i = 0; i < s.numInsts(); ++i) {
+        const Instruction &inst = s.p.code[i];
+        if (!inst.hasDst() || isDirective(inst.op) || !s.reachable(i) ||
+            !s.firstWriteOf(i) || !s.live.isLiveOut(i, inst.dst))
+            continue;
+        Program m = s.p;
+        m.code[i] = makeOp(Opcode::Nop);
+        return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+undefSrc(const Site &s)
+{
+    const RegId r = s.neverWrittenReg();
+    if (r == kNoReg)
+        return std::nullopt;
+    for (int i = 0; i < s.numInsts(); ++i) {
+        const Instruction &inst = s.p.code[i];
+        if (isDirective(inst.op) || !s.reachable(i) ||
+            inst.numSrcs < 1 || inst.srcs[0] == r)
+            continue;
+        // The displaced source must itself have a plausible definition,
+        // or we merely trade one finding for another.
+        bool old_defined = false;
+        for (int j = 0; j < i; ++j)
+            old_defined |= s.p.code[j].hasDst() &&
+                           s.p.code[j].dst == inst.srcs[0];
+        if (!old_defined)
+            continue;
+        Program m = s.p;
+        m.code[i].srcs[0] = r;
+        return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+swapDefUse(const Site &s)
+{
+    for (int i = 0; i + 1 < s.numInsts(); ++i) {
+        const Instruction &def = s.p.code[i];
+        const Instruction &use = s.p.code[i + 1];
+        if (!def.hasDst() || def.isTerminator() || isDirective(def.op) ||
+            !s.reachable(i) || !s.firstWriteOf(i) ||
+            use.isTerminator() || isDirective(use.op) ||
+            !s.sameBlock(i, i + 1) || s.targeted[i] || s.targeted[i + 1])
+            continue;
+        bool reads_def = false;
+        for (int k = 0; k < use.numSrcs; ++k)
+            reads_def |= use.srcs[k] == def.dst;
+        if (!reads_def)
+            continue;
+        Program m = s.p;
+        std::swap(m.code[i], m.code[i + 1]);
+        return m;
+    }
+    return std::nullopt;
+}
+
+// --- RM004: dead register writes -------------------------------------
+
+std::optional<Program>
+deadWritePreExit(const Site &s)
+{
+    for (int e = 1; e < s.numInsts(); ++e) {
+        const Instruction &prev = s.p.code[e - 1];
+        if (s.p.code[e].op != Opcode::Exit || !s.reachable(e) ||
+            isDirective(prev.op) || prev.isTerminator() ||
+            !s.sameBlock(e - 1, e))
+            continue;
+        // Skip sites already reported dead in the base program.
+        if (prev.hasDst() && !s.live.isLiveOut(e - 1, prev.dst))
+            continue;
+        Program m = s.p;
+        m.code[e - 1] = makeMovImm(0, 1);
+        return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+clobberDef(const Site &s)
+{
+    for (int i = 0; i + 1 < s.numInsts(); ++i) {
+        const Instruction &def = s.p.code[i];
+        const Instruction &next = s.p.code[i + 1];
+        if (!def.hasDst() || isDirective(def.op) || !s.reachable(i) ||
+            !s.live.isLiveOut(i, def.dst) || next.isTerminator() ||
+            isDirective(next.op) || !s.sameBlock(i, i + 1))
+            continue;
+        // Overwriting an extended register outside a held region would
+        // add an RM001 error on top; keep the mutant single-purpose.
+        if (s.p.regmutex.enabled() &&
+            def.dst >= s.p.regmutex.baseRegs &&
+            s.holds.before(i + 1) != HoldState::Held)
+            continue;
+        Program m = s.p;
+        m.code[i + 1] = makeMovImm(def.dst, 1);
+        return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+retargetDstDead(const Site &s)
+{
+    const RegId r = s.neverReadReg();
+    if (r == kNoReg)
+        return std::nullopt;
+    for (int i = 0; i < s.numInsts(); ++i) {
+        const Instruction &inst = s.p.code[i];
+        if (!inst.hasDst() || isDirective(inst.op) || !s.reachable(i) ||
+            !s.live.isLiveOut(i, inst.dst))
+            continue;
+        if (s.p.regmutex.enabled() && r >= s.p.regmutex.baseRegs &&
+            s.holds.before(i) != HoldState::Held)
+            continue;
+        Program m = s.p;
+        m.code[i].dst = r;
+        return m;
+    }
+    return std::nullopt;
+}
+
+// --- RM005: unreachable blocks ---------------------------------------
+
+std::optional<Program>
+braOverNext(const Site &s)
+{
+    for (int i = 0; i + 2 < s.numInsts(); ++i) {
+        const Instruction &inst = s.p.code[i];
+        if (inst.isTerminator() || isDirective(inst.op) ||
+            isDirective(s.p.code[i + 1].op) || !s.reachable(i) ||
+            s.targeted[i + 1])
+            continue;
+        Program m = s.p;
+        m.code[i] = makeBra(i + 2);
+        return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+exitOverNext(const Site &s)
+{
+    for (int i = 0; i + 1 < s.numInsts(); ++i) {
+        const Instruction &inst = s.p.code[i];
+        if (inst.isTerminator() || isDirective(inst.op) ||
+            isDirective(s.p.code[i + 1].op) || !s.reachable(i) ||
+            s.targeted[i + 1])
+            continue;
+        Program m = s.p;
+        m.code[i] = makeOp(Opcode::Exit);
+        return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+uncondCondBranch(const Site &s)
+{
+    for (int i = 0; i + 1 < s.numInsts(); ++i) {
+        const Instruction &inst = s.p.code[i];
+        if (!inst.isConditionalBranch() || !s.reachable(i) ||
+            inst.target == i + 1 || s.targeted[i + 1])
+            continue;
+        // The fall-through block must have no other way in.
+        const BasicBlock &ft = s.cfg.block(s.cfg.blockOf(i + 1));
+        if (ft.preds.size() != 1 || ft.preds[0] != s.cfg.blockOf(i))
+            continue;
+        Program m = s.p;
+        m.code[i] = makeBra(inst.target);
+        return m;
+    }
+    return std::nullopt;
+}
+
+// --- RM006: metadata / occupancy audit -------------------------------
+
+std::optional<Program>
+shrinkBaseSplit(const Site &s)
+{
+    // Shift the |Bs|/|Es| split below a barrier's live set: the
+    // partition stays valid (verify() demands it) but a register live
+    // into the barrier is now extended-set — the deadlock-avoidance
+    // rule RM006 audits.
+    if (!s.p.regmutex.enabled())
+        return std::nullopt;
+    for (int i = 0; i < s.numInsts(); ++i) {
+        if (s.p.code[i].op != Opcode::Bar)
+            continue;
+        const Bitmask &live = s.live.liveIn(i);
+        for (int r = s.p.regmutex.baseRegs - 1; r >= 1; --r) {
+            if (!live.test(static_cast<std::size_t>(r)))
+                continue;
+            Program m = s.p;
+            m.regmutex.baseRegs = r;
+            m.regmutex.extRegs = m.info.numRegs - r;
+            return m;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+orphanDirectives(const Site &s)
+{
+    bool has_directive = false;
+    for (const Instruction &inst : s.p.code)
+        has_directive |= isDirective(inst.op);
+    if (!has_directive)
+        return std::nullopt;
+    Program m = s.p;
+    m.regmutex = RegMutexInfo{};
+    return m;
+}
+
+std::optional<Program>
+misalignRegCount(const Site &s)
+{
+    if (!s.p.regmutex.enabled())
+        return std::nullopt;
+    Program m = s.p;
+    m.info.numRegs += 1;
+    m.regmutex.extRegs += 1;
+    return m;
+}
+
+// --- RM007: redundant directives -------------------------------------
+
+std::optional<Program>
+doubleAcquire(const Site &s)
+{
+    for (int i = 0; i + 1 < s.numInsts(); ++i) {
+        const Instruction &next = s.p.code[i + 1];
+        if (s.p.code[i].op != Opcode::RegAcquire || !s.reachable(i) ||
+            s.holds.before(i) != HoldState::NotHeld ||
+            isDirective(next.op) || next.isTerminator() ||
+            !s.sameBlock(i, i + 1))
+            continue;
+        Program m = s.p;
+        m.code[i + 1] = makeOp(Opcode::RegAcquire);
+        return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+doubleRelease(const Site &s)
+{
+    for (int i = 1; i < s.numInsts(); ++i) {
+        const Instruction &prev = s.p.code[i - 1];
+        if (s.p.code[i].op != Opcode::RegRelease || !s.reachable(i) ||
+            s.holds.before(i) != HoldState::Held ||
+            isDirective(prev.op) || prev.isTerminator() ||
+            !s.sameBlock(i - 1, i))
+            continue;
+        Program m = s.p;
+        m.code[i - 1] = makeOp(Opcode::RegRelease);
+        return m;
+    }
+    return std::nullopt;
+}
+
+std::optional<Program>
+releaseOnEntry(const Site &s)
+{
+    if (!s.p.regmutex.enabled() || s.numInsts() < 2)
+        return std::nullopt;
+    const Instruction &first = s.p.code[0];
+    if (first.isTerminator() || isDirective(first.op))
+        return std::nullopt;
+    Program m = s.p;
+    m.code[0] = makeOp(Opcode::RegRelease);
+    return m;
+}
+
+const std::vector<MutationClass> &
+mutationClasses()
+{
+    static const std::vector<MutationClass> classes = {
+        {"nop-guard-acquire", "RM001",
+         "replace the acquire guarding an extended access with a nop",
+         false, nopGuardAcquire},
+        {"swap-acquire-ext", "RM001",
+         "move an extended access ahead of the acquire guarding it",
+         false, swapAcquireExt},
+        {"release-before-ext", "RM001",
+         "release the extended set right before an extended access",
+         false, releaseBeforeExt},
+        {"bar-in-held", "RM002",
+         "plant a CTA barrier inside a held region", false, barInHeld},
+        {"nop-release-before-bar", "RM002",
+         "remove the release that protects a barrier", false,
+         nopReleaseBeforeBar},
+        {"acquire-before-bar", "RM002",
+         "acquire the extended set right before a barrier", false,
+         acquireBeforeBar},
+        {"nop-first-def", "RM003",
+         "remove the first definition of a register that is read later",
+         false, nopFirstDef},
+        {"undef-src", "RM003",
+         "retarget a source operand to a never-written register", false,
+         undefSrc},
+        {"swap-def-use", "RM003",
+         "swap a definition with the adjacent instruction reading it",
+         false, swapDefUse},
+        {"dead-write-pre-exit", "RM004",
+         "plant a register write immediately before an exit", false,
+         deadWritePreExit},
+        {"clobber-def", "RM004",
+         "overwrite a live definition before anything reads it", false,
+         clobberDef},
+        {"retarget-dst-dead", "RM004",
+         "retarget a live definition to a never-read register", false,
+         retargetDstDead},
+        {"bra-over-next", "RM005",
+         "branch over the next instruction, stranding it", false,
+         braOverNext},
+        {"exit-over-next", "RM005",
+         "exit early, stranding the next instruction", false,
+         exitOverNext},
+        {"uncond-cond-branch", "RM005",
+         "make a conditional branch unconditional, stranding its "
+         "fall-through block",
+         false, uncondCondBranch},
+        {"shrink-base-split", "RM006",
+         "shift the |Bs|/|Es| split below a barrier's live set",
+         false, shrinkBaseSplit},
+        {"orphan-directives", "RM006",
+         "strip the RegMutex metadata but keep the directives", false,
+         orphanDirectives},
+        {"misalign-reg-count", "RM006",
+         "grow the register count off the allocation granularity", true,
+         misalignRegCount},
+        {"double-acquire", "RM007",
+         "acquire twice in a row", false, doubleAcquire},
+        {"double-release", "RM007",
+         "release twice in a row", false, doubleRelease},
+        {"release-on-entry", "RM007",
+         "release at kernel entry while nothing is held", false,
+         releaseOnEntry},
+    };
+    return classes;
+}
+
+} // namespace
+
+std::vector<Mutant>
+mutationCorpus(const Program &program)
+{
+    program.verify();
+    const Site site(program);
+
+    std::vector<Mutant> corpus;
+    for (const MutationClass &cls : mutationClasses()) {
+        std::optional<Program> mutated = cls.generate(site);
+        if (!mutated)
+            continue;
+        mutated->verify();
+        Mutant mutant;
+        mutant.name = cls.name;
+        mutant.expectCheck = cls.expectCheck;
+        mutant.description = cls.description;
+        mutant.needsConfig = cls.needsConfig;
+        mutant.program = std::move(*mutated);
+        corpus.push_back(std::move(mutant));
+    }
+    return corpus;
+}
+
+std::vector<std::string>
+mutationClassNames()
+{
+    std::vector<std::string> names;
+    for (const MutationClass &cls : mutationClasses())
+        names.push_back(cls.name);
+    return names;
+}
+
+} // namespace rm

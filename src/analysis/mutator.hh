@@ -1,0 +1,57 @@
+#ifndef RM_ANALYSIS_MUTATOR_HH
+#define RM_ANALYSIS_MUTATOR_HH
+
+/**
+ * @file
+ * Seeded-mutation corpus for the lint engine: deterministic program
+ * mutations, each designed to introduce exactly the defect one lint
+ * check (analysis/lint.hh) exists to catch. The corpus is the engine's
+ * ground truth: tests assert that every generated mutant is flagged
+ * with its expected check id, and `rm-lint --mutants` replays the
+ * corpus against a workload from the command line.
+ *
+ * Mutations never insert or delete instructions — they replace or swap
+ * them in place — so branch targets stay valid and every mutant still
+ * passes Program::verify(). A mutation is only applied where its site
+ * conditions hold (e.g. "an extended-set access inside a held region");
+ * mutationCorpus() silently skips classes with no applicable site in
+ * the given program.
+ */
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rm {
+
+/** One mutated program and the lint finding it must provoke. */
+struct Mutant
+{
+    /** Mutation class ("nop-guard-acquire", ...). */
+    std::string name;
+    /** Check id ("RM001"...) the lint suite must report for this. */
+    std::string expectCheck;
+    /** What the mutation did, in one sentence. */
+    std::string description;
+    /**
+     * True when the expected finding needs an architecture config
+     * passed to the linter (RM006's granularity cross-check).
+     */
+    bool needsConfig = false;
+    Program program;
+};
+
+/**
+ * Apply every applicable mutation class to @p program, one mutant per
+ * class, in a fixed order. @p program must verify(); so does every
+ * returned mutant.
+ */
+std::vector<Mutant> mutationCorpus(const Program &program);
+
+/** Names of all mutation classes, applicable or not, in corpus order. */
+std::vector<std::string> mutationClassNames();
+
+} // namespace rm
+
+#endif // RM_ANALYSIS_MUTATOR_HH

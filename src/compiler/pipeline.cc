@@ -1,5 +1,7 @@
 #include "compiler/pipeline.hh"
 
+#include <map>
+
 #include "analysis/dominators.hh"
 #include "common/errors.hh"
 #include "common/logging.hh"
@@ -9,6 +11,26 @@
 #include "compiler/webs.hh"
 
 namespace rm {
+
+std::vector<std::string>
+lintRegressions(const std::vector<PassLint> &passes)
+{
+    std::vector<std::string> regressed;
+    std::map<std::string, int> previous;
+    for (const PassLint &pass : passes) {
+        std::map<std::string, int> current;
+        for (const Diagnostic &d : pass.report.diagnostics)
+            if (d.severity == LintSeverity::Error)
+                ++current[d.checkId];
+        bool worse = false;
+        for (const auto &[check, count] : current)
+            worse |= count > previous[check];
+        if (worse)
+            regressed.push_back(pass.pass);
+        previous = std::move(current);
+    }
+    return regressed;
+}
 
 namespace {
 
@@ -91,6 +113,19 @@ compileRegMutex(const Program &input, const GpuConfig &config,
 
     CompileResult result;
 
+    // Translation validation: snapshot the full lint report after each
+    // pass so a violation is pinned on the pass that introduced it.
+    const auto lintPass = [&](std::vector<PassLint> &into,
+                              const char *label, const Program &stage) {
+        if (!options.translationValidate)
+            return;
+        LintOptions lint_options;
+        lint_options.config = &config;
+        into.push_back(PassLint{label, runLints(stage, lint_options)});
+    };
+    std::vector<PassLint> shared_lints;
+    lintPass(shared_lints, "input", input);
+
     // --- Extended-set size selection ---
     std::vector<EsCandidate> to_try;
     if (options.forcedEs > 0) {
@@ -110,6 +145,7 @@ compileRegMutex(const Program &input, const GpuConfig &config,
     if (to_try.empty()) {
         // RegMutex not applied: the heuristic found no occupancy gain.
         result.program = input;
+        result.passLints = std::move(shared_lints);
         return result;
     }
 
@@ -126,14 +162,17 @@ compileRegMutex(const Program &input, const GpuConfig &config,
             compacted = colored.program;
         }
     }
+    lintPass(shared_lints, "compact", compacted);
 
     // --- Per-candidate repair + injection, best candidate first ---
     for (const EsCandidate &cand : to_try) {
         Program working = compacted;
         int mov_cuts = 0;
+        std::vector<PassLint> cand_lints = shared_lints;
         if (options.enableCompaction && options.enableRepair) {
             working = repair(std::move(working), cand.bs, max_regs,
                              options.maxRepairIterations, mov_cuts);
+            lintPass(cand_lints, "repair", working);
         }
 
         const Cfg wcfg = Cfg::build(working);
@@ -154,11 +193,19 @@ compileRegMutex(const Program &input, const GpuConfig &config,
         injected.regmutex.baseRegs = cand.bs;
         injected.regmutex.extRegs = cand.es;
         injected.verify();
+        lintPass(cand_lints, "inject", injected);
 
         const ValidationReport report = validateRegMutex(injected);
         panicIf(!report.ok, "compileRegMutex: validation failed for '",
                 input.info.name, "': ", report.error);
 
+        if (options.translationValidate) {
+            for (const std::string &pass : lintRegressions(cand_lints))
+                warn("compileRegMutex: pass '", pass,
+                     "' introduced a lint violation in kernel '",
+                     input.info.name, "'");
+            result.passLints = std::move(cand_lints);
+        }
         result.program = std::move(injected);
         result.injected = counts;
         result.movCuts = mov_cuts;

@@ -13,6 +13,7 @@
  * carries RegMutexInfo{|Bs|, |Es|} for the hardware.
  */
 
+#include "analysis/lint.hh"
 #include "compiler/es_selection.hh"
 #include "compiler/regions.hh"
 #include "isa/program.hh"
@@ -37,7 +38,32 @@ struct CompileOptions
      * (0 disables; see injectDirectives — region-coalescing ablation).
      */
     int coalesceGap = 0;
+    /**
+     * Translation validation: run the full lint suite (analysis/
+     * lint.hh) on the program after every compiler pass and record the
+     * reports on CompileResult::passLints, so a pass that introduces a
+     * violation is identified by name instead of surfacing later as a
+     * validator panic or a simulated deadlock. Off by default — the
+     * final validateRegMutex() gate always runs regardless.
+     */
+    bool translationValidate = false;
 };
+
+/** Lint snapshot taken after one compiler pass (translation validation). */
+struct PassLint
+{
+    /** Pass label: "input", "compact", "repair", "inject", "final". */
+    std::string pass;
+    LintReport report;
+};
+
+/**
+ * Passes whose lint report gained error-severity findings of some
+ * check relative to the preceding pass — the passes that *introduced*
+ * a violation. The first entry compares against a zero baseline.
+ */
+std::vector<std::string>
+lintRegressions(const std::vector<PassLint> &passes);
 
 /** Output of the compiler. */
 struct CompileResult
@@ -51,6 +77,12 @@ struct CompileResult
     int wastedHeldInsts = 0;
     /** Coloring exceeded the register budget; compaction skipped. */
     bool compactionFallback = false;
+    /**
+     * Per-pass lint reports, in pass order; only populated when
+     * CompileOptions::translationValidate is set (and only for the
+     * candidate actually emitted).
+     */
+    std::vector<PassLint> passLints;
 
     bool enabled() const { return program.regmutex.enabled(); }
 };

@@ -64,6 +64,14 @@ struct PolicySpec
      * contract.
      */
     AllocatorFactory allocator;
+    /**
+     * Lint check ids (analysis/lint.hh) the sweep runner's static gate
+     * suppresses for this policy's compiled programs. OWF executes a
+     * directive-stripped program whose acquire semantics live in
+     * hardware locks, so the path-sensitive hold-state check does not
+     * apply to it.
+     */
+    std::vector<std::string> lintSuppressions;
 };
 
 /**

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/lint.hh"
 #include "common/errors.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -27,6 +28,8 @@ sweepStatusName(SweepStatus status)
         return "ok";
       case SweepStatus::CompileFailed:
         return "compile-failed";
+      case SweepStatus::LintFailed:
+        return "lint-failed";
       case SweepStatus::SimFailed:
         return "sim-failed";
       case SweepStatus::Deadlocked:
@@ -247,6 +250,35 @@ runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
                 out.status = SweepStatus::CompileFailed;
                 out.error = exceptionMessage(e);
                 return;
+            }
+
+            // Static gate: never hand the engine a program the lint
+            // suite can already prove broken (a held barrier would
+            // simulate for millions of cycles before deadlocking).
+            if (options.lint) {
+                LintOptions lint_options;
+                lint_options.config = &c.config;
+                lint_options.disabledChecks = policy.lintSuppressions;
+                try {
+                    const LintReport lint =
+                        runLints(out.compile.program, lint_options);
+                    if (!lint.clean()) {
+                        out.status = SweepStatus::LintFailed;
+                        for (const Diagnostic &d : lint.diagnostics) {
+                            if (d.severity != LintSeverity::Error)
+                                continue;
+                            out.error =
+                                "lint: " + renderDiagnostic(
+                                               out.compile.program, d);
+                            break;
+                        }
+                        return;
+                    }
+                } catch (const std::exception &e) {
+                    out.status = SweepStatus::LintFailed;
+                    out.error = "lint: " + exceptionMessage(e);
+                    return;
+                }
             }
 
             const std::string key = sweepCaseKey(c);
@@ -493,6 +525,8 @@ SweepCli::SweepCli(int argc, char *const *argv)
             wallDeadlineSeconds = secondsAfter(i, "--wall-deadline");
         } else if (arg == "--sanitize") {
             sanitize = true;
+        } else if (arg == "--no-lint") {
+            noLint = true;
         } else if (arg == "--snapshot-every") {
             snapshotEvery = u64After(i, "--snapshot-every");
         } else if (arg == "--snapshot-dir") {
@@ -508,6 +542,7 @@ SweepCli::apply(GpuConfig &config, SweepOptions &options) const
 {
     options.threads = threads;
     options.retries = retries;
+    options.lint = !noLint;
     options.checkpointPath = checkpoint;
     options.snapshotDir = snapshotDir;
     options.gpu.control.maxCycles = maxCycles;

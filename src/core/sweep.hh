@@ -62,6 +62,7 @@ struct SweepCase
 enum class SweepStatus {
     Ok,             ///< simulation completed
     CompileFailed,  ///< workload build / policy lookup / compile threw
+    LintFailed,     ///< compiled program failed the static lint suite
     SimFailed,      ///< the simulation threw a non-hang error
     Deadlocked,     ///< declared deadlock or watchdog expiry
     Preempted,      ///< stopped by a RunControl limit; snapshot kept
@@ -94,6 +95,15 @@ struct SweepOptions
      * Compile failures never retry — they are deterministic.
      */
     int retries = 0;
+    /**
+     * Run the static lint suite (analysis/lint.hh) over every cell's
+     * compiled program before simulating it; a cell with any
+     * error-severity finding is marked LintFailed and never reaches
+     * the engine — turning a would-be simulated deadlock or silent
+     * corruption into a static diagnosis. Per-policy suppressions
+     * come from PolicySpec::lintSuppressions.
+     */
+    bool lint = true;
     /**
      * JSONL checkpoint path; empty disables checkpointing. Every Ok
      * cell appends (and flushes) one line as it completes, and a
@@ -189,10 +199,11 @@ sweepGrid(const std::vector<std::string> &workloads,
  * flags: `--max-cycles N` bounds every cell's simulated clock,
  * `--wall-deadline SECONDS` preempts cells still running when the
  * wall-clock budget expires, `--sanitize` audits register accounting
- * every epoch, and `--snapshot-every N` with `--snapshot-dir DIR`
- * persists per-cell snapshots so an interrupted sweep resumes instead
- * of restarting. Unrecognized arguments are ignored so it composes
- * with BenchReport's `--json`.
+ * every epoch, `--no-lint` skips the pre-simulation lint gate, and
+ * `--snapshot-every N` with `--snapshot-dir DIR` persists per-cell
+ * snapshots so an interrupted sweep resumes instead of restarting.
+ * Unrecognized arguments are ignored so it composes with BenchReport's
+ * `--json`.
  */
 struct SweepCli
 {
@@ -203,6 +214,7 @@ struct SweepCli
     std::uint64_t maxCycles = 0;
     double wallDeadlineSeconds = 0.0;
     bool sanitize = false;
+    bool noLint = false;
     std::uint64_t snapshotEvery = 0;
     std::string snapshotDir;
 

@@ -323,8 +323,13 @@ emitProgram(const Program &program)
     // Label every branch target.
     std::map<int, std::string> labels;
     for (const auto &inst : program.code) {
-        if (inst.isBranch() && !labels.count(inst.target))
-            labels[inst.target] = "L" + std::to_string(inst.target);
+        if (inst.isBranch() && !labels.count(inst.target)) {
+            // Built via insert: "L" + to_string trips a GCC 12
+            // -Wrestrict false positive at -O2 (GCC PR 105651).
+            std::string name = std::to_string(inst.target);
+            name.insert(0, 1, 'L');
+            labels[inst.target] = std::move(name);
+        }
     }
 
     for (std::size_t i = 0; i < program.code.size(); ++i) {
@@ -334,8 +339,9 @@ emitProgram(const Program &program)
         std::string text = disassemble(program.code[i]);
         if (program.code[i].isBranch()) {
             const auto arrow = text.rfind("-> ");
-            text = text.substr(0, arrow + 3) +
-                   labels.at(program.code[i].target);
+            if (arrow != std::string::npos)
+                text = text.substr(0, arrow + 3) +
+                       labels.at(program.code[i].target);
         }
         os << "    " << text << "\n";
     }

@@ -325,6 +325,133 @@ samplerToCsv(const Sampler &sampler)
 
 namespace {
 
+/** Disassembly of the instruction a diagnostic points at, or "". */
+std::string
+diagDisasm(const Program &program, const Diagnostic &d)
+{
+    if (d.inst < 0 || d.inst >= static_cast<int>(program.code.size()))
+        return std::string();
+    return disassemble(program.code[d.inst]);
+}
+
+} // namespace
+
+void
+lintReportToJson(JsonWriter &w, const Program &program,
+                 const LintReport &report)
+{
+    w.beginObject();
+    w.key("kernel").value(program.info.name);
+    w.key("clean").value(report.clean());
+    w.key("errors").value(report.errorCount());
+    w.key("warnings").value(report.warningCount());
+    w.key("notes").value(report.noteCount());
+    w.key("diagnostics").beginArray();
+    for (const Diagnostic &d : report.diagnostics) {
+        w.beginObject();
+        w.key("check").value(d.checkId);
+        w.key("severity").value(lintSeverityName(d.severity));
+        w.key("block").value(d.block);
+        w.key("inst").value(d.inst);
+        w.key("disasm").value(diagDisasm(program, d));
+        w.key("message").value(d.message);
+        if (!d.note.empty())
+            w.key("note").value(d.note);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+lintReportToJson(const Program &program, const LintReport &report)
+{
+    JsonWriter w;
+    lintReportToJson(w, program, report);
+    return w.take();
+}
+
+std::string
+lintReportToSarif(const Program &program, const LintReport &report)
+{
+    // SARIF "level" has no "note"; SARIF's own "note" level is the
+    // closest fit for LintSeverity::Note and maps cleanly back.
+    const auto sarifLevel = [](LintSeverity s) {
+        switch (s) {
+          case LintSeverity::Error: return "error";
+          case LintSeverity::Warning: return "warning";
+          case LintSeverity::Note: return "note";
+        }
+        return "none";
+    };
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("$schema").value(
+        "https://json.schemastore.org/sarif-2.1.0.json");
+    w.key("version").value("2.1.0");
+    w.key("runs").beginArray();
+    w.beginObject();
+
+    w.key("tool").beginObject();
+    w.key("driver").beginObject();
+    w.key("name").value("rm-lint");
+    w.key("informationUri").value("docs/ANALYSIS.md");
+    w.key("rules").beginArray();
+    for (const auto &check : lintChecks()) {
+        w.beginObject();
+        w.key("id").value(check->id());
+        w.key("name").value(check->name());
+        w.key("shortDescription").beginObject();
+        w.key("text").value(check->description());
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.endObject();
+
+    w.key("results").beginArray();
+    for (const Diagnostic &d : report.diagnostics) {
+        w.beginObject();
+        w.key("ruleId").value(d.checkId);
+        w.key("level").value(sarifLevel(d.severity));
+        w.key("message").beginObject();
+        std::string text = d.message;
+        const std::string disasm = diagDisasm(program, d);
+        if (!disasm.empty())
+            text += " [" + disasm + "]";
+        if (!d.note.empty())
+            text += " (" + d.note + ")";
+        w.key("text").value(text);
+        w.endObject();
+        if (d.inst >= 0) {
+            w.key("locations").beginArray();
+            w.beginObject();
+            w.key("physicalLocation").beginObject();
+            w.key("artifactLocation").beginObject();
+            w.key("uri").value("kernels/" + program.info.name + ".rmasm");
+            w.endObject();
+            w.key("region").beginObject();
+            // Instruction index -> 1-based disassembly line.
+            w.key("startLine").value(d.inst + 1);
+            w.endObject();
+            w.endObject();
+            w.endObject();
+            w.endArray();
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    w.endArray();
+    w.endObject();
+    return w.take();
+}
+
+namespace {
+
 /** Emit the shared fields of one trace_event record. */
 void
 eventCommon(JsonWriter &w, const char *ph, std::uint64_t ts, int tid,

@@ -13,6 +13,9 @@
  *                     per-warp tracks with issue slices, acquire-wait
  *                     and extended-set-held spans — the paper's Fig. 2
  *                     picture reconstructed from a real run.
+ *  - LintReport    -> JSON (structured diagnostics for tooling) or
+ *                     SARIF 2.1.0 (static-analysis interchange; loads
+ *                     into GitHub code scanning and IDE SARIF viewers).
  *
  * All exporters are pure (input structs -> string); callers own file
  * I/O. See docs/OBSERVABILITY.md for the formats.
@@ -20,6 +23,7 @@
 
 #include <string>
 
+#include "analysis/lint.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/sampler.hh"
@@ -77,6 +81,28 @@ std::string registryToJson(const MetricsRegistry &registry);
  * per sample, raw numbers.
  */
 std::string samplerToCsv(const Sampler &sampler);
+
+/**
+ * Append @p report as a JSON object to @p writer: kernel name, summary
+ * counts, and one entry per diagnostic (check id, severity, block,
+ * instruction index, disassembly, message, note). @p program resolves
+ * instruction indices to disassembled text.
+ */
+void lintReportToJson(JsonWriter &writer, const Program &program,
+                      const LintReport &report);
+
+/** @p report as a standalone JSON document. */
+std::string lintReportToJson(const Program &program,
+                             const LintReport &report);
+
+/**
+ * @p report as a SARIF 2.1.0 document (one run, tool "rm-lint", the
+ * full check catalog as rules). Instruction indices map to 1-based
+ * "lines" of the disassembly listing so generic SARIF viewers can
+ * anchor findings.
+ */
+std::string lintReportToSarif(const Program &program,
+                              const LintReport &report);
 
 /**
  * The retained trace window as a Chrome trace_event JSON document.

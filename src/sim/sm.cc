@@ -172,6 +172,12 @@ Sm::processEvents()
         const Event event = events.top();
         events.pop();
         SimWarp &warp = warps[event.warpSlot];
+        // Stale event: the warp it was created for exited and the slot
+        // was relaunched. The new occupant's scoreboard and memory
+        // accounting start clean; letting an old completion through
+        // would corrupt them (e.g. drive pendingMem negative).
+        if (event.launchOrder != warp.launchOrder)
+            continue;
         if (event.reg != kNoReg)
             warp.pendingWrites.unset(event.reg);
         if (event.memCompletion)
@@ -194,7 +200,7 @@ Sm::dispatchMemQueue()
         const MemRequest req = memQueue.front();
         memQueue.pop();
         events.push(Event{cycle + latency, req.warpSlot,
-                          req.reg, true, false});
+                          req.reg, true, false, req.launchOrder});
     }
 }
 
@@ -320,7 +326,7 @@ Sm::issue(SimWarp &warp)
                     // release, burning extra acquire attempts.
                     park(warp, WarpState::WaitSpill);
                     events.push(Event{cycle + 20, warp.slot, kNoReg,
-                                      false, true});
+                                      false, true, warp.launchOrder});
                 }
                 // PC unchanged: the warp will retry the acquire.
                 return;
@@ -355,7 +361,8 @@ Sm::issue(SimWarp &warp)
                 ++stats.faultEvents;
                 park(warp, WarpState::WaitSpill);
                 events.push(Event{cycle + fault.releaseDelayCycles,
-                                  warp.slot, kNoReg, false, true});
+                                  warp.slot, kNoReg, false, true,
+                                  warp.launchOrder});
                 return;
             }
             const bool held = warp.holdsExt;
@@ -462,19 +469,21 @@ Sm::issue(SimWarp &warp)
         if (inst.hasDst()) {
             warp.pendingWrites.set(inst.dst);
             events.push(Event{cycle + config.aluLatency, warp.slot,
-                              inst.dst, false, false});
+                              inst.dst, false, false,
+                              warp.launchOrder});
         }
         break;
       case LatClass::Sfu:
         warp.pendingWrites.set(inst.dst);
         events.push(Event{cycle + config.sfuLatency, warp.slot, inst.dst,
-                          false, false});
+                          false, false, warp.launchOrder});
         break;
       case LatClass::SharedMem:
         if (inst.hasDst()) {
             warp.pendingWrites.set(inst.dst);
             events.push(Event{cycle + config.sharedLatency, warp.slot,
-                              inst.dst, false, false});
+                              inst.dst, false, false,
+                              warp.launchOrder});
         }
         break;
       case LatClass::GlobalMem:
@@ -482,7 +491,8 @@ Sm::issue(SimWarp &warp)
         if (inst.hasDst())
             warp.pendingWrites.set(inst.dst);
         memQueue.push(MemRequest{warp.slot,
-                                 inst.hasDst() ? inst.dst : kNoReg});
+                                 inst.hasDst() ? inst.dst : kNoReg,
+                                 warp.launchOrder});
         break;
       case LatClass::Control:
       case LatClass::NopClass:
@@ -498,7 +508,8 @@ Sm::issue(SimWarp &warp)
         if (warp.state == WarpState::Ready) {
             park(warp, WarpState::WaitSpill);
             events.push(Event{cycle + 1 + pendingConflictPenalty,
-                              warp.slot, kNoReg, false, true});
+                              warp.slot, kNoReg, false, true,
+                              warp.launchOrder});
         }
         pendingConflictPenalty = 0;
     }
@@ -689,7 +700,8 @@ Sm::handleStarvation()
         if (penalty >= 0) {
             park(*oldest_resource, WarpState::WaitSpill);
             events.push(Event{cycle + penalty, oldest_resource->slot,
-                              kNoReg, false, true});
+                              kNoReg, false, true,
+                              oldest_resource->launchOrder});
             ++stats.emergencySpills;
             if (met.emergencySpills)
                 met.emergencySpills->add();
@@ -950,11 +962,20 @@ Sm::auditEpoch()
                  std::to_string(warp.ctaId) + " but its slot runs CTA " +
                  std::to_string(ctas[warp.ctaSlot].ctaId));
         }
-        // Note: pendingMem may legitimately dip negative — a warp can
-        // finish with a store still in flight, its slot relaunches,
-        // and the stale completion event decrements the new occupant.
-        // That quirk is part of the seed timing model, so it is not a
-        // violation.
+        // Stale completion events from a slot's previous occupant are
+        // dropped by their generation tag (Event::launchOrder), so
+        // outstanding-request accounting is a hard invariant now.
+        if (warp.pendingMem < 0) {
+            fail("warp " + std::to_string(warp.slot) + " has " +
+                 std::to_string(warp.pendingMem) +
+                 " outstanding memory requests");
+        }
+        if (warp.pendingMem > config.maxPendingMemPerWarp) {
+            fail("warp " + std::to_string(warp.slot) + " exceeds the " +
+                 std::to_string(config.maxPendingMemPerWarp) +
+                 "-request memory limit with " +
+                 std::to_string(warp.pendingMem));
+        }
     }
     if (resident_warps != aliveWarps) {
         fail("aliveWarps " + std::to_string(aliveWarps) + " != " +
@@ -1109,6 +1130,7 @@ Sm::saveState(SnapshotWriter &w) const
         w.u32(event.reg);
         w.boolean(event.memCompletion);
         w.boolean(event.spillWake);
+        w.u64(event.launchOrder);
     }
 
     auto mem_pending = memQueue;
@@ -1118,6 +1140,7 @@ Sm::saveState(SnapshotWriter &w) const
         mem_pending.pop();
         w.i32(req.warpSlot);
         w.u32(req.reg);
+        w.u64(req.launchOrder);
     }
 
     w.u32(static_cast<std::uint32_t>(schedLastIssued.size()));
@@ -1267,6 +1290,7 @@ Sm::restoreState(SnapshotReader &r)
         event.reg = static_cast<RegId>(r.u32());
         event.memCompletion = r.boolean();
         event.spillWake = r.boolean();
+        event.launchOrder = r.u64();
         events.push(event);
     }
 
@@ -1276,6 +1300,7 @@ Sm::restoreState(SnapshotReader &r)
         MemRequest req{};
         req.warpSlot = r.i32();
         req.reg = static_cast<RegId>(r.u32());
+        req.launchOrder = r.u64();
         memQueue.push(req);
     }
 

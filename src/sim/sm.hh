@@ -174,6 +174,14 @@ class Sm
         RegId reg;           ///< scoreboard bit to clear (kNoReg: none)
         bool memCompletion;  ///< decrements pendingMem
         bool spillWake;      ///< WaitSpill -> Ready
+        /**
+         * SimWarp::launchOrder of the warp the event was created for.
+         * A warp can exit with a store still in flight and its slot
+         * relaunch before the completion fires; the generation tag
+         * lets processEvents() drop such stale events instead of
+         * corrupting the new occupant's accounting.
+         */
+        std::uint64_t launchOrder;
 
         bool operator>(const Event &other) const
         {
@@ -185,6 +193,8 @@ class Sm
     {
         int warpSlot;
         RegId reg;  ///< kNoReg for stores
+        /** Generation tag of the issuing warp (see Event). */
+        std::uint64_t launchOrder;
     };
 
     std::uint64_t cycle = 0;

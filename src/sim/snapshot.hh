@@ -153,7 +153,7 @@ struct RunControl
 struct GpuSnapshot
 {
     static constexpr std::uint32_t kMagic = 0x524d534eU;  // "RMSN"
-    static constexpr std::uint32_t kVersion = 1;
+    static constexpr std::uint32_t kVersion = 2;
 
     std::string kernel;
     std::string policy;

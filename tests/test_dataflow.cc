@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the generic dataflow solver (analysis/dataflow.hh): toy
+ * forward/backward problems with known fixpoints, the CFG-orientation
+ * contract (in = block entry for both directions), unreachable-block
+ * handling, and agreement between the re-hosted liveness/hold-state
+ * analyses and hand-computed answers on branching programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/acquire_state.hh"
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/liveness.hh"
+#include "common/bitmask.hh"
+#include "isa/builder.hh"
+
+namespace rm {
+namespace {
+
+KernelInfo
+info(int regs = 8)
+{
+    KernelInfo i;
+    i.numRegs = regs;
+    i.ctaThreads = 64;
+    i.gridCtas = 1;
+    return i;
+}
+
+/**
+ * Forward may-analysis: the set of block ids on some path from entry
+ * to each block (inclusive). The fixpoint is exact reachability
+ * history, easy to hand-check on a diamond.
+ */
+struct PathBlocks
+{
+    using Value = Bitmask;
+    static constexpr DataflowDirection direction =
+        DataflowDirection::Forward;
+
+    int numBlocks;
+
+    Value boundary() const { return Bitmask(numBlocks); }
+    Value top() const { return Bitmask(numBlocks); }
+
+    bool join(Value &into, const Value &from) const
+    {
+        const std::size_t before = into.count();
+        into |= from;
+        return into.count() != before;
+    }
+
+    Value transfer(int block, const Value &near) const
+    {
+        Value out = near;
+        out.set(static_cast<std::size_t>(block));
+        return out;
+    }
+};
+
+/** A diamond: 0 -> {1, 2} -> 3. */
+Program
+diamond()
+{
+    ProgramBuilder b(info());
+    const auto arm = b.newLabel();
+    const auto merge = b.newLabel();
+    b.movImm(0, 1);      // 0 (block 0)
+    b.braNz(0, arm);     // 1
+    b.movImm(1, 2);      // 2 (block 1)
+    b.bra(merge);        // 3
+    b.bind(arm);
+    b.movImm(1, 3);      // 4 (block 2)
+    b.bind(merge);
+    b.stGlobal(1, 1);    // 5 (block 3)
+    b.exitKernel();      // 6
+    return b.finalize();
+}
+
+TEST(Dataflow, ForwardJoinsOverAllPaths)
+{
+    const Program p = diamond();
+    const Cfg cfg = Cfg::build(p);
+    ASSERT_EQ(cfg.numBlocks(), 4u);
+
+    const PathBlocks problem{static_cast<int>(cfg.numBlocks())};
+    const DataflowResult<Bitmask> r = solveDataflow(cfg, problem);
+
+    // Entry sees only itself at its exit; nothing at its entry.
+    EXPECT_EQ(r.in[0].count(), 0u);
+    EXPECT_TRUE(r.out[0].test(0));
+    EXPECT_EQ(r.out[0].count(), 1u);
+    // Each arm sees entry + itself.
+    EXPECT_TRUE(r.out[1].test(0));
+    EXPECT_TRUE(r.out[1].test(1));
+    EXPECT_FALSE(r.out[1].test(2));
+    // The merge's entry is the union of both arms' exits.
+    EXPECT_TRUE(r.in[3].test(1));
+    EXPECT_TRUE(r.in[3].test(2));
+    EXPECT_TRUE(r.out[3].test(3));
+}
+
+/**
+ * Forward must-analysis over the same lattice: blocks on *every* path
+ * (intersection join). At the diamond's merge neither arm survives.
+ */
+struct MustPathBlocks
+{
+    using Value = Bitmask;
+    static constexpr DataflowDirection direction =
+        DataflowDirection::Forward;
+
+    int numBlocks;
+
+    Value boundary() const { return Bitmask(numBlocks); }
+    Value top() const
+    {
+        Bitmask all(numBlocks);
+        for (int i = 0; i < numBlocks; ++i)
+            all.set(static_cast<std::size_t>(i));
+        return all;
+    }
+
+    bool join(Value &into, const Value &from) const
+    {
+        const std::size_t before = into.count();
+        into &= from;
+        return into.count() != before;
+    }
+
+    Value transfer(int block, const Value &near) const
+    {
+        Value out = near;
+        out.set(static_cast<std::size_t>(block));
+        return out;
+    }
+};
+
+TEST(Dataflow, MustAnalysisIntersectsAtMerge)
+{
+    const Program p = diamond();
+    const Cfg cfg = Cfg::build(p);
+    const MustPathBlocks problem{static_cast<int>(cfg.numBlocks())};
+    const DataflowResult<Bitmask> r = solveDataflow(cfg, problem);
+
+    // Only the entry block dominates the merge; the arms cancel out.
+    EXPECT_TRUE(r.in[3].test(0));
+    EXPECT_FALSE(r.in[3].test(1));
+    EXPECT_FALSE(r.in[3].test(2));
+}
+
+TEST(Dataflow, UnreachableBlockKeepsTop)
+{
+    // bra over a stranded instruction: the dead block is never joined
+    // into, so it reports the problem's top value.
+    ProgramBuilder b(info());
+    const auto end = b.newLabel();
+    b.bra(end);          // 0 (block 0)
+    b.movImm(0, 1);      // 1 (block 1, unreachable)
+    b.bind(end);
+    b.exitKernel();      // 2 (block 2)
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    ASSERT_EQ(cfg.numBlocks(), 3u);
+
+    const PathBlocks problem{static_cast<int>(cfg.numBlocks())};
+    const DataflowResult<Bitmask> r = solveDataflow(cfg, problem);
+    const int dead = cfg.blockOf(1);
+    EXPECT_EQ(r.in[dead].count(), 0u);
+    EXPECT_EQ(r.out[dead].count(), 0u);
+    // ...while the jump target is reached from the entry.
+    EXPECT_TRUE(r.in[cfg.blockOf(2)].test(0));
+}
+
+TEST(Dataflow, RehostedLivenessMatchesHandAnswerOnLoop)
+{
+    // r0 is the loop counter (live around the back edge), r5 is dead
+    // after its single in-iteration use, r1 escapes the loop.
+    ProgramBuilder b(info());
+    const auto head = b.newLabel();
+    b.movImm(0, 3);      // 0
+    b.bind(head);
+    b.movImm(5, 7);      // 1
+    b.iadd(1, 5, 5);     // 2
+    b.movImm(2, 1);      // 3
+    b.isub(0, 0, 2);     // 4
+    b.braNz(0, head);    // 5
+    b.stGlobal(1, 1);    // 6
+    b.exitKernel();      // 7
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    const Liveness live = Liveness::compute(p, cfg);
+
+    EXPECT_TRUE(live.isLiveIn(1, 0));    // counter live at loop head
+    EXPECT_TRUE(live.isLiveIn(5, 0));    // ...and across the branch
+    EXPECT_FALSE(live.isLiveIn(3, 5));   // r5 dead after inst 2
+    EXPECT_TRUE(live.isLiveIn(6, 1));    // r1 escapes the loop
+    EXPECT_FALSE(live.isLiveOut(6, 1));  // ...and dies at the store
+}
+
+TEST(Dataflow, HoldStateMergesToMixedAtJoin)
+{
+    // Acquire on one arm only: the merge point must be Mixed, the
+    // post-release tail NotHeld.
+    ProgramBuilder b(info());
+    const auto arm = b.newLabel();
+    const auto merge = b.newLabel();
+    b.movImm(0, 1);      // 0
+    b.braNz(0, arm);     // 1
+    b.nop();             // 2
+    b.bra(merge);        // 3
+    b.bind(arm);
+    b.regAcquire();      // 4
+    b.bind(merge);
+    b.nop();             // 5
+    b.exitKernel();      // 6
+    const Program p = b.finalize();
+    const Cfg cfg = Cfg::build(p);
+    const AcquireState holds = AcquireState::compute(p, cfg);
+
+    EXPECT_EQ(holds.before(0), HoldState::NotHeld);
+    EXPECT_EQ(holds.after(4), HoldState::Held);
+    EXPECT_EQ(holds.before(5), HoldState::Mixed);
+    EXPECT_EQ(holds.before(6), HoldState::Mixed);
+}
+
+} // namespace
+} // namespace rm

@@ -69,8 +69,9 @@ TEST(CtaDistribution, SharesSumToGridAndDifferByAtMostOne)
                 hi = std::max(hi, share);
                 // Remainder CTAs land on the lowest SM ids: shares are
                 // non-increasing in the SM id.
-                if (sm > 0)
+                if (sm > 0) {
                     EXPECT_LE(share, ctasForSm(config, grid, sm - 1));
+                }
             }
             EXPECT_EQ(total, grid) << grid << " CTAs on " << sms << " SMs";
             EXPECT_LE(hi - lo, 1);

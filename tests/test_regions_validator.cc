@@ -251,6 +251,89 @@ TEST(Validator, CountsRedundantDirectives)
     EXPECT_EQ(report.redundantReleases, 1);
 }
 
+TEST(Validator, MixedStateAcquireAtMergeCountedRedundant)
+{
+    // One arm acquires; at the merge the hold state is Mixed, so a
+    // second acquire there *may* be a no-op — counted redundant.
+    ProgramBuilder b(info(8));
+    const auto arm = b.newLabel();
+    const auto merge = b.newLabel();
+    b.movImm(0, 1);
+    b.braNz(0, arm);
+    b.nop();
+    b.bra(merge);
+    b.bind(arm);
+    b.regAcquire();
+    b.bind(merge);
+    b.regAcquire();   // before-state Mixed: redundant
+    b.movImm(5, 2);
+    b.stGlobal(5, 5);
+    b.regRelease();   // before-state Held: effective
+    b.exitKernel();
+    Program p = b.finalize();
+    p.info.numRegs = 8;
+    p.regmutex.baseRegs = 4;
+    p.regmutex.extRegs = 4;
+    const ValidationReport report = validateRegMutex(p);
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.acquires, 2);
+    EXPECT_EQ(report.redundantAcquires, 1);
+    EXPECT_EQ(report.releases, 1);
+    EXPECT_EQ(report.redundantReleases, 0);
+}
+
+TEST(Validator, MixedStateReleaseAtMergeCountedRedundant)
+{
+    // The non-acquiring path makes the merge's release a maybe-no-op.
+    ProgramBuilder b(info(8));
+    const auto arm = b.newLabel();
+    const auto merge = b.newLabel();
+    b.movImm(0, 1);
+    b.braNz(0, arm);
+    b.nop();
+    b.bra(merge);
+    b.bind(arm);
+    b.regAcquire();
+    b.movImm(5, 2);
+    b.stGlobal(5, 5);
+    b.bind(merge);
+    b.regRelease();   // before-state Mixed: redundant
+    b.exitKernel();
+    Program p = b.finalize();
+    p.info.numRegs = 8;
+    p.regmutex.baseRegs = 4;
+    p.regmutex.extRegs = 4;
+    const ValidationReport report = validateRegMutex(p);
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.redundantAcquires, 0);
+    EXPECT_EQ(report.redundantReleases, 1);
+}
+
+TEST(Validator, UnreachableDirectivesNotCountedRedundant)
+{
+    // Directives in dead code never execute: counted as directives
+    // but never toward the redundant tallies.
+    ProgramBuilder b(info(8));
+    const auto end = b.newLabel();
+    b.regAcquire();
+    b.regRelease();
+    b.bra(end);
+    b.regAcquire();   // unreachable
+    b.regRelease();   // unreachable
+    b.bind(end);
+    b.exitKernel();
+    Program p = b.finalize();
+    p.info.numRegs = 8;
+    p.regmutex.baseRegs = 4;
+    p.regmutex.extRegs = 4;
+    const ValidationReport report = validateRegMutex(p);
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.acquires, 2);
+    EXPECT_EQ(report.releases, 2);
+    EXPECT_EQ(report.redundantAcquires, 0);
+    EXPECT_EQ(report.redundantReleases, 0);
+}
+
 TEST(Validator, DirectivesInPlainProgramRejected)
 {
     ProgramBuilder b(info(8));

@@ -25,6 +25,7 @@
 #include "core/experiment.hh"
 #include "core/policy.hh"
 #include "core/sweep.hh"
+#include "isa/builder.hh"
 #include "sim/config.hh"
 #include "sim/gpu.hh"
 #include "sim/sanitizer.hh"
@@ -456,6 +457,46 @@ TEST(Sanitizer, CorruptionCaughtWithinOneEpoch)
                 << policy;
         }
     }
+}
+
+/**
+ * A warp may retire with a store still in flight (Exit does not wait on
+ * stores), its slot relaunch, and the late completion arrive while the
+ * new occupant is running. Each warp here lives ~globalLatency cycles
+ * (the load chain), so its parting store lands squarely mid-life of the
+ * slot's next occupant. Before Event/MemRequest carried launchOrder
+ * generation tags, that stale completion decremented the new warp's
+ * pendingMem below zero — now a hard sanitizer invariant instead of a
+ * documented exemption.
+ */
+TEST(Sanitizer, StaleStoreCompletionAfterSlotRelaunch)
+{
+    KernelInfo info;
+    info.name = "stale-store";
+    info.numRegs = 4;
+    info.ctaThreads = 32;        // one warp per CTA
+    info.gridCtas = 15 * 8 * 3;  // several relaunch waves per SM
+    ProgramBuilder b(info);
+    b.movImm(0, 1);
+    b.ldGlobal(1, 0);    // keeps the warp alive ~globalLatency cycles
+    b.iadd(0, 1, 1);     // forces the wait on the load
+    b.stGlobal(0, 0);    // fire-and-forget: still in flight at Exit
+    b.exitKernel();
+    const Program program = b.finalize();
+
+    RunOptions options;
+    options.gpu.control.sanitize = true;
+    options.gpu.control.epochCycles = 64;  // audit promptly
+    const PolicyRun run =
+        runPolicy("baseline", program, gtx480Config(), options);
+    EXPECT_TRUE(run.result.completed());
+    EXPECT_FALSE(run.stats().deadlocked);
+
+    // The not-yet-fired cross-relaunch events and queued requests carry
+    // their tags through the snapshot codec: preempt mid-run (stores
+    // from wave one are still outstanding) and resume bit-identically.
+    expectResumeEquivalence("baseline", program, gtx480Config(),
+                            GpuOptions{}, 450);
 }
 
 // --- Sweep integration ---
