@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "analysis/cfg.hh"
 #include "analysis/liveness.hh"
 #include "common/bitmask.hh"
@@ -91,4 +95,39 @@ BENCHMARK(BM_WorkloadGenerator);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main instead of BENCHMARK_MAIN(): `--json <path>` expands to
+ * google-benchmark's `--benchmark_out=<path> --benchmark_out_format=
+ * json` so rm-bench (and scripts/run_all_benches.sh) can fold the
+ * micro numbers into the perf trajectory with one uniform flag. All
+ * other arguments pass through to google-benchmark untouched.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            if (i + 1 >= argc) {
+                std::cerr << "micro_hotpaths: --json needs a path\n";
+                return 2;
+            }
+            args.push_back(std::string("--benchmark_out=") + argv[++i]);
+            args.push_back("--benchmark_out_format=json");
+        } else {
+            args.push_back(arg);
+        }
+    }
+    std::vector<char *> argp;
+    argp.reserve(args.size());
+    for (std::string &arg : args)
+        argp.push_back(arg.data());
+    int adjusted = static_cast<int>(argp.size());
+    benchmark::Initialize(&adjusted, argp.data());
+    if (benchmark::ReportUnrecognizedArguments(adjusted, argp.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

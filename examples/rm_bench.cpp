@@ -1,0 +1,487 @@
+/**
+ * rm-bench — the perf-trajectory harness (docs/BENCHMARKS.md).
+ *
+ * Runs a pinned workload × policy × SM grid plus a pinned sweep, times
+ * them with warmup + repetition, and reports median/MAD throughput:
+ *
+ *   - cycles_per_sec:       simulated cycles per wall second
+ *   - instructions_per_sec: simulated instructions per wall second
+ *   - sweep_cells_per_sec:  runSweep() cells per wall second
+ *
+ * The JSON report is schema-versioned and committed at the repo root
+ * as BENCH_<pr>.json, one file per PR; scripts/check_perf_trajectory.py
+ * gates regressions against the newest prior file.
+ *
+ * usage: rm-bench [--quick] [--reps N] [--out PATH] [--micro PATH]
+ *                 [--profile PATH] [--list]
+ *
+ *   --quick         small grid and fewer reps (CI perf-smoke)
+ *   --reps N        override the repetition count
+ *   --out PATH      write the JSON report (stdout table always prints)
+ *   --micro PATH    fold a google-benchmark JSON file (produced by
+ *                   `micro_hotpaths --json PATH`) into the report
+ *   --profile PATH  run one extra (untimed) profiled rep and write the
+ *                   host-side span timeline as a Chrome trace
+ *   --list          print the pinned grid and exit
+ *
+ * exit codes: 0 success, 1 infrastructure failure (unreadable --micro
+ * file, failed cell, unwritable --out), 2 usage error.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/policy.hh"
+#include "core/sweep.hh"
+#include "obs/export.hh"
+#include "obs/json.hh"
+#include "obs/profiler.hh"
+#include "sim/config.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point begin)
+{
+    return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+/** One pinned simulation cell, compiled once and timed repeatedly. */
+struct SimCell
+{
+    std::string workload;
+    std::string policy;
+    int sms = 1;
+
+    rm::GpuConfig config;
+    rm::PolicyCompile compiled;
+    const rm::PolicySpec *spec = nullptr;
+
+    // Deterministic per-run outputs (identical across reps).
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::vector<double> seconds; ///< one wall time per rep
+};
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    return n % 2 == 1 ? values[n / 2]
+                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/** Median absolute deviation — the report's robust spread measure. */
+double
+mad(const std::vector<double> &values)
+{
+    const double center = median(values);
+    std::vector<double> dev;
+    dev.reserve(values.size());
+    for (double v : values)
+        dev.push_back(std::abs(v - center));
+    return median(dev);
+}
+
+std::string
+cpuModelName()
+{
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto colon = line.find(':');
+        if (line.rfind("model name", 0) == 0 && colon != std::string::npos) {
+            std::size_t start = colon + 1;
+            while (start < line.size() && line[start] == ' ')
+                ++start;
+            return line.substr(start);
+        }
+    }
+    return "unknown";
+}
+
+/** One micro-benchmark row lifted from google-benchmark's JSON. */
+struct MicroResult
+{
+    std::string name;
+    double realTimeNs = 0.0;
+    double cpuTimeNs = 0.0;
+    std::uint64_t iterations = 0;
+};
+
+std::vector<MicroResult>
+loadMicro(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "rm-bench: cannot read --micro file '" << path
+                  << "'\n";
+        std::exit(1);
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    rm::JsonValue doc;
+    try {
+        doc = rm::parseJson(buffer.str());
+    } catch (const rm::FatalError &err) {
+        std::cerr << "rm-bench: --micro file '" << path
+                  << "' is not valid JSON: " << err.what() << "\n";
+        std::exit(1);
+    }
+    std::vector<MicroResult> results;
+    const rm::JsonValue *benches = doc.find("benchmarks");
+    if (benches == nullptr) {
+        std::cerr << "rm-bench: --micro file '" << path
+                  << "' has no \"benchmarks\" array (expected "
+                     "google-benchmark JSON)\n";
+        std::exit(1);
+    }
+    for (const rm::JsonValue &entry : benches->items) {
+        MicroResult r;
+        if (const rm::JsonValue *v = entry.find("name"))
+            r.name = v->string;
+        if (const rm::JsonValue *v = entry.find("real_time"))
+            r.realTimeNs = v->number;
+        if (const rm::JsonValue *v = entry.find("cpu_time"))
+            r.cpuTimeNs = v->number;
+        if (const rm::JsonValue *v = entry.find("iterations"))
+            r.iterations = static_cast<std::uint64_t>(v->number);
+        // google-benchmark reports in its "time_unit" — the repo's
+        // benches all use the default nanoseconds; anything else would
+        // need a conversion here.
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+struct Options
+{
+    bool quick = false;
+    bool list = false;
+    int reps = 0; // 0: mode default
+    std::string outPath;
+    std::string microPath;
+    std::string profilePath;
+};
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage: rm-bench [--quick] [--reps N] [--out PATH]\n"
+           "                [--micro PATH] [--profile PATH] [--list]\n";
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "rm-bench: " << flag << " needs a value\n";
+                std::exit(usage(std::cerr, 2));
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            opt.quick = true;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--reps") {
+            opt.reps = std::stoi(next("--reps"));
+            if (opt.reps < 1) {
+                std::cerr << "rm-bench: --reps must be >= 1\n";
+                return usage(std::cerr, 2);
+            }
+        } else if (arg == "--out") {
+            opt.outPath = next("--out");
+        } else if (arg == "--micro") {
+            opt.microPath = next("--micro");
+        } else if (arg == "--profile") {
+            opt.profilePath = next("--profile");
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else {
+            std::cerr << "rm-bench: unknown argument '" << arg << "'\n";
+            return usage(std::cerr, 2);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The pinned grids. Changing these invalidates wall-clock
+    // comparability with earlier BENCH_*.json files — bump the grid
+    // only together with a fresh trajectory baseline (see
+    // docs/BENCHMARKS.md).
+    // ------------------------------------------------------------------
+    const std::vector<std::string> workloads =
+        opt.quick ? std::vector<std::string>{"BFS", "SPMV"}
+                  : std::vector<std::string>{"BFS", "SPMV", "SAD",
+                                             "HotSpot3D"};
+    const std::vector<std::string> policies =
+        opt.quick ? std::vector<std::string>{"baseline", "regmutex"}
+                  : std::vector<std::string>{"baseline", "regmutex",
+                                             "rfv"};
+    const std::vector<int> smCounts =
+        opt.quick ? std::vector<int>{1} : std::vector<int>{1, 4};
+
+    std::vector<std::string> sweepWorkloads = rm::occupancyLimitedSet();
+    if (opt.quick)
+        sweepWorkloads.resize(4);
+    const std::vector<std::string> sweepPolicies = {"baseline",
+                                                    "regmutex"};
+    const std::vector<rm::SweepCase> sweepCases = rm::sweepGrid(
+        sweepWorkloads, sweepPolicies, {{"GTX480", rm::gtx480Config()}});
+    rm::SweepOptions sweepOptions;
+    sweepOptions.threads = 0; // full shared-pool width
+
+    const int reps = opt.reps > 0 ? opt.reps : (opt.quick ? 2 : 3);
+    const int warmups = 1;
+
+    if (opt.list) {
+        std::cout << "sim grid (" << workloads.size() * policies.size() *
+                                         smCounts.size()
+                  << " cells):\n";
+        for (int sms : smCounts)
+            for (const std::string &w : workloads)
+                for (const std::string &p : policies)
+                    std::cout << "  " << w << " x " << p << " x sms="
+                              << sms << "\n";
+        std::cout << "sweep grid (" << sweepCases.size() << " cells):\n";
+        for (const rm::SweepCase &c : sweepCases)
+            std::cout << "  " << c.workload << " x " << c.policy << "\n";
+        std::cout << "reps: " << reps << " (+" << warmups
+                  << " warmup)\n";
+        return 0;
+    }
+
+    // Compile every cell once, outside the timed region: the trajectory
+    // tracks engine throughput; compile cost is measured separately by
+    // the sweep leg (sweep.compile spans) and the micro benches.
+    std::vector<SimCell> cells;
+    for (int sms : smCounts) {
+        for (const std::string &w : workloads) {
+            for (const std::string &p : policies) {
+                SimCell cell;
+                cell.workload = w;
+                cell.policy = p;
+                cell.sms = sms;
+                cell.config = rm::gtx480Config();
+                cell.config.numSms = sms;
+                cell.spec = &rm::PolicyRegistry::instance().at(p);
+                const rm::Program program = rm::buildWorkload(w);
+                cell.compiled = cell.spec->compile(program, cell.config,
+                                                   rm::CompileOptions{});
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+
+    auto runCell = [](SimCell &cell) {
+        rm::GpuOptions gpu;
+        gpu.mode = cell.sms > 1 ? rm::GpuOptions::Mode::FullMachine
+                                : rm::GpuOptions::Mode::Representative;
+        gpu.threads = cell.sms > 1 ? 0 : 1;
+        return rm::simulateGpu(cell.config, cell.compiled.program,
+                               cell.spec->allocator, gpu);
+    };
+
+    // Warmup + timed reps over the sim grid.
+    for (int warm = 0; warm < warmups; ++warm)
+        for (SimCell &cell : cells)
+            static_cast<void>(runCell(cell));
+
+    std::vector<double> cyclesPerSec, instrPerSec;
+    for (int rep = 0; rep < reps; ++rep) {
+        std::uint64_t total_cycles = 0, total_instructions = 0;
+        double total_seconds = 0.0;
+        for (SimCell &cell : cells) {
+            const auto begin = Clock::now();
+            const rm::GpuResult result = runCell(cell);
+            const double elapsed = secondsSince(begin);
+            cell.seconds.push_back(elapsed);
+            total_seconds += elapsed;
+            // Machine cycles advance per SM; credit the summed per-SM
+            // clocks so FullMachine cells count the work actually
+            // simulated, not just the slowest SM.
+            std::uint64_t cell_cycles = 0;
+            for (const rm::SimStats &sm : result.perSm)
+                cell_cycles += sm.cycles;
+            cell.cycles = cell_cycles;
+            cell.instructions = result.aggregate.instructions;
+            if (result.aggregate.deadlocked) {
+                std::cerr << "rm-bench: cell " << cell.workload << "/"
+                          << cell.policy << " deadlocked\n";
+                return 1;
+            }
+            total_cycles += cell.cycles;
+            total_instructions += cell.instructions;
+        }
+        cyclesPerSec.push_back(static_cast<double>(total_cycles) /
+                               total_seconds);
+        instrPerSec.push_back(static_cast<double>(total_instructions) /
+                              total_seconds);
+    }
+
+    // Warmup + timed reps over the sweep.
+    {
+        const std::vector<rm::SweepResult> warm =
+            rm::runSweep(sweepCases, sweepOptions);
+        const int failures = rm::reportSweepFailures(warm, std::cerr);
+        if (failures > 0) {
+            std::cerr << "rm-bench: " << failures
+                      << " sweep cell(s) failed\n";
+            return 1;
+        }
+    }
+    std::vector<double> sweepCellsPerSec;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto begin = Clock::now();
+        static_cast<void>(rm::runSweep(sweepCases, sweepOptions));
+        const double elapsed = secondsSince(begin);
+        sweepCellsPerSec.push_back(
+            static_cast<double>(sweepCases.size()) / elapsed);
+    }
+
+    // Optional profiled rep: untimed, so profiling overhead never
+    // contaminates the trajectory numbers.
+    if (!opt.profilePath.empty()) {
+        rm::Profiler::enable();
+        for (SimCell &cell : cells)
+            static_cast<void>(runCell(cell));
+        static_cast<void>(rm::runSweep(sweepCases, sweepOptions));
+        const rm::ProfReport profile = rm::Profiler::report();
+        rm::Profiler::disable();
+        std::ofstream out(opt.profilePath);
+        if (!out) {
+            std::cerr << "rm-bench: cannot write --profile file '"
+                      << opt.profilePath << "'\n";
+            return 1;
+        }
+        out << rm::profileChromeTrace(profile);
+        std::cout << "\nhost-span profile (one extra rep):\n"
+                  << rm::profileTable(profile)
+                  << "chrome trace written to " << opt.profilePath
+                  << "\n";
+    }
+
+    std::vector<MicroResult> micro;
+    if (!opt.microPath.empty())
+        micro = loadMicro(opt.microPath);
+
+    // ------------------------------------------------------------------
+    // Text report.
+    // ------------------------------------------------------------------
+    rm::Table table({"workload", "policy", "sms", "cycles",
+                     "instructions", "median_sec"});
+    for (SimCell &cell : cells) {
+        rm::Row row;
+        row << cell.workload << cell.policy << cell.sms << cell.cycles
+            << cell.instructions << rm::fixed(median(cell.seconds), 4);
+        table.addRow(row.take());
+    }
+    std::cout << table.toText() << "\n";
+
+    const double med_cycles = median(cyclesPerSec);
+    const double med_instr = median(instrPerSec);
+    const double med_sweep = median(sweepCellsPerSec);
+    std::cout << "cycles/sec:        " << rm::fixed(med_cycles / 1e6, 3)
+              << "M (MAD " << rm::fixed(mad(cyclesPerSec) / 1e6, 3)
+              << "M)\n"
+              << "instructions/sec:  " << rm::fixed(med_instr / 1e6, 3)
+              << "M (MAD " << rm::fixed(mad(instrPerSec) / 1e6, 3)
+              << "M)\n"
+              << "sweep cells/sec:   " << rm::fixed(med_sweep, 3)
+              << " (MAD " << rm::fixed(mad(sweepCellsPerSec), 3)
+              << ") over " << sweepCases.size() << " cells\n"
+              << "reps: " << reps << " (+" << warmups << " warmup)"
+              << (opt.quick ? " [quick]" : "") << "\n";
+
+    // ------------------------------------------------------------------
+    // JSON report (the committed trajectory format; schema frozen by
+    // docs/BENCHMARKS.md and validated by check_perf_trajectory.py).
+    // ------------------------------------------------------------------
+    if (!opt.outPath.empty()) {
+        rm::JsonWriter w;
+        w.beginObject();
+        w.key("schema_version").value(1);
+        w.key("bench").value("rm-bench");
+        w.key("quick").value(opt.quick);
+        w.key("reps").value(reps);
+        w.key("host").beginObject();
+        w.key("cpus").value(static_cast<std::uint64_t>(
+            std::thread::hardware_concurrency()));
+        w.key("model").value(cpuModelName());
+        const char *rm_threads = std::getenv("RM_THREADS");
+        w.key("rm_threads").value(rm_threads ? rm_threads : "");
+        w.endObject();
+        w.key("headline").beginObject();
+        auto metric = [&](const char *name,
+                          const std::vector<double> &values) {
+            w.key(name).beginObject();
+            w.key("median").value(median(values));
+            w.key("mad").value(mad(values));
+            w.endObject();
+        };
+        metric("cycles_per_sec", cyclesPerSec);
+        metric("instructions_per_sec", instrPerSec);
+        metric("sweep_cells_per_sec", sweepCellsPerSec);
+        w.endObject();
+        w.key("sweep").beginObject();
+        w.key("cells").value(static_cast<std::uint64_t>(
+            sweepCases.size()));
+        w.endObject();
+        w.key("cells").beginArray();
+        for (SimCell &cell : cells) {
+            w.beginObject();
+            w.key("workload").value(cell.workload);
+            w.key("policy").value(cell.policy);
+            w.key("sms").value(cell.sms);
+            w.key("cycles").value(cell.cycles);
+            w.key("instructions").value(cell.instructions);
+            w.key("median_sec").value(median(cell.seconds));
+            w.endObject();
+        }
+        w.endArray();
+        w.key("micro").beginArray();
+        for (const MicroResult &r : micro) {
+            w.beginObject();
+            w.key("name").value(r.name);
+            w.key("real_time_ns").value(r.realTimeNs);
+            w.key("cpu_time_ns").value(r.cpuTimeNs);
+            w.key("iterations").value(r.iterations);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+
+        std::ofstream out(opt.outPath);
+        if (!out) {
+            std::cerr << "rm-bench: cannot write --out file '"
+                      << opt.outPath << "'\n";
+            return 1;
+        }
+        out << w.take() << "\n";
+        std::cout << "report written to " << opt.outPath << "\n";
+    }
+    return 0;
+}

@@ -26,6 +26,11 @@
  *                            on the policy's compiled program before
  *                            simulating; error findings abort the run
  *                            with exit status 4
+ *   --profile PATH           self-profile the run (obs/profiler.hh):
+ *                            print the host-side phase breakdown table
+ *                            and write the span timeline to PATH as a
+ *                            Chrome trace (distinct from --chrome-trace,
+ *                            which records *simulated* issue slots)
  *   --half-rf | --es N | --lrr | --poll | --list
  *
  * Fault injection (docs/ROBUSTNESS.md; all cycles are simulated):
@@ -53,6 +58,14 @@
  *
  * A deadlocked or watchdog-expired run prints the hang forensics
  * (embedded under "hang" in the JSON document) and exits nonzero.
+ *
+ * Exit-code contract (uniform across the --lint / --snapshot /
+ * --profile flows; scripts and CI match on these):
+ *   0  run completed; every requested artifact was written
+ *   1  fatal failure: deadlock, watchdog expiry, unreadable input, I/O
+ *   2  usage error (unknown flag, missing value, unknown workload name)
+ *   3  preempted by a run-control limit; snapshot kept, resumable
+ *   4  the --lint static gate found error-severity findings
  *
  * See docs/OBSERVABILITY.md for the metric catalog and file formats.
  */
@@ -94,7 +107,7 @@ usage()
            "  --sms N | --threads N\n"
            "  --json PATH | --csv PATH | --chrome-trace PATH\n"
            "  --sample-interval N | --trace-capacity N | --pretty\n"
-           "  --lint\n"
+           "  --lint | --profile PATH\n"
            "  --half-rf | --es N | --lrr | --poll | --list\n"
            "  --fault-deny-acquire FROM:UNTIL\n"
            "  --fault-delay-release FROM:UNTIL:DELAY\n"
@@ -207,7 +220,7 @@ main(int argc, char **argv)
 
     std::string allocator_name = "regmutex";
     std::string target;
-    std::string json_path, csv_path, chrome_path;
+    std::string json_path, csv_path, chrome_path, profile_path;
     std::uint64_t sample_interval = 1000;
     std::size_t trace_capacity = 1u << 20;
     int sms = 1;
@@ -271,6 +284,8 @@ main(int argc, char **argv)
             pretty = true;
         } else if (arg == "--lint") {
             lint = true;
+        } else if (arg == "--profile") {
+            profile_path = next();
         } else if (arg == "--half-rf") {
             config = halfRegisterFile(config);
         } else if (arg == "--es") {
@@ -427,8 +442,17 @@ main(int argc, char **argv)
             run_options.gpu.resume = std::make_shared<GpuSnapshot>(
                 readSnapshotFile(restore_path));
 
+        // Self-profiling brackets exactly the simulation; compile and
+        // artifact assembly stay outside the measured window.
+        if (!profile_path.empty())
+            Profiler::enable();
         const PolicyRun run =
             runPolicy(*policy, program, config, run_options);
+        ProfReport profile;
+        if (!profile_path.empty()) {
+            profile = Profiler::report();
+            Profiler::disable();
+        }
         const SimStats &stats = run.stats();
         // The policy's executed program (OWF already has its directives
         // stripped) so trace PCs disassemble correctly.
@@ -467,6 +491,11 @@ main(int argc, char **argv)
             writeFile(csv_path, samplerToCsv(sampler));
         if (!chrome_path.empty())
             writeFile(chrome_path, chromeTrace(trace, executed));
+        if (!profile_path.empty()) {
+            writeFile(profile_path, profileChromeTrace(profile));
+            std::cout << "\nhost-span profile:\n"
+                      << profileTable(profile);
+        }
 
         if (pretty) {
             std::cout << prettyPrint(document) << "\n";
@@ -525,6 +554,7 @@ main(int argc, char **argv)
         report("Chrome trace (open in chrome://tracing or "
                "ui.perfetto.dev)",
                chrome_path);
+        report("host-span Chrome trace", profile_path);
         if (stats.deadlocked && stats.hang)
             std::cerr << "\n" << stats.hang->summary() << "\n";
         if (!run.result.completed()) {

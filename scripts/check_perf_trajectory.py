@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Gate the perf trajectory: diff a fresh rm-bench report against the
+newest prior BENCH_*.json and fail on headline regressions.
+
+usage: check_perf_trajectory.py REPORT [--dir DIR] [--threshold FRAC]
+                                [--warn-only] [--schema-only]
+                                [--strict-host]
+
+REPORT is the JSON file rm-bench just wrote (see docs/BENCHMARKS.md for
+the schema). The prior baseline is the highest-numbered BENCH_<n>.json
+in DIR (default: REPORT's directory) other than REPORT itself; when
+REPORT is itself a BENCH_<n>.json, only lower-numbered files qualify.
+
+A headline metric regresses when its median drops by more than
+THRESHOLD (default 0.15 = 15%) relative to the baseline. Wall-clock
+throughput is only comparable on the same machine: when the host
+fingerprints differ the regression check downgrades to a warning
+(pass --strict-host to keep it fatal), while schema validation always
+enforces.
+
+exit codes: 0 ok (or warnings only), 1 regression, 2 schema/usage error.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+HEADLINE_METRICS = (
+    "cycles_per_sec",
+    "instructions_per_sec",
+    "sweep_cells_per_sec",
+)
+SUPPORTED_SCHEMA = 1
+
+
+def fail_schema(message):
+    print(f"check_perf_trajectory: schema error: {message}",
+          file=sys.stderr)
+    sys.exit(2)
+
+
+def load_report(path):
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail_schema(f"cannot load '{path}': {err}")
+    if not isinstance(report, dict):
+        fail_schema(f"'{path}': top level is not an object")
+    return report
+
+
+def validate(report, path):
+    """Enforce the report schema rm-bench commits to (BENCHMARKS.md)."""
+    version = report.get("schema_version")
+    if not isinstance(version, (int, float)):
+        fail_schema(f"'{path}': missing schema_version")
+    if int(version) > SUPPORTED_SCHEMA:
+        fail_schema(f"'{path}': schema_version {int(version)} is newer "
+                    f"than this checker supports ({SUPPORTED_SCHEMA})")
+    headline = report.get("headline")
+    if not isinstance(headline, dict):
+        fail_schema(f"'{path}': missing headline object")
+    for metric in HEADLINE_METRICS:
+        entry = headline.get(metric)
+        if not isinstance(entry, dict) or "median" not in entry:
+            fail_schema(f"'{path}': headline.{metric}.median missing")
+        median = entry["median"]
+        if not isinstance(median, (int, float)) or not \
+                math.isfinite(median) or median <= 0:
+            fail_schema(f"'{path}': headline.{metric}.median is not a "
+                        f"positive finite number ({median!r})")
+    host = report.get("host")
+    if not isinstance(host, dict):
+        fail_schema(f"'{path}': missing host object")
+
+
+def bench_number(path):
+    match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+    return int(match.group(1)) if match else None
+
+
+def find_baseline(report_path, directory):
+    """Newest prior BENCH_<n>.json, or None when the trajectory starts."""
+    own_number = bench_number(report_path)
+    candidates = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        number = bench_number(path)
+        if number is None:
+            continue
+        if path.resolve() == report_path.resolve():
+            continue
+        if own_number is not None and number >= own_number:
+            continue
+        candidates.append((number, path))
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def host_fingerprint(report):
+    host = report.get("host", {})
+    return (host.get("model"), host.get("cpus"), host.get("rm_threads"))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Perf-trajectory regression gate (docs/BENCHMARKS.md)")
+    parser.add_argument("report", help="fresh rm-bench JSON report")
+    parser.add_argument("--dir", default=None,
+                        help="trajectory directory holding BENCH_*.json "
+                             "(default: the report's directory)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fatal median drop, as a fraction "
+                             "(default 0.15)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (PR mode)")
+    parser.add_argument("--schema-only", action="store_true",
+                        help="validate the report schema and exit")
+    parser.add_argument("--strict-host", action="store_true",
+                        help="enforce regressions even when the host "
+                             "fingerprint differs from the baseline")
+    args = parser.parse_args()
+
+    report_path = Path(args.report)
+    report = load_report(report_path)
+    validate(report, report_path)
+    if args.schema_only:
+        print(f"{report_path}: schema ok")
+        return 0
+
+    directory = Path(args.dir) if args.dir else report_path.parent
+    baseline_path = find_baseline(report_path, directory)
+    if baseline_path is None:
+        print(f"{report_path}: no prior BENCH_*.json in {directory} — "
+              "trajectory starts here, nothing to gate")
+        return 0
+    baseline = load_report(baseline_path)
+    validate(baseline, baseline_path)
+
+    same_host = host_fingerprint(report) == host_fingerprint(baseline)
+    # A quick-grid report measures a different pinned grid than a full
+    # run: the comparison is always indicative only, even --strict-host.
+    same_grid = bool(report.get("quick")) == bool(baseline.get("quick"))
+    enforce = same_grid and (args.strict_host or same_host)
+    if not same_grid:
+        print(f"note: grid flavor (quick vs full) differs from "
+              f"{baseline_path.name} — regressions downgraded to "
+              "warnings")
+    if not same_host:
+        print(f"note: host fingerprint differs from {baseline_path.name} "
+              "— wall-clock comparison is indicative only"
+              + ("" if args.strict_host else "; regressions downgraded "
+                 "to warnings (pass --strict-host to enforce)"))
+
+    regressions = []
+    for metric in HEADLINE_METRICS:
+        new = report["headline"][metric]["median"]
+        old = baseline["headline"][metric]["median"]
+        delta = (new - old) / old
+        marker = ""
+        if delta < -args.threshold:
+            regressions.append(metric)
+            marker = "  <-- REGRESSION"
+        print(f"{metric:24s} {old:14.2f} -> {new:14.2f} "
+              f"({delta:+7.1%}){marker}")
+
+    if not regressions:
+        print(f"ok: no headline metric regressed more than "
+              f"{args.threshold:.0%} vs {baseline_path.name}")
+        return 0
+
+    verdict = (f"{len(regressions)} headline metric(s) regressed more "
+               f"than {args.threshold:.0%} vs {baseline_path.name}: "
+               + ", ".join(regressions))
+    if args.warn_only or not enforce:
+        print(f"warning: {verdict}")
+        return 0
+    print(f"FAIL: {verdict}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,24 @@ finish() {
 }
 trap finish EXIT
 
+# Wall-time trend: each bench's duration lands in bench_times.txt
+# ("name seconds", one line per bench) inside the results dir, and the
+# newest earlier batch with the same file is the comparison baseline —
+# a bench running slower than 2x its previous time gets a loud warning
+# (collected and repeated at the end) without failing the batch.
+PREV_TIMES=""
+for dir in $(ls -1d "$RESULTS_ROOT"/*/ 2>/dev/null | sort -r); do
+    [ "${dir%/}" = "$OUTDIR" ] && continue
+    if [ -f "$dir/bench_times.txt" ] && [ ! -f "$dir/INCOMPLETE" ]; then
+        PREV_TIMES="$dir/bench_times.txt"
+        break
+    fi
+done
+if [ -n "$PREV_TIMES" ]; then
+    echo "comparing bench times against $PREV_TIMES"
+fi
+SLOW=()
+
 # Fault isolation: one failing bench must not silence the rest. Every
 # bench runs; failures are collected and summarized at the end, and the
 # script exits nonzero if any failed. Exit 124 from timeout is reported
@@ -90,7 +108,22 @@ run_bench() {
     echo "== $name"
     echo "==================================================================="
     local status=0
+    local begin_ns end_ns secs
+    begin_ns=$(date +%s%N)
     "${TIMEOUT_CMD[@]}" "$@" || status=$?
+    end_ns=$(date +%s%N)
+    secs=$(awk -v b="$begin_ns" -v e="$end_ns" 'BEGIN {printf "%.2f", (e - b) / 1e9}')
+    echo "$name $secs" >> "$OUTDIR/bench_times.txt"
+    echo "-- $name took ${secs}s"
+    if [ -n "$PREV_TIMES" ]; then
+        local prev
+        prev=$(awk -v n="$name" '$1 == n {print $2; exit}' "$PREV_TIMES")
+        if [ -n "$prev" ] && \
+           awk -v now="$secs" -v old="$prev" 'BEGIN {exit !(old > 0 && now > 2 * old)}'; then
+            echo "** WARN: $name took ${secs}s, more than 2x its previous ${prev}s" >&2
+            SLOW+=("$name (${prev}s -> ${secs}s)")
+        fi
+    fi
     if [ "$status" -eq 124 ] || [ "$status" -eq 137 ]; then
         echo "** $name TIMED OUT after ${TIMEOUT_SECS}s (exit $status)" >&2
         FAILED+=("$name (timeout)")
@@ -105,21 +138,34 @@ for name in "${REQUIRED[@]}"; do
     run_bench "$name" "$BUILD/bench/$name" --json "$OUTDIR/$name.json"
 done
 
-# Benches with no figure/table report (e.g. micro_hotpaths) still run,
-# but without --json.
+# Benches with no figure/table report still run; micro_hotpaths gets
+# its google-benchmark JSON captured so rm-bench --micro can fold the
+# numbers into the perf trajectory (docs/BENCHMARKS.md).
 for b in "$BUILD"/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     name="$(basename "$b")"
     for req in "${REQUIRED[@]}"; do
         [ "$name" = "$req" ] && continue 2
     done
-    run_bench "$name" "$b"
+    if [ "$name" = "micro_hotpaths" ]; then
+        run_bench "$name" "$b" --json "$OUTDIR/micro_hotpaths.json"
+    else
+        run_bench "$name" "$b"
+    fi
 done
 
 # Every bench was at least attempted: the batch is complete (even if
 # some benches failed — that is what the exit status reports).
 DONE=1
 rm -f "$OUTDIR/INCOMPLETE"
+
+if [ "${#SLOW[@]}" -ne 0 ]; then
+    echo "===================================================================" >&2
+    echo "${#SLOW[@]} bench(es) ran slower than 2x their previous time:" >&2
+    for entry in "${SLOW[@]}"; do
+        echo "  SLOW  $entry" >&2
+    done
+fi
 
 if [ "${#FAILED[@]}" -ne 0 ]; then
     echo "===================================================================" >&2

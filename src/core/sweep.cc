@@ -15,6 +15,7 @@
 #include "common/thread_pool.hh"
 #include "obs/export.hh"
 #include "obs/json.hh"
+#include "obs/profiler.hh"
 #include "sim/snapshot.hh"
 #include "workloads/suite.hh"
 
@@ -244,6 +245,7 @@ runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
 
             const PolicySpec &policy = *policies.at(c.policy);
             try {
+                RM_PROF_SCOPE_ARG(ProfPhase::SweepCompile, i);
                 out.compile = policy.compile(programs.at(c.workload),
                                              c.config, c.compileOptions);
             } catch (const std::exception &e) {
@@ -256,6 +258,7 @@ runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
             // suite can already prove broken (a held barrier would
             // simulate for millions of cycles before deadlocking).
             if (options.lint) {
+                RM_PROF_SCOPE_ARG(ProfPhase::SweepLint, i);
                 LintOptions lint_options;
                 lint_options.config = &c.config;
                 lint_options.disabledChecks = policy.lintSuppressions;
@@ -336,6 +339,9 @@ runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
                 if (attempt > 0)
                     gpu.resume = nullptr;
                 try {
+                    // One span per attempt, so the count doubles as an
+                    // attempt counter in the profile.
+                    RM_PROF_SCOPE_ARG(ProfPhase::SweepSim, i);
                     out.run = simulateGpu(c.config, out.compile.program,
                                           policy.allocator, gpu);
                 } catch (const SnapshotError &e) {
@@ -392,7 +398,10 @@ runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
                 out.status = SweepStatus::Ok;
                 out.error.clear();
                 out.diagnosis = nullptr;
-                checkpoint.record(key, out.run.aggregate);
+                {
+                    RM_PROF_SCOPE_ARG(ProfPhase::SweepCheckpoint, i);
+                    checkpoint.record(key, out.run.aggregate);
+                }
                 if (!snap_path.empty())
                     std::remove(snap_path.c_str());
                 return;

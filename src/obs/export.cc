@@ -639,4 +639,127 @@ chromeTrace(const IssueTrace &trace, const Program &program)
     return w.take();
 }
 
+namespace {
+
+/** Schema version of the profile JSON document. */
+constexpr std::uint64_t kProfileSchemaVersion = 1;
+
+} // namespace
+
+void
+profileToJson(JsonWriter &w, const ProfReport &report)
+{
+    w.beginObject();
+    w.key("schema_version").value(kProfileSchemaVersion);
+    w.key("wall_ns").value(report.wallNs);
+    w.key("threads").value(report.threads);
+    w.key("span_count").value(static_cast<std::uint64_t>(
+        report.spans.size()));
+    w.key("dropped_spans").value(report.droppedSpans);
+    w.key("phases").beginArray();
+    for (const ProfPhaseStats &phase : report.phases) {
+        w.beginObject();
+        w.key("phase").value(profPhaseName(phase.phase));
+        w.key("count").value(phase.count);
+        w.key("total_ns").value(phase.totalNs);
+        w.key("max_ns").value(phase.maxNs);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+profileToJson(const ProfReport &report)
+{
+    JsonWriter w;
+    profileToJson(w, report);
+    return w.take();
+}
+
+ProfReport
+profileFromJson(const JsonValue &value)
+{
+    ProfReport report;
+    report.wallNs = u64At(value, "wall_ns");
+    report.threads = intAt(value, "threads");
+    report.droppedSpans = u64At(value, "dropped_spans");
+    report.phases.resize(static_cast<std::size_t>(kProfPhaseCount));
+    for (int p = 0; p < kProfPhaseCount; ++p)
+        report.phases[static_cast<std::size_t>(p)].phase =
+            static_cast<ProfPhase>(p);
+    if (const JsonValue *phases = value.find("phases")) {
+        for (const JsonValue &entry : phases->items) {
+            const ProfPhase phase =
+                profPhaseFromName(stringAt(entry, "phase"));
+            if (phase == ProfPhase::NumPhases)
+                continue; // a newer writer's phase: skip, keep loading
+            ProfPhaseStats &out =
+                report.phases[static_cast<std::size_t>(phase)];
+            out.count = u64At(entry, "count");
+            out.totalNs = u64At(entry, "total_ns");
+            out.maxNs = u64At(entry, "max_ns");
+        }
+    }
+    return report;
+}
+
+std::string
+profileChromeTrace(const ProfReport &report)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+    {
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(0);
+        w.key("name").value("process_name");
+        w.key("args").beginObject();
+        w.key("name").value("rm-prof host spans");
+        w.endObject();
+        w.endObject();
+    }
+    std::map<std::uint32_t, bool> named;
+    for (const ProfSpanRecord &span : report.spans) {
+        if (!named[span.thread]) {
+            named[span.thread] = true;
+            w.beginObject();
+            w.key("ph").value("M");
+            w.key("pid").value(0);
+            w.key("tid").value(static_cast<std::uint64_t>(span.thread));
+            w.key("name").value("thread_name");
+            w.key("args").beginObject();
+            w.key("name").value("host thread " +
+                                std::to_string(span.thread));
+            w.endObject();
+            w.endObject();
+        }
+        const ProfPhase phase = static_cast<ProfPhase>(span.phase);
+        std::string name = profPhaseName(phase);
+        if (span.arg >= 0)
+            name += " #" + std::to_string(span.arg);
+        w.beginObject();
+        w.key("ph").value("X");
+        w.key("pid").value(0);
+        w.key("tid").value(static_cast<std::uint64_t>(span.thread));
+        w.key("name").value(name);
+        w.key("cat").value("host");
+        // trace_event timestamps are microseconds; keep sub-us detail.
+        w.key("ts").value(static_cast<double>(span.beginNs) / 1e3);
+        w.key("dur").value(
+            static_cast<double>(span.endNs - span.beginNs) / 1e3);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("otherData").beginObject();
+    w.key("wall_ns").value(report.wallNs);
+    w.key("threads").value(report.threads);
+    w.key("dropped_spans").value(report.droppedSpans);
+    w.endObject();
+    w.endObject();
+    return w.take();
+}
+
 } // namespace rm

@@ -5,6 +5,7 @@
 
 #include "common/errors.hh"
 #include "common/thread_pool.hh"
+#include "obs/profiler.hh"
 #include "sim/memory.hh"
 #include "sim/sm.hh"
 
@@ -53,6 +54,7 @@ simulate(const GpuConfig &config, const Program &program,
 SimStats
 mergeSmStats(const std::vector<SimStats> &per_sm)
 {
+    RM_PROF_SCOPE(ProfPhase::GpuMerge);
     fatalIf(per_sm.empty(), "mergeSmStats: no per-SM statistics");
 
     // Identity and per-SM capacity figures are uniform across SMs;
@@ -139,6 +141,7 @@ Gpu::Gpu(const GpuConfig &gpu_config, const Program &kernel,
 SimStats
 Gpu::runOneSm(int sm_id, int ctas) const
 {
+    RM_PROF_SCOPE_ARG(ProfPhase::GpuSmRun, sm_id);
     PreparedAllocator prepared = factory(config, program);
     fatalIf(!prepared.allocator, "Gpu: allocator factory returned null");
     fatalIf(prepared.allocator->maxCtasByRegisters() <= 0,
@@ -265,6 +268,7 @@ Gpu::runControlled(int sms)
     parallelFor(
         sms,
         [&](int sm_id) {
+            RM_PROF_SCOPE_ARG(ProfPhase::GpuCellBuild, sm_id);
             SmCell &cell = cells[static_cast<std::size_t>(sm_id)];
             const GpuSnapshot::SmEntry *entry =
                 resume != nullptr
@@ -353,6 +357,7 @@ Gpu::runControlled(int sms)
                 SmCell &cell = cells[static_cast<std::size_t>(sm_id)];
                 if (cell.finished)
                     return;
+                RM_PROF_SCOPE_ARG(ProfPhase::GpuSmRun, sm_id);
                 RunControl leg = options.control;
                 if (options.snapshotEvery > 0) {
                     const std::uint64_t target =

@@ -4,6 +4,7 @@
 
 #include "common/errors.hh"
 #include "isa/disasm.hh"
+#include "obs/profiler.hh"
 #include "sim/occupancy.hh"
 #include "sim/sanitizer.hh"
 
@@ -281,6 +282,7 @@ Sm::wakeParked()
 void
 Sm::issue(SimWarp &warp)
 {
+    RM_PROF_SCOPE(ProfPhase::SmIssue);
     const Instruction &inst = program.code[warp.pc];
     const int pc = warp.pc;
     const LatClass lat = latClass(inst.op);
@@ -297,6 +299,7 @@ Sm::issue(SimWarp &warp)
                 ++stats.faultEvents;
                 outcome = AcquireOutcome::Blocked;
             } else {
+                RM_PROF_SCOPE(ProfPhase::SmAcqRel);
                 outcome = allocator.acquire(warp);
             }
             if (outcome != AcquireOutcome::AlreadyHeld) {
@@ -366,7 +369,10 @@ Sm::issue(SimWarp &warp)
                 return;
             }
             const bool held = warp.holdsExt;
-            allocator.release(warp);
+            {
+                RM_PROF_SCOPE(ProfPhase::SmAcqRel);
+                allocator.release(warp);
+            }
             ++stats.releases;
             if (met.releases) {
                 met.releases->add();
@@ -857,8 +863,10 @@ Sm::runControlled(const RunControl &control)
                 return SmRunOutcome{stats, true,
                                     PreemptReason::WallDeadline};
             }
-            if (control.sanitize)
+            if (control.sanitize) {
+                RM_PROF_SCOPE(ProfPhase::SmSanitize);
                 auditEpoch();
+            }
         }
 
         ++cycle;
@@ -877,13 +885,28 @@ Sm::runControlled(const RunControl &control)
             if (allocator.faultCorruptState())
                 ++stats.faultEvents;
         }
-        processEvents();
-        dispatchMemQueue();
-        wakeParked();
+        {
+            RM_PROF_SCOPE(ProfPhase::SmEvents);
+            processEvents();
+        }
+        {
+            RM_PROF_SCOPE(ProfPhase::SmMemDispatch);
+            dispatchMemQueue();
+        }
+        {
+            RM_PROF_SCOPE(ProfPhase::SmWake);
+            wakeParked();
+        }
         const std::uint64_t issued_before = stats.issuedSlots;
-        for (int s = 0; s < config.numSchedulers; ++s)
-            schedule(s);
-        wakeParked();
+        {
+            RM_PROF_SCOPE(ProfPhase::SmSchedule);
+            for (int s = 0; s < config.numSchedulers; ++s)
+                schedule(s);
+        }
+        {
+            RM_PROF_SCOPE(ProfPhase::SmWake);
+            wakeParked();
+        }
         residentIntegral += aliveWarps;
         if (met.residentWarps)
             met.residentWarps->set(aliveWarps);
