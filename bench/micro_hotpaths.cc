@@ -16,6 +16,8 @@
 #include "common/bitmask.hh"
 #include "compiler/pipeline.hh"
 #include "core/experiment.hh"
+#include "sim/event_wheel.hh"
+#include "sim/sm.hh"
 #include "workloads/suite.hh"
 
 namespace {
@@ -83,6 +85,80 @@ BM_TimingSimulatorRegMutex(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TimingSimulatorRegMutex)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingSimulatorRfv(benchmark::State &state)
+{
+    // RFV gates issue on the physical pool (canIssue per Ready
+    // candidate per cycle), so it exercises the scheduler's policy-
+    // gate path the baseline and RegMutex cells skip.
+    const rm::Program p = rm::buildWorkload("BFS");
+    const rm::GpuConfig config = rm::gtx480Config();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            rm::runPolicy("rfv", p, config).stats().cycles);
+    }
+}
+BENCHMARK(BM_TimingSimulatorRfv)->Unit(benchmark::kMillisecond);
+
+void
+BM_EventWheelPushPop(benchmark::State &state)
+{
+    // The steady-state engine pattern: a batch of latency events
+    // pushed per issue burst, drained as their cycles come due. 8
+    // events per cycle step at ALU/global latencies exercises both
+    // the near buckets and the occupancy-bitmap scan.
+    rm::EventWheel wheel(2048);
+    std::uint64_t now = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 8; ++i) {
+            rm::SimEvent e;
+            e.cycle = now + (i % 2 == 0 ? 4 : 400);
+            e.warpSlot = i;
+            wheel.push(e);
+        }
+        now += 4;
+        std::uint64_t drained = 0;
+        wheel.popDue(now, [&](const rm::SimEvent &) { ++drained; });
+        benchmark::DoNotOptimize(drained);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_EventWheelPushPop);
+
+void
+BM_EventWheelNextCycleScan(benchmark::State &state)
+{
+    // Skip-ahead cost model: one far-out event, repeated nextCycle()
+    // queries scanning the occupancy bitmap across the whole ring.
+    rm::EventWheel wheel(2048);
+    wheel.reset(0);
+    rm::SimEvent e;
+    e.cycle = 1900;
+    wheel.push(e);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(wheel.nextCycle());
+    }
+}
+BENCHMARK(BM_EventWheelNextCycleScan);
+
+void
+BM_TimingSimulatorSkipAheadOff(benchmark::State &state)
+{
+    // The same cell as BM_TimingSimulatorBaseline with the skip-ahead
+    // fast path disabled: the spread between the two is the measured
+    // value of the idle-cycle jump (stats are bit-identical either
+    // way; tests/test_engine_equivalence.cc holds that line).
+    const rm::Program p = rm::buildWorkload("BFS");
+    const rm::GpuConfig config = rm::gtx480Config();
+    rm::Sm::setSkipAhead(false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rm::runBaseline(p, config).cycles);
+    }
+    rm::Sm::setSkipAhead(true);
+}
+BENCHMARK(BM_TimingSimulatorSkipAheadOff)->Unit(benchmark::kMillisecond);
 
 void
 BM_WorkloadGenerator(benchmark::State &state)

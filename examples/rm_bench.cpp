@@ -32,6 +32,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -97,6 +99,48 @@ mad(const std::vector<double> &values)
     for (double v : values)
         dev.push_back(std::abs(v - center));
     return median(dev);
+}
+
+/** First output line of @p cmd, or "" when it fails (no git, not a
+ *  repo, popen unavailable). Report provenance is best-effort only. */
+std::string
+commandLine(const char *cmd)
+{
+    FILE *pipe = ::popen(cmd, "r");
+    if (pipe == nullptr)
+        return "";
+    char buf[256];
+    std::string line;
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr)
+        line = buf;
+    const int status = ::pclose(pipe);
+    if (status != 0)
+        return "";
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+        line.pop_back();
+    return line;
+}
+
+/** Git provenance of the working tree rm-bench runs from. */
+struct GitInfo
+{
+    std::string commit; ///< HEAD hash, "" when unknown
+    bool dirty = false; ///< uncommitted changes present
+};
+
+GitInfo
+gitInfo()
+{
+    GitInfo info;
+    info.commit = commandLine("git rev-parse HEAD 2>/dev/null");
+    if (!info.commit.empty()) {
+        // --porcelain prints nothing for a clean tree; any output (or
+        // a diff-index failure) marks the report as dirty.
+        info.dirty =
+            !commandLine("git status --porcelain=v1 2>/dev/null | head -1")
+                 .empty();
+    }
+    return info;
 }
 
 std::string
@@ -433,6 +477,11 @@ main(int argc, char **argv)
         w.key("model").value(cpuModelName());
         const char *rm_threads = std::getenv("RM_THREADS");
         w.key("rm_threads").value(rm_threads ? rm_threads : "");
+        w.endObject();
+        const GitInfo git = gitInfo();
+        w.key("git").beginObject();
+        w.key("commit").value(git.commit);
+        w.key("dirty").value(git.dirty);
         w.endObject();
         w.key("headline").beginObject();
         auto metric = [&](const char *name,

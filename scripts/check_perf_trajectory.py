@@ -76,6 +76,17 @@ def validate(report, path):
     host = report.get("host")
     if not isinstance(host, dict):
         fail_schema(f"'{path}': missing host object")
+    # Provenance is optional (reports predating it validate), but when
+    # present it must be well-formed: commit is a string ("" when the
+    # tree was not a git checkout), dirty a bool.
+    git = report.get("git")
+    if git is not None:
+        if not isinstance(git, dict):
+            fail_schema(f"'{path}': git is not an object")
+        if not isinstance(git.get("commit", ""), str):
+            fail_schema(f"'{path}': git.commit is not a string")
+        if not isinstance(git.get("dirty", False), bool):
+            fail_schema(f"'{path}': git.dirty is not a bool")
 
 
 def bench_number(path):

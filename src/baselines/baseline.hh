@@ -24,6 +24,11 @@ class BaselineAllocator : public RegisterAllocator
     void prepare(const GpuConfig &config, const Program &program) override;
     int maxCtasByRegisters() const override { return maxCtas; }
 
+    // Static exclusive allocation never gates issue or biases the
+    // scheduler: the hot loop may skip both virtual calls.
+    bool gatesIssue() const override { return false; }
+    bool biasesPriority() const override { return false; }
+
     /** Operand-collector mapping (paper Fig. 6a). */
     RegisterMapper makeMapper() const;
 

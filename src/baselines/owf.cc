@@ -3,6 +3,7 @@
 #include "common/errors.hh"
 #include "sim/occupancy.hh"
 #include "sim/snapshot.hh"
+#include "sim/warp_store.hh"
 
 namespace rm {
 
@@ -145,8 +146,9 @@ OwfAllocator::schedPriority(const SimWarp &warp) const
 }
 
 int
-OwfAllocator::forceProgress(SimWarp &warp)
+OwfAllocator::forceProgress(SimWarp &warp, int pc)
 {
+    (void)pc;
     // Wedge breaker for cross-CTA lock/barrier cycles: co-grant the
     // shared set, modeling a spill of the holder's shared registers.
     ++emergencies;
@@ -187,7 +189,7 @@ OwfAllocator::restoreState(SnapshotReader &r)
 }
 
 void
-OwfAllocator::auditInvariants(const std::vector<SimWarp> &warps,
+OwfAllocator::auditInvariants(const WarpStore &warps,
                               bool faults_active,
                               std::vector<std::string> &violations) const
 {
@@ -204,14 +206,7 @@ OwfAllocator::auditInvariants(const std::vector<SimWarp> &warps,
         const int slot = holder[pair];
         if (slot < 0)
             continue;
-        const SimWarp *owner = nullptr;
-        for (const SimWarp &warp : warps) {
-            if (warp.slot == slot) {
-                owner = &warp;
-                break;
-            }
-        }
-        if (!owner || !owner->resident()) {
+        if (slot >= warps.numSlots() || !warps.resident(slot)) {
             fail("pair " + std::to_string(pair) + " holder slot " +
                  std::to_string(slot) + " is not resident");
             continue;
@@ -221,7 +216,7 @@ OwfAllocator::auditInvariants(const std::vector<SimWarp> &warps,
                  std::to_string(slot) + " belongs to pair " +
                  std::to_string(pairOf(slot)));
         }
-        if (!owner->ownsLock) {
+        if (!warps.warp(slot).ownsLock) {
             fail("pair " + std::to_string(pair) + " holder warp " +
                  std::to_string(slot) + " does not own the lock");
         }
@@ -230,13 +225,13 @@ OwfAllocator::auditInvariants(const std::vector<SimWarp> &warps,
     // The reverse direction only holds while no emergency co-grant has
     // handed a lock out without recording a holder.
     if (emergencies == 0) {
-        for (const SimWarp &warp : warps) {
-            if (!warp.resident() || !warp.ownsLock)
+        for (int slot = 0; slot < warps.numSlots(); ++slot) {
+            if (!warps.resident(slot) || !warps.warp(slot).ownsLock)
                 continue;
-            const int pair = pairOf(warp.slot);
+            const int pair = pairOf(slot);
             if (pair >= 0 && pair < static_cast<int>(holder.size()) &&
-                holder[pair] != warp.slot) {
-                fail("warp " + std::to_string(warp.slot) +
+                holder[pair] != slot) {
+                fail("warp " + std::to_string(slot) +
                      " owns the pair-" + std::to_string(pair) +
                      " lock but the holder entry is " +
                      std::to_string(holder[pair]));
@@ -247,13 +242,14 @@ OwfAllocator::auditInvariants(const std::vector<SimWarp> &warps,
     // Liveness: a warp parked on the pair lock while nobody holds it is
     // a missed wake-up.
     if (!faults_active) {
-        for (const SimWarp &warp : warps) {
-            if (!warp.resident() || warp.state != WarpState::WaitResource)
+        for (int slot = 0; slot < warps.numSlots(); ++slot) {
+            if (!warps.resident(slot) ||
+                warps.state(slot) != WarpState::WaitResource)
                 continue;
-            const int pair = pairOf(warp.slot);
+            const int pair = pairOf(slot);
             if (pair >= 0 && pair < static_cast<int>(holder.size()) &&
                 holder[pair] < 0) {
-                fail("warp " + std::to_string(warp.slot) +
+                fail("warp " + std::to_string(slot) +
                      " waits on pair " + std::to_string(pair) +
                      " which nobody holds");
             }

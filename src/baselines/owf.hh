@@ -44,17 +44,21 @@ class OwfAllocator : public RegisterAllocator
 
     bool canIssue(const SimWarp &warp,
                   const Instruction &inst) const override;
+    // Both the pair lock and owner-warp-first only act once the policy
+    // is enabled (a kernel that needs no shared set never gates).
+    bool gatesIssue() const override { return enabled; }
+    bool biasesPriority() const override { return enabled; }
     void onIssued(SimWarp &warp, const Instruction &inst, int pc) override;
     void onWarpExit(SimWarp &warp) override;
     bool consumeFreedFlag() override;
     int schedPriority(const SimWarp &warp) const override;
-    int forceProgress(SimWarp &warp) override;
+    int forceProgress(SimWarp &warp, int pc) override;
     std::uint64_t lockCount() const override { return locksTaken; }
     std::uint64_t emergencyCount() const override { return emergencies; }
     bool faultCorruptState() override;
     void saveState(SnapshotWriter &w) const override;
     void restoreState(SnapshotReader &r) override;
-    void auditInvariants(const std::vector<SimWarp> &warps,
+    void auditInvariants(const WarpStore &warps,
                          bool faults_active,
                          std::vector<std::string> &violations) const override;
 

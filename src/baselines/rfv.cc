@@ -9,6 +9,7 @@
 #include "common/errors.hh"
 #include "sim/occupancy.hh"
 #include "sim/snapshot.hh"
+#include "sim/warp_store.hh"
 
 namespace rm {
 
@@ -44,6 +45,40 @@ RfvAllocator::prepare(const GpuConfig &config, const Program &program)
                 deaths[i].push_back(r);
             }
         }
+    }
+
+    // Word-level fast-path tables (see rfv.hh): valid only when every
+    // register id fits bit position 0..63.
+    opMaskByPc.clear();
+    opCountByPc.clear();
+    deathMaskByPc.clear();
+    bool fits = true;
+    for (std::size_t i = 0; i < program.code.size() && fits; ++i) {
+        const Instruction &inst = program.code[i];
+        std::uint64_t ops = 0;
+        const auto add = [&fits](std::uint64_t &mask, RegId r) {
+            if (r < 0 || r >= 64) {
+                fits = false;
+                return;
+            }
+            mask |= std::uint64_t{1} << r;
+        };
+        if (inst.hasDst())
+            add(ops, inst.dst);
+        for (int s = 0; s < inst.numSrcs; ++s)
+            add(ops, inst.srcs[s]);
+        std::uint64_t dead = 0;
+        for (RegId r : deaths[i])
+            add(dead, r);
+        opMaskByPc.push_back(ops);
+        opCountByPc.push_back(static_cast<std::uint8_t>(
+            __builtin_popcountll(ops)));
+        deathMaskByPc.push_back(dead);
+    }
+    if (!fits) {
+        opMaskByPc.clear();
+        opCountByPc.clear();
+        deathMaskByPc.clear();
     }
 
     // Provision occupancy between the static-average and peak live
@@ -110,6 +145,38 @@ RfvAllocator::packsNeeded(const SimWarp &warp,
 bool
 RfvAllocator::canIssue(const SimWarp &warp, const Instruction &inst) const
 {
+    // Called once per Ready candidate per scheduler cycle. The engine
+    // always passes &prog->code[pc], so the pc — and with it the
+    // precomputed operand mask — is recoverable from the instruction's
+    // address; out-of-program instructions (unit tests) miss the bounds
+    // check and take the general paths below.
+    if (!opMaskByPc.empty()) {
+        const std::ptrdiff_t pc = &inst - prog->code.data();
+        if (pc >= 0 &&
+            pc < static_cast<std::ptrdiff_t>(opMaskByPc.size())) {
+            const auto upc = static_cast<std::size_t>(pc);
+            // need never exceeds the distinct operand count, so a pool
+            // with that much headroom admits without loading the
+            // warp's (cold) mapping word.
+            if (physFree >= opCountByPc[upc])
+                return true;
+            const int need = __builtin_popcountll(
+                opMaskByPc[upc] & ~warp.physMapped.word(0));
+            return need == 0 || need <= physFree;
+        }
+    }
+    // "Distinct unmapped operands" as one popcount — identical to
+    // packsNeeded()'s dedup arithmetic.
+    if (warp.physMapped.size() <= 64) {
+        std::uint64_t operands = 0;
+        if (inst.hasDst())
+            operands |= std::uint64_t{1} << inst.dst;
+        for (int s = 0; s < inst.numSrcs; ++s)
+            operands |= std::uint64_t{1} << inst.srcs[s];
+        const int need = __builtin_popcountll(
+            operands & ~warp.physMapped.word(0));
+        return need == 0 || need <= physFree;
+    }
     const int need = packsNeeded(warp, inst);
     // need == 0 must always pass: an emergency overdraft can leave the
     // pool negative while fully mapped warps keep running.
@@ -134,6 +201,25 @@ RfvAllocator::mapOperands(SimWarp &warp, const Instruction &inst)
 void
 RfvAllocator::onIssued(SimWarp &warp, const Instruction &inst, int pc)
 {
+    // Word-level form of the walk below: map every unmapped operand,
+    // then release the pc's death set (only its mapped members — the
+    // same regs the per-bit test() guard would release).
+    if (!opMaskByPc.empty()) {
+        const auto upc = static_cast<std::size_t>(pc);
+        const std::uint64_t mapped = warp.physMapped.word(0);
+        const std::uint64_t added = opMaskByPc[upc] & ~mapped;
+        if (added != 0) {
+            warp.physMapped.setWordBits(0, added);
+            physFree -= __builtin_popcountll(added);
+        }
+        const std::uint64_t dead = deathMaskByPc[upc] & (mapped | added);
+        if (dead != 0) {
+            warp.physMapped.clearWordBits(0, dead);
+            physFree += __builtin_popcountll(dead);
+            freed = true;
+        }
+        return;
+    }
     mapOperands(warp, inst);
     // Release registers whose live range ends here (renaming-table
     // entry freed by the dead-register information).
@@ -166,7 +252,7 @@ RfvAllocator::consumeFreedFlag()
 }
 
 int
-RfvAllocator::forceProgress(SimWarp &warp)
+RfvAllocator::forceProgress(SimWarp &warp, int pc)
 {
     // Emergency spill: grant the stalled instruction's operands by
     // overdrafting the pool — the displaced values are modeled as
@@ -174,7 +260,7 @@ RfvAllocator::forceProgress(SimWarp &warp)
     // pool may go negative until register deaths repay the overdraft.
     panicIf(prog == nullptr, "RfvAllocator::forceProgress before prepare");
     ++spills;
-    mapOperands(warp, prog->code[warp.pc]);
+    mapOperands(warp, prog->code[pc]);
     return spillPenalty;
 }
 
@@ -210,7 +296,7 @@ RfvAllocator::restoreState(SnapshotReader &r)
 }
 
 void
-RfvAllocator::auditInvariants(const std::vector<SimWarp> &warps,
+RfvAllocator::auditInvariants(const WarpStore &warps,
                               bool faults_active,
                               std::vector<std::string> &violations) const
 {
@@ -226,9 +312,10 @@ RfvAllocator::auditInvariants(const std::vector<SimWarp> &warps,
     // pool goes negative by precisely the packs granted), so this holds
     // under faults and spills alike — never gated.
     int mapped = 0;
-    for (const SimWarp &warp : warps) {
-        if (warp.resident())
-            mapped += static_cast<int>(warp.physMapped.count());
+    for (int slot = 0; slot < warps.numSlots(); ++slot) {
+        if (warps.resident(slot))
+            mapped +=
+                static_cast<int>(warps.warp(slot).physMapped.count());
     }
     if (physFree + mapped + drained != totalPacks) {
         std::ostringstream os;
@@ -241,16 +328,17 @@ RfvAllocator::auditInvariants(const std::vector<SimWarp> &warps,
     // Liveness: a warp parked on the pool must actually be unable to
     // issue its current instruction.
     if (!faults_active) {
-        for (const SimWarp &warp : warps) {
-            if (!warp.resident() || warp.state != WarpState::WaitResource)
+        for (int slot = 0; slot < warps.numSlots(); ++slot) {
+            if (!warps.resident(slot) ||
+                warps.state(slot) != WarpState::WaitResource)
                 continue;
-            if (warp.pc < 0 ||
-                warp.pc >= static_cast<int>(prog->code.size()))
+            const int pc = warps.pc(slot);
+            if (pc < 0 || pc >= static_cast<int>(prog->code.size()))
                 continue;
-            if (canIssue(warp, prog->code[warp.pc])) {
-                fail("warp " + std::to_string(warp.slot) +
+            if (canIssue(warps.warp(slot), prog->code[pc])) {
+                fail("warp " + std::to_string(slot) +
                      " waits on the pool but its instruction at pc " +
-                     std::to_string(warp.pc) + " can issue");
+                     std::to_string(pc) + " can issue");
             }
         }
     }

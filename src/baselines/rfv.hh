@@ -41,10 +41,13 @@ class RfvAllocator : public RegisterAllocator
     void onWarpLaunch(SimWarp &warp) override;
     bool canIssue(const SimWarp &warp,
                   const Instruction &inst) const override;
+    // canIssue gates on the physical pool (keep the default hint), but
+    // RFV never biases scheduler priority.
+    bool biasesPriority() const override { return false; }
     void onIssued(SimWarp &warp, const Instruction &inst, int pc) override;
     void onWarpExit(SimWarp &warp) override;
     bool consumeFreedFlag() override;
-    int forceProgress(SimWarp &warp) override;
+    int forceProgress(SimWarp &warp, int pc) override;
     std::uint64_t emergencyCount() const override { return spills; }
 
     /**
@@ -65,7 +68,7 @@ class RfvAllocator : public RegisterAllocator
     bool faultCorruptState() override;
     void saveState(SnapshotWriter &w) const override;
     void restoreState(SnapshotReader &r) override;
-    void auditInvariants(const std::vector<SimWarp> &warps,
+    void auditInvariants(const WarpStore &warps,
                          bool faults_active,
                          std::vector<std::string> &violations) const override;
 
@@ -87,6 +90,20 @@ class RfvAllocator : public RegisterAllocator
     std::uint64_t spills = 0;
     /** Registers whose last use is at this pc (dead after issue). */
     std::vector<std::vector<RegId>> deaths;
+    /**
+     * Word-level issue fast path, populated by prepare() when every
+     * register id of the program fits one 64-bit word (always true for
+     * the paper's kernels): per-pc distinct-operand mask and count,
+     * and the death set as a mask. canIssue() admits without touching
+     * the warp's mapping when the pool already covers the distinct
+     * operand count (need can never exceed it), and onIssued() maps
+     * and releases with two word ops instead of per-bit walks. All
+     * three stay empty when any id is >= 64, falling back to the
+     * general paths.
+     */
+    std::vector<std::uint64_t> opMaskByPc;
+    std::vector<std::uint8_t> opCountByPc;
+    std::vector<std::uint64_t> deathMaskByPc;
 
     int packsNeeded(const SimWarp &warp, const Instruction &inst) const;
     void mapOperands(SimWarp &warp, const Instruction &inst);

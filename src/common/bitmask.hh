@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/errors.hh"
+
 namespace rm {
 
 /**
@@ -87,11 +89,52 @@ class Bitmask
     /** Indices of all set bits, ascending. */
     std::vector<std::size_t> setIndices() const;
 
+    /**
+     * Word @p w of the backing store (0 when past the end). Hot-path
+     * peek for masks known to fit one word — RFV's per-candidate
+     * mapped-register test ANDs against this instead of calling
+     * test() per operand.
+     */
+    std::uint64_t word(std::size_t w) const
+    {
+        return w < words.size() ? words[w] : 0;
+    }
+
+    /**
+     * OR @p bits into backing word @p w — the bulk counterpart of
+     * set() for hot paths that mutate many bits of a one-word region
+     * at once (RFV's operand mapping). Panics when any bit would land
+     * beyond the mask, matching set()'s bounds contract.
+     */
+    void setWordBits(std::size_t w, std::uint64_t bits)
+    {
+        checkWordBits(w, bits);
+        words[w] |= bits;
+    }
+
+    /** Clear every bit of @p bits in backing word @p w (bulk unset()). */
+    void clearWordBits(std::size_t w, std::uint64_t bits)
+    {
+        checkWordBits(w, bits);
+        words[w] &= ~bits;
+    }
+
   private:
     std::size_t numBits;
     std::vector<std::uint64_t> words;
 
     void checkIndex(std::size_t index) const;
+    /** Panic unless every set bit of @p bits indexes inside the mask. */
+    void checkWordBits(std::size_t w, std::uint64_t bits) const
+    {
+        panicIf(w >= words.size() ||
+                    (bits != 0 &&
+                     (w << 6) + 63 -
+                             static_cast<std::size_t>(
+                                 __builtin_clzll(bits)) >=
+                         numBits),
+                "Bitmask: word write beyond ", numBits, " bits");
+    }
     /** Clear any stray bits beyond numBits in the last word. */
     void trimTail();
 };

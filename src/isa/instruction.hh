@@ -104,8 +104,57 @@ struct Instruction
     bool isMemory() const;
 };
 
-/** Latency class of @p op. */
-LatClass latClass(Opcode op);
+/** Latency class of @p op. Inline: the issue path classifies every
+ *  instruction it issues, so the switch must fold at the call site. */
+inline LatClass
+latClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAdd:
+      case Opcode::ISub:
+      case Opcode::IMul:
+      case Opcode::IMad:
+      case Opcode::IMin:
+      case Opcode::IMax:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FFma:
+      case Opcode::Mov:
+      case Opcode::MovImm:
+      case Opcode::ReadSreg:
+      case Opcode::Sel:
+      case Opcode::Setp:
+        return LatClass::Alu;
+      case Opcode::FRcp:
+      case Opcode::FSqrt:
+        return LatClass::Sfu;
+      case Opcode::LdGlobal:
+      case Opcode::StGlobal:
+        return LatClass::GlobalMem;
+      case Opcode::LdShared:
+      case Opcode::StShared:
+        return LatClass::SharedMem;
+      case Opcode::Bra:
+      case Opcode::BraNz:
+      case Opcode::BraZ:
+        return LatClass::Control;
+      case Opcode::Bar:
+        return LatClass::Barrier;
+      case Opcode::RegAcquire:
+      case Opcode::RegRelease:
+        return LatClass::AcqRel;
+      case Opcode::Exit:
+        return LatClass::ExitClass;
+      case Opcode::Nop:
+        return LatClass::NopClass;
+    }
+    return LatClass::NopClass;  // unreachable: all opcodes enumerated
+}
 
 /** Mnemonic string of @p op. */
 const char *opcodeName(Opcode op);

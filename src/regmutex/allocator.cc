@@ -6,6 +6,7 @@
 #include "common/errors.hh"
 #include "sim/occupancy.hh"
 #include "sim/snapshot.hh"
+#include "sim/warp_store.hh"
 
 namespace rm {
 
@@ -215,7 +216,7 @@ RegMutexAllocator::restoreState(SnapshotReader &r)
 }
 
 void
-RegMutexAllocator::auditInvariants(const std::vector<SimWarp> &warps,
+RegMutexAllocator::auditInvariants(const WarpStore &warps,
                                    bool faults_active,
                                    std::vector<std::string> &violations) const
 {
@@ -240,46 +241,47 @@ RegMutexAllocator::auditInvariants(const std::vector<SimWarp> &warps,
     // no SRP section may appear in two LUT entries.
     std::vector<int> section_owner(static_cast<std::size_t>(sections), -1);
     int held_warps = 0;
-    for (const SimWarp &warp : warps) {
-        const std::size_t slot = static_cast<std::size_t>(warp.slot);
+    for (int i = 0; i < warps.numSlots(); ++i) {
+        const SimWarp &warp = warps.warp(i);
+        const std::size_t slot = static_cast<std::size_t>(i);
         if (slot >= lut.size())
             continue;
-        if (warp.resident() && warp.holdsExt) {
+        if (warps.resident(i) && warp.holdsExt) {
             ++held_warps;
             const int section = lut[slot];
             if (!warpStatus.test(slot)) {
-                fail("warp " + std::to_string(warp.slot) +
+                fail("warp " + std::to_string(i) +
                      " holds an extended set but its status bit is clear");
             }
             if (section < 0 || section >= sections) {
-                fail("warp " + std::to_string(warp.slot) +
+                fail("warp " + std::to_string(i) +
                      " holds an extended set but LUT entry is " +
                      std::to_string(section));
                 continue;
             }
             if (warp.srpSection != section) {
-                fail("warp " + std::to_string(warp.slot) +
+                fail("warp " + std::to_string(i) +
                      " srpSection " + std::to_string(warp.srpSection) +
                      " disagrees with LUT entry " + std::to_string(section));
             }
             if (!srp.test(static_cast<std::size_t>(section))) {
                 fail("section " + std::to_string(section) + " held by warp " +
-                     std::to_string(warp.slot) + " but its SRP bit is clear");
+                     std::to_string(i) + " but its SRP bit is clear");
             }
             const int other = section_owner[static_cast<std::size_t>(section)];
             if (other >= 0) {
                 fail("section " + std::to_string(section) +
                      " has two holders: warps " + std::to_string(other) +
-                     " and " + std::to_string(warp.slot));
+                     " and " + std::to_string(i));
             }
-            section_owner[static_cast<std::size_t>(section)] = warp.slot;
+            section_owner[static_cast<std::size_t>(section)] = i;
         } else {
             if (warpStatus.test(slot)) {
-                fail("warp " + std::to_string(warp.slot) +
+                fail("warp " + std::to_string(i) +
                      " holds no extended set but its status bit is set");
             }
             if (lut[slot] != -1) {
-                fail("warp " + std::to_string(warp.slot) +
+                fail("warp " + std::to_string(i) +
                      " holds no extended set but LUT entry is " +
                      std::to_string(lut[slot]));
             }
@@ -314,10 +316,10 @@ RegMutexAllocator::auditInvariants(const std::vector<SimWarp> &warps,
     if (!faults_active) {
         const int free_sections = sections - held_warps - shrunk;
         if (free_sections > 0) {
-            for (const SimWarp &warp : warps) {
-                if (warp.resident() &&
-                    warp.state == WarpState::WaitAcquire) {
-                    fail("warp " + std::to_string(warp.slot) +
+            for (int i = 0; i < warps.numSlots(); ++i) {
+                if (warps.resident(i) &&
+                    warps.state(i) == WarpState::WaitAcquire) {
+                    fail("warp " + std::to_string(i) +
                          " waits on acquire while " +
                          std::to_string(free_sections) +
                          " sections are free");
@@ -450,7 +452,7 @@ PairedRegMutexAllocator::restoreState(SnapshotReader &r)
 
 void
 PairedRegMutexAllocator::auditInvariants(
-    const std::vector<SimWarp> &warps, bool faults_active,
+    const WarpStore &warps, bool faults_active,
     std::vector<std::string> &violations) const
 {
     if (!enabled)
@@ -463,32 +465,33 @@ PairedRegMutexAllocator::auditInvariants(
     // Exactly one holder per held pair bit; holders agree with the mask.
     std::vector<int> pair_owner(pairHeld.size(), -1);
     int held_warps = 0;
-    for (const SimWarp &warp : warps) {
-        if (!warp.resident() || !warp.holdsExt)
+    for (int slot = 0; slot < warps.numSlots(); ++slot) {
+        const SimWarp &warp = warps.warp(slot);
+        if (!warps.resident(slot) || !warp.holdsExt)
             continue;
         ++held_warps;
-        const std::size_t pair = static_cast<std::size_t>(warp.slot) / 2;
+        const std::size_t pair = static_cast<std::size_t>(slot) / 2;
         if (pair >= pairHeld.size()) {
-            fail("warp " + std::to_string(warp.slot) +
+            fail("warp " + std::to_string(slot) +
                  " holds a set beyond the pair mask");
             continue;
         }
         if (warp.srpSection != static_cast<int>(pair)) {
-            fail("warp " + std::to_string(warp.slot) + " srpSection " +
+            fail("warp " + std::to_string(slot) + " srpSection " +
                  std::to_string(warp.srpSection) + " != its pair " +
                  std::to_string(pair));
         }
         if (!pairHeld.test(pair)) {
-            fail("warp " + std::to_string(warp.slot) +
+            fail("warp " + std::to_string(slot) +
                  " holds pair " + std::to_string(pair) +
                  " but its bit is clear");
         }
         if (pair_owner[pair] >= 0) {
             fail("pair " + std::to_string(pair) + " has two holders: warps " +
                  std::to_string(pair_owner[pair]) + " and " +
-                 std::to_string(warp.slot));
+                 std::to_string(slot));
         }
-        pair_owner[pair] = warp.slot;
+        pair_owner[pair] = slot;
     }
 
     // Conservation: the held-pair population must equal the number of
@@ -501,12 +504,13 @@ PairedRegMutexAllocator::auditInvariants(
     // Liveness: a paired waiter is only legitimate while its partner
     // holds the shared set.
     if (!faults_active) {
-        for (const SimWarp &warp : warps) {
-            if (!warp.resident() || warp.state != WarpState::WaitAcquire)
+        for (int slot = 0; slot < warps.numSlots(); ++slot) {
+            if (!warps.resident(slot) ||
+                warps.state(slot) != WarpState::WaitAcquire)
                 continue;
-            const std::size_t pair = static_cast<std::size_t>(warp.slot) / 2;
+            const std::size_t pair = static_cast<std::size_t>(slot) / 2;
             if (pair < pairHeld.size() && !pairHeld.test(pair)) {
-                fail("warp " + std::to_string(warp.slot) +
+                fail("warp " + std::to_string(slot) +
                      " waits on pair " + std::to_string(pair) +
                      " which nobody holds");
             }

@@ -33,12 +33,16 @@ class RegMutexAllocator : public RegisterAllocator
     void release(SimWarp &warp) override;
     void onWarpExit(SimWarp &warp) override;
     bool consumeFreedFlag() override;
+    // The SRP handshake happens at the acquire directive (issue-stage
+    // side effect), never as a per-instruction gate or priority bias.
+    bool gatesIssue() const override { return false; }
+    bool biasesPriority() const override { return false; }
     int srpSectionCount() const override { return sections - shrunk; }
     int faultShrinkCapacity(int amount) override;
     bool faultCorruptState() override;
     void saveState(SnapshotWriter &w) const override;
     void restoreState(SnapshotReader &r) override;
-    void auditInvariants(const std::vector<SimWarp> &warps,
+    void auditInvariants(const WarpStore &warps,
                          bool faults_active,
                          std::vector<std::string> &violations) const override;
 
@@ -88,11 +92,15 @@ class PairedRegMutexAllocator : public RegisterAllocator
     void release(SimWarp &warp) override;
     void onWarpExit(SimWarp &warp) override;
     bool consumeFreedFlag() override;
+    // Pair-granularity SRP handshake: same acquire-directive contract
+    // as RegMutexAllocator, so no per-instruction gate either.
+    bool gatesIssue() const override { return false; }
+    bool biasesPriority() const override { return false; }
     int srpSectionCount() const override { return pairs; }
     bool faultCorruptState() override;
     void saveState(SnapshotWriter &w) const override;
     void restoreState(SnapshotReader &r) override;
-    void auditInvariants(const std::vector<SimWarp> &warps,
+    void auditInvariants(const WarpStore &warps,
                          bool faults_active,
                          std::vector<std::string> &violations) const override;
 

@@ -20,6 +20,7 @@ namespace rm {
 
 class SnapshotWriter;
 class SnapshotReader;
+class WarpStore;
 
 /** Outcome of an extended-set acquire at the issue stage. */
 enum class AcquireOutcome {
@@ -77,6 +78,18 @@ class RegisterAllocator
     }
 
     /**
+     * Scheduler devirtualization hint: may canIssue() ever return
+     * false for this policy instance? The SM calls canIssue() once per
+     * Ready candidate per cycle — when a policy never gates issue
+     * (baseline, RegMutex: the SRP handshake happens at the acquire
+     * directive, not per instruction) it says so here and the hot loop
+     * skips the virtual call entirely. A policy overriding canIssue()
+     * MUST keep this consistent; returning true is always safe, merely
+     * slower.
+     */
+    virtual bool gatesIssue() const { return true; }
+
+    /**
      * @p inst issued from @p warp at @p pc. Policies take ownership
      * actions here (OWF lock acquisition, RFV allocate/free).
      */
@@ -116,15 +129,25 @@ class RegisterAllocator
     }
 
     /**
+     * Companion hint to gatesIssue(): may schedPriority() ever return
+     * nonzero? Same contract — true is always safe, false lets the
+     * scheduler skip the per-candidate virtual call.
+     */
+    virtual bool biasesPriority() const { return true; }
+
+    /**
      * Deadlock breaker: the SM detected that every resident warp is
      * blocked on this policy's resources. Grant the oldest blocked
-     * warp's request by emergency means (RFV models a spill). Returns
-     * the penalty in cycles the warp must wait, or -1 when the policy
-     * cannot make progress (the SM then reports a deadlock).
+     * warp's request by emergency means (RFV models a spill); @p pc is
+     * the warp's current program counter (hot state lives in the
+     * WarpStore, not on SimWarp). Returns the penalty in cycles the
+     * warp must wait, or -1 when the policy cannot make progress (the
+     * SM then reports a deadlock).
      */
-    virtual int forceProgress(SimWarp &warp)
+    virtual int forceProgress(SimWarp &warp, int pc)
     {
         (void)warp;
+        (void)pc;
         return -1;
     }
 
@@ -176,12 +199,14 @@ class RegisterAllocator
 
     /**
      * Sanitizer self-audit (sim/sanitizer.hh): append one line per
-     * violated accounting invariant to @p violations. @p faults_active
+     * violated accounting invariant to @p violations. @p warps gives
+     * both the cold policy fields (WarpStore::warp) and the hot
+     * scheduler state (WarpStore::state/pc/resident). @p faults_active
      * is true when a fault plan may legitimately break liveness-style
      * invariants (e.g. a revoked section leaves waiters with no
      * holder); conservation checks must never be gated on it.
      */
-    virtual void auditInvariants(const std::vector<SimWarp> &warps,
+    virtual void auditInvariants(const WarpStore &warps,
                                  bool faults_active,
                                  std::vector<std::string> &violations) const
     {

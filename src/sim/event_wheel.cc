@@ -1,0 +1,128 @@
+#include "sim/event_wheel.hh"
+
+#include <algorithm>
+
+#include "common/errors.hh"
+
+namespace rm {
+
+namespace {
+
+std::uint64_t
+nextPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+EventWheel::EventWheel(std::uint64_t min_window)
+{
+    span_ = nextPow2(std::max<std::uint64_t>(min_window, 64));
+    mask_ = span_ - 1;
+    buckets_.resize(span_);
+    occupied_.assign((span_ + 63) / 64, 0);
+}
+
+void
+EventWheel::reset(std::uint64_t now)
+{
+    for (auto &bucket : buckets_)
+        bucket.clear();
+    std::fill(occupied_.begin(), occupied_.end(), 0);
+    overflow_.clear();
+    overflowMin_ = 0;
+    now_ = now;
+    seq_ = 0;
+    count_ = 0;
+    cachedNext_ = 0;
+    cacheValid_ = false;
+}
+
+void
+EventWheel::markOccupied(std::uint64_t bucket)
+{
+    occupied_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+}
+
+void
+EventWheel::clearOccupied(std::uint64_t bucket)
+{
+    occupied_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+}
+
+void
+EventWheel::migrateOverflowSlow()
+{
+    std::size_t kept = 0;
+    std::uint64_t new_min = 0;
+    bool have_min = false;
+    for (SimEvent &event : overflow_) {
+        if (event.cycle - now_ <= span_) {
+            const std::uint64_t bucket = event.cycle & mask_;
+            buckets_[bucket].push_back(event);
+            markOccupied(bucket);
+        } else {
+            if (!have_min || event.cycle < new_min) {
+                new_min = event.cycle;
+                have_min = true;
+            }
+            overflow_[kept++] = event;
+        }
+    }
+    overflow_.resize(kept);
+    overflowMin_ = new_min;
+}
+
+std::uint64_t
+EventWheel::scanNextCycle() const
+{
+    // First occupied bucket at ring distance 1..span_ from the base.
+    for (std::uint64_t d = 1; d <= span_;) {
+        const std::uint64_t cycle = now_ + d;
+        const std::uint64_t bucket = cycle & mask_;
+        const std::uint64_t word = occupied_[bucket >> 6];
+        if (word == 0) {
+            // Skip the rest of this 64-bucket word in one step.
+            d += 64 - (bucket & 63);
+            continue;
+        }
+        const std::uint64_t shifted = word >> (bucket & 63);
+        if (shifted != 0) {
+            const std::uint64_t hit =
+                cycle + static_cast<std::uint64_t>(
+                            __builtin_ctzll(shifted));
+            // The hit may wrap past span_ when the word spans the ring
+            // seam; only distances within the window count.
+            if (hit - now_ <= span_)
+                return hit;
+        }
+        d += 64 - (bucket & 63);
+    }
+    // Ring empty: the earliest item lives in the overflow list.
+    panicIf(overflow_.empty(),
+            "EventWheel: count/occupancy accounting out of sync");
+    return overflowMin_;
+}
+
+std::vector<SimEvent>
+EventWheel::drainSorted() const
+{
+    std::vector<SimEvent> all;
+    all.reserve(count_);
+    for (const auto &bucket : buckets_)
+        all.insert(all.end(), bucket.begin(), bucket.end());
+    all.insert(all.end(), overflow_.begin(), overflow_.end());
+    std::sort(all.begin(), all.end(),
+              [](const SimEvent &a, const SimEvent &b) {
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  return a.seq < b.seq;
+              });
+    return all;
+}
+
+} // namespace rm

@@ -1,0 +1,239 @@
+#ifndef RM_SIM_EVENT_WHEEL_HH
+#define RM_SIM_EVENT_WHEEL_HH
+
+/**
+ * @file
+ * Deterministic indexed timer wheel for the SM's scoreboard / memory
+ * completion events, replacing the copying `std::priority_queue<Event>`
+ * of the earlier engine. The wheel is a power-of-two ring of buckets
+ * indexed by `cycle % size`: with every queued item inside the window
+ * (now, now + size], bucket residency is unambiguous and the earliest
+ * pending cycle is the first occupied bucket in ring order (found via a
+ * one-bit-per-bucket occupancy bitmap). Items beyond the horizon —
+ * only ever produced by fault injection (delayed releases, spiked
+ * memory latency) — sit in a small overflow list and migrate into the
+ * ring as the window advances.
+ *
+ * Determinism contract: items are processed in (cycle, push order)
+ * order. Same-cycle events commute in the simulator (processEvents
+ * tolerates any tie order), but the stable FIFO tie-break makes the
+ * drained order — and therefore the snapshot byte stream — a pure
+ * function of simulation history, never of container layout.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rm {
+
+/** One pending completion/wake event (see Sm for field semantics). */
+struct SimEvent
+{
+    std::uint64_t cycle = 0;
+    int warpSlot = -1;
+    RegId reg = kNoReg;       ///< scoreboard bit to clear (kNoReg: none)
+    bool memCompletion = false;  ///< decrements pendingMem
+    bool spillWake = false;      ///< WaitSpill -> Ready
+    /** Generation tag of the warp the event was created for. */
+    std::uint64_t launchOrder = 0;
+    /** Global push order; breaks same-cycle ties FIFO. */
+    std::uint64_t seq = 0;
+};
+
+class EventWheel
+{
+  public:
+    /** @param min_window lower bound for the bucket-ring span. The
+     *  ring is sized to the next power of two; events further out go
+     *  through the overflow list (correct, just slower). */
+    explicit EventWheel(std::uint64_t min_window = 256);
+
+    /** Drop every item and rebase the window at @p now. */
+    void reset(std::uint64_t now);
+
+    /**
+     * Queue an event. A target cycle at or before the current window
+     * base fires at the next popDue() call — identical to the old
+     * heap, which also delivered past-due pushes on the next
+     * processEvents() pass. Inline: called once per issued long-latency
+     * instruction.
+     */
+    void push(SimEvent event)
+    {
+        if (event.cycle <= now_)
+            event.cycle = now_ + 1;
+        event.seq = seq_++;
+        ++count_;
+        // Keep the earliest-cycle cache coherent: a sole item defines
+        // it outright; otherwise an earlier push can only lower it.
+        if (count_ == 1) {
+            cachedNext_ = event.cycle;
+            cacheValid_ = true;
+        } else if (cacheValid_ && event.cycle < cachedNext_) {
+            cachedNext_ = event.cycle;
+        }
+        if (event.cycle - now_ > span_) {
+            if (overflow_.empty() || event.cycle < overflowMin_)
+                overflowMin_ = event.cycle;
+            overflow_.push_back(event);
+            return;
+        }
+        const std::uint64_t bucket = event.cycle & mask_;
+        buckets_[bucket].push_back(event);
+        markOccupied(bucket);
+    }
+
+    /**
+     * Deliver every item due at or before @p now to @p fn, in
+     * (cycle, push order) order, and advance the window base to
+     * @p now. @p now must not decrease between calls.
+     */
+    template <typename Fn>
+    void popDue(std::uint64_t now, Fn &&fn)
+    {
+        while (count_ > 0) {
+            const std::uint64_t next = nextCycle();
+            if (next > now)
+                break;
+            drainBucket(next, fn);
+        }
+        now_ = now < now_ ? now_ : now;
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    /**
+     * Earliest pending cycle; 0 when empty. The skip-ahead fast path
+     * and the hang forensics both key off this. O(1) between drains:
+     * the value is cached, kept coherent by push(), and re-derived by
+     * a bucket scan only after a drain invalidates it.
+     */
+    std::uint64_t nextCycle() const
+    {
+        if (count_ == 0)
+            return 0;
+        if (!cacheValid_) {
+            cachedNext_ = scanNextCycle();
+            cacheValid_ = true;
+        }
+        return cachedNext_;
+    }
+
+    /**
+     * Copy of every pending item in (cycle, seq) order — the snapshot
+     * serialization order. O(n log n); never on the hot path.
+     */
+    std::vector<SimEvent> drainSorted() const;
+
+  private:
+    std::vector<std::vector<SimEvent>> buckets_;
+    std::vector<std::uint64_t> occupied_;  ///< one bit per bucket
+    std::vector<SimEvent> overflow_;       ///< cycle > now_ + span
+    std::uint64_t overflowMin_ = 0;        ///< min cycle in overflow_
+    std::uint64_t span_ = 0;               ///< bucket count (power of 2)
+    std::uint64_t mask_ = 0;               ///< span_ - 1
+    std::uint64_t now_ = 0;                ///< all items have cycle > now_
+    std::uint64_t seq_ = 0;
+    std::size_t count_ = 0;
+    /** Cached earliest pending cycle (valid only when cacheValid_). */
+    mutable std::uint64_t cachedNext_ = 0;
+    mutable bool cacheValid_ = false;
+
+    /** Re-derive the earliest pending cycle from the occupancy bitmap
+     *  (falls back to the overflow minimum). Requires count_ > 0. */
+    std::uint64_t scanNextCycle() const;
+
+    void markOccupied(std::uint64_t bucket);
+    void clearOccupied(std::uint64_t bucket);
+    /** Move overflow items now inside (now_, now_ + span_] into the
+     *  ring. Inline no-op when the overflow list is empty or still
+     *  entirely beyond the horizon (the normal case). */
+    void migrateOverflow()
+    {
+        if (overflow_.empty() || overflowMin_ - now_ > span_)
+            return;
+        migrateOverflowSlow();
+    }
+    void migrateOverflowSlow();
+
+    template <typename Fn>
+    void drainBucket(std::uint64_t due, Fn &&fn)
+    {
+        // Rebase just below the due cycle and migrate first: an
+        // overflow item due exactly at `due` must land in the bucket
+        // before it is swapped out (migrating after the swap would
+        // park it a full ring revolution away). No pending item is
+        // earlier than `due`, so every migrated cycle stays > now_.
+        now_ = due - 1;
+        migrateOverflow();
+        const std::uint64_t bucket = due & mask_;
+        // Swap out so fn may push new events without invalidating the
+        // iteration (a drained bucket refills only for cycle due+span_,
+        // which is beyond any same-call due date).
+        std::vector<SimEvent> batch;
+        batch.swap(buckets_[bucket]);
+        clearOccupied(bucket);
+        count_ -= batch.size();
+        cacheValid_ = false;  // earliest pending cycle just left
+        now_ = due;  // window advances: pushes may target due+1..
+        migrateOverflow();
+        for (SimEvent &event : batch)
+            fn(event);
+        // Recycle the allocation when the bucket stayed empty.
+        if (buckets_[bucket].empty()) {
+            batch.clear();
+            buckets_[bucket].swap(batch);
+        }
+    }
+};
+
+/**
+ * Flat FIFO replacing `std::queue` (deque) for the memory pipe: a
+ * vector plus a head cursor, compacted when the dead prefix dominates.
+ */
+template <typename T>
+class FlatFifo
+{
+  public:
+    bool empty() const { return head_ == items_.size(); }
+    std::size_t size() const { return items_.size() - head_; }
+
+    void push(const T &item) { items_.push_back(item); }
+
+    const T &front() const { return items_[head_]; }
+
+    void pop()
+    {
+        ++head_;
+        if (head_ == items_.size()) {
+            items_.clear();
+            head_ = 0;
+        } else if (head_ >= 64 && head_ * 2 >= items_.size()) {
+            items_.erase(items_.begin(),
+                         items_.begin() +
+                             static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
+    }
+
+    void clear()
+    {
+        items_.clear();
+        head_ = 0;
+    }
+
+    /** Iteration in FIFO order (snapshot serialization). */
+    const T *begin() const { return items_.data() + head_; }
+    const T *end() const { return items_.data() + items_.size(); }
+
+  private:
+    std::vector<T> items_;
+    std::size_t head_ = 0;
+};
+
+} // namespace rm
+
+#endif // RM_SIM_EVENT_WHEEL_HH

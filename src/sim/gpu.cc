@@ -213,9 +213,18 @@ struct SmCell
     int ctas = 0;
     bool finished = false;
     SmRunOutcome outcome;
+    /** Final stats of an SM that was already finished in the resume
+     *  snapshot (no Sm is constructed for it). Live cells read
+     *  Sm::currentStats() instead. */
+    SimStats finishedStats;
     PreparedAllocator prepared;
     std::unique_ptr<GlobalMemory> gmem;
     std::unique_ptr<Sm> sm;
+
+    const SimStats &stats() const
+    {
+        return sm ? sm->currentStats() : finishedStats;
+    }
 };
 
 } // namespace
@@ -276,7 +285,7 @@ Gpu::runControlled(int sms)
                     : nullptr;
             if (entry != nullptr && entry->finished) {
                 cell.finished = true;
-                cell.outcome.stats = entry->stats;
+                cell.finishedStats = entry->stats;
                 return;
             }
             cell.prepared = factory(config, program);
@@ -332,7 +341,7 @@ Gpu::runControlled(int sms)
             entry.smId = i;
             entry.ctas = cell.ctas;
             entry.finished = cell.finished;
-            entry.stats = cell.outcome.stats;
+            entry.stats = cell.stats();
             if (!cell.finished) {
                 SnapshotWriter w;
                 cell.sm->saveState(w);
@@ -416,7 +425,7 @@ Gpu::runControlled(int sms)
 
     for (int i = 0; i < sms; ++i)
         result.perSm[static_cast<std::size_t>(i)] =
-            cells[static_cast<std::size_t>(i)].outcome.stats;
+            cells[static_cast<std::size_t>(i)].stats();
     result.aggregate = mergeSmStats(result.perSm);
     return result;
 }

@@ -1,5 +1,7 @@
 #include "sim/interpreter.hh"
 
+#include <algorithm>
+
 #include "common/errors.hh"
 #include "sim/semantics.hh"
 
@@ -17,13 +19,14 @@ mixPair(std::uint64_t a, std::uint64_t b)
     return x;
 }
 
-/** Per-warp functional state. */
+/** Per-warp functional state; registers live in a shared flat slab
+ *  (warp-major, stride = program register count) like the timing
+ *  model's WarpStore. */
 struct WarpState
 {
     int pc = 0;
     bool exited = false;
     bool atBarrier = false;
-    std::vector<std::int64_t> regs;
     SpecialRegs sregs;
 };
 
@@ -39,11 +42,16 @@ interpret(const Program &program, const InterpOptions &options)
 
     const int warps_per_cta = program.info.ctaThreads / options.warpSize;
 
+    const std::size_t reg_stride =
+        static_cast<std::size_t>(program.info.numRegs);
+    std::vector<std::int64_t> reg_slab(
+        static_cast<std::size_t>(warps_per_cta) * reg_stride);
+
     for (int cta = 0; cta < program.info.gridCtas; ++cta) {
         SharedMemory smem(program.info.sharedBytesPerCta);
         std::vector<WarpState> warps(warps_per_cta);
+        std::fill(reg_slab.begin(), reg_slab.end(), 0);
         for (int w = 0; w < warps_per_cta; ++w) {
-            warps[w].regs.assign(program.info.numRegs, 0);
             warps[w].sregs = SpecialRegs::forWarp(program.info, cta, w,
                                                   options.warpSize);
         }
@@ -69,9 +77,12 @@ interpret(const Program &program, const InterpOptions &options)
                         result.sampleTrace.push_back(warp.pc);
 
                     const Instruction &inst = program.code[warp.pc];
-                    StepResult step = executeStep(program, warp.pc,
-                                                  warp.regs, warp.sregs,
-                                                  gmem, smem);
+                    std::int64_t *regs =
+                        reg_slab.data() +
+                        static_cast<std::size_t>(&warp - warps.data()) *
+                            reg_stride;
+                    StepResult step = executeStep(program, warp.pc, regs,
+                                                  warp.sregs, gmem, smem);
                     ++result.totalInstructions;
                     if (step.acquire || step.release)
                         ++result.directiveInstructions;

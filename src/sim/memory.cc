@@ -38,18 +38,6 @@ GlobalMemory::initialWord(std::size_t index) const
     return static_cast<std::int64_t>(mix(index ^ seedValue * 0x9e3779b9ULL));
 }
 
-std::int64_t
-GlobalMemory::load(std::uint64_t addr) const
-{
-    return words[addr & mask];
-}
-
-void
-GlobalMemory::store(std::uint64_t addr, std::int64_t value)
-{
-    words[addr & mask] = value;
-}
-
 std::uint64_t
 GlobalMemory::digest() const
 {
@@ -63,18 +51,6 @@ SharedMemory::SharedMemory(int bytes)
 {
     const std::size_t n = bytes <= 8 ? 1 : static_cast<std::size_t>(bytes) / 8;
     words.assign(n, 0);
-}
-
-std::int64_t
-SharedMemory::load(std::uint64_t addr) const
-{
-    return words[addr % words.size()];
-}
-
-void
-SharedMemory::store(std::uint64_t addr, std::int64_t value)
-{
-    words[addr % words.size()] = value;
 }
 
 std::uint64_t

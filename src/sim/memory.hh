@@ -26,8 +26,15 @@ class GlobalMemory
     /** @param log2_words size as a power of two (default 1 Mi words). */
     explicit GlobalMemory(int log2_words = 20, std::uint64_t seed = 1);
 
-    std::int64_t load(std::uint64_t addr) const;
-    void store(std::uint64_t addr, std::int64_t value);
+    // Inline: one load/store per global-memory instruction interpreted.
+    std::int64_t load(std::uint64_t addr) const
+    {
+        return words[addr & mask];
+    }
+    void store(std::uint64_t addr, std::int64_t value)
+    {
+        words[addr & mask] = value;
+    }
 
     std::size_t sizeWords() const { return words.size(); }
 
@@ -56,8 +63,14 @@ class SharedMemory
     /** @param bytes CTA shared-memory footprint (0 gives one word). */
     explicit SharedMemory(int bytes = 0);
 
-    std::int64_t load(std::uint64_t addr) const;
-    void store(std::uint64_t addr, std::int64_t value);
+    std::int64_t load(std::uint64_t addr) const
+    {
+        return words[addr % words.size()];
+    }
+    void store(std::uint64_t addr, std::int64_t value)
+    {
+        words[addr % words.size()] = value;
+    }
 
     std::size_t sizeWords() const { return words.size(); }
 

@@ -39,38 +39,4 @@ RegisterMapper::regmutex(int total_packs, int base_regs, int ext_regs,
     return m;
 }
 
-int
-RegisterMapper::map(int widx, int x, int srp_section) const
-{
-    panicIf(widx < 0 || x < 0, "RegisterMapper: negative operand index");
-    int y;
-    if (!regmutexMode) {
-        panicIf(x >= coeff && coeff > 0,
-                "RegisterMapper: baseline access r", x,
-                " beyond per-warp allocation of ", coeff);
-        y = coeff * widx + x;
-    } else if (x < baseRegs) {
-        y = baseRegs * widx + x;
-        panicIf(y >= srpOff,
-                "RegisterMapper: base access of warp ", widx,
-                " overlaps the SRP region");
-    } else {
-        panicIf(x >= baseRegs + extRegs,
-                "RegisterMapper: access r", x,
-                " beyond |Bs|+|Es| = ", baseRegs + extRegs);
-        panicIf(srp_section < 0,
-                "RegisterMapper: extended-set access r", x, " by warp ",
-                widx, " without a held SRP section — compiler invariant "
-                "violated");
-        panicIf(srp_section >= srpSections,
-                "RegisterMapper: SRP section ", srp_section,
-                " out of range (", srpSections, " sections)");
-        y = srpOff + srp_section * extRegs + (x - baseRegs);
-    }
-    panicIf(y < 0 || y >= totalPacks,
-            "RegisterMapper: physical pack ", y,
-            " outside the register file (", totalPacks, " packs)");
-    return y;
-}
-
 } // namespace rm

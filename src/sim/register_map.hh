@@ -20,6 +20,8 @@
 
 #include <cstdint>
 
+#include "common/errors.hh"
+
 namespace rm {
 
 /** Operand-collector register mapper for one kernel launch. */
@@ -50,11 +52,36 @@ class RegisterMapper
      * pack index. @p srp_section is the warp's LUT entry (-1 when the
      * warp holds no section); accessing x >= |Bs| with no section held
      * panics — the hardware invariant RegMutex's compiler guarantees.
+     * Defined inline below: the operand collector routes every operand
+     * of every issued instruction through here.
      */
     int map(int widx, int x, int srp_section = -1) const;
 
     /** True when @p x belongs to the extended set under this mapping. */
     bool isExtended(int x) const { return regmutexMode && x >= baseRegs; }
+
+    /** True for the RegMutex (base + SRP) mapping, where extended
+     *  accesses carry invariants and statistics; the baseline affine
+     *  mapping has neither. */
+    bool extendedMode() const { return regmutexMode; }
+
+    /** Mapping geometry (precomputed-verification support). */
+    int baseCount() const { return baseRegs; }
+    int extCount() const { return extRegs; }
+    int sectionCount() const { return srpSections; }
+
+    /**
+     * True when the base-set mapping of every warp slot in
+     * [0, @p num_slots) stays below the SRP region — i.e. the per-slot
+     * `y >= srpOff` panic in map() can never fire. Lets the issue path
+     * verify the affine bound once instead of per access.
+     */
+    bool baseFitsSlots(int num_slots) const
+    {
+        return !regmutexMode ||
+               num_slots <= 0 ||
+               baseRegs * (num_slots - 1) + (baseRegs - 1) < srpOff;
+    }
 
     int srpOffset() const { return srpOff; }
 
@@ -69,6 +96,40 @@ class RegisterMapper
     int srpOff = 0;
     int srpSections = 0;
 };
+
+inline int
+RegisterMapper::map(int widx, int x, int srp_section) const
+{
+    panicIf(widx < 0 || x < 0, "RegisterMapper: negative operand index");
+    int y;
+    if (!regmutexMode) {
+        panicIf(x >= coeff && coeff > 0,
+                "RegisterMapper: baseline access r", x,
+                " beyond per-warp allocation of ", coeff);
+        y = coeff * widx + x;
+    } else if (x < baseRegs) {
+        y = baseRegs * widx + x;
+        panicIf(y >= srpOff,
+                "RegisterMapper: base access of warp ", widx,
+                " overlaps the SRP region");
+    } else {
+        panicIf(x >= baseRegs + extRegs,
+                "RegisterMapper: access r", x,
+                " beyond |Bs|+|Es| = ", baseRegs + extRegs);
+        panicIf(srp_section < 0,
+                "RegisterMapper: extended-set access r", x, " by warp ",
+                widx, " without a held SRP section — compiler invariant "
+                "violated");
+        panicIf(srp_section >= srpSections,
+                "RegisterMapper: SRP section ", srp_section,
+                " out of range (", srpSections, " sections)");
+        y = srpOff + srp_section * extRegs + (x - baseRegs);
+    }
+    panicIf(y < 0 || y >= totalPacks,
+            "RegisterMapper: physical pack ", y,
+            " outside the register file (", totalPacks, " packs)");
+    return y;
+}
 
 } // namespace rm
 

@@ -50,7 +50,7 @@ SpecialRegs::forWarp(const KernelInfo &info, int cta_id, int warp_in_cta,
 }
 
 StepResult
-executeStep(const Program &program, int pc, std::vector<std::int64_t> &regs,
+executeStep(const Program &program, int pc, std::int64_t *regs,
             const SpecialRegs &sregs, GlobalMemory &gmem, SharedMemory &smem)
 {
     panicIf(pc < 0 || pc >= static_cast<int>(program.code.size()),

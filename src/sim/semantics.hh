@@ -50,14 +50,15 @@ struct StepResult
 };
 
 /**
- * Execute @p program.code[pc] against warp state. Registers are
- * updated in place; loads/stores hit the supplied memories immediately
- * (the timing model accounts latency separately).
+ * Execute @p program.code[pc] against warp state. @p regs points at
+ * the warp's register span (program.info.numRegs values — a slice of
+ * the WarpStore slab in the timing model); registers are updated in
+ * place and loads/stores hit the supplied memories immediately (the
+ * timing model accounts latency separately).
  */
 StepResult executeStep(const Program &program, int pc,
-                       std::vector<std::int64_t> &regs,
-                       const SpecialRegs &sregs, GlobalMemory &gmem,
-                       SharedMemory &smem);
+                       std::int64_t *regs, const SpecialRegs &sregs,
+                       GlobalMemory &gmem, SharedMemory &smem);
 
 } // namespace rm
 

@@ -1,6 +1,7 @@
 #include "sim/sm.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/errors.hh"
 #include "isa/disasm.hh"
@@ -9,6 +10,25 @@
 #include "sim/sanitizer.hh"
 
 namespace rm {
+
+namespace {
+
+/** Process-wide skip-ahead switch (see Sm::setSkipAhead). */
+std::atomic<bool> s_skip_ahead{true};
+
+} // namespace
+
+void
+Sm::setSkipAhead(bool enabled)
+{
+    s_skip_ahead.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+Sm::skipAheadEnabled()
+{
+    return s_skip_ahead.load(std::memory_order_relaxed);
+}
 
 Sm::Sm(const GpuConfig &gpu_config, const Program &kernel,
        RegisterAllocator &alloc, int ctas_to_run, GlobalMemory &global_mem,
@@ -25,7 +45,8 @@ Sm::Sm(const GpuConfig &gpu_config, const Program &kernel,
       ctasToRun(ctas_to_run),
       warpsPerCta(kernel.info.ctaThreads / gpu_config.warpSize),
       smId(sm_id),
-      fault(fault_plan)
+      fault(fault_plan),
+      events(static_cast<std::uint64_t>(gpu_config.globalLatency) * 4 + 64)
 {
     if (metrics) {
         met.issued = &metrics->counter("issue.slots_issued");
@@ -51,12 +72,67 @@ Sm::Sm(const GpuConfig &gpu_config, const Program &kernel,
     }
     fatalIf(warpsPerCta <= 0 || warpsPerCta > config.maxWarpsPerSm,
             "Sm: CTA of ", warpsPerCta, " warps cannot fit the SM");
-    warps.resize(config.maxWarpsPerSm);
-    for (int slot = 0; slot < config.maxWarpsPerSm; ++slot)
-        warps[slot].slot = slot;
+    warps.reset(config.maxWarpsPerSm, program.info.numRegs);
     ctas.resize(config.maxCtasPerSm);
     schedLastIssued.assign(config.numSchedulers, -1);
+    events.reset(0);
     computeResidentCap();
+
+    allocGatesIssue = allocator.gatesIssue();
+    allocBiasesPriority = allocator.biasesPriority();
+    if (program.info.numRegs <= 64) {
+        issueMeta.reserve(program.code.size());
+        bool fits = true;
+        for (const Instruction &inst : program.code) {
+            IssueCheckMeta meta;
+            meta.globalMem = latClass(inst.op) == LatClass::GlobalMem;
+            if (inst.hasDst()) {
+                fits = fits && inst.dst < 64;
+                meta.opMask |= std::uint64_t{1} << (inst.dst & 63);
+            }
+            for (int s = 0; s < inst.numSrcs; ++s) {
+                fits = fits && inst.srcs[s] < 64;
+                meta.opMask |= std::uint64_t{1} << (inst.srcs[s] & 63);
+            }
+            issueMeta.push_back(meta);
+        }
+        if (!fits)
+            issueMeta.clear();
+    }
+    // Hand the table to the warp store so it maintains the incremental
+    // ready/issue-clean masks (no-op when the geometry overflows one
+    // word — the scheduler then falls back to the sweeping scan).
+    warps.setIssueMeta(issueMeta.data(), issueMeta.size(),
+                       config.maxPendingMemPerWarp);
+    schedSlotMask.assign(config.numSchedulers, 0);
+    for (int slot = 0; slot < config.maxWarpsPerSm && slot < 64; ++slot)
+        schedSlotMask[slot % config.numSchedulers] |=
+            std::uint64_t{1} << slot;
+
+    // Precompute the RegMutex operand verification (see sm.hh). Any
+    // statically out-of-range operand keeps the per-access slow path,
+    // so malformed programs still panic at the same issue.
+    if (mapper && mapper->extendedMode() && !config.modelBankConflicts &&
+        mapper->baseFitsSlots(config.maxWarpsPerSm)) {
+        const int limit = mapper->baseCount() + mapper->extCount();
+        bool in_range = true;
+        extOpsByPc.reserve(program.code.size());
+        for (const Instruction &inst : program.code) {
+            int ext = 0;
+            if (inst.hasDst()) {
+                in_range = in_range && inst.dst < limit;
+                ext += mapper->isExtended(inst.dst) ? 1 : 0;
+            }
+            for (int s = 0; s < inst.numSrcs; ++s) {
+                in_range = in_range && inst.srcs[s] < limit;
+                ext += mapper->isExtended(inst.srcs[s]) ? 1 : 0;
+            }
+            extOpsByPc.push_back(static_cast<std::uint16_t>(ext));
+        }
+        fastVerify = in_range;
+        if (!fastVerify)
+            extOpsByPc.clear();
+    }
 }
 
 void
@@ -96,9 +172,9 @@ Sm::launchCtas()
              slot < config.maxWarpsPerSm &&
              static_cast<int>(slots.size()) < warpsPerCta;
              ++slot) {
-            if (warps[slot].state == WarpState::Unused ||
-                warps[slot].state == WarpState::Finished) {
-                if (warps[slot].ctaSlot == -1)
+            if (warps.state(slot) == WarpState::Unused ||
+                warps.state(slot) == WarpState::Finished) {
+                if (warps.warp(slot).ctaSlot == -1)
                     slots.push_back(slot);
             }
         }
@@ -114,18 +190,19 @@ Sm::launchCtas()
         cta.active = true;
 
         for (int w = 0; w < warpsPerCta; ++w) {
-            SimWarp &warp = warps[slots[w]];
+            const int slot = slots[w];
+            SimWarp &warp = warps.warp(slot);
             warp.ctaSlot = cta_slot;
             warp.ctaId = nextCtaId;
             warp.warpInCta = w;
             warp.launchOrder = launchCounter++;
-            warp.state = WarpState::Ready;
-            warp.pc = 0;
-            warp.regs.assign(program.info.numRegs, 0);
+            warps.setState(slot, WarpState::Ready);
+            warps.setPc(slot, 0);
+            warps.clearRegs(slot);
             warp.sregs = SpecialRegs::forWarp(program.info, nextCtaId, w,
                                               config.warpSize);
-            warp.pendingWrites = Bitmask(program.info.numRegs);
-            warp.pendingMem = 0;
+            warps.sbReset(slot);
+            warps.setPendingMem(slot, 0);
             warp.holdsExt = false;
             warp.srpSection = -1;
             warp.acquireWaitSince = 0;
@@ -150,8 +227,8 @@ Sm::retireCta(int cta_slot)
 {
     ResidentCta &cta = ctas[cta_slot];
     for (int slot : cta.warpSlots) {
-        warps[slot].state = WarpState::Unused;
-        warps[slot].ctaSlot = -1;
+        warps.setState(slot, WarpState::Unused);
+        warps.warp(slot).ctaSlot = -1;
     }
     if (trace) {
         trace->record(TraceEvent{cycle, cta.warpSlots.front(),
@@ -169,24 +246,23 @@ Sm::retireCta(int cta_slot)
 void
 Sm::processEvents()
 {
-    while (!events.empty() && events.top().cycle <= cycle) {
-        const Event event = events.top();
-        events.pop();
-        SimWarp &warp = warps[event.warpSlot];
+    events.popDue(cycle, [&](const SimEvent &event) {
         // Stale event: the warp it was created for exited and the slot
         // was relaunched. The new occupant's scoreboard and memory
         // accounting start clean; letting an old completion through
         // would corrupt them (e.g. drive pendingMem negative).
-        if (event.launchOrder != warp.launchOrder)
-            continue;
+        if (event.launchOrder != warps.warp(event.warpSlot).launchOrder)
+            return;
         if (event.reg != kNoReg)
-            warp.pendingWrites.unset(event.reg);
+            warps.sbClear(event.warpSlot, event.reg);
         if (event.memCompletion)
-            --warp.pendingMem;
-        if (event.spillWake && warp.state == WarpState::WaitSpill)
-            warp.state = WarpState::Ready;
+            warps.addPendingMem(event.warpSlot, -1);
+        if (event.spillWake &&
+            warps.state(event.warpSlot) == WarpState::WaitSpill) {
+            warps.setState(event.warpSlot, WarpState::Ready);
+        }
         lastProgressCycle = cycle;
-    }
+    });
 }
 
 void
@@ -200,43 +276,68 @@ Sm::dispatchMemQueue()
     for (int i = 0; i < config.memIssuePerCycle && !memQueue.empty(); ++i) {
         const MemRequest req = memQueue.front();
         memQueue.pop();
-        events.push(Event{cycle + latency, req.warpSlot,
-                          req.reg, true, false, req.launchOrder});
+        events.push(SimEvent{cycle + latency, req.warpSlot,
+                             req.reg, true, false, req.launchOrder});
     }
 }
 
 Sm::BlockReason
-Sm::issueBlocked(const SimWarp &warp) const
+Sm::issueBlockedGeneral(int slot) const
 {
-    const Instruction &inst = program.code[warp.pc];
+    const Instruction &inst = program.code[warps.pc(slot)];
 
     // Scoreboard: RAW / WAW against in-flight writes.
-    if (inst.hasDst() && warp.pendingWrites.test(inst.dst))
+    if (inst.hasDst() && warps.sbTest(slot, inst.dst))
         return BlockReason::Scoreboard;
     for (int s = 0; s < inst.numSrcs; ++s) {
-        if (warp.pendingWrites.test(inst.srcs[s]))
+        if (warps.sbTest(slot, inst.srcs[s]))
             return BlockReason::Scoreboard;
     }
 
     // Structural: outstanding global-memory limit.
     if (latClass(inst.op) == LatClass::GlobalMem &&
-        warp.pendingMem >= config.maxPendingMemPerWarp) {
+        warps.pendingMem(slot) >= config.maxPendingMemPerWarp) {
         return BlockReason::MemStructural;
     }
 
     // Policy gate (OWF pair lock, RFV physical registers).
-    if (!allocator.canIssue(warp, inst))
+    if (!allocator.canIssue(warps.warp(slot), inst))
         return BlockReason::Resource;
 
     return BlockReason::None;
 }
 
 void
-Sm::verifyOperands(const SimWarp &warp, const Instruction &inst)
+Sm::verifyOperands(const SimWarp &warp, const Instruction &inst, int pc)
 {
     pendingConflictPenalty = 0;
     if (!mapper)
         return;
+    // The baseline affine mapping with bank-conflict modeling off has
+    // no statistical effect — the walk below would only re-check the
+    // per-warp allocation bound. RegMutex-mode mappings always verify
+    // (extended-access invariants + the extRegAccesses count).
+    if (!config.modelBankConflicts && !mapper->extendedMode())
+        return;
+    if (fastVerify) {
+        // Precomputed form of the walk below: the static bounds were
+        // proven at construction, leaving the held-section invariant —
+        // the hardware guarantee RegMutex's compiler relies on — and
+        // the extended-access count.
+        const int ext = extOpsByPc[static_cast<std::size_t>(pc)];
+        if (ext != 0) {
+            panicIf(warp.srpSection < 0,
+                    "RegisterMapper: extended-set access by warp ",
+                    warp.slot, " without a held SRP section — compiler "
+                    "invariant violated");
+            panicIf(warp.srpSection >= mapper->sectionCount(),
+                    "RegisterMapper: SRP section ", warp.srpSection,
+                    " out of range (", mapper->sectionCount(),
+                    " sections)");
+            stats.extRegAccesses += static_cast<std::uint64_t>(ext);
+        }
+        return;
+    }
     auto check = [&](RegId reg) {
         const int phys = mapper->map(warp.slot, reg, warp.srpSection);
         if (mapper->isExtended(reg))
@@ -271,20 +372,32 @@ Sm::wakeParked()
 {
     if (!allocator.consumeFreedFlag())
         return;
-    for (auto &warp : warps) {
-        if (warp.state == WarpState::WaitAcquire ||
-            warp.state == WarpState::WaitResource) {
-            warp.state = WarpState::Ready;
+    for (int slot = 0; slot < config.maxWarpsPerSm; ++slot) {
+        const WarpState state = warps.state(slot);
+        if (state == WarpState::WaitAcquire ||
+            state == WarpState::WaitResource) {
+            warps.setState(slot, WarpState::Ready);
         }
     }
 }
 
 void
-Sm::issue(SimWarp &warp)
+Sm::releaseBarrier(ResidentCta &cta)
+{
+    cta.barrierArrived = 0;
+    for (int slot : cta.warpSlots) {
+        if (warps.state(slot) == WarpState::WaitBarrier)
+            warps.setState(slot, WarpState::Ready);
+    }
+}
+
+void
+Sm::issue(int slot)
 {
     RM_PROF_SCOPE(ProfPhase::SmIssue);
-    const Instruction &inst = program.code[warp.pc];
-    const int pc = warp.pc;
+    SimWarp &warp = warps.warp(slot);
+    const int pc = warps.pc(slot);
+    const Instruction &inst = program.code[pc];
     const LatClass lat = latClass(inst.op);
     ResidentCta &cta = ctas[warp.ctaSlot];
 
@@ -295,7 +408,7 @@ Sm::issue(SimWarp &warp)
             // Fault injection: a denied acquire behaves exactly like a
             // Blocked outcome without consulting the policy.
             AcquireOutcome outcome;
-            if (fault.deniesAcquire(cycle, warp.slot)) {
+            if (fault.deniesAcquire(cycle, slot)) {
                 ++stats.faultEvents;
                 outcome = AcquireOutcome::Blocked;
             } else {
@@ -309,7 +422,7 @@ Sm::issue(SimWarp &warp)
             }
             if (trace) {
                 trace->record(TraceEvent{
-                    cycle, warp.slot, warp.ctaId, pc,
+                    cycle, slot, warp.ctaId, pc,
                     outcome == AcquireOutcome::Blocked
                         ? TraceKind::AcquireBlocked
                         : TraceKind::AcquireOk});
@@ -322,14 +435,14 @@ Sm::issue(SimWarp &warp)
                         warp.acquireWaitSince = cycle;
                 }
                 if (config.wakeOnRelease) {
-                    park(warp, WarpState::WaitAcquire);
+                    park(slot, WarpState::WaitAcquire);
                 } else {
                     // Poll model (ablation): the warp retries after a
                     // fixed back-off instead of sleeping until a
                     // release, burning extra acquire attempts.
-                    park(warp, WarpState::WaitSpill);
-                    events.push(Event{cycle + 20, warp.slot, kNoReg,
-                                      false, true, warp.launchOrder});
+                    park(slot, WarpState::WaitSpill);
+                    events.push(SimEvent{cycle + 20, slot, kNoReg,
+                                         false, true, warp.launchOrder});
                 }
                 // PC unchanged: the warp will retry the acquire.
                 return;
@@ -362,10 +475,10 @@ Sm::issue(SimWarp &warp)
             // tests use to make the watchdog itself expire.
             if (fault.delaysRelease(cycle)) {
                 ++stats.faultEvents;
-                park(warp, WarpState::WaitSpill);
-                events.push(Event{cycle + fault.releaseDelayCycles,
-                                  warp.slot, kNoReg, false, true,
-                                  warp.launchOrder});
+                park(slot, WarpState::WaitSpill);
+                events.push(SimEvent{cycle + fault.releaseDelayCycles,
+                                     slot, kNoReg, false, true,
+                                     warp.launchOrder});
                 return;
             }
             const bool held = warp.holdsExt;
@@ -380,11 +493,11 @@ Sm::issue(SimWarp &warp)
                     met.srpHolders->sub();
             }
             if (trace) {
-                trace->record(TraceEvent{cycle, warp.slot, warp.ctaId,
+                trace->record(TraceEvent{cycle, slot, warp.ctaId,
                                          pc, TraceKind::Release});
             }
         }
-        ++warp.pc;
+        warps.setPc(slot, pc + 1);
         ++warp.instructions;
         ++stats.instructions;
         ++stats.issuedSlots;
@@ -396,16 +509,16 @@ Sm::issue(SimWarp &warp)
         return;
     }
 
-    verifyOperands(warp, inst);
+    verifyOperands(warp, inst, pc);
 
     if (lat == LatClass::Barrier) {
         if (trace) {
-            trace->record(TraceEvent{cycle, warp.slot, warp.ctaId, pc,
+            trace->record(TraceEvent{cycle, slot, warp.ctaId, pc,
                                      TraceKind::BarrierWait});
         }
         ++cta.barrierArrived;
-        park(warp, WarpState::WaitBarrier);
-        ++warp.pc;
+        park(slot, WarpState::WaitBarrier);
+        warps.setPc(slot, pc + 1);
         ++warp.instructions;
         ++stats.instructions;
         ++stats.issuedSlots;
@@ -414,23 +527,18 @@ Sm::issue(SimWarp &warp)
             met.instructions->add();
         }
         lastProgressCycle = cycle;
-        if (cta.barrierArrived >= cta.warpsAlive) {
-            cta.barrierArrived = 0;
-            for (int slot : cta.warpSlots) {
-                if (warps[slot].state == WarpState::WaitBarrier)
-                    warps[slot].state = WarpState::Ready;
-            }
-        }
+        if (cta.barrierArrived >= cta.warpsAlive)
+            releaseBarrier(cta);
         return;
     }
 
     // Functional execution at issue.
     if (trace) {
-        trace->record(TraceEvent{cycle, warp.slot, warp.ctaId, pc,
+        trace->record(TraceEvent{cycle, slot, warp.ctaId, pc,
                                  TraceKind::Issue});
     }
-    StepResult step = executeStep(program, warp.pc, warp.regs, warp.sregs,
-                                  gmem, cta.smem);
+    StepResult step = executeStep(program, pc, warps.regs(slot),
+                                  warp.sregs, gmem, cta.smem);
     allocator.onIssued(warp, inst, pc);
     ++warp.instructions;
     ++stats.instructions;
@@ -440,14 +548,14 @@ Sm::issue(SimWarp &warp)
         met.instructions->add();
     }
     lastProgressCycle = cycle;
-    warp.pc = step.nextPc;
+    warps.setPc(slot, step.nextPc);
 
     if (step.exited) {
         if (trace) {
-            trace->record(TraceEvent{cycle, warp.slot, warp.ctaId, pc,
+            trace->record(TraceEvent{cycle, slot, warp.ctaId, pc,
                                      TraceKind::WarpExit});
         }
-        warp.state = WarpState::Finished;
+        warps.setState(slot, WarpState::Finished);
         const bool held = warp.holdsExt;
         allocator.onWarpExit(warp);
         if (met.srpHolders && held && !warp.holdsExt)
@@ -458,11 +566,7 @@ Sm::issue(SimWarp &warp)
         if (cta.warpsAlive > 0 &&
             cta.barrierArrived >= cta.warpsAlive &&
             cta.barrierArrived > 0) {
-            cta.barrierArrived = 0;
-            for (int slot : cta.warpSlots) {
-                if (warps[slot].state == WarpState::WaitBarrier)
-                    warps[slot].state = WarpState::Ready;
-            }
+            releaseBarrier(cta);
         }
         if (cta.warpsAlive == 0)
             retireCta(warp.ctaSlot);
@@ -473,30 +577,30 @@ Sm::issue(SimWarp &warp)
     switch (lat) {
       case LatClass::Alu:
         if (inst.hasDst()) {
-            warp.pendingWrites.set(inst.dst);
-            events.push(Event{cycle + config.aluLatency, warp.slot,
-                              inst.dst, false, false,
-                              warp.launchOrder});
+            warps.sbSet(slot, inst.dst);
+            events.push(SimEvent{cycle + config.aluLatency, slot,
+                                 inst.dst, false, false,
+                                 warp.launchOrder});
         }
         break;
       case LatClass::Sfu:
-        warp.pendingWrites.set(inst.dst);
-        events.push(Event{cycle + config.sfuLatency, warp.slot, inst.dst,
-                          false, false, warp.launchOrder});
+        warps.sbSet(slot, inst.dst);
+        events.push(SimEvent{cycle + config.sfuLatency, slot, inst.dst,
+                             false, false, warp.launchOrder});
         break;
       case LatClass::SharedMem:
         if (inst.hasDst()) {
-            warp.pendingWrites.set(inst.dst);
-            events.push(Event{cycle + config.sharedLatency, warp.slot,
-                              inst.dst, false, false,
-                              warp.launchOrder});
+            warps.sbSet(slot, inst.dst);
+            events.push(SimEvent{cycle + config.sharedLatency, slot,
+                                 inst.dst, false, false,
+                                 warp.launchOrder});
         }
         break;
       case LatClass::GlobalMem:
-        ++warp.pendingMem;
+        warps.addPendingMem(slot, 1);
         if (inst.hasDst())
-            warp.pendingWrites.set(inst.dst);
-        memQueue.push(MemRequest{warp.slot,
+            warps.sbSet(slot, inst.dst);
+        memQueue.push(MemRequest{slot,
                                  inst.hasDst() ? inst.dst : kNoReg,
                                  warp.launchOrder});
         break;
@@ -511,21 +615,21 @@ Sm::issue(SimWarp &warp)
     // one collection cycle per conflict (the wake event at C+1 would
     // allow an issue at C+1, i.e. no delay — hence the extra +1).
     if (pendingConflictPenalty > 0) {
-        if (warp.state == WarpState::Ready) {
-            park(warp, WarpState::WaitSpill);
-            events.push(Event{cycle + 1 + pendingConflictPenalty,
-                              warp.slot, kNoReg, false, true,
-                              warp.launchOrder});
+        if (warps.state(slot) == WarpState::Ready) {
+            park(slot, WarpState::WaitSpill);
+            events.push(SimEvent{cycle + 1 + pendingConflictPenalty,
+                                 slot, kNoReg, false, true,
+                                 warp.launchOrder});
         }
         pendingConflictPenalty = 0;
     }
 }
 
 void
-Sm::park(SimWarp &warp, WarpState wait_state)
+Sm::park(int slot, WarpState wait_state)
 {
-    warp.state = wait_state;
-    warp.waitSince = cycle;
+    warps.setState(slot, wait_state);
+    warps.warp(slot).waitSince = cycle;
 }
 
 void
@@ -533,62 +637,139 @@ Sm::schedule(int scheduler)
 {
     // Candidate warps: slots assigned to this scheduler by parity.
     auto issuable = [&](int slot) -> bool {
-        SimWarp &warp = warps[slot];
-        if (warp.state != WarpState::Ready || warp.ctaSlot < 0)
+        if (warps.state(slot) != WarpState::Ready ||
+            warps.warp(slot).ctaSlot < 0) {
             return false;
-        return issueBlocked(warp) == BlockReason::None;
+        }
+        return issueBlocked(slot) == BlockReason::None;
     };
 
     // Greedy: stick with the last issued warp while it can issue.
     const int last = schedLastIssued[scheduler];
-    if (config.schedPolicy == SchedPolicy::Gto && last >= 0 &&
-        issuable(last)) {
-        issue(warps[last]);
-        if (warps[last].state != WarpState::Ready)
-            schedLastIssued[scheduler] = -1;
-        return;
+    const bool masks = warps.masksActive();
+    if (config.schedPolicy == SchedPolicy::Gto && last >= 0) {
+        // Mask form of issuable(last): Ready warps always have a CTA,
+        // and the clean bit caches the scoreboard + mem-limit verdict.
+        const bool ok =
+            masks ? ((warps.readyMask() & warps.issueCleanMask()) >>
+                         last &
+                     1) != 0 &&
+                        (!allocGatesIssue ||
+                         allocator.canIssue(
+                             warps.warp(last),
+                             program.code[warps.pc(last)]))
+                  : issuable(last);
+        if (ok) {
+            issue(last);
+            if (warps.state(last) != WarpState::Ready)
+                schedLastIssued[scheduler] = -1;
+            return;
+        }
     }
 
     // Then-oldest with policy priority (owner-warp-first for OWF).
     int best = -1;
     int best_priority = 0;
+    std::uint64_t best_key = 0;
     BlockReason sample_reason = BlockReason::None;
     bool saw_ready = false;
-    for (int slot = scheduler; slot < config.maxWarpsPerSm;
-         slot += config.numSchedulers) {
-        SimWarp &warp = warps[slot];
-        if (warp.state != WarpState::Ready || warp.ctaSlot < 0)
-            continue;
-        const BlockReason reason = issueBlocked(warp);
-        if (reason != BlockReason::None) {
-            saw_ready = true;
-            if (sample_reason == BlockReason::None)
-                sample_reason = reason;
-            // Park policy-blocked warps until resources free up.
-            if (reason == BlockReason::Resource && config.wakeOnRelease)
-                park(warp, WarpState::WaitResource);
-            continue;
+    const bool gto = config.schedPolicy == SchedPolicy::Gto;
+    const int num_slots = config.maxWarpsPerSm;
+    const int stride = config.numSchedulers;
+    // GTO breaks ties by age; LRR rotates from the last issued slot.
+    const auto key = [&](int slot) -> std::uint64_t {
+        if (gto)
+            return warps.warp(slot).launchOrder;
+        return static_cast<std::uint64_t>(
+            (slot - last - 1 + 2 * num_slots) % num_slots);
+    };
+    if (masks) {
+        // Fast scan: iterate set bits of the incrementally maintained
+        // masks instead of sweeping every slot. Same visitation order
+        // (ascending slots of this scheduler's parity class), same
+        // decisions, same side effects as the sweep below.
+        const std::uint64_t ready =
+            warps.readyMask() & schedSlotMask[scheduler];
+        const std::uint64_t clean = warps.issueCleanMask();
+        const std::uint64_t hard_blocked = ready & ~clean;
+        int first_resource = num_slots;
+        for (std::uint64_t m = ready & clean; m != 0; m &= m - 1) {
+            const int slot = __builtin_ctzll(m);
+            if (allocGatesIssue &&
+                !allocator.canIssue(warps.warp(slot),
+                                    program.code[warps.pc(slot)])) {
+                saw_ready = true;
+                if (first_resource == num_slots)
+                    first_resource = slot;
+                // Park policy-blocked warps until resources free up.
+                if (config.wakeOnRelease)
+                    park(slot, WarpState::WaitResource);
+                continue;
+            }
+            const int priority =
+                allocBiasesPriority
+                    ? allocator.schedPriority(warps.warp(slot))
+                    : 0;
+            const std::uint64_t slot_key = key(slot);
+            if (best < 0 || priority > best_priority ||
+                (priority == best_priority && slot_key < best_key)) {
+                best = slot;
+                best_priority = priority;
+                best_key = slot_key;
+            }
         }
-        const int priority = allocator.schedPriority(warp);
-        // GTO breaks ties by age; LRR rotates from the last issued slot.
-        const auto key = [&](const SimWarp &w) -> std::uint64_t {
-            if (config.schedPolicy == SchedPolicy::Gto)
-                return w.launchOrder;
-            const int n = config.maxWarpsPerSm;
-            return static_cast<std::uint64_t>((w.slot - last - 1 + 2 * n) %
-                                              n);
-        };
-        if (best < 0 || priority > best_priority ||
-            (priority == best_priority && key(warp) < key(warps[best]))) {
-            best = slot;
-            best_priority = priority;
+        // sample_reason is the verdict of the lowest blocked slot —
+        // the first one the sweep would have visited.
+        if (hard_blocked != 0) {
+            saw_ready = true;
+            const int slot = __builtin_ctzll(hard_blocked);
+            if (slot < first_resource) {
+                const IssueCheckMeta &meta = issueMeta[warps.pc(slot)];
+                sample_reason =
+                    (warps.sbWord0(slot) & meta.opMask) != 0
+                        ? BlockReason::Scoreboard
+                        : BlockReason::MemStructural;
+            } else {
+                sample_reason = BlockReason::Resource;
+            }
+        } else if (first_resource < num_slots) {
+            sample_reason = BlockReason::Resource;
+        }
+    } else {
+        for (int slot = scheduler; slot < num_slots; slot += stride) {
+            if (warps.state(slot) != WarpState::Ready ||
+                warps.warp(slot).ctaSlot < 0) {
+                continue;
+            }
+            const BlockReason reason = issueBlocked(slot);
+            if (reason != BlockReason::None) {
+                saw_ready = true;
+                if (sample_reason == BlockReason::None)
+                    sample_reason = reason;
+                // Park policy-blocked warps until resources free up.
+                if (reason == BlockReason::Resource &&
+                    config.wakeOnRelease)
+                    park(slot, WarpState::WaitResource);
+                continue;
+            }
+            const int priority =
+                allocBiasesPriority
+                    ? allocator.schedPriority(warps.warp(slot))
+                    : 0;
+            const std::uint64_t slot_key = key(slot);
+            if (best < 0 || priority > best_priority ||
+                (priority == best_priority && slot_key < best_key)) {
+                best = slot;
+                best_priority = priority;
+                best_key = slot_key;
+            }
         }
     }
 
     if (best >= 0) {
-        issue(warps[best]);
+        issue(best);
         schedLastIssued[scheduler] =
-            warps[best].state == WarpState::Ready ? best : -1;
+            warps.state(best) == WarpState::Ready ? best : -1;
         return;
     }
 
@@ -622,24 +803,24 @@ Sm::schedule(int scheduler)
         bool any = false;
         for (int slot = scheduler; slot < config.maxWarpsPerSm;
              slot += config.numSchedulers) {
-            const SimWarp &warp = warps[slot];
-            if (warp.ctaSlot < 0)
+            if (warps.warp(slot).ctaSlot < 0)
                 continue;
             any = true;
-            if (warp.state == WarpState::WaitBarrier) {
+            const WarpState state = warps.state(slot);
+            if (state == WarpState::WaitBarrier) {
                 ++stats.barrierStalls;
                 if (met.stallBarrier)
                     met.stallBarrier->add();
                 return;
             }
-            if (warp.state == WarpState::WaitAcquire) {
+            if (state == WarpState::WaitAcquire) {
                 ++stats.acquireStalls;
                 if (met.stallAcquire)
                     met.stallAcquire->add();
                 return;
             }
-            if (warp.state == WarpState::WaitResource ||
-                warp.state == WarpState::WaitSpill) {
+            if (state == WarpState::WaitResource ||
+                state == WarpState::WaitSpill) {
                 ++stats.resourceStalls;
                 if (met.stallResource)
                     met.stallResource->add();
@@ -670,18 +851,20 @@ Sm::handleStarvation()
     int blocked_acquire = 0;
     int blocked_barrier = 0;
     int others = 0;
-    SimWarp *oldest_resource = nullptr;
-    for (auto &warp : warps) {
-        if (warp.ctaSlot < 0 || warp.state == WarpState::Finished ||
-            warp.state == WarpState::Unused) {
+    int oldest_resource = -1;
+    for (int slot = 0; slot < config.maxWarpsPerSm; ++slot) {
+        const WarpState state = warps.state(slot);
+        if (warps.warp(slot).ctaSlot < 0 ||
+            state == WarpState::Finished || state == WarpState::Unused) {
             continue;
         }
-        switch (warp.state) {
+        switch (state) {
           case WarpState::WaitResource:
             ++blocked_resource;
-            if (!oldest_resource ||
-                warp.launchOrder < oldest_resource->launchOrder) {
-                oldest_resource = &warp;
+            if (oldest_resource < 0 ||
+                warps.warp(slot).launchOrder <
+                    warps.warp(oldest_resource).launchOrder) {
+                oldest_resource = slot;
             }
             break;
           case WarpState::WaitAcquire:
@@ -701,13 +884,15 @@ Sm::handleStarvation()
     if (others > 0)
         return Starvation::Runnable;
 
-    if (blocked_resource > 0 && oldest_resource) {
-        const int penalty = allocator.forceProgress(*oldest_resource);
+    if (blocked_resource > 0 && oldest_resource >= 0) {
+        SimWarp &oldest = warps.warp(oldest_resource);
+        const int penalty =
+            allocator.forceProgress(oldest, warps.pc(oldest_resource));
         if (penalty >= 0) {
-            park(*oldest_resource, WarpState::WaitSpill);
-            events.push(Event{cycle + penalty, oldest_resource->slot,
-                              kNoReg, false, true,
-                              oldest_resource->launchOrder});
+            park(oldest_resource, WarpState::WaitSpill);
+            events.push(SimEvent{cycle + penalty, oldest_resource,
+                                 kNoReg, false, true,
+                                 oldest.launchOrder});
             ++stats.emergencySpills;
             if (met.emergencySpills)
                 met.emergencySpills->add();
@@ -747,14 +932,15 @@ Sm::classifyWedgeNow() const
     int acquire = 0;
     int resource = 0;
     int barrier = 0;
-    for (const auto &warp : warps) {
-        if (warp.ctaSlot < 0)
+    for (int slot = 0; slot < config.maxWarpsPerSm; ++slot) {
+        if (warps.warp(slot).ctaSlot < 0)
             continue;
-        if (warp.state == WarpState::WaitAcquire)
+        const WarpState state = warps.state(slot);
+        if (state == WarpState::WaitAcquire)
             ++acquire;
-        else if (warp.state == WarpState::WaitResource)
+        else if (state == WarpState::WaitResource)
             ++resource;
-        else if (warp.state == WarpState::WaitBarrier)
+        else if (state == WarpState::WaitBarrier)
             ++barrier;
     }
     return classifyWedge(acquire, resource, barrier);
@@ -772,29 +958,31 @@ Sm::captureDiagnosis(DeadlockCause cause, bool watchdog_expired) const
     diag->cause = cause;
     diag->eventQueueDepth = events.size();
     diag->memQueueDepth = memQueue.size();
-    diag->nextEventCycle = events.empty() ? 0 : events.top().cycle;
+    diag->nextEventCycle = events.empty() ? 0 : events.nextCycle();
     diag->schedLastIssued = schedLastIssued;
     diag->srpSections = allocator.srpSectionCount();
 
-    for (const auto &warp : warps) {
-        if (warp.state == WarpState::Unused || warp.ctaSlot < 0)
+    for (int slot = 0; slot < config.maxWarpsPerSm; ++slot) {
+        const SimWarp &warp = warps.warp(slot);
+        const WarpState state = warps.state(slot);
+        if (state == WarpState::Unused || warp.ctaSlot < 0)
             continue;
         WarpSnapshot snap;
-        snap.slot = warp.slot;
+        snap.slot = slot;
         snap.ctaId = warp.ctaId;
         snap.warpInCta = warp.warpInCta;
-        snap.pc = warp.pc;
-        if (warp.pc >= 0 &&
-            warp.pc < static_cast<int>(program.code.size())) {
-            snap.instruction = disassemble(program.code[warp.pc]);
+        snap.pc = warps.pc(slot);
+        if (snap.pc >= 0 &&
+            snap.pc < static_cast<int>(program.code.size())) {
+            snap.instruction = disassemble(program.code[snap.pc]);
         }
-        snap.state = warp.state;
+        snap.state = state;
         snap.srpSection = warp.srpSection;
         snap.holdsExt = warp.holdsExt;
-        snap.pendingMem = warp.pendingMem;
-        snap.pendingWrites = static_cast<int>(warp.pendingWrites.count());
+        snap.pendingMem = warps.pendingMem(slot);
+        snap.pendingWrites = warps.sbCount(slot);
         snap.instructionsExecuted = warp.instructions;
-        switch (warp.state) {
+        switch (state) {
           case WarpState::WaitAcquire:
           case WarpState::WaitResource:
           case WarpState::WaitBarrier:
@@ -804,10 +992,10 @@ Sm::captureDiagnosis(DeadlockCause cause, bool watchdog_expired) const
           default:
             break;
         }
-        switch (warp.state) {
+        switch (state) {
           case WarpState::WaitAcquire:
             ++diag->blockedAcquire;
-            diag->srpWaiters.push_back(warp.slot);
+            diag->srpWaiters.push_back(slot);
             break;
           case WarpState::WaitResource:
             ++diag->blockedResource;
@@ -820,7 +1008,7 @@ Sm::captureDiagnosis(DeadlockCause cause, bool watchdog_expired) const
             break;
         }
         if (warp.holdsExt)
-            diag->srpHolders.push_back(warp.slot);
+            diag->srpHolders.push_back(slot);
         diag->warps.push_back(std::move(snap));
     }
     return diag;
@@ -831,7 +1019,7 @@ Sm::run()
 {
     const SmRunOutcome outcome = runControlled(RunControl{});
     panicIf(outcome.preempted, "Sm::run: preempted without any limit set");
-    return outcome.stats;
+    return stats;
 }
 
 SmRunOutcome
@@ -842,6 +1030,7 @@ Sm::runControlled(const RunControl &control)
         launchCtas();
     }
     const bool epoch_work = control.epochWork();
+    const bool skip_ok = skipAheadEnabled() && sampler == nullptr;
 
     while (stats.ctasCompleted < static_cast<std::uint64_t>(ctasToRun)) {
         // The cycle budget is checked every cycle so a snapshot can be
@@ -849,19 +1038,18 @@ Sm::runControlled(const RunControl &control)
         // deadline and the sanitizer only run at epoch boundaries.
         if (control.maxCycles > 0 && cycle >= control.maxCycles) {
             finishStats();
-            return SmRunOutcome{stats, true, PreemptReason::CycleLimit};
+            return SmRunOutcome{true, PreemptReason::CycleLimit};
         }
         if (epoch_work && cycle > 0 && cycle % control.epochCycles == 0) {
             if (control.cancel &&
                 control.cancel->load(std::memory_order_relaxed)) {
                 finishStats();
-                return SmRunOutcome{stats, true, PreemptReason::Cancelled};
+                return SmRunOutcome{true, PreemptReason::Cancelled};
             }
             if (control.hasWallDeadline &&
                 std::chrono::steady_clock::now() >= control.wallDeadline) {
                 finishStats();
-                return SmRunOutcome{stats, true,
-                                    PreemptReason::WallDeadline};
+                return SmRunOutcome{true, PreemptReason::WallDeadline};
             }
             if (control.sanitize) {
                 RM_PROF_SCOPE(ProfPhase::SmSanitize);
@@ -944,11 +1132,152 @@ Sm::runControlled(const RunControl &control)
                     classifyWedgeNow(), true);
                 throw SimulationError(diag->summary(), diag);
             }
+            // Idle cycle with nothing in flight but wheel events: jump
+            // the clock instead of ticking empty cycles one by one.
+            if (skip_ok && memQueue.empty() && !events.empty())
+                skipAhead(control, epoch_work);
         }
     }
 
     finishStats();
-    return SmRunOutcome{stats, false, PreemptReason::None};
+    return SmRunOutcome{false, PreemptReason::None};
+}
+
+void
+Sm::skipAhead(const RunControl &control, bool epoch_work)
+{
+    // The loop-top checks for the just-executed cycle value are still
+    // pending; never jump over one that would fire.
+    if (control.maxCycles > 0 && cycle >= control.maxCycles)
+        return;
+    if (epoch_work && cycle > 0 && cycle % control.epochCycles == 0)
+        return;
+
+    // Defensive re-verification: an idle cycle implies every Ready warp
+    // is blocked, and with the memory queue empty and the allocator
+    // untouched, blocked reasons cannot change until the next event.
+    for (int slot = 0; slot < config.maxWarpsPerSm; ++slot) {
+        if (warps.state(slot) == WarpState::Ready &&
+            warps.warp(slot).ctaSlot >= 0 &&
+            issueBlocked(slot) == BlockReason::None) {
+            return;
+        }
+    }
+
+    // Jump to just before the earliest cycle where anything observable
+    // can happen. Each cap re-creates a loop-top or fault check exactly
+    // where the per-cycle engine would have run it.
+    std::uint64_t stop = events.nextCycle() - 1;
+    if (control.maxCycles > 0)
+        stop = std::min(stop, control.maxCycles);
+    if (epoch_work) {
+        stop = std::min(stop, (cycle / control.epochCycles + 1) *
+                                  control.epochCycles);
+    }
+    if (!shrinkApplied && fault.shrinkSrpAtCycle > 0 &&
+        fault.shrinkSrpSections > 0) {
+        stop = std::min(stop, fault.shrinkSrpAtCycle - 1);
+    }
+    if (!corruptApplied && fault.corruptStateAtCycle > 0)
+        stop = std::min(stop, fault.corruptStateAtCycle - 1);
+    stop = std::min(stop, lastProgressCycle +
+                              static_cast<std::uint64_t>(
+                                  config.watchdogCycles));
+    if (stop <= cycle)
+        return;
+
+    const std::uint64_t n = stop - cycle;
+    accountIdleCycles(n);
+    residentIntegral += n * static_cast<std::uint64_t>(aliveWarps);
+    cycle = stop;
+}
+
+void
+Sm::accountIdleCycles(std::uint64_t n)
+{
+    // Closed-form replay of schedule()'s nothing-issued path for n
+    // cycles of frozen machine state (schedLastIssued is already -1
+    // for every scheduler after an executed idle cycle).
+    for (int scheduler = 0; scheduler < config.numSchedulers;
+         ++scheduler) {
+        stats.idleSchedulerSlots += n;
+        if (met.idleSlots)
+            met.idleSlots->add(n);
+
+        // First blocked Ready warp in slot order decides the sample.
+        BlockReason sample_reason = BlockReason::None;
+        for (int slot = scheduler; slot < config.maxWarpsPerSm;
+             slot += config.numSchedulers) {
+            if (warps.state(slot) != WarpState::Ready ||
+                warps.warp(slot).ctaSlot < 0) {
+                continue;
+            }
+            sample_reason = issueBlocked(slot);
+            break;
+        }
+        if (sample_reason != BlockReason::None) {
+            switch (sample_reason) {
+              case BlockReason::Scoreboard:
+                stats.scoreboardStalls += n;
+                if (met.stallScoreboard)
+                    met.stallScoreboard->add(n);
+                break;
+              case BlockReason::MemStructural:
+                stats.memStructuralStalls += n;
+                if (met.stallMem)
+                    met.stallMem->add(n);
+                break;
+              case BlockReason::Resource:
+                stats.resourceStalls += n;
+                if (met.stallResource)
+                    met.stallResource->add(n);
+                break;
+              default:
+                break;
+            }
+            continue;
+        }
+
+        // No Ready warp: classify by the first waiting candidate, in
+        // slot order (Finished warps count as candidates but match no
+        // wait class — exactly like schedule()).
+        bool any = false;
+        bool counted = false;
+        for (int slot = scheduler; slot < config.maxWarpsPerSm;
+             slot += config.numSchedulers) {
+            if (warps.warp(slot).ctaSlot < 0)
+                continue;
+            any = true;
+            const WarpState state = warps.state(slot);
+            if (state == WarpState::WaitBarrier) {
+                stats.barrierStalls += n;
+                if (met.stallBarrier)
+                    met.stallBarrier->add(n);
+                counted = true;
+                break;
+            }
+            if (state == WarpState::WaitAcquire) {
+                stats.acquireStalls += n;
+                if (met.stallAcquire)
+                    met.stallAcquire->add(n);
+                counted = true;
+                break;
+            }
+            if (state == WarpState::WaitResource ||
+                state == WarpState::WaitSpill) {
+                stats.resourceStalls += n;
+                if (met.stallResource)
+                    met.stallResource->add(n);
+                counted = true;
+                break;
+            }
+        }
+        if (!any && !counted) {
+            stats.noWarpStalls += n;
+            if (met.stallNoWarp)
+                met.stallNoWarp->add(n);
+        }
+    }
 }
 
 void
@@ -971,33 +1300,34 @@ Sm::auditEpoch()
 
     // SM-level structural accounting.
     int resident_warps = 0;
-    for (const SimWarp &warp : warps) {
-        if (!warp.resident())
+    for (int slot = 0; slot < config.maxWarpsPerSm; ++slot) {
+        if (!warps.resident(slot))
             continue;
+        const SimWarp &warp = warps.warp(slot);
         ++resident_warps;
         if (warp.ctaSlot < 0 ||
             warp.ctaSlot >= static_cast<int>(ctas.size()) ||
             !ctas[warp.ctaSlot].active) {
-            fail("warp " + std::to_string(warp.slot) +
+            fail("warp " + std::to_string(slot) +
                  " is resident without an active CTA slot");
         } else if (ctas[warp.ctaSlot].ctaId != warp.ctaId) {
-            fail("warp " + std::to_string(warp.slot) + " claims CTA " +
+            fail("warp " + std::to_string(slot) + " claims CTA " +
                  std::to_string(warp.ctaId) + " but its slot runs CTA " +
                  std::to_string(ctas[warp.ctaSlot].ctaId));
         }
         // Stale completion events from a slot's previous occupant are
-        // dropped by their generation tag (Event::launchOrder), so
+        // dropped by their generation tag (SimEvent::launchOrder), so
         // outstanding-request accounting is a hard invariant now.
-        if (warp.pendingMem < 0) {
-            fail("warp " + std::to_string(warp.slot) + " has " +
-                 std::to_string(warp.pendingMem) +
+        if (warps.pendingMem(slot) < 0) {
+            fail("warp " + std::to_string(slot) + " has " +
+                 std::to_string(warps.pendingMem(slot)) +
                  " outstanding memory requests");
         }
-        if (warp.pendingMem > config.maxPendingMemPerWarp) {
-            fail("warp " + std::to_string(warp.slot) + " exceeds the " +
+        if (warps.pendingMem(slot) > config.maxPendingMemPerWarp) {
+            fail("warp " + std::to_string(slot) + " exceeds the " +
                  std::to_string(config.maxPendingMemPerWarp) +
                  "-request memory limit with " +
-                 std::to_string(warp.pendingMem));
+                 std::to_string(warps.pendingMem(slot)));
         }
     }
     if (resident_warps != aliveWarps) {
@@ -1013,10 +1343,9 @@ Sm::auditEpoch()
         int alive = 0;
         int at_barrier = 0;
         for (const int slot : cta.warpSlots) {
-            const SimWarp &warp = warps[slot];
-            if (warp.resident())
+            if (warps.resident(slot))
                 ++alive;
-            if (warp.state == WarpState::WaitBarrier)
+            if (warps.state(slot) == WarpState::WaitBarrier)
                 ++at_barrier;
         }
         if (alive != cta.warpsAlive) {
@@ -1086,26 +1415,35 @@ Sm::saveState(SnapshotWriter &w) const
     w.i32(pendingConflictPenalty);
     saveStats(w, stats);
 
-    w.u32(static_cast<std::uint32_t>(warps.size()));
-    for (const SimWarp &warp : warps) {
+    w.u32(static_cast<std::uint32_t>(warps.numSlots()));
+    for (int slot = 0; slot < warps.numSlots(); ++slot) {
+        const SimWarp &warp = warps.warp(slot);
         w.i32(warp.slot);
         w.i32(warp.ctaSlot);
         w.i32(warp.ctaId);
         w.i32(warp.warpInCta);
         w.u64(warp.launchOrder);
-        w.u8(static_cast<std::uint8_t>(warp.state));
-        w.i32(warp.pc);
-        w.u32(static_cast<std::uint32_t>(warp.regs.size()));
-        for (const std::int64_t reg : warp.regs)
-            w.i64(reg);
+        w.u8(static_cast<std::uint8_t>(warps.state(slot)));
+        w.i32(warps.pc(slot));
+        // v3: register images only for resident slots. A finished (or
+        // never-launched) slot's slab span is never read before the
+        // relaunch zero-fill, so nothing is lost dropping it here.
+        const std::uint32_t num_regs =
+            warps.resident(slot)
+                ? static_cast<std::uint32_t>(warps.regCount())
+                : 0;
+        w.u32(num_regs);
+        const std::int64_t *regs = warps.regs(slot);
+        for (std::uint32_t i = 0; i < num_regs; ++i)
+            w.i64(regs[i]);
         constexpr int kNumSregs =
             static_cast<int>(SpecialReg::NumSpecialRegs);
         w.u32(static_cast<std::uint32_t>(kNumSregs));
         for (int i = 0; i < kNumSregs; ++i)
             w.i64(warp.sregs.values[i]);
-        w.bitmask(warp.pendingWrites);
-        w.i32(warp.pendingMem);
-        w.u64(warp.wakeAt);
+        w.bitmask(warps.sbToBitmask(slot));
+        w.i32(warps.pendingMem(slot));
+        w.u64(warps.wakeAt(slot));
         w.u64(warp.waitSince);
         w.boolean(warp.holdsExt);
         w.i32(warp.srpSection);
@@ -1140,14 +1478,12 @@ Sm::saveState(SnapshotWriter &w) const
         }
     }
 
-    // Pending scoreboard/memory events. Draining a copy of the heap
-    // yields cycle order; same-cycle events commute in processEvents(),
-    // so heap-layout differences cannot change the simulation.
-    auto pending = events;
+    // Pending scoreboard/memory events in (cycle, push order) — a pure
+    // function of simulation history. Same-cycle events commute in
+    // processEvents(), so the v2 heap-drain order restores identically.
+    const std::vector<SimEvent> pending = events.drainSorted();
     w.u32(static_cast<std::uint32_t>(pending.size()));
-    while (!pending.empty()) {
-        const Event event = pending.top();
-        pending.pop();
+    for (const SimEvent &event : pending) {
         w.u64(event.cycle);
         w.i32(event.warpSlot);
         w.u32(event.reg);
@@ -1156,11 +1492,8 @@ Sm::saveState(SnapshotWriter &w) const
         w.u64(event.launchOrder);
     }
 
-    auto mem_pending = memQueue;
-    w.u32(static_cast<std::uint32_t>(mem_pending.size()));
-    while (!mem_pending.empty()) {
-        const MemRequest req = mem_pending.front();
-        mem_pending.pop();
+    w.u32(static_cast<std::uint32_t>(memQueue.size()));
+    for (const MemRequest &req : memQueue) {
         w.i32(req.warpSlot);
         w.u32(req.reg);
         w.u64(req.launchOrder);
@@ -1234,9 +1567,10 @@ Sm::restoreState(SnapshotReader &r)
     stats = loadStats(r);
 
     const std::uint32_t num_warps = r.u32();
-    if (num_warps != warps.size())
+    if (num_warps != static_cast<std::uint32_t>(warps.numSlots()))
         throw SnapshotError("snapshot: warp slot count mismatch");
-    for (SimWarp &warp : warps) {
+    for (int slot = 0; slot < warps.numSlots(); ++slot) {
+        SimWarp &warp = warps.warp(slot);
         warp.slot = r.i32();
         warp.ctaSlot = r.i32();
         warp.ctaId = r.i32();
@@ -1245,12 +1579,18 @@ Sm::restoreState(SnapshotReader &r)
         const std::uint8_t state = r.u8();
         if (state > static_cast<std::uint8_t>(WarpState::Finished))
             throw SnapshotError("snapshot: invalid warp state");
-        warp.state = static_cast<WarpState>(state);
-        warp.pc = r.i32();
+        warps.setState(slot, static_cast<WarpState>(state));
+        warps.setPc(slot, r.i32());
+        // v3 writes resident slots only; v2 files also carry the stale
+        // register image of finished slots (dropped into the zero-fill
+        // below — behaviour-neutral, a relaunch always zero-fills).
         const std::uint32_t num_regs = r.u32();
-        warp.regs.assign(num_regs, 0);
+        if (num_regs > static_cast<std::uint32_t>(warps.regCount()))
+            throw SnapshotError("snapshot: register count mismatch");
+        warps.clearRegs(slot);
+        std::int64_t *regs = warps.regs(slot);
         for (std::uint32_t i = 0; i < num_regs; ++i)
-            warp.regs[i] = r.i64();
+            regs[i] = r.i64();
         const std::uint32_t num_sregs = r.u32();
         if (num_sregs != static_cast<std::uint32_t>(
                              SpecialReg::NumSpecialRegs)) {
@@ -1259,9 +1599,9 @@ Sm::restoreState(SnapshotReader &r)
         }
         for (std::uint32_t i = 0; i < num_sregs; ++i)
             warp.sregs.values[i] = r.i64();
-        warp.pendingWrites = r.bitmask();
-        warp.pendingMem = r.i32();
-        warp.wakeAt = r.u64();
+        warps.sbFromBitmask(slot, r.bitmask());
+        warps.setPendingMem(slot, r.i32());
+        warps.setWakeAt(slot, r.u64());
         warp.waitSince = r.u64();
         warp.holdsExt = r.boolean();
         warp.srpSection = r.i32();
@@ -1304,10 +1644,10 @@ Sm::restoreState(SnapshotReader &r)
         }
     }
 
-    events = {};
+    events.reset(cycle);
     const std::uint32_t num_events = r.u32();
     for (std::uint32_t i = 0; i < num_events; ++i) {
-        Event event{};
+        SimEvent event{};
         event.cycle = r.u64();
         event.warpSlot = r.i32();
         event.reg = static_cast<RegId>(r.u32());
@@ -1317,7 +1657,7 @@ Sm::restoreState(SnapshotReader &r)
         events.push(event);
     }
 
-    memQueue = {};
+    memQueue.clear();
     const std::uint32_t num_reqs = r.u32();
     for (std::uint32_t i = 0; i < num_reqs; ++i) {
         MemRequest req{};

@@ -10,11 +10,19 @@
  * policy (baseline / RegMutex / paired / OWF / RFV). Instructions
  * execute functionally at issue; latency is modeled via scoreboard
  * write-completion events.
+ *
+ * Engine layout (see DESIGN.md "Cycle engine"): per-warp hot state
+ * lives in a structure-of-arrays WarpStore with one flat register
+ * slab; pending completions sit in a deterministic indexed EventWheel;
+ * and when every resident warp is provably waiting on a future event
+ * the loop skips straight to the next wakeup, accounting the skipped
+ * idle cycles in closed form. All three are bit-identical to the
+ * straight per-cycle engine (tests/test_engine_equivalence.cc pins
+ * this against pre-refactor goldens).
  */
 
 #include <cstdint>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "isa/program.hh"
@@ -23,6 +31,7 @@
 #include "sim/allocator.hh"
 #include "sim/config.hh"
 #include "sim/diagnosis.hh"
+#include "sim/event_wheel.hh"
 #include "sim/fault.hh"
 #include "sim/memory.hh"
 #include "sim/register_map.hh"
@@ -30,13 +39,18 @@
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "sim/warp.hh"
+#include "sim/warp_store.hh"
 
 namespace rm {
 
-/** Result of a controlled run leg: either done or preempted mid-run. */
+/**
+ * Result of a controlled run leg: either done or preempted mid-run.
+ * Deliberately two plain enums/bools — the stats live on the Sm
+ * (Sm::currentStats()), so a healthy leg boundary copies no strings
+ * and touches no shared_ptr refcounts.
+ */
 struct SmRunOutcome
 {
-    SimStats stats;
     bool preempted = false;
     PreemptReason reason = PreemptReason::None;
 };
@@ -55,6 +69,7 @@ class Sm
      *                   every register access against
      * @param metrics    optional metrics registry the SM instruments
      * @param sampler    optional interval sampler ticked every cycle
+     *                   (attaching one disables skip-ahead)
      * @param sm_id      machine-level SM id (forensics context only)
      * @param fault      deterministic fault-injection plan (sim/fault.hh);
      *                   the default plan injects nothing
@@ -86,6 +101,10 @@ class Sm
     /** Simulated cycles completed so far (resume bookkeeping). */
     std::uint64_t currentCycle() const { return cycle; }
 
+    /** Statistics as of the last completed run leg (finishStats has
+     *  run whenever runControlled returned). */
+    const SimStats &currentStats() const { return stats; }
+
     /** True once every assigned CTA has retired. */
     bool gridDone() const
     {
@@ -105,9 +124,21 @@ class Sm
      * Inverse of saveState. The Sm must have been constructed with the
      * same config/program/policy/ctas (validated via an identity
      * header; throws SnapshotError on mismatch) and a pristine
-     * GlobalMemory of the same geometry and seed.
+     * GlobalMemory of the same geometry and seed. Reads both the v3
+     * slab layout and v2 per-warp register vectors (the two warp
+     * encodings are wire-compatible; v2 register images of
+     * non-resident slots are discarded, which is behaviour-neutral —
+     * a relaunch always zero-fills).
      */
     void restoreState(SnapshotReader &r);
+
+    /**
+     * Process-wide skip-ahead toggle (default on). Exists so the
+     * equivalence tests can run the same workload with and without the
+     * fast path and assert bit-identical SimStats; not a tuning knob.
+     */
+    static void setSkipAhead(bool enabled);
+    static bool skipAheadEnabled();
 
   private:
     // --- Static context ---
@@ -156,6 +187,35 @@ class Sm
     const FaultPlan fault; ///< deterministic fault-injection plan
     int residentCap = 0;  ///< max co-resident CTAs for this kernel
 
+    /**
+     * Per-instruction issue-check metadata, precomputed once at
+     * construction: the union of all operand scoreboard bits as one
+     * word plus the global-memory flag, so issueBlocked() on the
+     * scheduler's candidate sweep is two loads and a mask instead of a
+     * per-operand scoreboard walk plus a latency-class switch. Empty
+     * when the kernel does not fit one scoreboard word (> 64
+     * registers) — the general path then serves every call. The same
+     * table powers the WarpStore's incremental issue-clean mask
+     * (warp_store.hh), which the scheduler's fast scan iterates.
+     */
+    std::vector<IssueCheckMeta> issueMeta;
+    /** Devirtualization hints cached off the allocator (allocator.hh). */
+    bool allocGatesIssue = true;
+    bool allocBiasesPriority = true;
+    /** Bit set of slots owned by each scheduler (slot % numSchedulers);
+     *  masks the WarpStore ready/clean words in the fast scan. */
+    std::vector<std::uint64_t> schedSlotMask;
+    /**
+     * Precomputed operand verification for the RegMutex mapper: the
+     * number of extended-set operand accesses at each pc. When
+     * fastVerify is true (bank-conflict modeling off, every operand
+     * statically within |Bs|+|Es|, and the base mapping of every slot
+     * provably below the SRP region), verifyOperands() reduces to the
+     * held-section invariant check plus one counter add per issue.
+     */
+    std::vector<std::uint16_t> extOpsByPc;
+    bool fastVerify = false;
+
     // --- Dynamic state ---
     struct ResidentCta
     {
@@ -167,43 +227,20 @@ class Sm
         bool active = false;
     };
 
-    struct Event
-    {
-        std::uint64_t cycle;
-        int warpSlot;
-        RegId reg;           ///< scoreboard bit to clear (kNoReg: none)
-        bool memCompletion;  ///< decrements pendingMem
-        bool spillWake;      ///< WaitSpill -> Ready
-        /**
-         * SimWarp::launchOrder of the warp the event was created for.
-         * A warp can exit with a store still in flight and its slot
-         * relaunch before the completion fires; the generation tag
-         * lets processEvents() drop such stale events instead of
-         * corrupting the new occupant's accounting.
-         */
-        std::uint64_t launchOrder;
-
-        bool operator>(const Event &other) const
-        {
-            return cycle > other.cycle;
-        }
-    };
-
     struct MemRequest
     {
         int warpSlot;
         RegId reg;  ///< kNoReg for stores
-        /** Generation tag of the issuing warp (see Event). */
+        /** Generation tag of the issuing warp (see SimEvent). */
         std::uint64_t launchOrder;
     };
 
     std::uint64_t cycle = 0;
     std::uint64_t launchCounter = 0;
-    std::vector<SimWarp> warps;          ///< indexed by slot
+    WarpStore warps;                     ///< SoA hot state + cold fields
     std::vector<ResidentCta> ctas;       ///< indexed by ctaSlot
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        events;
-    std::queue<MemRequest> memQueue;
+    EventWheel events;
+    FlatFifo<MemRequest> memQueue;
     std::vector<int> schedLastIssued;    ///< greedy warp per scheduler
     int nextCtaId = 0;
     int residentCtas = 0;
@@ -226,14 +263,38 @@ class Sm
 
     /** Block reason when a Ready warp cannot issue this cycle. */
     enum class BlockReason { None, Scoreboard, MemStructural, Resource };
-    BlockReason issueBlocked(const SimWarp &warp) const;
+    /**
+     * Why warp @p slot cannot issue this cycle (None when it can).
+     * Defined inline below so the scheduler's candidate sweep — the
+     * hottest loop in the engine — inlines the precomputed-mask fast
+     * path; kernels that overflow one scoreboard word take the
+     * out-of-line general path instead (same decisions).
+     */
+    BlockReason issueBlocked(int slot) const;
+    BlockReason issueBlockedGeneral(int slot) const;
 
-    void issue(SimWarp &warp);
-    void verifyOperands(const SimWarp &warp, const Instruction &inst);
+    void issue(int slot);
+    void verifyOperands(const SimWarp &warp, const Instruction &inst,
+                        int pc);
     void wakeParked();
+    void releaseBarrier(ResidentCta &cta);
 
-    /** Move @p warp into a Wait* state, stamping waitSince. */
-    void park(SimWarp &warp, WarpState wait_state);
+    /** Move warp @p slot into a Wait* state, stamping waitSince. */
+    void park(int slot, WarpState wait_state);
+
+    /**
+     * Skip-ahead fast path: on an idle cycle with every resident warp
+     * provably waiting on a future wheel event, jump the clock to just
+     * before the earliest of {next event, cycle budget, next epoch
+     * boundary, pending one-shot fault, watchdog expiry} and account
+     * the skipped idle cycles in closed form. Bit-identical to ticking
+     * them (the per-cycle bookkeeping of an idle span is a pure
+     * function of the frozen machine state).
+     */
+    void skipAhead(const RunControl &control, bool epoch_work);
+
+    /** The per-cycle idle bookkeeping of schedule(), times @p n. */
+    void accountIdleCycles(std::uint64_t n);
 
     /**
      * Outcome of the starvation check (no instruction issued and no
@@ -264,6 +325,30 @@ class Sm
     /** Sanitizer epoch audit; throws SanitizerError on violation. */
     void auditEpoch();
 };
+
+inline Sm::BlockReason
+Sm::issueBlocked(int slot) const
+{
+    if (issueMeta.empty())
+        return issueBlockedGeneral(slot);
+    const int pc = warps.pc(slot);
+    const IssueCheckMeta &meta = issueMeta[pc];
+    // Scoreboard: RAW / WAW against in-flight writes, one mask test.
+    if (warps.sbWord0(slot) & meta.opMask)
+        return BlockReason::Scoreboard;
+    // Structural: outstanding global-memory limit.
+    if (meta.globalMem &&
+        warps.pendingMem(slot) >= config.maxPendingMemPerWarp) {
+        return BlockReason::MemStructural;
+    }
+    // Policy gate (OWF pair lock, RFV physical registers); skipped
+    // outright for policies that never gate.
+    if (allocGatesIssue &&
+        !allocator.canIssue(warps.warp(slot), program.code[pc])) {
+        return BlockReason::Resource;
+    }
+    return BlockReason::None;
+}
 
 } // namespace rm
 

@@ -153,7 +153,16 @@ struct RunControl
 struct GpuSnapshot
 {
     static constexpr std::uint32_t kMagic = 0x524d534eU;  // "RMSN"
-    static constexpr std::uint32_t kVersion = 2;
+    /**
+     * v3: per-warp register images cover resident slots only (the
+     * WarpStore slab encoding); events serialize in (cycle, push
+     * order). v2 snapshots (per-warp register vectors, heap-drain
+     * event order) restore identically — the warp encoding is wire-
+     * compatible and same-cycle events commute — so deserialize()
+     * accepts both.
+     */
+    static constexpr std::uint32_t kVersion = 3;
+    static constexpr std::uint32_t kMinVersion = 2;
 
     std::string kernel;
     std::string policy;

@@ -3,21 +3,22 @@
 
 /**
  * @file
- * Per-warp timing-simulation state: PC, architected register values,
- * scoreboard, scheduler bookkeeping, and the policy scratch fields the
- * register-allocation strategies (RegMutex / OWF / RFV) hang off each
- * warp.
+ * Cold per-warp timing-simulation state: identity, scheduler
+ * bookkeeping, and the policy scratch fields the register-allocation
+ * strategies (RegMutex / OWF / RFV) hang off each warp. The hot
+ * scheduler/scoreboard fields (state, PC, register values, in-flight
+ * write mask, outstanding memory count) live in the structure-of-
+ * arrays WarpStore (sim/warp_store.hh), indexed by the same slot.
  */
 
 #include <cstdint>
-#include <vector>
 
 #include "common/bitmask.hh"
 #include "sim/semantics.hh"
 
 namespace rm {
 
-/** Scheduler-visible warp state. */
+/** Scheduler-visible warp state (stored per-slot in WarpStore). */
 enum class WarpState {
     Unused,       ///< slot not occupied
     Ready,        ///< may issue (subject to scoreboard/structural checks)
@@ -28,7 +29,7 @@ enum class WarpState {
     Finished,
 };
 
-/** One resident warp. */
+/** One resident warp's cold state. */
 struct SimWarp
 {
     // --- Identity ---
@@ -38,16 +39,8 @@ struct SimWarp
     int warpInCta = -1;
     std::uint64_t launchOrder = 0;  ///< age for greedy-then-oldest
 
-    // --- Execution state ---
-    WarpState state = WarpState::Unused;
-    int pc = 0;
-    std::vector<std::int64_t> regs;
+    // --- Execution context ---
     SpecialRegs sregs;
-
-    // --- Scoreboard ---
-    Bitmask pendingWrites;  ///< arch registers with in-flight writes
-    int pendingMem = 0;     ///< outstanding global-memory requests
-    std::uint64_t wakeAt = 0;  ///< cycle at which WaitSpill ends
 
     /** Cycle the warp last entered a Wait* state (hang forensics:
      *  wait age = current cycle - waitSince while waiting). */
@@ -67,11 +60,6 @@ struct SimWarp
 
     // --- Stats ---
     std::uint64_t instructions = 0;
-
-    bool resident() const
-    {
-        return state != WarpState::Unused && state != WarpState::Finished;
-    }
 };
 
 } // namespace rm

@@ -1,0 +1,256 @@
+#ifndef RM_SIM_WARP_STORE_HH
+#define RM_SIM_WARP_STORE_HH
+
+/**
+ * @file
+ * Structure-of-arrays arena for the per-warp state the scheduler and
+ * scoreboard touch every cycle. The earlier engine kept everything in
+ * an array of SimWarp structs, each owning a heap `std::vector` of
+ * register values and a heap-backed scoreboard Bitmask — so the per-
+ * cycle candidate scan chased two pointers per warp. Here the hot
+ * fields live in flat parallel arrays indexed by slot:
+ *
+ *   - state / pc / pendingMem / wakeAt: one contiguous array each, so
+ *     the scheduler's slot sweep walks cache lines, not objects;
+ *   - the scoreboard: one u64 word-span per slot inside a single
+ *     allocation (registers per kernel <= 64 in practice, so a test is
+ *     one load + mask, no Bitmask bounds machinery);
+ *   - architected registers: one flat slab, slot-major with stride =
+ *     program register count, handed to executeStep() as a raw pointer.
+ *
+ * Cold identity and policy fields (CTA coordinates, SRP section, RFV
+ * mapping mask, ...) stay in SimWarp (sim/warp.hh); the store owns
+ * that array too so one object threads through the allocator and
+ * sanitizer seams.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmask.hh"
+#include "sim/warp.hh"
+
+namespace rm {
+
+/**
+ * Per-instruction operand metadata for the O(1) issue check: the union
+ * of destination and source scoreboard bits, and whether the opcode is
+ * a global-memory access (subject to the per-warp pending-memory
+ * limit). Built once per program by the Sm when every register index
+ * fits a single scoreboard word; indexed by pc.
+ */
+struct IssueCheckMeta
+{
+    std::uint64_t opMask = 0;  ///< dst + src scoreboard bits
+    bool globalMem = false;    ///< latClass(op) == GlobalMem
+};
+
+class WarpStore
+{
+  public:
+    /** Size for @p slots warp slots of @p num_regs registers each;
+     *  drops all previous contents. */
+    void reset(int slots, int num_regs);
+
+    int numSlots() const { return numSlots_; }
+    int regCount() const { return regCount_; }
+
+    // --- Cold / policy fields ---
+    SimWarp &warp(int slot) { return cold_[asIdx(slot)]; }
+    const SimWarp &warp(int slot) const { return cold_[asIdx(slot)]; }
+
+    // --- Scheduler-visible state ---
+    WarpState state(int slot) const
+    {
+        return static_cast<WarpState>(state_[asIdx(slot)]);
+    }
+    void setState(int slot, WarpState s)
+    {
+        state_[asIdx(slot)] = static_cast<std::uint8_t>(s);
+        if (meta_ != nullptr) {
+            const std::uint64_t bit = std::uint64_t{1} << slot;
+            readyMask_ = s == WarpState::Ready ? (readyMask_ | bit)
+                                               : (readyMask_ & ~bit);
+        }
+    }
+    bool resident(int slot) const
+    {
+        const WarpState s = state(slot);
+        return s != WarpState::Unused && s != WarpState::Finished;
+    }
+
+    int pc(int slot) const { return pc_[asIdx(slot)]; }
+    void setPc(int slot, int pc)
+    {
+        pc_[asIdx(slot)] = pc;
+        if (meta_ != nullptr)
+            recomputeClean(slot);
+    }
+
+    int pendingMem(int slot) const { return pendingMem_[asIdx(slot)]; }
+    void setPendingMem(int slot, int n)
+    {
+        pendingMem_[asIdx(slot)] = n;
+        if (meta_ != nullptr)
+            recomputeClean(slot);
+    }
+    void addPendingMem(int slot, int delta)
+    {
+        pendingMem_[asIdx(slot)] += delta;
+        if (meta_ != nullptr)
+            recomputeClean(slot);
+    }
+
+    std::uint64_t wakeAt(int slot) const { return wakeAt_[asIdx(slot)]; }
+    void setWakeAt(int slot, std::uint64_t c)
+    {
+        wakeAt_[asIdx(slot)] = c;
+    }
+
+    // --- Architected register slab ---
+    std::int64_t *regs(int slot)
+    {
+        return regSlab_.data() + asIdx(slot) * regStride_;
+    }
+    const std::int64_t *regs(int slot) const
+    {
+        return regSlab_.data() + asIdx(slot) * regStride_;
+    }
+    void clearRegs(int slot)
+    {
+        std::int64_t *r = regs(slot);
+        for (int i = 0; i < regCount_; ++i)
+            r[i] = 0;
+    }
+
+    // --- Scoreboard (in-flight register writes) ---
+    bool sbTest(int slot, RegId reg) const
+    {
+        return (sbWord(slot, reg) >> (reg & 63)) & 1;
+    }
+    void sbSet(int slot, RegId reg)
+    {
+        sbWord(slot, reg) |= std::uint64_t{1} << (reg & 63);
+        if (meta_ != nullptr)
+            recomputeClean(slot);
+    }
+    void sbClear(int slot, RegId reg)
+    {
+        sbWord(slot, reg) &= ~(std::uint64_t{1} << (reg & 63));
+        if (meta_ != nullptr)
+            recomputeClean(slot);
+    }
+    void sbReset(int slot)
+    {
+        std::uint64_t *words = &sb_[asIdx(slot) * sbStride_];
+        for (int i = 0; i < sbStride_; ++i)
+            words[i] = 0;
+        if (meta_ != nullptr)
+            recomputeClean(slot);
+    }
+    /**
+     * The slot's entire scoreboard as one word — only meaningful when
+     * the kernel's register count fits a single word (regCount() <=
+     * 64, i.e. every kernel this repo generates). The scheduler's
+     * fast issue check ANDs this against a precomputed per-instruction
+     * operand mask instead of testing registers one by one.
+     */
+    std::uint64_t sbWord0(int slot) const
+    {
+        return sb_[asIdx(slot) * sbStride_];
+    }
+
+    int sbCount(int slot) const
+    {
+        const std::uint64_t *words = &sb_[asIdx(slot) * sbStride_];
+        int n = 0;
+        for (int i = 0; i < sbStride_; ++i)
+            n += __builtin_popcountll(words[i]);
+        return n;
+    }
+
+    /** Scoreboard as a Bitmask (snapshot codec; never the hot path). */
+    Bitmask sbToBitmask(int slot) const;
+    void sbFromBitmask(int slot, const Bitmask &mask);
+
+    // --- Incremental scheduler masks ---
+    /**
+     * Activate the O(1) candidate masks: readyMask() tracks slots in
+     * WarpState::Ready and issueCleanMask() tracks slots whose current
+     * instruction passes the scoreboard and memory-structural issue
+     * checks. Both are maintained incrementally by the mutators above
+     * (a handful of recomputes per cycle), so the scheduler iterates
+     * set bits instead of sweeping every slot every cycle. Engages
+     * only when the geometry fits one word (<= 64 slots, single
+     * scoreboard word); otherwise the store stays in slow mode and
+     * masksActive() is false. @p meta (indexed by pc, @p count
+     * entries) must outlive the current geometry; reset() deactivates.
+     */
+    void setIssueMeta(const IssueCheckMeta *meta, std::size_t count,
+                      int max_pending);
+
+    bool masksActive() const { return meta_ != nullptr; }
+    /** Slots in WarpState::Ready (valid only when masksActive()). */
+    std::uint64_t readyMask() const { return readyMask_; }
+    /** Slots passing scoreboard + mem-structural checks at their
+     *  current pc (valid only when masksActive()). */
+    std::uint64_t issueCleanMask() const { return cleanMask_; }
+
+  private:
+    /** Re-derive slot's issue-clean bit from (pc, scoreboard,
+     *  pendingMem) — the pure function the mask caches. */
+    void recomputeClean(int slot)
+    {
+        const std::uint64_t bit = std::uint64_t{1} << slot;
+        // Negative or past-the-end pc (an exited warp's resting state)
+        // maps to "not clean"; such slots are never Ready anyway.
+        const std::size_t pc = static_cast<std::size_t>(
+            static_cast<std::uint32_t>(pc_[asIdx(slot)]));
+        bool clean = pc < metaCount_;
+        if (clean) {
+            const IssueCheckMeta &m = meta_[pc];
+            clean = (sb_[asIdx(slot)] & m.opMask) == 0 &&
+                    !(m.globalMem &&
+                      pendingMem_[asIdx(slot)] >= maxPendingMem_);
+        }
+        cleanMask_ = clean ? (cleanMask_ | bit) : (cleanMask_ & ~bit);
+    }
+
+    std::size_t asIdx(int slot) const
+    {
+        return static_cast<std::size_t>(slot);
+    }
+    std::uint64_t &sbWord(int slot, RegId reg)
+    {
+        return sb_[asIdx(slot) * sbStride_ +
+                   static_cast<std::size_t>(reg >> 6)];
+    }
+    const std::uint64_t &sbWord(int slot, RegId reg) const
+    {
+        return sb_[asIdx(slot) * sbStride_ +
+                   static_cast<std::size_t>(reg >> 6)];
+    }
+
+    int numSlots_ = 0;
+    int regCount_ = 0;
+    std::size_t regStride_ = 0;
+    int sbStride_ = 0;
+
+    const IssueCheckMeta *meta_ = nullptr;
+    std::size_t metaCount_ = 0;
+    int maxPendingMem_ = 0;
+    std::uint64_t readyMask_ = 0;
+    std::uint64_t cleanMask_ = 0;
+
+    std::vector<SimWarp> cold_;
+    std::vector<std::uint8_t> state_;
+    std::vector<std::int32_t> pc_;
+    std::vector<std::int32_t> pendingMem_;
+    std::vector<std::uint64_t> wakeAt_;
+    std::vector<std::uint64_t> sb_;
+    std::vector<std::int64_t> regSlab_;
+};
+
+} // namespace rm
+
+#endif // RM_SIM_WARP_STORE_HH

@@ -129,7 +129,7 @@ TEST_F(OwfTest, ForceProgressCoGrantsWithPenalty)
 {
     allocator.onIssued(owner, sharedInst(), 0);
     EXPECT_FALSE(allocator.canIssue(partner, sharedInst()));
-    const int penalty = allocator.forceProgress(partner);
+    const int penalty = allocator.forceProgress(partner, 0);
     EXPECT_GT(penalty, 0);
     EXPECT_EQ(allocator.emergencyCount(), 1u);
     EXPECT_TRUE(allocator.canIssue(partner, sharedInst()));
@@ -266,9 +266,8 @@ TEST(Rfv, ForceProgressOverdraftsAndCharges)
 
     SimWarp warp;
     warp.slot = 0;
-    warp.pc = 0;
     warp.physMapped = Bitmask(4);
-    const int penalty = allocator.forceProgress(warp);
+    const int penalty = allocator.forceProgress(warp, 0);
     EXPECT_EQ(penalty, config.globalLatency);
     EXPECT_EQ(allocator.emergencyCount(), 1u);
     EXPECT_TRUE(warp.physMapped.test(0));

@@ -84,7 +84,7 @@ class SemanticsTest : public ::testing::Test
     run(Instruction inst)
     {
         program.code = {inst};
-        return executeStep(program, 0, regs, sregs, gmem, smem);
+        return executeStep(program, 0, regs.data(), sregs, gmem, smem);
     }
 
     Program program;
@@ -220,13 +220,13 @@ TEST_F(SemanticsTest, BranchesSetNextPc)
     program.code = {bra, ex};
 
     regs[1] = 1;
-    auto taken = executeStep(program, 0, regs, sregs, gmem, smem);
+    auto taken = executeStep(program, 0, regs.data(), sregs, gmem, smem);
     EXPECT_EQ(taken.nextPc, 0);
     regs[1] = 0;
-    auto fall = executeStep(program, 0, regs, sregs, gmem, smem);
+    auto fall = executeStep(program, 0, regs.data(), sregs, gmem, smem);
     EXPECT_EQ(fall.nextPc, 1);
 
-    auto exit = executeStep(program, 1, regs, sregs, gmem, smem);
+    auto exit = executeStep(program, 1, regs.data(), sregs, gmem, smem);
     EXPECT_TRUE(exit.exited);
 }
 
