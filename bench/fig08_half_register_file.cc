@@ -44,8 +44,9 @@ main(int argc, char **argv)
         grid.push_back(c);
     }
     const std::vector<SweepResult> results = runSweep(grid, sweep);
-    if (reportSweepFailures(results, std::cerr) > 0)
-        return 1;
+    reportSweepFailures(results, std::cerr);
+    if (const int status = sweepExitStatus(results); status != 0)
+        return status;
 
     Table table({"Application", "Incr. w/o RegMutex", "Incr. w/ RegMutex",
                  "Occupancy w/o", "Occupancy w/", "|Bs|", "|Es|"});

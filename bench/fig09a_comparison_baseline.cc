@@ -31,8 +31,9 @@ main(int argc, char **argv)
         sweepGrid(workloads, {"baseline", "owf", "rfv", "regmutex"},
                   {{"GTX480", config}}),
         sweep);
-    if (reportSweepFailures(results, std::cerr) > 0)
-        return 1;
+    reportSweepFailures(results, std::cerr);
+    if (const int status = sweepExitStatus(results); status != 0)
+        return status;
 
     Table table({"Application", "OWF", "RFV", "RegMutex"});
     double owf_total = 0.0, rfv_total = 0.0, rmx_total = 0.0;

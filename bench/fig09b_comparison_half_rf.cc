@@ -48,8 +48,9 @@ main(int argc, char **argv)
         }
     }
     const std::vector<SweepResult> results = runSweep(grid, sweep);
-    if (reportSweepFailures(results, std::cerr) > 0)
-        return 1;
+    reportSweepFailures(results, std::cerr);
+    if (const int status = sweepExitStatus(results); status != 0)
+        return status;
 
     Table table({"Application", "No Technique", "OWF", "RFV",
                  "RegMutex"});

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# rm-serve crash-recovery soak: SIGKILL the daemon repeatedly while
+# rm-loadgen hammers it, restart it each time on the same journal, and
+# prove the three durability claims of docs/SERVE.md:
+#
+#   1. complete   — a final load pass finishes with every job ok;
+#   2. identical  — its key->stats output is byte-identical to a clean
+#                   pass from before any kill (determinism survives
+#                   crash recovery);
+#   3. zero re-simulation — the final pass is served 100% from the
+#                   replayed journal (cache_hit_rate == 1).
+#
+# Usage: scripts/serve_soak.sh [build-dir]
+#   RM_SOAK_KILLS  SIGKILLs to deliver (default 3)
+set -euo pipefail
+
+BUILD="${1:-build}"
+KILLS="${RM_SOAK_KILLS:-3}"
+SERVE="$BUILD/examples/rm-serve"
+LOADGEN="$BUILD/examples/rm-loadgen"
+
+for bin in "$SERVE" "$LOADGEN"; do
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin not found — build first" >&2
+        exit 1
+    fi
+done
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/rm-serve-soak.XXXXXX")"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -KILL "$SERVE_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+JOURNAL="$WORK/serve.jsonl"
+SNAPDIR="$WORK/snapshots"
+mkdir -p "$SNAPDIR"
+
+# Start the daemon on a kernel-chosen port and parse it from the
+# announce line ("rm-serve: listening on PORT").
+start_daemon() {
+    local log="$1"
+    # Admission limits far above the offered load: this soak proves
+    # durability, not rejection handling, and the reference/final
+    # passes must complete with zero rejections to compare equal.
+    "$SERVE" --port 0 --workers 2 --queue-limit 512 \
+        --client-limit 512 --journal "$JOURNAL" \
+        --snapshot-dir "$SNAPDIR" > "$log" 2>&1 &
+    SERVE_PID=$!
+    PORT=""
+    for _ in $(seq 1 100); do
+        PORT="$(sed -n 's/^rm-serve: listening on //p' "$log")"
+        [ -n "$PORT" ] && return 0
+        if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+            echo "error: daemon died on startup:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "error: daemon never announced its port" >&2
+    exit 1
+}
+
+LOAD=(--tenants 3 --requests 18 --rate 200 --universe 10
+      --wait-timeout 300)
+
+echo "== clean reference pass (journal starts empty)"
+start_daemon "$WORK/serve1.log"
+"$LOADGEN" --port "$PORT" "${LOAD[@]}" --seed 7 \
+    --out "$WORK/reference.tsv" > /dev/null
+
+echo "== kill loop: $KILLS SIGKILLs under load"
+for round in $(seq 1 "$KILLS"); do
+    # A fresh loadgen seed each round submits unseen cells, so real
+    # simulations (and journal appends) are in flight when the kill
+    # lands. The loadgen is expected to fail mid-round (transport
+    # error) — that is the point.
+    "$LOADGEN" --port "$PORT" "${LOAD[@]}" --seed "$((100 + round))" \
+        > /dev/null 2>&1 &
+    load_pid=$!
+    sleep 0.3
+    echo "   round $round: SIGKILL daemon pid $SERVE_PID"
+    kill -KILL "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+    wait "$load_pid" 2>/dev/null || true
+
+    start_daemon "$WORK/serve_restart_$round.log"
+    replayed="$(sed -n 's/^rm-serve: replayed \([0-9]*\) .*/\1/p' \
+        "$WORK/serve_restart_$round.log")"
+    echo "   round $round: restarted on port $PORT" \
+         "(replayed ${replayed:-0} journal records)"
+done
+
+if [ ! -s "$JOURNAL" ]; then
+    echo "error: journal is empty after the kill loop" >&2
+    exit 1
+fi
+
+echo "== final pass: same cells as the reference"
+"$LOADGEN" --port "$PORT" "${LOAD[@]}" --seed 7 \
+    --out "$WORK/final.tsv" --json > "$WORK/final.json"
+
+echo "== checking the three durability claims"
+if ! cmp "$WORK/reference.tsv" "$WORK/final.tsv"; then
+    diff -u "$WORK/reference.tsv" "$WORK/final.tsv" | head -20 >&2
+    echo "error: post-crash results differ from the clean pass" >&2
+    exit 1
+fi
+python3 - "$WORK/final.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+fails = []
+if report["failed"] or report["bad_request"] or report["transport_errors"]:
+    fails.append("final pass had failures: %r" % report)
+if report["cache_hit_rate"] != 1.0:
+    fails.append("cache_hit_rate %.3f != 1.0 — the daemon re-simulated "
+                 "journaled cells" % report["cache_hit_rate"])
+if report["mismatch"]:
+    fails.append("determinism mismatch across responses")
+for f in fails:
+    print("error:", f, file=sys.stderr)
+sys.exit(1 if fails else 0)
+EOF
+
+echo "== graceful drain (SIGTERM)"
+kill -TERM "$SERVE_PID"
+for _ in $(seq 1 100); do
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "error: daemon ignored SIGTERM" >&2
+    exit 1
+fi
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+if ! grep -q "rm-serve: drained" "$WORK/serve_restart_$KILLS.log"; then
+    echo "error: no drain summary in the daemon log" >&2
+    exit 1
+fi
+
+echo "serve soak OK: $KILLS kill(s) survived, results byte-identical," \
+     "final pass 100% cache hits"

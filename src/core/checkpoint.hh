@@ -1,0 +1,75 @@
+#ifndef RM_CORE_CHECKPOINT_HH
+#define RM_CORE_CHECKPOINT_HH
+
+/**
+ * @file
+ * Durable JSONL result store shared by the sweep runner's checkpoint
+ * (core/sweep.hh) and the serve daemon's result journal (serve/). One
+ * record per line:
+ *
+ *     {"key":"<sweepCaseKey>","stats":{...statsToJson...}}
+ *
+ * Appends are written as one whole line per system write so a reader
+ * (or a kill between records) sees complete lines only; the loader
+ * tolerates exactly one torn trailing line from a run killed
+ * mid-append. With fsyncEvery > 0 every Nth append is additionally
+ * fsync'd, so acknowledged records survive a host crash — not just a
+ * process kill. fsyncEvery = 1 (the serve journal's default) makes
+ * every acknowledgement durable; 0 keeps the seed behaviour (flush to
+ * the kernel, no fsync) for throwaway sweep checkpoints.
+ */
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace rm {
+
+/** Append-only JSONL store of SimStats keyed by a stable string. */
+class JsonlCheckpoint
+{
+  public:
+    /**
+     * Open @p path (empty disables the store entirely) and replay any
+     * existing records into the in-memory index. A torn trailing line
+     * is warned about and dropped; earlier unparsable lines are warned
+     * about and skipped.
+     */
+    explicit JsonlCheckpoint(std::string path, int fsync_every = 0);
+
+    bool enabled() const { return !path.empty(); }
+
+    /** Records replayed from an existing file at construction. */
+    std::size_t replayed() const { return replayedCount; }
+
+    /** The restored record for @p key; nullptr when absent. */
+    const SimStats *find(const std::string &key) const;
+
+    /**
+     * Append one record (thread-safe). The in-memory index is NOT
+     * updated — it is immutable after construction so find() stays
+     * lock-free under parallel sweep cells. Throws FatalError when the
+     * write cannot be completed — a full disk must fail the caller
+     * loudly instead of silently dropping acknowledged work.
+     */
+    void record(const std::string &key, const SimStats &stats);
+
+    /** fsync the file now (drain/shutdown barrier). No-op when
+     *  disabled or nothing was ever written. */
+    void sync();
+
+  private:
+    std::string path;
+    int fsyncEvery = 0;
+    std::uint64_t appends = 0;
+    std::map<std::string, SimStats> restored;
+    std::size_t replayedCount = 0;
+    std::mutex guard;
+};
+
+} // namespace rm
+
+#endif // RM_CORE_CHECKPOINT_HH

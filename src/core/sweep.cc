@@ -4,7 +4,6 @@
 #include <exception>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -13,8 +12,7 @@
 #include "common/errors.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
-#include "obs/export.hh"
-#include "obs/json.hh"
+#include "core/checkpoint.hh"
 #include "obs/profiler.hh"
 #include "sim/snapshot.hh"
 #include "workloads/suite.hh"
@@ -88,88 +86,6 @@ configFingerprint(const SweepCase &spec)
     return hex.str();
 }
 
-/** Checkpoint store: Ok aggregates keyed by sweepCaseKey. */
-class Checkpoint
-{
-  public:
-    explicit Checkpoint(std::string path) : path(std::move(path))
-    {
-        if (this->path.empty())
-            return;
-        std::ifstream in(this->path);
-        if (!in)
-            return;  // first run: nothing to restore
-        std::vector<std::string> lines;
-        for (std::string line; std::getline(in, line);)
-            lines.push_back(std::move(line));
-        for (std::size_t i = 0; i < lines.size(); ++i) {
-            const std::string &line = lines[i];
-            if (line.empty())
-                continue;
-            try {
-                const JsonValue doc = parseJson(line);
-                const JsonValue *key = doc.find("key");
-                const JsonValue *stats = doc.find("stats");
-                if (key && stats)
-                    restored[key->string] = statsFromJson(*stats);
-            } catch (const std::exception &) {
-                // Records are appended and flushed atomically, so the
-                // only expected damage is a torn final line from a run
-                // killed mid-append: drop it. Anything earlier means
-                // the file was damaged some other way — still skip,
-                // but say which line.
-                if (i + 1 == lines.size())
-                    warn("sweep checkpoint '", this->path,
-                         "': dropping torn trailing record (line ",
-                         i + 1, ")");
-                else
-                    warn("sweep checkpoint '", this->path,
-                         "': skipping unparsable line ", i + 1);
-            }
-        }
-    }
-
-    bool enabled() const { return !path.empty(); }
-
-    const SimStats *find(const std::string &key) const
-    {
-        const auto it = restored.find(key);
-        return it == restored.end() ? nullptr : &it->second;
-    }
-
-    void record(const std::string &key, const SimStats &stats)
-    {
-        if (path.empty())
-            return;
-        JsonWriter w;
-        w.beginObject();
-        w.key("key").value(key);
-        w.key("stats");
-        statsToJson(w, stats);
-        w.endObject();
-        const std::string line = w.take();
-
-        const std::lock_guard<std::mutex> lock(guard);
-        // One open-append-flush-close per record: the record plus its
-        // newline go out in a single buffered write, so a concurrent
-        // reader (or a kill between records) sees whole lines only,
-        // and at worst one torn trailing line — which the loader
-        // tolerates. The flush is checked so a full disk fails the
-        // sweep loudly instead of silently dropping records.
-        std::ofstream out(path, std::ios::app);
-        fatalIf(!out, "sweep checkpoint: cannot append to '", path, "'");
-        out << line << '\n';
-        out.flush();
-        fatalIf(!out.good(), "sweep checkpoint: write to '", path,
-                "' failed");
-    }
-
-  private:
-    std::string path;
-    std::map<std::string, SimStats> restored;
-    std::mutex guard;
-};
-
 std::string
 exceptionMessage(const std::exception &e)
 {
@@ -219,7 +135,8 @@ runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
         }
     }
 
-    Checkpoint checkpoint(options.checkpointPath);
+    JsonlCheckpoint checkpoint(options.checkpointPath,
+                               options.fsyncEvery);
 
     std::vector<SweepResult> results(cases.size());
     parallelFor(
@@ -411,23 +328,16 @@ runSweep(const std::vector<SweepCase> &cases, const SweepOptions &options)
     return results;
 }
 
-int
-reportSweepFailures(const std::vector<SweepResult> &results,
-                    std::ostream &out)
-{
-    int failed = 0;
-    for (const SweepResult &r : results)
-        if (!r.ok())
-            ++failed;
-    if (failed == 0)
-        return 0;
+namespace {
 
-    out << "sweep: " << failed << " of " << results.size()
-        << " cells failed\n";
+void
+printSweepRows(const std::vector<SweepResult> &results, SweepStatus only,
+               bool invert, std::ostream &out)
+{
     out << "  workload      policy        arch      status          "
            "attempts  error\n";
     for (const SweepResult &r : results) {
-        if (r.ok())
+        if (r.ok() || (r.status == only) == invert)
             continue;
         // First line of the error only: hang summaries are paragraphs.
         std::string brief = r.error;
@@ -450,7 +360,50 @@ reportSweepFailures(const std::vector<SweepResult> &results,
         row << r.attempts << "         " << brief;
         out << row.str() << '\n';
     }
+}
+
+} // namespace
+
+int
+reportSweepFailures(const std::vector<SweepResult> &results,
+                    std::ostream &out)
+{
+    int failed = 0;
+    int preempted = 0;
+    for (const SweepResult &r : results) {
+        if (r.status == SweepStatus::Preempted)
+            ++preempted;
+        else if (!r.ok())
+            ++failed;
+    }
+    if (failed > 0) {
+        out << "sweep: " << failed << " of " << results.size()
+            << " cells failed\n";
+        printSweepRows(results, SweepStatus::Preempted, true, out);
+    }
+    if (preempted > 0) {
+        // Preemption is the run-control budget working as designed, not
+        // a failure: the snapshot carries the progress into the next
+        // run with the same --snapshot-dir.
+        out << "sweep: " << preempted << " of " << results.size()
+            << " cells resumable (preempted with snapshot kept; rerun "
+               "to finish)\n";
+        printSweepRows(results, SweepStatus::Preempted, false, out);
+    }
     return failed;
+}
+
+int
+sweepExitStatus(const std::vector<SweepResult> &results)
+{
+    bool preempted = false;
+    for (const SweepResult &r : results) {
+        if (r.status == SweepStatus::Preempted)
+            preempted = true;
+        else if (!r.ok())
+            return 1;
+    }
+    return preempted ? 3 : 0;
 }
 
 std::vector<SweepCase>
@@ -528,6 +481,8 @@ SweepCli::SweepCli(int argc, char *const *argv)
         } else if (arg == "--checkpoint") {
             fatalIf(i + 1 >= argc, "--checkpoint needs a path");
             checkpoint = argv[++i];
+        } else if (arg == "--fsync-every") {
+            fsyncEvery = numberAfter(i, "--fsync-every");
         } else if (arg == "--max-cycles") {
             maxCycles = u64After(i, "--max-cycles");
         } else if (arg == "--wall-deadline") {
@@ -553,6 +508,7 @@ SweepCli::apply(GpuConfig &config, SweepOptions &options) const
     options.retries = retries;
     options.lint = !noLint;
     options.checkpointPath = checkpoint;
+    options.fsyncEvery = fsyncEvery;
     options.snapshotDir = snapshotDir;
     options.gpu.control.maxCycles = maxCycles;
     options.gpu.control.sanitize = sanitize;

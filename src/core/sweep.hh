@@ -115,6 +115,15 @@ struct SweepOptions
      */
     std::string checkpointPath;
     /**
+     * fsync the checkpoint file after every Nth appended record (0,
+     * the default, keeps the seed behaviour: flushed to the kernel but
+     * not fsync'd, so a *host* crash — not just a killed process — can
+     * lose trailing records). The serve daemon journals with
+     * fsyncEvery = 1 so every acknowledged cell is durable; sweeps
+     * that want the same guarantee opt in via --fsync-every.
+     */
+    int fsyncEvery = 0;
+    /**
      * Directory for per-cell engine snapshots (sim/snapshot.hh); empty
      * disables them. Each cell writes <dir>/<key-hash>.snap — on every
      * gpu.snapshotEvery boundary and when preempted — and a later
@@ -172,12 +181,23 @@ std::vector<SweepResult> runSweep(const std::vector<SweepCase> &cases,
 std::string sweepCaseKey(const SweepCase &spec);
 
 /**
- * Print a failure-summary table of the non-Ok cells to @p out (nothing
- * when all cells passed) and return the number of failed cells — the
- * benches turn that into their exit status.
+ * Print a summary table of the non-Ok cells to @p out (nothing when
+ * all cells passed) and return the number of *failed* cells. Preempted
+ * cells are not failures: they are listed in a separate "resumable"
+ * section — their snapshots carry the progress into the next run —
+ * and do not count toward the returned total.
  */
 int reportSweepFailures(const std::vector<SweepResult> &results,
                         std::ostream &out);
+
+/**
+ * Exit status a sweep-driven bench should propagate, matching the
+ * rm-inspect contract (docs/OBSERVABILITY.md): 0 when every cell
+ * completed, 3 when cells were preempted but none failed (resumable —
+ * rerun with the same --checkpoint/--snapshot-dir to finish), 1 when
+ * any cell actually failed.
+ */
+int sweepExitStatus(const std::vector<SweepResult> &results);
 
 /**
  * Cross-product helper: one case per (workload, policy, config),
@@ -195,7 +215,8 @@ sweepGrid(const std::vector<std::string> &workloads,
  * `--sms N` selects a full-machine run with N SMs (N = 1 keeps the
  * representative seed model), `--threads N` caps sweep parallelism
  * (0 = shared pool width), `--retries N` re-runs failed cells, and
- * `--checkpoint PATH` enables the JSONL resume file. Run-control
+ * `--checkpoint PATH` enables the JSONL resume file (with
+ * `--fsync-every N` fsyncing it every Nth record). Run-control
  * flags: `--max-cycles N` bounds every cell's simulated clock,
  * `--wall-deadline SECONDS` preempts cells still running when the
  * wall-clock budget expires, `--sanitize` audits register accounting
@@ -211,6 +232,7 @@ struct SweepCli
     int threads = 0;
     int retries = 0;
     std::string checkpoint;
+    int fsyncEvery = 0;
     std::uint64_t maxCycles = 0;
     double wallDeadlineSeconds = 0.0;
     bool sanitize = false;

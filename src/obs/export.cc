@@ -62,32 +62,26 @@ statsToJson(const SimStats &stats)
 
 namespace {
 
-std::uint64_t
-u64At(const JsonValue &obj, std::string_view key)
-{
-    const JsonValue *v = obj.find(key);
-    return v ? static_cast<std::uint64_t>(v->number) : 0;
-}
+// Decoders use the typed accessors from obs/json.hh: missing members
+// keep their defaults so older documents load, but a wrong-typed
+// member throws JsonSchemaError — the daemon feeds these decoders
+// bytes from the network, and silently default-constructing from
+// hostile input would poison the result cache.
 
-int
-intAt(const JsonValue &obj, std::string_view key, int fallback = 0)
+/** Elements of an int array member; wrong-typed member or element throws. */
+std::vector<int>
+intArrayAt(const JsonValue &obj, std::string_view key)
 {
-    const JsonValue *v = obj.find(key);
-    return v ? static_cast<int>(v->number) : fallback;
-}
-
-bool
-boolAt(const JsonValue &obj, std::string_view key)
-{
-    const JsonValue *v = obj.find(key);
-    return v != nullptr && v->boolean;
-}
-
-std::string
-stringAt(const JsonValue &obj, std::string_view key)
-{
-    const JsonValue *v = obj.find(key);
-    return v ? v->string : std::string();
+    std::vector<int> out;
+    if (const JsonValue *v = jsonArray(obj, key)) {
+        for (const JsonValue &item : v->items) {
+            if (item.kind != JsonValue::Kind::Number)
+                throw JsonSchemaError("json: member '" + std::string(key) +
+                                      "' has a non-number element");
+            out.push_back(static_cast<int>(item.number));
+        }
+    }
+    return out;
 }
 
 } // namespace
@@ -95,45 +89,41 @@ stringAt(const JsonValue &obj, std::string_view key)
 SimStats
 statsFromJson(const JsonValue &value)
 {
+    requireJsonObject(value, "stats document");
     SimStats s;
-    if (const JsonValue *v = value.find("kernel"))
-        s.kernelName = v->string;
-    if (const JsonValue *v = value.find("allocator"))
-        s.allocatorName = v->string;
-    s.cycles = u64At(value, "cycles");
-    s.instructions = u64At(value, "instructions");
-    s.ctasCompleted = u64At(value, "ctas_completed");
-    s.theoreticalCtas = static_cast<int>(u64At(value, "theoretical_ctas"));
-    s.theoreticalWarps =
-        static_cast<int>(u64At(value, "theoretical_warps"));
-    if (const JsonValue *v = value.find("theoretical_occupancy"))
-        s.theoreticalOccupancy = v->number;
-    if (const JsonValue *v = value.find("avg_resident_warps"))
-        s.avgResidentWarps = v->number;
-    s.acquireAttempts = u64At(value, "acquire_attempts");
-    s.acquireSuccesses = u64At(value, "acquire_successes");
-    s.acquireAlreadyHeld = u64At(value, "acquire_already_held");
-    s.releases = u64At(value, "releases");
-    s.issuedSlots = u64At(value, "issued_slots");
-    s.idleSchedulerSlots = u64At(value, "idle_scheduler_slots");
-    if (const JsonValue *stalls = value.find("stalls")) {
-        s.scoreboardStalls = u64At(*stalls, "scoreboard");
-        s.memStructuralStalls = u64At(*stalls, "mem_structural");
-        s.barrierStalls = u64At(*stalls, "barrier");
-        s.acquireStalls = u64At(*stalls, "acquire");
-        s.resourceStalls = u64At(*stalls, "resource");
-        s.noWarpStalls = u64At(*stalls, "no_warp");
+    s.kernelName = jsonString(value, "kernel");
+    s.allocatorName = jsonString(value, "allocator");
+    s.cycles = jsonU64(value, "cycles");
+    s.instructions = jsonU64(value, "instructions");
+    s.ctasCompleted = jsonU64(value, "ctas_completed");
+    s.theoreticalCtas = jsonInt(value, "theoretical_ctas");
+    s.theoreticalWarps = jsonInt(value, "theoretical_warps");
+    s.theoreticalOccupancy = jsonNumber(value, "theoretical_occupancy");
+    s.avgResidentWarps = jsonNumber(value, "avg_resident_warps");
+    s.acquireAttempts = jsonU64(value, "acquire_attempts");
+    s.acquireSuccesses = jsonU64(value, "acquire_successes");
+    s.acquireAlreadyHeld = jsonU64(value, "acquire_already_held");
+    s.releases = jsonU64(value, "releases");
+    s.issuedSlots = jsonU64(value, "issued_slots");
+    s.idleSchedulerSlots = jsonU64(value, "idle_scheduler_slots");
+    if (const JsonValue *stalls = jsonObject(value, "stalls")) {
+        s.scoreboardStalls = jsonU64(*stalls, "scoreboard");
+        s.memStructuralStalls = jsonU64(*stalls, "mem_structural");
+        s.barrierStalls = jsonU64(*stalls, "barrier");
+        s.acquireStalls = jsonU64(*stalls, "acquire");
+        s.resourceStalls = jsonU64(*stalls, "resource");
+        s.noWarpStalls = jsonU64(*stalls, "no_warp");
     }
-    s.emergencySpills = u64At(value, "emergency_spills");
-    s.lockAcquisitions = u64At(value, "lock_acquisitions");
-    s.extRegAccesses = u64At(value, "ext_reg_accesses");
-    s.bankConflicts = u64At(value, "bank_conflicts");
-    if (const JsonValue *v = value.find("deadlocked"))
-        s.deadlocked = v->boolean;
-    if (const JsonValue *v = value.find("deadlock_cause"))
-        s.deadlockCause = deadlockCauseFromName(v->string);
-    s.faultEvents = u64At(value, "fault_events");
-    if (const JsonValue *v = value.find("hang"); v && v->isObject())
+    s.emergencySpills = jsonU64(value, "emergency_spills");
+    s.lockAcquisitions = jsonU64(value, "lock_acquisitions");
+    s.extRegAccesses = jsonU64(value, "ext_reg_accesses");
+    s.bankConflicts = jsonU64(value, "bank_conflicts");
+    s.deadlocked = jsonBool(value, "deadlocked");
+    if (value.has("deadlock_cause"))
+        s.deadlockCause =
+            deadlockCauseFromName(jsonString(value, "deadlock_cause"));
+    s.faultEvents = jsonU64(value, "fault_events");
+    if (const JsonValue *v = jsonObject(value, "hang"))
         s.hang = std::make_shared<const HangDiagnosis>(
             diagnosisFromJson(*v));
     return s;
@@ -203,51 +193,46 @@ diagnosisToJson(const HangDiagnosis &diag)
 HangDiagnosis
 diagnosisFromJson(const JsonValue &value)
 {
+    requireJsonObject(value, "diagnosis document");
     HangDiagnosis d;
-    d.kernel = stringAt(value, "kernel");
-    d.policy = stringAt(value, "policy");
-    d.smId = intAt(value, "sm_id");
-    d.cycle = u64At(value, "cycle");
-    d.watchdogExpired = boolAt(value, "watchdog_expired");
-    if (const JsonValue *v = value.find("cause"))
-        d.cause = deadlockCauseFromName(v->string);
-    d.blockedAcquire = intAt(value, "blocked_acquire");
-    d.blockedResource = intAt(value, "blocked_resource");
-    d.blockedBarrier = intAt(value, "blocked_barrier");
-    d.otherWaiters = intAt(value, "other_waiters");
+    d.kernel = jsonString(value, "kernel");
+    d.policy = jsonString(value, "policy");
+    d.smId = jsonInt(value, "sm_id");
+    d.cycle = jsonU64(value, "cycle");
+    d.watchdogExpired = jsonBool(value, "watchdog_expired");
+    if (value.has("cause"))
+        d.cause = deadlockCauseFromName(jsonString(value, "cause"));
+    d.blockedAcquire = jsonInt(value, "blocked_acquire");
+    d.blockedResource = jsonInt(value, "blocked_resource");
+    d.blockedBarrier = jsonInt(value, "blocked_barrier");
+    d.otherWaiters = jsonInt(value, "other_waiters");
     d.eventQueueDepth =
-        static_cast<std::size_t>(u64At(value, "event_queue_depth"));
+        static_cast<std::size_t>(jsonU64(value, "event_queue_depth"));
     d.memQueueDepth =
-        static_cast<std::size_t>(u64At(value, "mem_queue_depth"));
-    d.nextEventCycle = u64At(value, "next_event_cycle");
-    if (const JsonValue *v = value.find("sched_last_issued");
-        v && v->isArray())
-        for (const JsonValue &slot : v->items)
-            d.schedLastIssued.push_back(static_cast<int>(slot.number));
-    d.srpSections = intAt(value, "srp_sections", -1);
-    if (const JsonValue *v = value.find("srp_holders"); v && v->isArray())
-        for (const JsonValue &slot : v->items)
-            d.srpHolders.push_back(static_cast<int>(slot.number));
-    if (const JsonValue *v = value.find("srp_waiters"); v && v->isArray())
-        for (const JsonValue &slot : v->items)
-            d.srpWaiters.push_back(static_cast<int>(slot.number));
-    if (const JsonValue *v = value.find("warps"); v && v->isArray()) {
+        static_cast<std::size_t>(jsonU64(value, "mem_queue_depth"));
+    d.nextEventCycle = jsonU64(value, "next_event_cycle");
+    d.schedLastIssued = intArrayAt(value, "sched_last_issued");
+    d.srpSections = jsonInt(value, "srp_sections", -1);
+    d.srpHolders = intArrayAt(value, "srp_holders");
+    d.srpWaiters = intArrayAt(value, "srp_waiters");
+    if (const JsonValue *v = jsonArray(value, "warps")) {
         for (const JsonValue &entry : v->items) {
             if (!entry.isObject())
-                continue;
+                throw JsonSchemaError(
+                    "json: member 'warps' has a non-object element");
             WarpSnapshot warp;
-            warp.slot = intAt(entry, "slot", -1);
-            warp.ctaId = intAt(entry, "cta", -1);
-            warp.warpInCta = intAt(entry, "warp_in_cta", -1);
-            warp.pc = intAt(entry, "pc", -1);
-            warp.instruction = stringAt(entry, "instruction");
-            warp.state = warpStateFromName(stringAt(entry, "state"));
-            warp.waitAge = u64At(entry, "wait_age");
-            warp.srpSection = intAt(entry, "srp_section", -1);
-            warp.holdsExt = boolAt(entry, "holds_ext");
-            warp.pendingMem = intAt(entry, "pending_mem");
-            warp.pendingWrites = intAt(entry, "pending_writes");
-            warp.instructionsExecuted = u64At(entry, "instructions");
+            warp.slot = jsonInt(entry, "slot", -1);
+            warp.ctaId = jsonInt(entry, "cta", -1);
+            warp.warpInCta = jsonInt(entry, "warp_in_cta", -1);
+            warp.pc = jsonInt(entry, "pc", -1);
+            warp.instruction = jsonString(entry, "instruction");
+            warp.state = warpStateFromName(jsonString(entry, "state"));
+            warp.waitAge = jsonU64(entry, "wait_age");
+            warp.srpSection = jsonInt(entry, "srp_section", -1);
+            warp.holdsExt = jsonBool(entry, "holds_ext");
+            warp.pendingMem = jsonInt(entry, "pending_mem");
+            warp.pendingWrites = jsonInt(entry, "pending_writes");
+            warp.instructionsExecuted = jsonU64(entry, "instructions");
             d.warps.push_back(std::move(warp));
         }
     }
@@ -680,25 +665,29 @@ profileToJson(const ProfReport &report)
 ProfReport
 profileFromJson(const JsonValue &value)
 {
+    requireJsonObject(value, "profile document");
     ProfReport report;
-    report.wallNs = u64At(value, "wall_ns");
-    report.threads = intAt(value, "threads");
-    report.droppedSpans = u64At(value, "dropped_spans");
+    report.wallNs = jsonU64(value, "wall_ns");
+    report.threads = jsonInt(value, "threads");
+    report.droppedSpans = jsonU64(value, "dropped_spans");
     report.phases.resize(static_cast<std::size_t>(kProfPhaseCount));
     for (int p = 0; p < kProfPhaseCount; ++p)
         report.phases[static_cast<std::size_t>(p)].phase =
             static_cast<ProfPhase>(p);
-    if (const JsonValue *phases = value.find("phases")) {
+    if (const JsonValue *phases = jsonArray(value, "phases")) {
         for (const JsonValue &entry : phases->items) {
+            if (!entry.isObject())
+                throw JsonSchemaError(
+                    "json: member 'phases' has a non-object element");
             const ProfPhase phase =
-                profPhaseFromName(stringAt(entry, "phase"));
+                profPhaseFromName(jsonString(entry, "phase"));
             if (phase == ProfPhase::NumPhases)
                 continue; // a newer writer's phase: skip, keep loading
             ProfPhaseStats &out =
                 report.phases[static_cast<std::size_t>(phase)];
-            out.count = u64At(entry, "count");
-            out.totalNs = u64At(entry, "total_ns");
-            out.maxNs = u64At(entry, "max_ns");
+            out.count = jsonU64(entry, "count");
+            out.totalNs = jsonU64(entry, "total_ns");
+            out.maxNs = jsonU64(entry, "max_ns");
         }
     }
     return report;

@@ -168,7 +168,9 @@ namespace {
 class Parser
 {
   public:
-    explicit Parser(std::string_view input) : text(input) {}
+    Parser(std::string_view input, int max_depth)
+        : text(input), maxDepth(max_depth)
+    {}
 
     JsonValue
     document()
@@ -281,27 +283,41 @@ class Parser
         const char c = peek();
         switch (c) {
           case '{': {
+            // Depth-bounded: network input can nest maliciously deep,
+            // and each level is a real stack frame here.
+            fatalIf(++depth > maxDepth,
+                    "parseJson: nesting deeper than ", maxDepth,
+                    " at ", pos);
             value.kind = JsonValue::Kind::Object;
             ++pos;
-            if (consumeIf('}'))
+            if (consumeIf('}')) {
+                --depth;
                 return value;
+            }
             do {
                 std::string name = parseString();
                 expect(':');
                 value.members.emplace_back(std::move(name), parseValue());
             } while (consumeIf(','));
             expect('}');
+            --depth;
             return value;
           }
           case '[': {
+            fatalIf(++depth > maxDepth,
+                    "parseJson: nesting deeper than ", maxDepth,
+                    " at ", pos);
             value.kind = JsonValue::Kind::Array;
             ++pos;
-            if (consumeIf(']'))
+            if (consumeIf(']')) {
+                --depth;
                 return value;
+            }
             do {
                 value.items.push_back(parseValue());
             } while (consumeIf(','));
             expect(']');
+            --depth;
             return value;
           }
           case '"':
@@ -334,8 +350,14 @@ class Parser
             fatalIf(pos == start, "parseJson: unexpected character '", c,
                     "' at ", pos);
             value.kind = JsonValue::Kind::Number;
-            value.number =
-                std::stod(std::string(text.substr(start, pos - start)));
+            try {
+                value.number = std::stod(
+                    std::string(text.substr(start, pos - start)));
+            } catch (const std::exception &) {
+                // stod throws on both garbage ("--", "1e") and overflow
+                // ("1e999999"); either way the document is malformed.
+                fatal("parseJson: bad number at ", start);
+            }
             return value;
           }
         }
@@ -343,6 +365,8 @@ class Parser
 
     std::string_view text;
     std::size_t pos = 0;
+    int maxDepth;
+    int depth = 0;
 };
 
 } // namespace
@@ -368,9 +392,114 @@ JsonValue::at(std::string_view name) const
 }
 
 JsonValue
-parseJson(std::string_view text)
+parseJson(std::string_view text, int max_depth)
 {
-    return Parser(text).document();
+    return Parser(text, max_depth).document();
+}
+
+// --- Typed member accessors ---------------------------------------------
+
+namespace {
+
+/** The member when present, nullptr when absent; JsonSchemaError when
+ *  present with a kind other than @p kind. */
+const JsonValue *
+typedMember(const JsonValue &obj, std::string_view key,
+            JsonValue::Kind kind, const char *type_name)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return nullptr;
+    if (v->kind != kind)
+        throw JsonSchemaError("json: member '" + std::string(key) +
+                              "' is not " + type_name);
+    return v;
+}
+
+double
+integralNumber(const JsonValue &v, std::string_view key)
+{
+    // Counts serialize as integers; a fractional value here means the
+    // document is not what this decoder thinks it is.
+    if (v.number != static_cast<double>(static_cast<std::int64_t>(v.number)))
+        throw JsonSchemaError("json: member '" + std::string(key) +
+                              "' is not an integer");
+    return v.number;
+}
+
+} // namespace
+
+std::uint64_t
+jsonU64(const JsonValue &obj, std::string_view key, std::uint64_t fallback)
+{
+    const JsonValue *v =
+        typedMember(obj, key, JsonValue::Kind::Number, "a number");
+    if (v == nullptr)
+        return fallback;
+    if (v->number < 0)
+        throw JsonSchemaError("json: member '" + std::string(key) +
+                              "' is negative");
+    return static_cast<std::uint64_t>(integralNumber(*v, key));
+}
+
+std::int64_t
+jsonI64(const JsonValue &obj, std::string_view key, std::int64_t fallback)
+{
+    const JsonValue *v =
+        typedMember(obj, key, JsonValue::Kind::Number, "a number");
+    if (v == nullptr)
+        return fallback;
+    return static_cast<std::int64_t>(integralNumber(*v, key));
+}
+
+int
+jsonInt(const JsonValue &obj, std::string_view key, int fallback)
+{
+    return static_cast<int>(jsonI64(obj, key, fallback));
+}
+
+double
+jsonNumber(const JsonValue &obj, std::string_view key, double fallback)
+{
+    const JsonValue *v =
+        typedMember(obj, key, JsonValue::Kind::Number, "a number");
+    return v ? v->number : fallback;
+}
+
+bool
+jsonBool(const JsonValue &obj, std::string_view key, bool fallback)
+{
+    const JsonValue *v =
+        typedMember(obj, key, JsonValue::Kind::Bool, "a boolean");
+    return v ? v->boolean : fallback;
+}
+
+std::string
+jsonString(const JsonValue &obj, std::string_view key, std::string fallback)
+{
+    const JsonValue *v =
+        typedMember(obj, key, JsonValue::Kind::String, "a string");
+    return v ? v->string : std::move(fallback);
+}
+
+const JsonValue *
+jsonArray(const JsonValue &obj, std::string_view key)
+{
+    return typedMember(obj, key, JsonValue::Kind::Array, "an array");
+}
+
+const JsonValue *
+jsonObject(const JsonValue &obj, std::string_view key)
+{
+    return typedMember(obj, key, JsonValue::Kind::Object, "an object");
+}
+
+void
+requireJsonObject(const JsonValue &value, std::string_view what)
+{
+    if (!value.isObject())
+        throw JsonSchemaError("json: " + std::string(what) +
+                              " is not an object");
 }
 
 } // namespace rm

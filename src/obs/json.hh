@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/errors.hh"
+
 namespace rm {
 
 /**
@@ -86,8 +88,58 @@ struct JsonValue
     bool has(std::string_view name) const { return find(name) != nullptr; }
 };
 
-/** Parse @p text; throws FatalError on malformed input. */
-JsonValue parseJson(std::string_view text);
+/**
+ * Parse @p text; throws FatalError on malformed input. Containers may
+ * nest at most @p max_depth deep — hostile deeply-nested garbage (the
+ * daemon parses bytes straight off the network) fails with a parse
+ * error instead of exhausting the stack.
+ */
+JsonValue parseJson(std::string_view text, int max_depth = 128);
+
+/**
+ * A structurally valid JSON document whose fields do not match the
+ * schema a decoder expects (wrong-typed member, negative count, ...).
+ * Distinct from the parse-level FatalError so callers can report
+ * "malformed JSON" and "valid JSON, wrong shape" differently; the
+ * message names the offending key.
+ */
+class JsonSchemaError : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+/**
+ * Typed member accessors with the decoder compatibility contract the
+ * artifact loaders (statsFromJson, the serve protocol, ...) share: a
+ * *missing* member returns @p fallback (forward compatibility — older
+ * producers), but a member that is *present with the wrong JSON type*
+ * throws JsonSchemaError naming the key instead of silently decoding a
+ * default. jsonU64 additionally rejects negative and non-integral
+ * numbers, jsonInt/jsonI64 reject non-integral ones.
+ */
+std::uint64_t jsonU64(const JsonValue &obj, std::string_view key,
+                      std::uint64_t fallback = 0);
+std::int64_t jsonI64(const JsonValue &obj, std::string_view key,
+                     std::int64_t fallback = 0);
+int jsonInt(const JsonValue &obj, std::string_view key, int fallback = 0);
+double jsonNumber(const JsonValue &obj, std::string_view key,
+                  double fallback = 0.0);
+bool jsonBool(const JsonValue &obj, std::string_view key,
+              bool fallback = false);
+std::string jsonString(const JsonValue &obj, std::string_view key,
+                       std::string fallback = {});
+
+/**
+ * Container accessors: nullptr when the member is absent, JsonSchemaError
+ * when it is present but not an array / object.
+ */
+const JsonValue *jsonArray(const JsonValue &obj, std::string_view key);
+const JsonValue *jsonObject(const JsonValue &obj, std::string_view key);
+
+/** Throw JsonSchemaError unless @p value is an object (@p what names
+ *  the document for the message). */
+void requireJsonObject(const JsonValue &value, std::string_view what);
 
 } // namespace rm
 

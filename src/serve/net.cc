@@ -1,0 +1,280 @@
+#include "serve/net.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/errors.hh"
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "serve/protocol.hh"
+#include "serve/service.hh"
+
+namespace rm {
+
+/**
+ * Shared state of one client connection. Job responses arrive from
+ * worker threads while the reader thread may be writing a rejection,
+ * so every send goes through writeLine()'s mutex; once a send fails
+ * the connection is dead and later responses are dropped (the journal
+ * still has the result — the client re-asks after reconnecting).
+ */
+struct ServeServer::Connection
+{
+    int fd = -1;
+    std::mutex writeMutex;
+    bool alive = true;  ///< guarded by writeMutex
+
+    void
+    writeLine(const std::string &text)
+    {
+        std::string line = text;
+        line.push_back('\n');
+        const std::lock_guard<std::mutex> lock(writeMutex);
+        if (!alive)
+            return;
+        std::size_t done = 0;
+        while (done < line.size()) {
+            const ssize_t n = ::send(fd, line.data() + done,
+                                     line.size() - done, MSG_NOSIGNAL);
+            if (n <= 0) {
+                alive = false;
+                return;
+            }
+            done += static_cast<std::size_t>(n);
+        }
+    }
+};
+
+namespace {
+
+int
+listenOn(const std::string &host, int port, int backlog, int *bound)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(fd < 0, "serve: cannot create socket");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        fatal("serve: bad listen address '", host, "'");
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        ::close(fd);
+        fatal("serve: cannot bind ", host, ":", port);
+    }
+    if (::listen(fd, backlog) != 0) {
+        ::close(fd);
+        fatal("serve: cannot listen on ", host, ":", port);
+    }
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&actual), &len) ==
+        0)
+        *bound = static_cast<int>(ntohs(actual.sin_port));
+    return fd;
+}
+
+/** Wait for readability with a short timeout so stop flags get seen. */
+bool
+waitReadable(int fd, const std::atomic<bool> &stop)
+{
+    while (!stop.load()) {
+        pollfd p{};
+        p.fd = fd;
+        p.events = POLLIN;
+        const int n = ::poll(&p, 1, 200);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n > 0)
+            return (p.revents & (POLLERR | POLLHUP | POLLNVAL)) == 0 ||
+                   (p.revents & POLLIN) != 0;
+    }
+    return false;
+}
+
+} // namespace
+
+ServeServer::ServeServer(SweepService &svc, ServeNetConfig cfg)
+    : service(svc), net(std::move(cfg))
+{
+    listenFd = listenOn(net.host, net.port, net.backlog, &boundPort);
+}
+
+ServeServer::~ServeServer()
+{
+    if (listenFd >= 0)
+        ::close(listenFd);
+}
+
+void
+ServeServer::handleLine(const std::shared_ptr<Connection> &conn,
+                        const std::string &line)
+{
+    JsonValue doc;
+    try {
+        doc = parseJson(line);
+    } catch (const std::exception &e) {
+        JobResponse bad;
+        bad.outcome = JobOutcome::BadRequest;
+        bad.error = e.what() ? e.what() : "malformed JSON";
+        conn->writeLine(encodeJobResponse(bad));
+        return;
+    }
+
+    // Control lines are handled here; everything else is a job.
+    if (doc.isObject() && doc.has("cmd")) {
+        std::string cmd;
+        std::string id;
+        try {
+            cmd = jsonString(doc, "cmd");
+            id = jsonString(doc, "id");
+        } catch (const std::exception &e) {
+            JobResponse bad;
+            bad.outcome = JobOutcome::BadRequest;
+            bad.error = e.what() ? e.what() : "bad command";
+            conn->writeLine(encodeJobResponse(bad));
+            return;
+        }
+        const std::string idField =
+            "\"id\":\"" + JsonWriter::escape(id) + "\",";
+        if (cmd == "ping") {
+            conn->writeLine("{" + idField +
+                            "\"status\":\"ok\",\"pong\":true}");
+        } else if (cmd == "metrics") {
+            conn->writeLine("{" + idField +
+                            "\"status\":\"ok\",\"metrics\":" +
+                            service.metricsJson() + "}");
+        } else if (cmd == "drain") {
+            conn->writeLine("{" + idField +
+                            "\"status\":\"ok\",\"draining\":true}");
+            shutdown();
+        } else {
+            JobResponse bad;
+            bad.id = id;
+            bad.outcome = JobOutcome::BadRequest;
+            bad.error = "unknown cmd '" + cmd + "'";
+            conn->writeLine(encodeJobResponse(bad));
+        }
+        return;
+    }
+
+    JobRequest request;
+    try {
+        request = decodeJobRequest(doc);
+    } catch (const std::exception &e) {
+        JobResponse bad;
+        bad.outcome = JobOutcome::BadRequest;
+        if (doc.isObject())
+            bad.id = jsonString(doc, "id");
+        bad.error = e.what() ? e.what() : "bad request";
+        conn->writeLine(encodeJobResponse(bad));
+        return;
+    }
+    service.submit(request, [conn](const JobResponse &response) {
+        conn->writeLine(encodeJobResponse(response));
+    });
+}
+
+void
+ServeServer::serveConnection(const std::shared_ptr<Connection> &conn)
+{
+    std::string buffer;
+    char chunk[4096];
+    bool peerClosed = false;
+    while (waitReadable(conn->fd, stopFlag)) {
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            peerClosed = true;
+            break;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        // A client that streams an unbounded line is hostile: drop it
+        // before the buffer becomes the memory bound.
+        if (buffer.size() > (1u << 20) &&
+            buffer.find('\n') == std::string::npos) {
+            warn("serve: dropping connection with a >1MiB line");
+            peerClosed = true;
+            break;
+        }
+        std::size_t start = 0;
+        for (std::size_t nl = buffer.find('\n', start);
+             nl != std::string::npos; nl = buffer.find('\n', start)) {
+            std::string line = buffer.substr(start, nl - start);
+            start = nl + 1;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (!line.empty())
+                handleLine(conn, line);
+        }
+        buffer.erase(0, start);
+    }
+    // On shutdown the reader exits but the connection stays writable:
+    // the service drain still owes this client its in-flight answers.
+    // Only a peer that actually went away gets marked dead.
+    if (peerClosed) {
+        const std::lock_guard<std::mutex> lock(conn->writeMutex);
+        conn->alive = false;
+    }
+}
+
+void
+ServeServer::run()
+{
+    while (!stopFlag.load()) {
+        if (!waitReadable(listenFd, stopFlag))
+            continue;
+        sockaddr_in peer{};
+        socklen_t len = sizeof(peer);
+        const int fd = ::accept(
+            listenFd, reinterpret_cast<sockaddr *>(&peer), &len);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            const std::lock_guard<std::mutex> lock(connMutex);
+            connections.push_back(conn);
+            connThreads.emplace_back(
+                [this, conn] { serveConnection(conn); });
+        }
+    }
+
+    // Graceful drain: every accepted job answers (ok / preempted /
+    // shutting-down) before the sockets close, so a client blocked on
+    // a response is never left hanging.
+    service.drain();
+    {
+        const std::lock_guard<std::mutex> lock(connMutex);
+        for (const std::shared_ptr<Connection> &conn : connections) {
+            const std::lock_guard<std::mutex> w(conn->writeMutex);
+            conn->alive = false;
+            ::shutdown(conn->fd, SHUT_RDWR);
+        }
+    }
+    for (std::thread &t : connThreads)
+        if (t.joinable())
+            t.join();
+    {
+        const std::lock_guard<std::mutex> lock(connMutex);
+        for (const std::shared_ptr<Connection> &conn : connections)
+            ::close(conn->fd);
+        connections.clear();
+    }
+}
+
+} // namespace rm

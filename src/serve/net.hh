@@ -1,0 +1,89 @@
+#ifndef RM_SERVE_NET_HH
+#define RM_SERVE_NET_HH
+
+/**
+ * @file
+ * TCP shell around SweepService: a POSIX-socket accept loop plus one
+ * reader thread per connection, speaking the newline-delimited JSON
+ * protocol of serve/protocol.hh. The shell is deliberately thin — all
+ * scheduling, caching and robustness live in the service, so tests
+ * drive SweepService directly and this layer only moves bytes.
+ *
+ * Besides job requests, the shell answers three control lines:
+ *
+ *     {"cmd":"ping","id":"x"}     -> {"id":"x","status":"ok","pong":true}
+ *     {"cmd":"metrics","id":"x"}  -> {"id":"x","status":"ok","metrics":{..}}
+ *     {"cmd":"drain","id":"x"}    -> {"id":"x","status":"ok","draining":true}
+ *                                    (then initiates graceful shutdown)
+ *
+ * A line that fails to parse or decode answers a "bad-request"
+ * response on the same connection instead of killing it — one hostile
+ * client line must never take down the daemon or its neighbours.
+ */
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rm {
+
+class SweepService;
+
+/** Listener knobs of one ServeServer. */
+struct ServeNetConfig
+{
+    std::string host = "127.0.0.1";
+    /** TCP port; 0 binds an ephemeral port (read it back via port()). */
+    int port = 0;
+    int backlog = 16;
+};
+
+/** The daemon's accept loop; owns the listener and connection threads. */
+class ServeServer
+{
+  public:
+    /** Binds and listens immediately (throws FatalError on failure);
+     *  the accept loop itself runs in run(). */
+    ServeServer(SweepService &service, ServeNetConfig net);
+    ~ServeServer();
+
+    ServeServer(const ServeServer &) = delete;
+    ServeServer &operator=(const ServeServer &) = delete;
+
+    /** The bound port (resolves port 0 to the kernel's choice). */
+    int port() const { return boundPort; }
+
+    /**
+     * Accept and serve connections until shutdown() is called (from a
+     * signal handler's check loop, another thread, or a client's
+     * {"cmd":"drain"}). Drains the service before returning, so every
+     * accepted job is answered and the journal is fsync'd.
+     */
+    void run();
+
+    /** Ask run() to stop; safe to call from any thread, repeatedly. */
+    void shutdown() { stopFlag.store(true); }
+
+  private:
+    struct Connection;
+
+    void serveConnection(const std::shared_ptr<Connection> &conn);
+    void handleLine(const std::shared_ptr<Connection> &conn,
+                    const std::string &line);
+
+    SweepService &service;
+    ServeNetConfig net;
+    int listenFd = -1;
+    int boundPort = 0;
+    std::atomic<bool> stopFlag{false};
+    std::mutex connMutex;
+    std::vector<std::shared_ptr<Connection>> connections;
+    std::vector<std::thread> connThreads;
+};
+
+} // namespace rm
+
+#endif // RM_SERVE_NET_HH

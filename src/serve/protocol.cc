@@ -1,0 +1,123 @@
+#include "serve/protocol.hh"
+
+#include "obs/export.hh"
+#include "obs/json.hh"
+
+namespace rm {
+
+const char *
+jobOutcomeName(JobOutcome outcome)
+{
+    switch (outcome) {
+      case JobOutcome::Ok:
+        return "ok";
+      case JobOutcome::Failed:
+        return "failed";
+      case JobOutcome::Preempted:
+        return "preempted";
+      case JobOutcome::Overloaded:
+        return "overloaded";
+      case JobOutcome::Quarantined:
+        return "quarantined";
+      case JobOutcome::ShuttingDown:
+        return "shutting-down";
+      case JobOutcome::BadRequest:
+        return "bad-request";
+    }
+    return "unknown";
+}
+
+namespace {
+
+JobOutcome
+outcomeFromName(const std::string &name)
+{
+    for (const JobOutcome o :
+         {JobOutcome::Ok, JobOutcome::Failed, JobOutcome::Preempted,
+          JobOutcome::Overloaded, JobOutcome::Quarantined,
+          JobOutcome::ShuttingDown, JobOutcome::BadRequest})
+        if (name == jobOutcomeName(o))
+            return o;
+    throw JsonSchemaError("job response: unknown status '" + name + "'");
+}
+
+} // namespace
+
+std::string
+encodeJobRequest(const JobRequest &request)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("id").value(request.id);
+    w.key("client").value(request.client);
+    w.key("workload").value(request.workload);
+    w.key("policy").value(request.policy);
+    w.key("arch").value(request.arch);
+    w.key("priority").value(request.priority);
+    w.key("max_cycles").value(request.maxCycles);
+    w.endObject();
+    return w.take();
+}
+
+JobRequest
+decodeJobRequest(const JsonValue &doc)
+{
+    requireJsonObject(doc, "job request");
+    JobRequest request;
+    request.id = jsonString(doc, "id");
+    request.client = jsonString(doc, "client");
+    request.workload = jsonString(doc, "workload");
+    request.policy = jsonString(doc, "policy");
+    request.arch = jsonString(doc, "arch", "GTX480");
+    request.priority = jsonInt(doc, "priority");
+    request.maxCycles = jsonU64(doc, "max_cycles");
+    if (request.workload.empty())
+        throw JsonSchemaError("job request: missing 'workload'");
+    if (request.policy.empty())
+        throw JsonSchemaError("job request: missing 'policy'");
+    return request;
+}
+
+std::string
+encodeJobResponse(const JobResponse &response)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("id").value(response.id);
+    w.key("status").value(jobOutcomeName(response.outcome));
+    if (!response.error.empty())
+        w.key("error").value(response.error);
+    if (!response.key.empty())
+        w.key("key").value(response.key);
+    w.key("cached").value(response.cached);
+    w.key("attempts").value(response.attempts);
+    if (response.retryAfterMs > 0.0)
+        w.key("retry_after_ms").value(response.retryAfterMs);
+    if (response.hasStats) {
+        w.key("stats");
+        statsToJson(w, response.stats);
+    }
+    w.endObject();
+    return w.take();
+}
+
+JobResponse
+decodeJobResponse(const JsonValue &doc)
+{
+    requireJsonObject(doc, "job response");
+    JobResponse response;
+    response.id = jsonString(doc, "id");
+    response.outcome = outcomeFromName(jsonString(doc, "status"));
+    response.error = jsonString(doc, "error");
+    response.key = jsonString(doc, "key");
+    response.cached = jsonBool(doc, "cached");
+    response.attempts = jsonInt(doc, "attempts");
+    response.retryAfterMs = jsonNumber(doc, "retry_after_ms");
+    if (const JsonValue *stats = jsonObject(doc, "stats")) {
+        response.stats = statsFromJson(*stats);
+        response.hasStats = true;
+    }
+    return response;
+}
+
+} // namespace rm

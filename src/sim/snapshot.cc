@@ -1,10 +1,13 @@
 #include "sim/snapshot.hh"
 
+#include <atomic>
 #include <bit>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "sim/config.hh"
 
@@ -338,7 +341,17 @@ void
 writeSnapshotFile(const std::string &path, const GpuSnapshot &snap)
 {
     const std::string payload = snap.serialize();
-    const std::string tmp = path + ".tmp";
+    // Unique temp per writer: two sweeps (or a sweep and the serve
+    // daemon) sharing a snapshot dir may snapshot the same cell
+    // concurrently. A shared "<path>.tmp" would let one writer rename
+    // the other's half-written file into place; pid + a process-wide
+    // counter keeps every in-flight temp distinct, and the final
+    // rename stays the single atomic commit point.
+    static std::atomic<std::uint64_t> temp_serial{0};
+    std::ostringstream suffix;
+    suffix << ".tmp." << ::getpid() << '.'
+           << temp_serial.fetch_add(1, std::memory_order_relaxed);
+    const std::string tmp = path + suffix.str();
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         fatalIf(!out, "snapshot: cannot write '", tmp, "'");

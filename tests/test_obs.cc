@@ -540,5 +540,94 @@ TEST_F(ObservedRun, DisablingSinksChangesNoCycles)
     EXPECT_EQ(plain.stats.instructions, run.stats.instructions);
 }
 
+// --- Hostile input ---
+//
+// The serve daemon decodes these documents straight off a TCP socket,
+// so the decoders must fail with a structured error on anything
+// malformed or wrong-shaped — never default-construct silently, never
+// crash.
+
+TEST(HostileJson, TruncatedDocumentsThrow)
+{
+    for (const char *text :
+         {"{\"cycles\":", "{\"a\":1,", "[1,2", "\"unterminated",
+          "{\"stats\":{\"cycles\":12"})
+        EXPECT_THROW(parseJson(text), FatalError) << text;
+}
+
+TEST(HostileJson, DeeplyNestedDocumentThrows)
+{
+    std::string deep;
+    for (int i = 0; i < 500; ++i)
+        deep += '[';
+    for (int i = 0; i < 500; ++i)
+        deep += ']';
+    EXPECT_THROW(parseJson(deep), FatalError);
+    // A merely nested document under the limit still parses.
+    std::string fine = "1";
+    for (int i = 0; i < 50; ++i)
+        fine = "[" + fine + "]";
+    EXPECT_NO_THROW(parseJson(fine));
+    // The caller can tighten the limit for hostile surfaces.
+    EXPECT_THROW(parseJson("[[[[1]]]]", 2), FatalError);
+}
+
+TEST(HostileJson, HugeNumbersDoNotCrash)
+{
+    EXPECT_THROW(parseJson(std::string("{\"x\":1e") +
+                           std::string(4000, '9') + "}"),
+                 FatalError);
+}
+
+TEST(HostileJson, WrongTypedStatsFieldsThrowSchemaErrors)
+{
+    // Present-but-wrong-typed members must not decode as defaults.
+    EXPECT_THROW(statsFromJson(parseJson("{\"cycles\":\"fast\"}")),
+                 JsonSchemaError);
+    EXPECT_THROW(statsFromJson(parseJson("{\"cycles\":-5}")),
+                 JsonSchemaError);
+    EXPECT_THROW(statsFromJson(parseJson("{\"cycles\":1.5}")),
+                 JsonSchemaError);
+    EXPECT_THROW(
+        statsFromJson(parseJson("{\"avg_resident_warps\":[1,2]}")),
+        JsonSchemaError);
+    EXPECT_THROW(statsFromJson(parseJson("{\"stalls\":7}")),
+                 JsonSchemaError);
+    EXPECT_THROW(statsFromJson(parseJson("{\"hang\":\"yes\"}")),
+                 JsonSchemaError);
+    EXPECT_THROW(statsFromJson(parseJson("{\"deadlocked\":\"true\"}")),
+                 JsonSchemaError);
+    // The whole document must be an object.
+    EXPECT_THROW(statsFromJson(parseJson("[1,2,3]")), JsonSchemaError);
+    EXPECT_THROW(statsFromJson(parseJson("42")), JsonSchemaError);
+    // Missing members still default (forward compatibility).
+    EXPECT_NO_THROW(statsFromJson(parseJson("{}")));
+}
+
+TEST(HostileJson, WrongTypedDiagnosisFieldsThrowSchemaErrors)
+{
+    EXPECT_THROW(diagnosisFromJson(parseJson("\"hung\"")),
+                 JsonSchemaError);
+    EXPECT_THROW(diagnosisFromJson(parseJson("{\"warps\":{}}")),
+                 JsonSchemaError);
+    EXPECT_THROW(diagnosisFromJson(parseJson("{\"warps\":[42]}")),
+                 JsonSchemaError);
+    EXPECT_THROW(diagnosisFromJson(parseJson("{\"cycle\":\"now\"}")),
+                 JsonSchemaError);
+    EXPECT_NO_THROW(diagnosisFromJson(parseJson("{}")));
+}
+
+TEST(HostileJson, SchemaErrorsNameTheOffendingKey)
+{
+    try {
+        statsFromJson(parseJson("{\"instructions\":false}"));
+        FAIL() << "expected JsonSchemaError";
+    } catch (const JsonSchemaError &e) {
+        EXPECT_NE(std::string(e.what()).find("instructions"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 } // namespace
 } // namespace rm

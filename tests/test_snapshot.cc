@@ -15,7 +15,9 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <thread>
 #include <iterator>
 #include <string>
 #include <vector>
@@ -194,6 +196,55 @@ TEST(GpuSnapshotFormat, FileRoundTripIsAtomic)
     std::ofstream(path, std::ios::trunc) << "not a snapshot";
     EXPECT_THROW(readSnapshotFile(path), SnapshotError);
     std::remove(path.c_str());
+}
+
+TEST(GpuSnapshotFormat, ConcurrentWritersToOnePathStayAtomic)
+{
+    // Two processes (or the serve daemon's workers) sharing a snapshot
+    // directory may race on the same cell's file. Each write stages
+    // through a writer-unique temp name, so the rename is atomic: the
+    // final file is always one complete snapshot — never interleaved
+    // bytes — and no temp files survive the race.
+    const std::string dir =
+        testing::TempDir() + "rm_snapshot_concurrent";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/cell.snap";
+
+    GpuSnapshot a;
+    a.kernel = "writer-a";
+    a.numSms = 1;
+    a.sms.resize(1);
+    GpuSnapshot b;
+    b.kernel = "writer-b";
+    b.numSms = 3;
+    b.sms.resize(3);
+
+    constexpr int kWrites = 50;
+    auto writer = [&path](const GpuSnapshot &snap) {
+        for (int i = 0; i < kWrites; ++i)
+            writeSnapshotFile(path, snap);
+    };
+    std::thread ta(writer, std::cref(a));
+    std::thread tb(writer, std::cref(b));
+    ta.join();
+    tb.join();
+
+    const GpuSnapshot last = readSnapshotFile(path);
+    if (last.kernel == "writer-a")
+        EXPECT_EQ(last.numSms, 1);
+    else {
+        EXPECT_EQ(last.kernel, "writer-b");
+        EXPECT_EQ(last.numSms, 3);
+    }
+
+    std::vector<std::string> leftovers;
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        if (entry.path().filename() != "cell.snap")
+            leftovers.push_back(entry.path().filename().string());
+    EXPECT_TRUE(leftovers.empty())
+        << "stray temp files: " << leftovers.size();
+    std::filesystem::remove_all(dir);
 }
 
 // --- Kill-resume equivalence ---
