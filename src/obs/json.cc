@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "common/errors.hh"
 
@@ -455,7 +456,14 @@ jsonI64(const JsonValue &obj, std::string_view key, std::int64_t fallback)
 int
 jsonInt(const JsonValue &obj, std::string_view key, int fallback)
 {
-    return static_cast<int>(jsonI64(obj, key, fallback));
+    const std::int64_t wide = jsonI64(obj, key, fallback);
+    // A hostile value like 2^33 must throw, not wrap: truncation here
+    // would silently decode a different number than the document said.
+    if (wide < std::numeric_limits<int>::min() ||
+        wide > std::numeric_limits<int>::max())
+        throw JsonSchemaError("json: member '" + std::string(key) +
+                              "' overflows int");
+    return static_cast<int>(wide);
 }
 
 double

@@ -116,7 +116,8 @@ class JsonSchemaError : public FatalError
  * producers), but a member that is *present with the wrong JSON type*
  * throws JsonSchemaError naming the key instead of silently decoding a
  * default. jsonU64 additionally rejects negative and non-integral
- * numbers, jsonInt/jsonI64 reject non-integral ones.
+ * numbers, jsonInt/jsonI64 reject non-integral ones, and jsonInt
+ * rejects values outside int's range instead of truncating.
  */
 std::uint64_t jsonU64(const JsonValue &obj, std::string_view key,
                       std::uint64_t fallback = 0);

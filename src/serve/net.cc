@@ -31,6 +31,10 @@ struct ServeServer::Connection
     int fd = -1;
     std::mutex writeMutex;
     bool alive = true;  ///< guarded by writeMutex
+    /** The peer hung up and the reader exited: the accept loop may
+     *  join the thread and close the socket. Never set on a shutdown-
+     *  stopped reader — drain still owes that client its answers. */
+    std::atomic<bool> done{false};
 
     void
     writeLine(const std::string &text)
@@ -179,8 +183,12 @@ ServeServer::handleLine(const std::shared_ptr<Connection> &conn,
     } catch (const std::exception &e) {
         JobResponse bad;
         bad.outcome = JobOutcome::BadRequest;
-        if (doc.isObject())
-            bad.id = jsonString(doc, "id");
+        // Echo the id defensively: jsonString throws when 'id' is
+        // present but wrong-typed, and nothing may escape this handler
+        // (an escaping exception would terminate the daemon).
+        if (const JsonValue *id = doc.find("id");
+            id != nullptr && id->kind == JsonValue::Kind::String)
+            bad.id = id->string;
         bad.error = e.what() ? e.what() : "bad request";
         conn->writeLine(encodeJobResponse(bad));
         return;
@@ -227,17 +235,58 @@ ServeServer::serveConnection(const std::shared_ptr<Connection> &conn)
     // the service drain still owes this client its in-flight answers.
     // Only a peer that actually went away gets marked dead.
     if (peerClosed) {
-        const std::lock_guard<std::mutex> lock(conn->writeMutex);
-        conn->alive = false;
+        {
+            const std::lock_guard<std::mutex> lock(conn->writeMutex);
+            conn->alive = false;
+        }
+        // After alive is down no late response touches the fd, so the
+        // accept loop may reap this connection (join + close).
+        conn->done.store(true);
     }
+}
+
+/**
+ * Join reader threads whose peer hung up and release their sockets.
+ * Without this a long-running daemon serving many short-lived
+ * connections accumulates a joinable thread and an open fd per past
+ * client until shutdown. Runs on the accept thread between polls.
+ */
+void
+ServeServer::reapFinished()
+{
+    const std::lock_guard<std::mutex> lock(connMutex);
+    for (std::size_t i = 0; i < connections.size();) {
+        if (!connections[i]->done.load()) {
+            ++i;
+            continue;
+        }
+        connThreads[i].join();
+        ::close(connections[i]->fd);
+        connections.erase(connections.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        connThreads.erase(connThreads.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    }
+}
+
+std::size_t
+ServeServer::liveConnections()
+{
+    const std::lock_guard<std::mutex> lock(connMutex);
+    return connections.size();
 }
 
 void
 ServeServer::run()
 {
     while (!stopFlag.load()) {
-        if (!waitReadable(listenFd, stopFlag))
-            continue;
+        reapFinished();
+        pollfd p{};
+        p.fd = listenFd;
+        p.events = POLLIN;
+        const int n = ::poll(&p, 1, 200);
+        if (n <= 0)
+            continue;  // timeout or EINTR: reap and re-check the flag
         sockaddr_in peer{};
         socklen_t len = sizeof(peer);
         const int fd = ::accept(

@@ -67,12 +67,17 @@ class ServeServer
     /** Ask run() to stop; safe to call from any thread, repeatedly. */
     void shutdown() { stopFlag.store(true); }
 
+    /** Connections not yet reaped (observability and tests); the
+     *  accept loop reaps hung-up peers between polls. */
+    std::size_t liveConnections();
+
   private:
     struct Connection;
 
     void serveConnection(const std::shared_ptr<Connection> &conn);
     void handleLine(const std::shared_ptr<Connection> &conn,
                     const std::string &line);
+    void reapFinished();
 
     SweepService &service;
     ServeNetConfig net;

@@ -93,6 +93,10 @@ SweepService::submit(const JobRequest &request, Callback cb)
     // Circuit breaker: a (workload, policy) pair with a streak of
     // deterministic failures is quarantined until its cooldown passes;
     // then exactly one probe job is admitted (half-open) to test it.
+    // The probe slot is only claimed further down, once the request is
+    // genuinely enqueued — a cache hit or rejection below must not
+    // leave `probing` set with no job in flight to ever clear it.
+    Breaker *halfOpenProbe = nullptr;
     if (const auto it = breakers.find(pair);
         it != breakers.end() && it->second.open) {
         Breaker &b = it->second;
@@ -110,7 +114,7 @@ SweepService::submit(const JobRequest &request, Callback cb)
             cb(response);
             return;
         }
-        b.probing = true;
+        halfOpenProbe = &b;
     }
 
     // Result cache: the replayed journal first (results from previous
@@ -132,6 +136,27 @@ SweepService::submit(const JobRequest &request, Callback cb)
         return;
     }
 
+    // Admission control, first leg: the per-client in-flight cap is
+    // checked before coalescing too — an attached waiter holds a
+    // response slot just like a dedicated job, so duplicate keys must
+    // not let one client sail past its bound. Rejections carry a
+    // retry-after hint derived from the EWMA of recent cell service
+    // times and the backlog.
+    const auto loadIt = clientLoad.find(request.client);
+    const int load = loadIt == clientLoad.end() ? 0 : loadIt->second;
+    if (load >= config.perClientLimit) {
+        ++stats.rejectedClientCap;
+        response.outcome = JobOutcome::Overloaded;
+        response.error = "client '" + request.client + "' has " +
+                         std::to_string(load) +
+                         " jobs in flight (cap " +
+                         std::to_string(config.perClientLimit) + ")";
+        response.retryAfterMs = retryAfterEstimateMs();
+        lock.unlock();
+        cb(response);
+        return;
+    }
+
     // Coalescing: an identical cell already queued or running gets
     // this submission attached as an extra waiter — one simulation,
     // many answers.
@@ -144,21 +169,7 @@ SweepService::submit(const JobRequest &request, Callback cb)
         return;
     }
 
-    // Admission control: per-client in-flight cap, then the global
-    // queue bound. Both rejections carry a retry-after hint derived
-    // from the EWMA of recent cell service times and the backlog.
-    if (clientLoad[request.client] >= config.perClientLimit) {
-        ++stats.rejectedClientCap;
-        response.outcome = JobOutcome::Overloaded;
-        response.error = "client '" + request.client + "' has " +
-                         std::to_string(clientLoad[request.client]) +
-                         " jobs in flight (cap " +
-                         std::to_string(config.perClientLimit) + ")";
-        response.retryAfterMs = retryAfterEstimateMs();
-        lock.unlock();
-        cb(response);
-        return;
-    }
+    // Admission control, second leg: the global queue bound.
     if (queue.size() >= config.queueLimit) {
         ++stats.rejectedOverload;
         response.outcome = JobOutcome::Overloaded;
@@ -171,6 +182,10 @@ SweepService::submit(const JobRequest &request, Callback cb)
     }
 
     auto job = std::make_shared<Job>();
+    if (halfOpenProbe != nullptr) {
+        halfOpenProbe->probing = true;  // this request IS the probe
+        job->breakerProbe = true;
+    }
     job->cell = std::move(cell);
     job->key = key;
     job->priority = request.priority;
@@ -399,6 +414,14 @@ SweepService::finishJob(const std::shared_ptr<Job> &job,
             return;
         }
         inFlight.erase(job->key);
+        // Terminal preemption (deadline hit, or cancelled by drain)
+        // reaches no breaker verdict; if this job was the half-open
+        // probe, release the slot so the pair can be probed again.
+        if (job->breakerProbe) {
+            if (const auto it = breakers.find(pair);
+                it != breakers.end())
+                it->second.probing = false;
+        }
         base.outcome = JobOutcome::Preempted;
         base.error = result.error.empty()
                          ? std::string("preempted")

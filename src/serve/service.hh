@@ -180,6 +180,9 @@ class SweepService
         /** Cancelled to yield to a higher priority (re-queue on
          *  Preempted) rather than to drain (answer "preempted"). */
         bool preemptToYield = false;
+        /** This job holds its pair's half-open breaker probe slot;
+         *  every terminal outcome must release it. */
+        bool breakerProbe = false;
         std::vector<Waiter> waiters;  ///< first entry is the submitter
     };
 

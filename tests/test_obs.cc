@@ -604,6 +604,27 @@ TEST(HostileJson, WrongTypedStatsFieldsThrowSchemaErrors)
     EXPECT_NO_THROW(statsFromJson(parseJson("{}")));
 }
 
+TEST(HostileJson, IntOverflowThrowsInsteadOfTruncating)
+{
+    // 2^33 fits a double and an int64 but not an int: jsonInt must
+    // throw a key-naming schema error rather than wrap to garbage.
+    try {
+        jsonInt(parseJson("{\"priority\":8589934592}"), "priority");
+        FAIL() << "expected JsonSchemaError";
+    } catch (const JsonSchemaError &e) {
+        EXPECT_NE(std::string(e.what()).find("priority"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(jsonInt(parseJson("{\"n\":-8589934592}"), "n"),
+                 JsonSchemaError);
+    // Boundary values still decode exactly.
+    EXPECT_EQ(jsonInt(parseJson("{\"n\":2147483647}"), "n"),
+              2147483647);
+    EXPECT_EQ(jsonInt(parseJson("{\"n\":-2147483648}"), "n"),
+              -2147483647 - 1);
+}
+
 TEST(HostileJson, WrongTypedDiagnosisFieldsThrowSchemaErrors)
 {
     EXPECT_THROW(diagnosisFromJson(parseJson("\"hung\"")),

@@ -24,7 +24,14 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "obs/json.hh"
+#include "serve/net.hh"
 #include "serve/protocol.hh"
 #include "serve/service.hh"
 
@@ -428,6 +435,97 @@ TEST(ServeService, BreakerClosesAfterSuccessfulProbe)
     EXPECT_EQ(service.counters().rejectedQuarantine, 0u);
 }
 
+TEST(ServeService, CacheHitDoesNotConsumeHalfOpenProbe)
+{
+    std::atomic<int> halfRfCalls{0};
+    ServeConfig config;
+    config.workers = 1;
+    config.retries = 0;
+    config.breakerThreshold = 1;
+    config.breakerCooldownMs = 20.0;
+    config.runCell = [&](const SweepCase &cell, const SweepOptions &) {
+        if (cell.arch == "half-RF")
+            return ++halfRfCalls == 1
+                       ? statusResult(SweepStatus::CompileFailed,
+                                      "once")
+                       : okResult(9);
+        return okResult(5);
+    };
+    SweepService service(config);
+
+    // Cache a (BFS, baseline) cell, then open the pair's breaker via
+    // its half-RF sibling (distinct cache key, same pair).
+    Capture seeded;
+    service.submit(makeRequest("h1", "BFS", "baseline"), seeded.cb());
+    EXPECT_EQ(seeded.get().outcome, JobOutcome::Ok);
+    JobRequest broken = makeRequest("h2", "BFS", "baseline");
+    broken.arch = "half-RF";
+    Capture tripped;
+    service.submit(broken, tripped.cb());
+    EXPECT_EQ(tripped.get().outcome, JobOutcome::Failed);
+    EXPECT_EQ(service.counters().breakerOpens, 1u);
+
+    // After the cooldown a cached answer needs no simulation, so it
+    // must not claim the probe slot (it used to, and with no job in
+    // flight to clear `probing` the pair was quarantined forever).
+    std::this_thread::sleep_for(40ms);
+    Capture hit;
+    service.submit(makeRequest("h3", "BFS", "baseline"), hit.cb());
+    const JobResponse cached = hit.get();
+    EXPECT_EQ(cached.outcome, JobOutcome::Ok);
+    EXPECT_TRUE(cached.cached);
+
+    // The real probe is still admitted and closes the breaker.
+    JobRequest probe = makeRequest("h4", "BFS", "baseline");
+    probe.arch = "half-RF";
+    Capture probed;
+    service.submit(probe, probed.cb());
+    EXPECT_EQ(probed.get().outcome, JobOutcome::Ok);
+    EXPECT_EQ(halfRfCalls.load(), 2);
+    EXPECT_EQ(service.counters().rejectedQuarantine, 0u);
+}
+
+TEST(ServeService, PreemptedProbeReleasesHalfOpenSlot)
+{
+    std::atomic<int> calls{0};
+    ServeConfig config;
+    config.workers = 1;
+    config.retries = 0;
+    config.breakerThreshold = 1;
+    config.breakerCooldownMs = 20.0;
+    config.runCell = [&](const SweepCase &, const SweepOptions &) {
+        switch (++calls) {
+          case 1:
+            return statusResult(SweepStatus::SimFailed, "flaky");
+          case 2:
+            // The probe stopping at its own deadline: terminal
+            // preemption, which reaches no breaker verdict.
+            return statusResult(SweepStatus::Preempted, "deadline");
+          default:
+            return okResult();
+        }
+    };
+    SweepService service(config);
+
+    Capture first;
+    service.submit(makeRequest("x1", "BFS", "baseline"), first.cb());
+    EXPECT_EQ(first.get().outcome, JobOutcome::Failed);
+    EXPECT_EQ(service.counters().breakerOpens, 1u);
+
+    std::this_thread::sleep_for(40ms);
+    JobRequest probe = makeRequest("x2", "BFS", "baseline");
+    probe.arch = "half-RF";
+    Capture preempted;
+    service.submit(probe, preempted.cb());
+    EXPECT_EQ(preempted.get().outcome, JobOutcome::Preempted);
+
+    // The preempted probe must release the half-open slot so the pair
+    // can be probed again (it used to stay quarantined forever).
+    Capture next;
+    service.submit(makeRequest("x3", "BFS", "baseline"), next.cb());
+    EXPECT_EQ(next.get().outcome, JobOutcome::Ok);
+}
+
 // --- Preemption and coalescing ---------------------------------------
 
 TEST(ServeService, HigherPriorityPreemptsAndVictimResumes)
@@ -542,6 +640,52 @@ TEST(ServeService, IdenticalInFlightSubmissionsCoalesce)
     EXPECT_EQ(service.counters().coalesced, 1u);
 }
 
+TEST(ServeService, CoalescedSubmissionsRespectClientCap)
+{
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    ServeConfig config;
+    config.workers = 1;
+    config.perClientLimit = 1;
+    config.runCell = [&](const SweepCase &, const SweepOptions &opts) {
+        started.store(true);
+        while (!release.load()) {
+            if (opts.gpu.control.cancel->load())
+                return statusResult(SweepStatus::Preempted,
+                                    "preempted");
+            std::this_thread::sleep_for(1ms);
+        }
+        return okResult();
+    };
+    SweepService service(config);
+
+    Capture first;
+    service.submit(makeRequest("l1", "BFS", "baseline", "alice"),
+                   first.cb());
+    while (!started.load())
+        std::this_thread::sleep_for(1ms);
+
+    // alice is at her cap: a duplicate key must not ride around the
+    // admission bound on the coalescing path.
+    Capture dup;
+    service.submit(makeRequest("l2", "BFS", "baseline", "alice"),
+                   dup.cb());
+    const JobResponse capped = dup.get();
+    EXPECT_EQ(capped.outcome, JobOutcome::Overloaded);
+    EXPECT_NE(capped.error.find("in flight"), std::string::npos);
+
+    // bob is under his cap; the same key coalesces for him.
+    Capture other;
+    service.submit(makeRequest("l3", "BFS", "baseline", "bob"),
+                   other.cb());
+
+    release.store(true);
+    EXPECT_EQ(first.get().outcome, JobOutcome::Ok);
+    EXPECT_EQ(other.get().outcome, JobOutcome::Ok);
+    EXPECT_EQ(service.counters().rejectedClientCap, 1u);
+    EXPECT_EQ(service.counters().coalesced, 1u);
+}
+
 // --- Drain ------------------------------------------------------------
 
 TEST(ServeService, DrainAnswersEveryAcceptedJob)
@@ -653,6 +797,120 @@ TEST(ServeService, JournalServesCachedResultsAcrossRestart)
     EXPECT_EQ(restarted.counters().completed, 0u);
 
     std::remove(journalPath.c_str());
+}
+
+// --- TCP shell --------------------------------------------------------
+
+int
+connectTo(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+void
+sendLine(int fd, const std::string &text)
+{
+    const std::string line = text + "\n";
+    ASSERT_EQ(::send(fd, line.data(), line.size(), 0),
+              static_cast<ssize_t>(line.size()));
+}
+
+/** One newline-terminated reply, or whatever arrived within 10s. */
+std::string
+recvLine(int fd)
+{
+    std::string line;
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (std::chrono::steady_clock::now() < deadline) {
+        pollfd p{};
+        p.fd = fd;
+        p.events = POLLIN;
+        if (::poll(&p, 1, 100) <= 0)
+            continue;
+        char c = 0;
+        if (::recv(fd, &c, 1, 0) <= 0 || c == '\n')
+            return line;
+        line.push_back(c);
+    }
+    return line;
+}
+
+ServeConfig
+stubNetConfig()
+{
+    ServeConfig config;
+    config.workers = 1;
+    config.runCell = [](const SweepCase &, const SweepOptions &) {
+        return okResult();
+    };
+    return config;
+}
+
+TEST(ServeNet, HostileLineAnswersBadRequestAndDaemonSurvives)
+{
+    SweepService service(stubNetConfig());
+    ServeServer server(service, ServeNetConfig{});
+    std::thread accept([&] { server.run(); });
+
+    const int fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+    // Valid JSON, wrong shape, *non-string id*: the bad-request path
+    // must read the id defensively instead of re-throwing (which used
+    // to escape the reader thread and std::terminate the daemon).
+    sendLine(fd,
+             R"({"id":1,"workload":"w","policy":"p","client":"c"})");
+    EXPECT_NE(recvLine(fd).find("bad-request"), std::string::npos);
+    // The daemon is still up and answering on the same connection.
+    sendLine(fd, R"({"cmd":"ping","id":"x"})");
+    EXPECT_NE(recvLine(fd).find("pong"), std::string::npos);
+
+    ::close(fd);
+    server.shutdown();
+    accept.join();
+}
+
+TEST(ServeNet, HungUpConnectionsAreReaped)
+{
+    SweepService service(stubNetConfig());
+    ServeServer server(service, ServeNetConfig{});
+    std::thread accept([&] { server.run(); });
+
+    const int keep = connectTo(server.port());
+    ASSERT_GE(keep, 0);
+    sendLine(keep, R"({"cmd":"ping","id":"k"})");
+    EXPECT_NE(recvLine(keep).find("pong"), std::string::npos);
+
+    for (int i = 0; i < 3; ++i) {
+        const int fd = connectTo(server.port());
+        ASSERT_GE(fd, 0);
+        sendLine(fd, R"({"cmd":"ping","id":"t"})");
+        EXPECT_NE(recvLine(fd).find("pong"), std::string::npos);
+        ::close(fd);
+    }
+
+    // The accept loop joins hung-up readers between polls, so a churn
+    // of short-lived clients must not accumulate threads and fds.
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (server.liveConnections() > 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(10ms);
+    EXPECT_EQ(server.liveConnections(), 1u);
+
+    ::close(keep);
+    server.shutdown();
+    accept.join();
 }
 
 // --- Metrics ----------------------------------------------------------
