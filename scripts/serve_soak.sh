@@ -28,11 +28,18 @@ done
 
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/rm-serve-soak.XXXXXX")"
 SERVE_PID=""
+LOAD_PID=""
+# Any exit path — a failed check under `set -e`, a signal mid-round —
+# must reap BOTH background children: a leaked daemon holds its port
+# and journal, and a leaked loadgen hammers whatever binds that port
+# next (its --wait-timeout keeps it alive for minutes).
 cleanup() {
-    [ -n "$SERVE_PID" ] && kill -KILL "$SERVE_PID" 2>/dev/null
+    [ -n "$LOAD_PID" ] && kill -KILL "$LOAD_PID" 2>/dev/null || true
+    [ -n "$SERVE_PID" ] && kill -KILL "$SERVE_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
     rm -rf "$WORK"
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
 
 JOURNAL="$WORK/serve.jsonl"
 SNAPDIR="$WORK/snapshots"
@@ -80,12 +87,13 @@ for round in $(seq 1 "$KILLS"); do
     # error) — that is the point.
     "$LOADGEN" --port "$PORT" "${LOAD[@]}" --seed "$((100 + round))" \
         > /dev/null 2>&1 &
-    load_pid=$!
+    LOAD_PID=$!
     sleep 0.3
     echo "   round $round: SIGKILL daemon pid $SERVE_PID"
     kill -KILL "$SERVE_PID" 2>/dev/null || true
     wait "$SERVE_PID" 2>/dev/null || true
-    wait "$load_pid" 2>/dev/null || true
+    wait "$LOAD_PID" 2>/dev/null || true
+    LOAD_PID=""
 
     start_daemon "$WORK/serve_restart_$round.log"
     replayed="$(sed -n 's/^rm-serve: replayed \([0-9]*\) .*/\1/p' \

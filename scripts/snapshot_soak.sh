@@ -25,7 +25,16 @@ if [ ! -x "$BIN" ]; then
 fi
 
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/rm-snapshot-soak.XXXXXX")"
-trap 'rm -rf "$WORK"' EXIT
+BENCH_PID=""
+# An early exit (failed check, Ctrl-C during the kill-delay sleep) must
+# not orphan a backgrounded bench: it would keep simulating for minutes
+# and write snapshots into a directory this trap just deleted.
+cleanup() {
+    [ -n "$BENCH_PID" ] && kill -KILL "$BENCH_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
 SNAPDIR="$WORK/snapshots"
 CHECKPOINT="$WORK/sweep.jsonl"
 mkdir -p "$SNAPDIR"
@@ -52,15 +61,16 @@ for attempt in $(seq 1 "$KILLS"); do
     [ "$delay_ms" -lt 50 ] && delay_ms=50
     echo "== soak round $attempt: SIGKILL after ~${delay_ms}ms"
     "$BIN" "${SOAK_ARGS[@]}" > /dev/null 2>&1 &
-    pid=$!
+    BENCH_PID=$!
     sleep "$(awk "BEGIN {print $delay_ms / 1000}")"
-    if kill -KILL "$pid" 2>/dev/null; then
+    if kill -KILL "$BENCH_PID" 2>/dev/null; then
         killed=$((killed + 1))
-        echo "   killed pid $pid mid-run"
+        echo "   killed pid $BENCH_PID mid-run"
     else
         echo "   run finished before the kill landed"
     fi
-    wait "$pid" 2>/dev/null || true
+    wait "$BENCH_PID" 2>/dev/null || true
+    BENCH_PID=""
     snaps=$(find "$SNAPDIR" -name '*.snap' | wc -l)
     lines=0
     [ -f "$CHECKPOINT" ] && lines=$(wc -l < "$CHECKPOINT")

@@ -1,0 +1,102 @@
+#ifndef RM_FUZZ_GEN_HH
+#define RM_FUZZ_GEN_HH
+
+/**
+ * @file
+ * Seeded structured case generator for the differential fuzzer. A
+ * FuzzCase bundles everything one fuzz iteration needs — a synthetic
+ * kernel spec sampled from the PhaseSpec workload space
+ * (workloads/generator.hh), a GpuConfig drawn from the supported
+ * architecture envelope, a deterministic FaultPlan, a preemption point
+ * and a focus policy — and every case is a *pure function of a 64-bit
+ * seed*: generateCase(seed) returns bit-identical cases on every
+ * platform and build, so any finding reproduces from
+ * (kSchemaVersion, seed) alone.
+ *
+ * Cases are valid by construction: the sampled kernel always satisfies
+ * the generator's structural constraints (phase peaks within the
+ * register budget, barrier live counts above the background set, one
+ * CTA always fits every sampled architecture), so the oracle layer
+ * never wastes an iteration on a case the simulator rejects up front.
+ * validateCase() re-checks the envelope — the minimizer uses it to
+ * discard shrink candidates that left the space, and replay uses it to
+ * reject hand-edited repro files that no longer describe a legal case.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/fault.hh"
+#include "workloads/generator.hh"
+
+namespace rm {
+
+class JsonWriter;
+struct JsonValue;
+
+/** One fuzz iteration's complete, self-describing input. */
+struct FuzzCase
+{
+    /**
+     * Repro format version. Bump when the case schema (or the sampling
+     * envelope semantics a repro relies on) changes incompatibly;
+     * caseFromJson rejects unknown versions loudly.
+     */
+    static constexpr int kSchemaVersion = 1;
+
+    /** Generator seed (provenance; shrunk repros keep the original). */
+    std::uint64_t seed = 0;
+    /** Architecture label for reports ("GTX480", "half-RF", ...). */
+    std::string arch = "GTX480";
+    GpuConfig config = gtx480Config();
+    /** Synthetic kernel specification (workloads/generator.hh). */
+    KernelSpec kernel;
+    /** Deterministic fault plan; inactive on roughly half the cases. */
+    FaultPlan fault;
+    /**
+     * Focus policy for the single-policy oracles (determinism,
+     * preempt/resume, sanitize): one of the four non-baseline
+     * policies. The differential oracle always runs all five.
+     */
+    std::string policy = "regmutex";
+    /** Simulated cycle at which the preempt/resume and snapshot-codec
+     *  oracles interrupt the focus policy's run. */
+    std::uint64_t snapshotCycle = 1000;
+};
+
+/** Deterministically sample the case for @p seed (pure). */
+FuzzCase generateCase(std::uint64_t seed);
+
+/**
+ * True when @p fuzz_case lies inside the generator's validity
+ * envelope (buildKernel would accept the spec and one CTA fits the
+ * config under every policy). @p why receives the first violated
+ * constraint when non-null.
+ */
+bool validateCase(const FuzzCase &fuzz_case, std::string *why = nullptr);
+
+/** Build the case's kernel program (buildKernel on the sampled spec). */
+Program buildCaseProgram(const FuzzCase &fuzz_case);
+
+/** One-line human summary ("seed=42 arch=GTX480 phases=2 fault=..."). */
+std::string describeCase(const FuzzCase &fuzz_case);
+
+/** Append the case as a JSON object to @p writer (repro files). */
+void caseToJson(JsonWriter &writer, const FuzzCase &fuzz_case);
+
+/** The case as a standalone JSON document. */
+std::string caseToJson(const FuzzCase &fuzz_case);
+
+/**
+ * Rebuild a case from a caseToJson document. Unlike the stats loaders
+ * this codec is *strict*: a repro must reproduce the exact case, so a
+ * missing or wrong-typed member throws JsonSchemaError naming the key
+ * instead of defaulting, and an unsupported schema version is
+ * rejected.
+ */
+FuzzCase caseFromJson(const JsonValue &value);
+
+} // namespace rm
+
+#endif // RM_FUZZ_GEN_HH

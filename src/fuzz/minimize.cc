@@ -1,0 +1,330 @@
+#include "fuzz/minimize.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace rm {
+namespace {
+
+std::uint64_t
+windowCost(const FaultWindow &window)
+{
+    return window.enabled() ? 16 + (window.until - window.from) / 256 : 0;
+}
+
+/** All single-step shrink candidates of @p current, most aggressive
+ *  first (dropping a phase beats halving its trips). */
+std::vector<FuzzCase>
+shrinkCandidates(const FuzzCase &current)
+{
+    std::vector<FuzzCase> out;
+    const auto push = [&](FuzzCase candidate) {
+        out.push_back(std::move(candidate));
+    };
+    const KernelSpec &k = current.kernel;
+    const int bg = 1 + k.persistent;
+
+    // Drop whole phases.
+    if (k.phases.size() > 1) {
+        for (std::size_t i = 0; i < k.phases.size(); ++i) {
+            FuzzCase c = current;
+            c.kernel.phases.erase(c.kernel.phases.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+            push(std::move(c));
+        }
+    }
+
+    // Per-phase reductions.
+    for (std::size_t i = 0; i < k.phases.size(); ++i) {
+        const PhaseSpec &p = k.phases[i];
+        const auto withPhase = [&](auto mutate) {
+            FuzzCase c = current;
+            mutate(c.kernel.phases[i]);
+            push(std::move(c));
+        };
+        if (p.trips > 1) {
+            withPhase([&](PhaseSpec &q) { q.trips = 1; });
+            if (p.trips > 2)
+                withPhase([&](PhaseSpec &q) { q.trips /= 2; });
+        }
+        if (p.memTrips > 0) {
+            withPhase([&](PhaseSpec &q) { q.memTrips = 0; });
+            if (p.memTrips > 1)
+                withPhase([&](PhaseSpec &q) { q.memTrips /= 2; });
+        }
+        if (p.loads > 1)
+            withPhase([&](PhaseSpec &q) { q.loads = 1; });
+        if (p.aluPerTemp > 0)
+            withPhase([&](PhaseSpec &q) { q.aluPerTemp = 0; });
+        const int directLoads = p.memTrips > 0 ? 0 : p.loads;
+        const int minPeak = bg + 2 + directLoads;
+        if (p.peak > minPeak)
+            withPhase([&](PhaseSpec &q) { q.peak = minPeak; });
+        if (p.useSfu)
+            withPhase([&](PhaseSpec &q) { q.useSfu = false; });
+        if (p.divergent)
+            withPhase([&](PhaseSpec &q) { q.divergent = false; });
+        if (p.barrierAfter)
+            withPhase([&](PhaseSpec &q) {
+                q.barrierAfter = false;
+                q.barrierLive = 0;
+            });
+        if (p.barrierLive > 0)
+            withPhase([&](PhaseSpec &q) { q.barrierLive = 0; });
+    }
+
+    // Kernel-level reductions. Lowering persistent lowers the
+    // background live count, which only relaxes the per-phase floors.
+    if (k.persistent > 2) {
+        FuzzCase c = current;
+        c.kernel.persistent = 2;
+        push(std::move(c));
+    }
+    {
+        int floor = bg + 3;
+        for (const PhaseSpec &p : k.phases) {
+            floor = std::max(floor, p.peak);
+            if (p.memTrips > 0)
+                floor = std::max(floor, bg + p.loads + 3);
+        }
+        for (const PhaseSpec &p : k.phases)
+            if (p.barrierLive > 0)
+                floor = std::max(floor, p.barrierLive + 2);
+        if (k.regs > floor) {
+            FuzzCase c = current;
+            c.kernel.regs = floor;
+            push(std::move(c));
+        }
+    }
+    if (k.ctaThreads > 32) {
+        FuzzCase c = current;
+        c.kernel.ctaThreads = 32;
+        push(std::move(c));
+        FuzzCase h = current;
+        h.kernel.ctaThreads = k.ctaThreads / 2;
+        push(std::move(h));
+    }
+    if (k.gridCtasPerSm > 1) {
+        FuzzCase c = current;
+        c.kernel.gridCtasPerSm = 1;
+        push(std::move(c));
+    }
+    if (k.sharedBytes > 0) {
+        FuzzCase c = current;
+        c.kernel.sharedBytes = 0;
+        push(std::move(c));
+    }
+    if (k.scramble) {
+        FuzzCase c = current;
+        c.kernel.scramble = false;
+        push(std::move(c));
+    }
+
+    // Config toward the GTX480 defaults.
+    const GpuConfig defaults = gtx480Config();
+    if (current.config.numSms > 1) {
+        FuzzCase c = current;
+        c.config.numSms = 1;
+        push(std::move(c));
+    }
+    const auto withConfig = [&](auto mutate) {
+        FuzzCase c = current;
+        mutate(c.config);
+        push(std::move(c));
+    };
+    if (current.config.schedPolicy != defaults.schedPolicy)
+        withConfig([&](GpuConfig &g) { g.schedPolicy = defaults.schedPolicy; });
+    if (!current.config.wakeOnRelease)
+        withConfig([&](GpuConfig &g) { g.wakeOnRelease = true; });
+    if (current.config.regAllocGranularity != defaults.regAllocGranularity)
+        withConfig([&](GpuConfig &g) {
+            g.regAllocGranularity = defaults.regAllocGranularity;
+        });
+    if (current.config.globalLatency != defaults.globalLatency)
+        withConfig(
+            [&](GpuConfig &g) { g.globalLatency = defaults.globalLatency; });
+    if (current.config.memIssuePerCycle != defaults.memIssuePerCycle)
+        withConfig([&](GpuConfig &g) {
+            g.memIssuePerCycle = defaults.memIssuePerCycle;
+        });
+    if (current.config.maxPendingMemPerWarp != defaults.maxPendingMemPerWarp)
+        withConfig([&](GpuConfig &g) {
+            g.maxPendingMemPerWarp = defaults.maxPendingMemPerWarp;
+        });
+    if (current.config.numSchedulers != defaults.numSchedulers)
+        withConfig(
+            [&](GpuConfig &g) { g.numSchedulers = defaults.numSchedulers; });
+
+    // Fault-plan reductions: disable sub-faults outright, then narrow.
+    const FaultPlan &f = current.fault;
+    const auto withFault = [&](auto mutate) {
+        FuzzCase c = current;
+        mutate(c.fault);
+        push(std::move(c));
+    };
+    if (f.denyAcquire.enabled()) {
+        withFault([&](FaultPlan &q) { q.denyAcquire = FaultWindow{}; });
+        if (f.denyAcquire.until - f.denyAcquire.from > 512)
+            withFault([&](FaultPlan &q) {
+                q.denyAcquire.until =
+                    q.denyAcquire.from +
+                    (q.denyAcquire.until - q.denyAcquire.from) / 2;
+            });
+        if (f.denyAcquireChance != 1.0)
+            withFault([&](FaultPlan &q) { q.denyAcquireChance = 1.0; });
+    }
+    if (f.delayRelease.enabled()) {
+        withFault([&](FaultPlan &q) {
+            q.delayRelease = FaultWindow{};
+            q.releaseDelayCycles = 0;
+        });
+        if (f.delayRelease.until - f.delayRelease.from > 512)
+            withFault([&](FaultPlan &q) {
+                q.delayRelease.until =
+                    q.delayRelease.from +
+                    (q.delayRelease.until - q.delayRelease.from) / 2;
+            });
+        if (f.releaseDelayCycles > 1)
+            withFault([&](FaultPlan &q) {
+                q.releaseDelayCycles = q.releaseDelayCycles / 2;
+            });
+    }
+    if (f.shrinkSrpAtCycle > 0) {
+        withFault([&](FaultPlan &q) {
+            q.shrinkSrpAtCycle = 0;
+            q.shrinkSrpSections = 0;
+        });
+        if (f.shrinkSrpAtCycle > 1)
+            withFault(
+                [&](FaultPlan &q) { q.shrinkSrpAtCycle /= 2; });
+        if (f.shrinkSrpSections > 1)
+            withFault([&](FaultPlan &q) { q.shrinkSrpSections = 1; });
+    }
+    if (f.memSpike.enabled()) {
+        withFault([&](FaultPlan &q) {
+            q.memSpike = FaultWindow{};
+            q.memSpikeFactor = 1;
+        });
+        if (f.memSpike.until - f.memSpike.from > 512)
+            withFault([&](FaultPlan &q) {
+                q.memSpike.until =
+                    q.memSpike.from +
+                    (q.memSpike.until - q.memSpike.from) / 2;
+            });
+        if (f.memSpikeFactor > 2)
+            withFault([&](FaultPlan &q) { q.memSpikeFactor = 2; });
+    }
+    if (f.corruptStateAtCycle > 1)
+        withFault([&](FaultPlan &q) { q.corruptStateAtCycle /= 2; });
+    if (f.seed != 0 && !f.denyAcquire.enabled())
+        withFault([&](FaultPlan &q) { q.seed = 0; });
+
+    if (current.snapshotCycle > 1) {
+        FuzzCase c = current;
+        c.snapshotCycle = std::max<std::uint64_t>(1, c.snapshotCycle / 2);
+        push(std::move(c));
+    }
+    return out;
+}
+
+bool
+reproduces(const FuzzCase &candidate, const std::string &signature,
+           const OracleOptions &oracle)
+{
+    const std::vector<OracleFinding> findings =
+        runOracles(candidate, oracle);
+    return std::any_of(findings.begin(), findings.end(),
+                       [&](const OracleFinding &finding) {
+                           return finding.signature == signature;
+                       });
+}
+
+} // namespace
+
+std::uint64_t
+caseSize(const FuzzCase &fc)
+{
+    const KernelSpec &k = fc.kernel;
+    const GpuConfig &g = fc.config;
+    const GpuConfig defaults = gtx480Config();
+    std::uint64_t size = 0;
+
+    size += k.phases.size() * 1000;
+    for (const PhaseSpec &p : k.phases) {
+        size += static_cast<std::uint64_t>(p.trips) * 8;
+        size += static_cast<std::uint64_t>(p.memTrips) * 8;
+        size += static_cast<std::uint64_t>(p.loads) * 4;
+        size += static_cast<std::uint64_t>(p.aluPerTemp) * 2;
+        size += static_cast<std::uint64_t>(p.peak);
+        size += (p.useSfu ? 1 : 0) + (p.divergent ? 1 : 0) +
+                (p.barrierAfter ? 1 : 0) + (p.barrierLive > 0 ? 2 : 0);
+    }
+    size += static_cast<std::uint64_t>(k.regs);
+    size += static_cast<std::uint64_t>(k.persistent) * 2;
+    size += static_cast<std::uint64_t>(k.ctaThreads / 32) * 4;
+    size += static_cast<std::uint64_t>(k.gridCtasPerSm) * 8;
+    size += k.sharedBytes > 0 ? 4 : 0;
+    size += k.scramble ? 2 : 0;
+
+    size += static_cast<std::uint64_t>(g.numSms) * 16;
+    size += static_cast<std::uint64_t>(g.numSchedulers);
+    size += (g.schedPolicy != defaults.schedPolicy ? 2 : 0) +
+            (g.wakeOnRelease != defaults.wakeOnRelease ? 2 : 0) +
+            (g.regAllocGranularity != defaults.regAllocGranularity ? 2 : 0) +
+            (g.globalLatency != defaults.globalLatency ? 2 : 0) +
+            (g.memIssuePerCycle != defaults.memIssuePerCycle ? 2 : 0) +
+            (g.maxPendingMemPerWarp != defaults.maxPendingMemPerWarp ? 2
+                                                                     : 0);
+
+    const FaultPlan &f = fc.fault;
+    size += windowCost(f.denyAcquire);
+    size += f.denyAcquire.enabled() && f.denyAcquireChance != 1.0 ? 2 : 0;
+    size += windowCost(f.delayRelease);
+    size += f.releaseDelayCycles / 256;
+    size += f.shrinkSrpAtCycle > 0
+                ? 16 + f.shrinkSrpAtCycle / 256 +
+                      static_cast<std::uint64_t>(f.shrinkSrpSections)
+                : 0;
+    size += windowCost(f.memSpike);
+    size += f.memSpike.enabled()
+                ? static_cast<std::uint64_t>(f.memSpikeFactor)
+                : 0;
+    size += f.corruptStateAtCycle > 0 ? 16 + f.corruptStateAtCycle / 256 : 0;
+    size += f.seed != 0 ? 1 : 0;
+
+    size += fc.snapshotCycle / 256;
+    return size;
+}
+
+MinimizeResult
+minimizeCase(const FuzzCase &failing, const std::string &signature,
+             const MinimizeOptions &options)
+{
+    MinimizeResult result;
+    result.reduced = failing;
+    result.signature = signature;
+
+    bool improved = true;
+    while (improved && result.probes < options.maxProbes) {
+        improved = false;
+        const std::uint64_t currentSize = caseSize(result.reduced);
+        for (FuzzCase &candidate : shrinkCandidates(result.reduced)) {
+            if (result.probes >= options.maxProbes)
+                break;
+            if (caseSize(candidate) >= currentSize)
+                continue;
+            if (!validateCase(candidate))
+                continue;
+            ++result.probes;
+            if (!reproduces(candidate, signature, options.oracle))
+                continue;
+            result.reduced = std::move(candidate);
+            ++result.accepted;
+            improved = true;
+            break;  // re-derive candidates from the smaller case
+        }
+    }
+    return result;
+}
+
+} // namespace rm

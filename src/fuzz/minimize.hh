@@ -1,0 +1,74 @@
+#ifndef RM_FUZZ_MINIMIZE_HH
+#define RM_FUZZ_MINIMIZE_HH
+
+/**
+ * @file
+ * Delta-debugging shrinker for failing fuzz cases. Given a case and
+ * the finding signature it produced, minimizeCase() greedily applies
+ * structure-reducing mutations — drop a phase, halve trip counts,
+ * lower register peaks to their legal floor, collapse config knobs to
+ * their defaults, disable or narrow fault windows, halve the snapshot
+ * cycle — accepting a candidate only when it (a) stays inside the
+ * generator's validity envelope (validateCase), (b) is strictly
+ * smaller under caseSize(), and (c) still reproduces the *same*
+ * signature through the oracles. The result is the smallest case the
+ * move set reaches, suitable for a committed `.repro` file.
+ *
+ * Probes are bounded (MinimizeOptions::maxProbes) so a pathological
+ * case cannot stall a campaign; the original seed is preserved on the
+ * shrunk case as provenance.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/gen.hh"
+#include "fuzz/oracles.hh"
+
+namespace rm {
+
+/** Knobs of one minimizeCase() invocation. */
+struct MinimizeOptions
+{
+    /** Oracle selection + planted bug forwarded to every probe. Narrow
+     *  this to the failing oracle: probes re-simulate the case, and a
+     *  single-oracle probe is ~5x cheaper than a full pass. */
+    OracleOptions oracle;
+    /** Candidate-evaluation budget across all passes. */
+    int maxProbes = 300;
+};
+
+/** Outcome of a shrink run. */
+struct MinimizeResult
+{
+    /** The smallest reproducing case found (== the input when no
+     *  mutation survived). */
+    FuzzCase reduced;
+    /** The preserved finding signature. */
+    std::string signature;
+    /** Accepted shrink steps. */
+    int accepted = 0;
+    /** Candidate evaluations spent (validity + oracle probes). */
+    int probes = 0;
+};
+
+/**
+ * Structural size of a case: the metric minimization strictly
+ * decreases. Counts phases heavily, then per-phase work, kernel and
+ * config dimensions (as distance from their defaults), fault-plan
+ * complexity and the snapshot cycle.
+ */
+std::uint64_t caseSize(const FuzzCase &fuzz_case);
+
+/**
+ * Shrink @p failing while @p signature still reproduces under
+ * @p options. The input is assumed to currently produce the signature;
+ * if it does not, the input comes back unreduced.
+ */
+MinimizeResult minimizeCase(const FuzzCase &failing,
+                            const std::string &signature,
+                            const MinimizeOptions &options = {});
+
+} // namespace rm
+
+#endif // RM_FUZZ_MINIMIZE_HH

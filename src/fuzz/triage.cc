@@ -1,0 +1,114 @@
+#include "fuzz/triage.hh"
+
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace rm {
+namespace {
+
+std::string
+hexSeed(std::uint64_t value)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << value;
+    return os.str();
+}
+
+} // namespace
+
+bool
+Triage::record(const OracleFinding &finding, const FuzzCase &fuzz_case)
+{
+    auto it = table.find(finding.signature);
+    if (it != table.end()) {
+        ++it->second.count;
+        return false;
+    }
+    TriageBucket bucket;
+    bucket.signature = finding.signature;
+    bucket.oracle = finding.oracle;
+    bucket.count = 1;
+    bucket.firstSeed = fuzz_case.seed;
+    bucket.firstMessage = finding.message;
+    bucket.repro = fuzz_case;
+    bucket.hasRepro = true;
+    table.emplace(finding.signature, std::move(bucket));
+    return true;
+}
+
+void
+Triage::attachRepro(const std::string &signature, const FuzzCase &reduced)
+{
+    auto it = table.find(signature);
+    if (it == table.end())
+        return;
+    it->second.repro = reduced;
+    it->second.hasRepro = true;
+}
+
+std::uint64_t
+Triage::totalCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[signature, bucket] : table)
+        total += bucket.count;
+    return total;
+}
+
+std::string
+Triage::toJsonl() const
+{
+    std::ostringstream out;
+    for (const auto &[signature, bucket] : table) {
+        JsonWriter w;
+        w.beginObject();
+        w.key("signature").value(bucket.signature);
+        w.key("oracle").value(bucket.oracle);
+        w.key("count").value(bucket.count);
+        w.key("first_seed").value(hexSeed(bucket.firstSeed));
+        w.key("message").value(bucket.firstMessage);
+        if (bucket.hasRepro) {
+            w.key("case");
+            caseToJson(w, bucket.repro);
+        }
+        w.endObject();
+        out << w.take() << '\n';
+    }
+    return out.str();
+}
+
+std::string
+reproToJson(const ReproFile &repro)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value(FuzzCase::kSchemaVersion);
+    w.key("oracle").value(repro.oracle);
+    w.key("signature").value(repro.signature);
+    w.key("note").value(repro.note);
+    w.key("case");
+    caseToJson(w, repro.fuzzCase);
+    w.endObject();
+    return w.take();
+}
+
+ReproFile
+reproFromJson(const JsonValue &value)
+{
+    requireJsonObject(value, "fuzz repro");
+    ReproFile repro;
+    // The top-level schema gate lives in caseFromJson (the "case"
+    // member repeats it); the envelope members are loader-style
+    // (missing tolerated) so hand-written corpus notes stay light.
+    repro.oracle = jsonString(value, "oracle");
+    repro.signature = jsonString(value, "signature");
+    repro.note = jsonString(value, "note");
+    const JsonValue *fuzzCase = jsonObject(value, "case");
+    if (!fuzzCase)
+        throw JsonSchemaError("fuzz repro: missing member \"case\"");
+    repro.fuzzCase = caseFromJson(*fuzzCase);
+    return repro;
+}
+
+} // namespace rm

@@ -1,0 +1,93 @@
+#ifndef RM_FUZZ_TRIAGE_HH
+#define RM_FUZZ_TRIAGE_HH
+
+/**
+ * @file
+ * Finding triage and the on-disk repro format. A campaign can hit the
+ * same defect on hundreds of seeds; Triage buckets findings by their
+ * signature (oracle id + failure class, already encoding
+ * DeadlockCause / error type where relevant) so the campaign reports
+ * *unique* defects, keeps the first-seen seed per bucket, and attaches
+ * the minimized representative the shrinker produced. Buckets export
+ * as JSONL — one self-contained line per defect — and individual
+ * findings as `.repro` JSON files that `rm-fuzz --replay` re-checks.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "fuzz/gen.hh"
+#include "fuzz/oracles.hh"
+
+namespace rm {
+
+struct JsonValue;
+
+/** One deduped defect: every finding sharing a signature. */
+struct TriageBucket
+{
+    std::string signature;
+    std::string oracle;
+    /** Findings folded into this bucket. */
+    std::uint64_t count = 0;
+    /** Seed of the first case that hit the bucket. */
+    std::uint64_t firstSeed = 0;
+    /** Message of the first finding (detail, not identity). */
+    std::string firstMessage;
+    /** First-seen (or minimized) reproducing case. */
+    FuzzCase repro;
+    bool hasRepro = false;
+};
+
+/** Signature-keyed finding accumulator. */
+class Triage
+{
+  public:
+    /** Fold @p finding (hit on @p fuzz_case) in; true when the
+     *  signature is new. */
+    bool record(const OracleFinding &finding, const FuzzCase &fuzz_case);
+
+    /** Replace a bucket's representative with its minimized case. */
+    void attachRepro(const std::string &signature, const FuzzCase &reduced);
+
+    const std::map<std::string, TriageBucket> &buckets() const
+    {
+        return table;
+    }
+
+    std::size_t uniqueCount() const { return table.size(); }
+    std::uint64_t totalCount() const;
+
+    /** One JSON object per bucket, newline-terminated (JSONL). */
+    std::string toJsonl() const;
+
+  private:
+    std::map<std::string, TriageBucket> table;
+};
+
+/**
+ * One `.repro` file: the case plus what replay should expect.
+ * An empty signature means "expect a clean pass" — the corpus form:
+ * seeds that once found a (since fixed) defect, or that pin tricky
+ * regions of the case space, and must stay green on HEAD.
+ */
+struct ReproFile
+{
+    /** Oracle that found the defect; empty on corpus entries. */
+    std::string oracle;
+    /** Expected finding signature; empty expects no findings. */
+    std::string signature;
+    /** Free-form provenance note. */
+    std::string note;
+    FuzzCase fuzzCase;
+};
+
+std::string reproToJson(const ReproFile &repro);
+
+/** @throws JsonSchemaError on a wrong-shaped document. */
+ReproFile reproFromJson(const JsonValue &value);
+
+} // namespace rm
+
+#endif // RM_FUZZ_TRIAGE_HH

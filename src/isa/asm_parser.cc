@@ -1,6 +1,7 @@
 #include "isa/asm_parser.hh"
 
 #include <cctype>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -100,6 +101,21 @@ parseInt(const std::string &token, int line_no)
     return value;
 }
 
+/**
+ * parseInt with an inclusive range check. Every narrowing cast in the
+ * parser goes through here: a hostile 'r65537' must be a line-numbered
+ * error, not a silent wrap to r1 through the uint16_t RegId.
+ */
+std::int64_t
+parseBounded(const std::string &token, int line_no, std::int64_t lo,
+             std::int64_t hi, const char *what)
+{
+    const std::int64_t value = parseInt(token, line_no);
+    fatalIf(value < lo || value > hi, "asm line ", line_no, ": ", what,
+            " ", value, " outside [", lo, ", ", hi, "]");
+    return value;
+}
+
 bool
 isLabelDef(const std::string &line)
 {
@@ -172,22 +188,34 @@ parseProgram(const std::string &source)
                 info.name = value;
             } else if (key == ".regs") {
                 info.numRegs = static_cast<int>(
-                    parseInt(value, line.number));
+                    parseBounded(value, line.number, 0,
+                                 std::numeric_limits<int>::max(),
+                                 "directive value"));
             } else if (key == ".ctaThreads") {
                 info.ctaThreads = static_cast<int>(
-                    parseInt(value, line.number));
+                    parseBounded(value, line.number, 0,
+                                 std::numeric_limits<int>::max(),
+                                 "directive value"));
             } else if (key == ".gridCtas") {
                 info.gridCtas = static_cast<int>(
-                    parseInt(value, line.number));
+                    parseBounded(value, line.number, 0,
+                                 std::numeric_limits<int>::max(),
+                                 "directive value"));
             } else if (key == ".sharedBytes") {
                 info.sharedBytesPerCta = static_cast<int>(
-                    parseInt(value, line.number));
+                    parseBounded(value, line.number, 0,
+                                 std::numeric_limits<int>::max(),
+                                 "directive value"));
             } else if (key == ".baseRegs") {
                 regmutex.baseRegs = static_cast<int>(
-                    parseInt(value, line.number));
+                    parseBounded(value, line.number, 0,
+                                 std::numeric_limits<int>::max(),
+                                 "directive value"));
             } else if (key == ".extRegs") {
                 regmutex.extRegs = static_cast<int>(
-                    parseInt(value, line.number));
+                    parseBounded(value, line.number, 0,
+                                 std::numeric_limits<int>::max(),
+                                 "directive value"));
             } else if (key.rfind(".param", 0) == 0 &&
                        key.size() == 7 && key[6] >= '0' &&
                        key[6] <= '3') {
@@ -239,8 +267,11 @@ parseProgram(const std::string &source)
                 inst.target =
                     label != labels.end()
                         ? label->second
-                        : static_cast<std::int32_t>(
-                              parseInt(token, line.number));
+                        : static_cast<std::int32_t>(parseBounded(
+                              token, line.number,
+                              std::numeric_limits<std::int32_t>::min(),
+                              std::numeric_limits<std::int32_t>::max(),
+                              "branch target"));
                 target_next = false;
                 have_target = true;
             } else if (token == "->") {
@@ -248,8 +279,11 @@ parseProgram(const std::string &source)
             } else if (token.size() > 1 && token[0] == 'r' &&
                        std::isdigit(
                            static_cast<unsigned char>(token[1]))) {
+                // kNoReg itself is the "no operand" sentinel, so the
+                // largest spellable register is one below it.
                 const auto reg = static_cast<RegId>(
-                    parseInt(token.substr(1), line.number));
+                    parseBounded(token.substr(1), line.number, 0,
+                                 kNoReg - 1, "register index"));
                 if (wants_dst && regs_seen == 0) {
                     inst.dst = reg;
                 } else {

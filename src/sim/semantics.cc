@@ -62,22 +62,31 @@ executeStep(const Program &program, int pc, std::int64_t *regs,
 
     auto src = [&](int i) -> std::int64_t { return regs[inst.srcs[i]]; };
     auto setDst = [&](std::int64_t value) { regs[inst.dst] = value; };
+    // Register values are arbitrary 64-bit patterns (hash mixes, load
+    // results), so arithmetic must wrap two's-complement like the
+    // hardware — compute unsigned to keep overflow defined.
+    auto usrc = [&](int i) {
+        return static_cast<std::uint64_t>(regs[inst.srcs[i]]);
+    };
+    auto wrap = [](std::uint64_t value) {
+        return static_cast<std::int64_t>(value);
+    };
 
     switch (inst.op) {
       case Opcode::IAdd:
       case Opcode::FAdd:
-        setDst(src(0) + src(1));
+        setDst(wrap(usrc(0) + usrc(1)));
         break;
       case Opcode::ISub:
-        setDst(src(0) - src(1));
+        setDst(wrap(usrc(0) - usrc(1)));
         break;
       case Opcode::IMul:
       case Opcode::FMul:
-        setDst(src(0) * src(1));
+        setDst(wrap(usrc(0) * usrc(1)));
         break;
       case Opcode::IMad:
       case Opcode::FFma:
-        setDst(src(0) * src(1) + src(2));
+        setDst(wrap(usrc(0) * usrc(1) + usrc(2)));
         break;
       case Opcode::IMin:
         setDst(std::min(src(0), src(1)));
@@ -95,7 +104,7 @@ executeStep(const Program &program, int pc, std::int64_t *regs,
         setDst(src(0) ^ src(1));
         break;
       case Opcode::Shl:
-        setDst(src(0) << (src(1) & 63));
+        setDst(wrap(usrc(0) << (usrc(1) & 63)));
         break;
       case Opcode::Shr:
         setDst(static_cast<std::int64_t>(
@@ -125,7 +134,7 @@ executeStep(const Program &program, int pc, std::int64_t *regs,
         break;
       case Opcode::LdGlobal: {
         const std::uint64_t addr =
-            static_cast<std::uint64_t>(src(0) + inst.imm);
+            usrc(0) + static_cast<std::uint64_t>(inst.imm);
         setDst(gmem.load(addr));
         result.memAccess = true;
         result.memIsLoad = true;
@@ -135,7 +144,7 @@ executeStep(const Program &program, int pc, std::int64_t *regs,
       }
       case Opcode::StGlobal: {
         const std::uint64_t addr =
-            static_cast<std::uint64_t>(src(0) + inst.imm);
+            usrc(0) + static_cast<std::uint64_t>(inst.imm);
         gmem.store(addr, src(1));
         result.memAccess = true;
         result.memIsGlobal = true;
@@ -144,7 +153,7 @@ executeStep(const Program &program, int pc, std::int64_t *regs,
       }
       case Opcode::LdShared: {
         const std::uint64_t addr =
-            static_cast<std::uint64_t>(src(0) + inst.imm);
+            usrc(0) + static_cast<std::uint64_t>(inst.imm);
         setDst(smem.load(addr));
         result.memAccess = true;
         result.memIsLoad = true;
@@ -153,7 +162,7 @@ executeStep(const Program &program, int pc, std::int64_t *regs,
       }
       case Opcode::StShared: {
         const std::uint64_t addr =
-            static_cast<std::uint64_t>(src(0) + inst.imm);
+            usrc(0) + static_cast<std::uint64_t>(inst.imm);
         smem.store(addr, src(1));
         result.memAccess = true;
         result.memAddr = addr;

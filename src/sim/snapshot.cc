@@ -12,6 +12,21 @@
 #include "sim/config.hh"
 
 namespace rm {
+namespace {
+
+/** Upper bound on a deserialized bitmask's bit count. Real masks track
+ *  warp slots or register-file sections — a few thousand bits at the
+ *  most extreme configs — so the cap only has to be generous enough to
+ *  never bind legitimately while keeping a damaged length field from
+ *  becoming a multi-gigabyte allocation. */
+constexpr std::uint64_t kMaxBitmaskBits = 1u << 24;
+
+/** Serialized floor of one SmEntry: smId + ctas + finished + the stats
+ *  block + the state length prefix. Used only to reject an SM count no
+ *  payload of the given size could actually carry. */
+constexpr std::size_t kMinSmEntryBytes = 17;
+
+} // namespace
 
 void
 SnapshotWriter::u32(std::uint32_t v)
@@ -151,8 +166,15 @@ Bitmask
 SnapshotReader::bitmask()
 {
     const std::uint64_t size = u64();
+    // The size is attacker-controlled until validated: masks track warp
+    // slots or register sections (thousands of bits), so anything huge
+    // is damage — reject it before Bitmask turns it into an allocation.
+    if (size > kMaxBitmaskBits)
+        throw SnapshotError("snapshot: bitmask size implausibly large");
     Bitmask mask(static_cast<std::size_t>(size));
     const std::uint32_t nset = u32();
+    if (nset > size)
+        throw SnapshotError("snapshot: bitmask set-count exceeds size");
     for (std::uint32_t i = 0; i < nset; ++i) {
         const std::uint64_t bit = u64();
         if (bit >= size)
@@ -323,6 +345,11 @@ GpuSnapshot::deserialize(std::string_view bytes)
     snap.numSms = r.i32();
     snap.configDigest = r.u64();
     const std::uint32_t n = r.u32();
+    // n is untrusted: resize() would allocate n SmEntry's up front, so
+    // a flipped bit in the count field could demand gigabytes before
+    // the per-entry reads ever hit a typed need() failure.
+    if (n > r.remaining() / kMinSmEntryBytes)
+        throw SnapshotError("snapshot: SM count exceeds payload size");
     snap.sms.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) {
         SmEntry &entry = snap.sms[i];

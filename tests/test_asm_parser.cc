@@ -139,6 +139,54 @@ TEST(AsmParser, DiagnosticsCarryLineNumbers)
                 "bad comparison");
 }
 
+TEST(AsmParser, HostileInputsFailTypedWithLineNumbers)
+{
+    auto expectError = [](const std::string &source, const char *what) {
+        try {
+            parseProgram(source);
+            FAIL() << "expected FatalError for " << what;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("asm line"),
+                      std::string::npos)
+                << what << ": " << e.what();
+        }
+    };
+    // Operand overflow: r65537 used to wrap through the uint16_t RegId
+    // to r1 and parse "successfully".
+    expectError(".kernel x\n  movi r65537, 1\n  exit\n",
+                "register index beyond RegId");
+    // r65535 is the kNoReg sentinel: accepting it would silently
+    // produce an instruction with no destination.
+    expectError(".kernel x\n  movi r65535, 1\n  exit\n",
+                "register index at the kNoReg sentinel");
+    expectError(".kernel x\n  movi r99999999999999999999, 1\n  exit\n",
+                "register index beyond int64");
+    // Directive overflow: wrapped through int to a negative count.
+    expectError(".kernel x\n.regs 4294967297\n  exit\n",
+                ".regs beyond int");
+    expectError(".kernel x\n.ctaThreads -33\n  exit\n",
+                "negative .ctaThreads");
+    expectError(".kernel x\n  movi r0, 1\n  bra -> 99999999999\n  exit\n",
+                "branch target beyond int32");
+    // Truncated mid-instruction and mid-directive.
+    expectError(".kernel x\n  iadd r0, r1,", "truncated operand list");
+    expectError(".kernel x\n.regs", "directive without a value");
+    // Binary garbage must not crash the tokenizer.
+    std::string garbage = ".kernel g\n  movi r0, 1\n";
+    for (int c = 1; c < 32; ++c)
+        garbage.push_back(static_cast<char>(c));
+    expectError(garbage, "control bytes");
+}
+
+TEST(AsmParser, OversizedButRepresentableOperandsParse)
+{
+    // One below the kNoReg sentinel is the largest real register; it
+    // must parse (rejection beyond this belongs to semantic checks).
+    const Program p = parseProgram(
+        ".kernel edge\n  movi r65534, 1\n  exit\n");
+    EXPECT_EQ(p.code[0].dst, 65534);
+}
+
 TEST(AsmParser, DuplicateLabelRejected)
 {
     EXPECT_THROW(parseProgram(".kernel x\na:\na:\n  exit\n"),

@@ -179,6 +179,50 @@ TEST(GpuSnapshotFormat, DamageFailsLoudly)
     EXPECT_THROW(GpuSnapshot::deserialize(bytes + "zz"), SnapshotError);
 }
 
+/**
+ * Exhaustive damage sweep over a REAL mid-run snapshot (live warp
+ * state, register images, bitmasks, event queue — not the toy header
+ * above): flipping every byte and truncating at every offset must
+ * either still parse or throw SnapshotError. Anything else — a crash,
+ * an std::length_error from an attacker-sized count field, an OOM
+ * abort from a damaged bitmask length — is a reader hole.
+ */
+TEST(GpuSnapshotFormat, EveryByteFlipAndTruncationIsTypedOrParses)
+{
+    const Program program = buildWorkload("BFS");
+    GpuConfig config = gtx480Config();
+    config.numSms = 2;
+    RunOptions options;
+    options.gpu.mode = GpuOptions::Mode::FullMachine;
+    options.gpu.control.maxCycles = 600;
+    const PolicyRun cut = runPolicy("regmutex", program, config, options);
+    ASSERT_FALSE(cut.result.completed());
+    ASSERT_NE(cut.result.snapshot, nullptr);
+    const std::string bytes = cut.result.snapshot->serialize();
+    ASSERT_GT(bytes.size(), 1000u);
+
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::string damaged = bytes;
+        damaged[i] = static_cast<char>(damaged[i] ^ 0xff);
+        try {
+            const GpuSnapshot back = GpuSnapshot::deserialize(damaged);
+            // Survivable flip (payload bytes): must re-serialize too.
+            (void)back.serialize();
+        } catch (const SnapshotError &) {
+            // Typed rejection — the contract.
+        } catch (const std::exception &e) {
+            ADD_FAILURE() << "flip at byte " << i
+                          << " escaped the codec: " << e.what();
+        }
+    }
+    for (std::size_t cut_at = 0; cut_at < bytes.size(); ++cut_at) {
+        EXPECT_THROW(GpuSnapshot::deserialize(
+                         std::string_view(bytes).substr(0, cut_at)),
+                     SnapshotError)
+            << "truncation at byte " << cut_at;
+    }
+}
+
 TEST(GpuSnapshotFormat, FileRoundTripIsAtomic)
 {
     const std::string path = testing::TempDir() + "rm_snapshot_test.snap";
